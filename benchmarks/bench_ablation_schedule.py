@@ -1,0 +1,44 @@
+"""Ablation: window_size / stop_top_down for the §3.4 scheduler.
+
+"Experimental verification of what values work well for window_size
+and stop_top_down remains" — this bench runs that sweep, with and
+without the expensive level-matching steps the paper suggests skipping
+when runtime matters.
+"""
+
+import pytest
+
+from repro.core.schedule import Schedule, scheduled_minimize
+
+
+def _total_size(calls, schedule):
+    total = 0
+    for record in calls:
+        manager = record.manager
+        for call in record.calls:
+            manager.clear_caches()
+            cover = scheduled_minimize(manager, call.f, call.c, schedule)
+            total += manager.size(cover)
+    return total
+
+
+@pytest.mark.parametrize("window_size", [1, 2, 4])
+@pytest.mark.parametrize("stop_top_down", [0, 4])
+def test_schedule_sweep(benchmark, quick_calls, window_size, stop_top_down):
+    schedule = Schedule(
+        window_size=window_size, stop_top_down=stop_top_down
+    )
+    total = benchmark.pedantic(
+        _total_size, args=(quick_calls, schedule), rounds=1, iterations=1
+    )
+    assert total > 0
+
+
+@pytest.mark.parametrize("use_level_steps", [False, True])
+def test_schedule_level_steps_cost(benchmark, quick_calls, use_level_steps):
+    """Steps 4-5 are the expensive ones (§3.4's runtime/quality trade)."""
+    schedule = Schedule(window_size=2, use_level_steps=use_level_steps)
+    total = benchmark.pedantic(
+        _total_size, args=(quick_calls, schedule), rounds=1, iterations=1
+    )
+    assert total > 0

@@ -1,0 +1,54 @@
+"""Extension bench: application-level impact of frontier minimization.
+
+The measurement the paper deferred to Coudert et al. / Touati et al.:
+run the whole equivalence check under each frontier minimizer and
+compare traversal cost.  Run with ``-s`` to see the rendered table.
+"""
+
+import pytest
+
+from repro.bdd.manager import Manager
+from repro.core.registry import HEURISTICS
+from repro.fsm.product import compile_product
+from repro.fsm.reachability import check_equivalence
+from repro.circuits.suite import benchmark_spec
+from repro.experiments.application import (
+    measure_application_impact,
+    render_application_impact,
+)
+
+MACHINES = ("tlc", "s386", "s344", "cbp.32.4")
+
+
+@pytest.mark.parametrize(
+    "minimizer", ["f_orig", "constrain", "restrict", "osm_bt", "robust"]
+)
+def test_traversal_under_minimizer(benchmark, minimizer):
+    def run():
+        total_nodes = 0
+        for name in MACHINES:
+            spec = benchmark_spec(name)
+            manager = Manager()
+            product = compile_product(manager, spec, spec)
+            result = check_equivalence(
+                product, minimize=HEURISTICS[minimizer]
+            )
+            assert result.equivalent
+            total_nodes += manager.num_nodes
+        return total_nodes
+
+    total = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert total > 0
+
+
+def test_application_impact_render(benchmark):
+    runs = benchmark.pedantic(
+        measure_application_impact,
+        args=(list(MACHINES),),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_application_impact(runs))
+    for run in runs:
+        assert run.equivalent

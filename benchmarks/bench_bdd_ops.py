@@ -1,0 +1,87 @@
+"""Substrate micro-benchmarks: the BDD package operations.
+
+Not a paper exhibit, but the baseline everything else stands on: ITE
+throughput, image computation by both methods, and the constrain /
+restrict operators on traversal-sized operands.
+"""
+
+import pytest
+
+from repro.bdd.manager import Manager
+from repro.bdd.truthtable import bdd_from_leaves
+from repro.core.sibling import constrain, restrict
+from repro.fsm.machine import compile_fsm
+from repro.fsm.image import image_by_constrain_range, image_by_relation
+from repro.circuits.generators import random_controller
+
+import random
+
+
+def _random_pair(num_vars=10, seed=3):
+    rng = random.Random(seed)
+    manager = Manager()
+    f = bdd_from_leaves(manager, [rng.random() < 0.5 for _ in range(1 << num_vars)])
+    c = bdd_from_leaves(manager, [rng.random() < 0.5 for _ in range(1 << num_vars)])
+    return manager, f, c
+
+
+def test_ite_throughput(benchmark):
+    manager, f, c = _random_pair()
+
+    def run():
+        manager.clear_caches()
+        return manager.ite(f, c, f ^ 1)
+
+    benchmark(run)
+
+
+def test_constrain_throughput(benchmark):
+    manager, f, c = _random_pair()
+
+    def run():
+        manager.clear_caches()
+        return constrain(manager, f, c)
+
+    benchmark(run)
+
+
+def test_restrict_throughput(benchmark):
+    manager, f, c = _random_pair()
+
+    def run():
+        manager.clear_caches()
+        return restrict(manager, f, c)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize(
+    "method", [image_by_relation, image_by_constrain_range], ids=["relation", "range"]
+)
+def test_image_methods(benchmark, method):
+    manager = Manager()
+    fsm = compile_fsm(
+        manager, random_controller(17, state_bits=6, input_bits=4)
+    )
+    states = fsm.init_cube
+    # Grow a non-trivial state set first.
+    for _ in range(2):
+        states = manager.or_(states, image_by_relation(fsm, states))
+
+    def run():
+        manager.clear_caches()
+        fsm._relation = None  # rebuild the relation each round
+        return method(fsm, states)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_quantification(benchmark):
+    manager, f, c = _random_pair(num_vars=12, seed=9)
+    levels = list(range(0, 12, 2))
+
+    def run():
+        manager.clear_caches()
+        return manager.exists(manager.and_(f, c), levels)
+
+    benchmark(run)

@@ -1,0 +1,52 @@
+"""Substrate bench: FSM traversal cost across image-computation methods.
+
+Times full reachability with the monolithic relation, the clustered
+relation (early quantification), and the Coudert-Madre constrain-range
+method, on representative machines.  The constrain-range method is the
+one the paper's application used; on machines with many latches the
+clustered relation usually wins.
+"""
+
+import pytest
+
+from repro.bdd.manager import Manager
+from repro.fsm.machine import compile_fsm
+from repro.fsm.image import (
+    image_by_clustered_relation,
+    image_by_constrain_range,
+    image_by_relation,
+)
+from repro.fsm.reachability import reachable_states
+from repro.circuits.suite import benchmark_spec
+
+MACHINES = ("tlc", "s386", "minmax5", "cbp.32.4", "s344")
+METHODS = {
+    "monolithic": image_by_relation,
+    "clustered": image_by_clustered_relation,
+    "constrain_range": image_by_constrain_range,
+}
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_reachability_method(benchmark, machine, method):
+    image = METHODS[method]
+
+    def run():
+        manager = Manager()
+        fsm = compile_fsm(manager, benchmark_spec(machine))
+        return reachable_states(fsm, image=image)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.iterations > 0
+
+
+def test_methods_agree_on_state_counts():
+    for machine in MACHINES:
+        counts = set()
+        for method in METHODS.values():
+            manager = Manager()
+            fsm = compile_fsm(manager, benchmark_spec(machine))
+            result = reachable_states(fsm, image=method)
+            counts.add(result.state_count(fsm))
+        assert len(counts) == 1, machine

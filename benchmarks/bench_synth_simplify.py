@@ -1,0 +1,81 @@
+"""Synthesis bench: node simplification quality per heuristic.
+
+For a batch of random netlists with an external don't-care set,
+measures the total BDD (mux) cost after DC-based resynthesis under each
+minimization heuristic — the FPGA-mapping application of the paper's §1
+at benchmark scale.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import Manager
+from repro.fsm.netlist import Netlist
+from repro.synth.simplify import simplify_netlist
+
+
+def _batch(count=6, num_inputs=5, num_gates=12, seed=77):
+    rng = random.Random(seed)
+    instances = []
+    for index in range(count):
+        netlist = Netlist("bench%d" % index)
+        signals = [
+            netlist.add_input("i%d" % position)
+            for position in range(num_inputs)
+        ]
+        for position in range(num_gates):
+            op = rng.choice(["AND", "OR", "XOR", "NAND", "NOR"])
+            fanins = rng.sample(signals, 2)
+            signals.append(netlist.add_gate("g%d" % position, op, fanins))
+        outputs = signals[-2:]
+        manager = Manager(["i%d" % p for p in range(num_inputs)])
+        input_refs = {
+            "i%d" % p: manager.var(p) for p in range(num_inputs)
+        }
+        # External DC: exclude a random input cube.
+        excluded = manager.cube_ref(
+            {p: bool(rng.getrandbits(1)) for p in range(3)}
+        )
+        instances.append(
+            (netlist, manager, input_refs, outputs, excluded ^ 1)
+        )
+    return instances
+
+
+@pytest.mark.parametrize(
+    "method", ["constrain", "restrict", "osm_bt", "tsm_td"]
+)
+def test_simplify_method(benchmark, method):
+    instances = _batch()
+
+    def run():
+        total = 0
+        for netlist, manager, input_refs, outputs, care in instances:
+            report = simplify_netlist(
+                netlist,
+                manager,
+                input_refs,
+                outputs,
+                external_care=care,
+                method=method,
+            )
+            total += report.total_after
+        return total
+
+    total = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert total > 0
+
+
+def test_simplification_pays(capsys):
+    instances = _batch()
+    before = after = 0
+    for netlist, manager, input_refs, outputs, care in instances:
+        report = simplify_netlist(
+            netlist, manager, input_refs, outputs, external_care=care
+        )
+        before += report.total_before
+        after += report.total_after
+    print()
+    print("resynthesis mux cost: %d -> %d" % (before, after))
+    assert after <= before

@@ -1,0 +1,63 @@
+"""Table 1: matching-criterion property checks at scale.
+
+Table 1 itself is a property table (verified exhaustively in
+tests/core/test_criteria_properties.py); this bench times the three
+match predicates on traversal-sized operands — the inner loop of every
+heuristic — and re-validates the strength hierarchy on the measured
+batch.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import Manager
+from repro.bdd.truthtable import bdd_from_leaves
+from repro.core.criteria import (
+    Criterion,
+    matches,
+    osdm_matches,
+    osm_matches,
+    tsm_matches,
+)
+
+NUM_VARS = 10
+
+
+def _batch(count=50, seed=13):
+    rng = random.Random(seed)
+    manager = Manager()
+    pairs = []
+    for _ in range(count):
+        refs = []
+        for _ in range(4):
+            leaves = [rng.random() < 0.5 for _ in range(1 << NUM_VARS)]
+            refs.append(bdd_from_leaves(manager, leaves))
+        pairs.append(tuple(refs))
+    return manager, pairs
+
+
+@pytest.mark.parametrize(
+    "criterion", [Criterion.OSDM, Criterion.OSM, Criterion.TSM]
+)
+def test_match_predicate_throughput(benchmark, criterion):
+    manager, pairs = _batch()
+
+    def run():
+        manager.clear_caches()
+        return sum(
+            1
+            for f1, c1, f2, c2 in pairs
+            if matches(criterion, manager, f1, c1, f2, c2)
+        )
+
+    benchmark(run)
+
+
+def test_strength_hierarchy_on_batch():
+    manager, pairs = _batch(count=200, seed=29)
+    for f1, c1, f2, c2 in pairs:
+        if osdm_matches(manager, f1, c1, f2, c2):
+            assert osm_matches(manager, f1, c1, f2, c2)
+        if osm_matches(manager, f1, c1, f2, c2):
+            assert tsm_matches(manager, f1, c1, f2, c2)

@@ -1,0 +1,96 @@
+"""Table 2: the 12 sibling-heuristic parameter points collapse to 8.
+
+Benchmarks the generic top-down matcher at every (criterion,
+match-complement, no-new-vars) point over a batch of random instances
+and asserts the paper's identifications: complement matching is a
+no-op for osdm (rows 3/4 = 1/2) and no-new-vars is a no-op for tsm
+(rows 10/12 = 9/11).
+"""
+
+import pytest
+
+from repro.bdd.manager import Manager
+from repro.bdd.truthtable import bdd_from_leaves
+from repro.core.criteria import Criterion
+from repro.core.sibling import generic_td
+
+import random
+
+NUM_VARS = 6
+
+
+def _instances(count=40, seed=2):
+    rng = random.Random(seed)
+    manager = Manager()
+    batch = []
+    for _ in range(count):
+        f_leaves = [rng.random() < 0.5 for _ in range(1 << NUM_VARS)]
+        c_leaves = [rng.random() < 0.7 for _ in range(1 << NUM_VARS)]
+        if not any(c_leaves):
+            c_leaves[0] = True
+        batch.append(
+            (
+                bdd_from_leaves(manager, f_leaves),
+                bdd_from_leaves(manager, c_leaves),
+            )
+        )
+    return manager, batch
+
+
+ALL_ROWS = [
+    ("row1_constrain", Criterion.OSDM, False, False),
+    ("row2_restrict", Criterion.OSDM, False, True),
+    ("row3_osdm_cp", Criterion.OSDM, True, False),
+    ("row4_osdm_cp_nv", Criterion.OSDM, True, True),
+    ("row5_osm_td", Criterion.OSM, False, False),
+    ("row6_osm_nv", Criterion.OSM, False, True),
+    ("row7_osm_cp", Criterion.OSM, True, False),
+    ("row8_osm_bt", Criterion.OSM, True, True),
+    ("row9_tsm_td", Criterion.TSM, False, False),
+    ("row10_tsm_nv", Criterion.TSM, False, True),
+    ("row11_tsm_cp", Criterion.TSM, True, False),
+    ("row12_tsm_cp_nv", Criterion.TSM, True, True),
+]
+
+
+@pytest.mark.parametrize("label,criterion,compl,nnv", ALL_ROWS)
+def test_table2_row(benchmark, label, criterion, compl, nnv):
+    manager, batch = _instances()
+
+    def run():
+        return [
+            generic_td(
+                manager,
+                f,
+                c,
+                criterion,
+                match_complement=compl,
+                no_new_vars=nnv,
+            )
+            for f, c in batch
+        ]
+
+    covers = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(covers) == len(batch)
+
+
+def test_duplicate_rows_coincide():
+    """Rows 3/4 equal rows 1/2; rows 10/12 equal rows 9/11."""
+    manager, batch = _instances(count=60, seed=5)
+    for f, c in batch:
+        row1 = generic_td(manager, f, c, Criterion.OSDM)
+        row3 = generic_td(manager, f, c, Criterion.OSDM, match_complement=True)
+        assert row1 == row3
+        row2 = generic_td(manager, f, c, Criterion.OSDM, no_new_vars=True)
+        row4 = generic_td(
+            manager, f, c, Criterion.OSDM, match_complement=True, no_new_vars=True
+        )
+        assert row2 == row4
+        row9 = generic_td(manager, f, c, Criterion.TSM)
+        row10 = generic_td(manager, f, c, Criterion.TSM, no_new_vars=True)
+        assert row9 == row10
+        row11 = generic_td(manager, f, c, Criterion.TSM, match_complement=True)
+        row12 = generic_td(
+            manager, f, c, Criterion.TSM, match_complement=True, no_new_vars=True
+        )
+        assert row11 == row12

@@ -1,0 +1,43 @@
+"""Table 4: head-to-head win percentages between heuristics.
+
+Benchmarks the matrix computation over the measured call set and
+asserts the paper's qualitative reading: min is unbeaten, osm_bt is
+rarely beaten by min (the paper's 21.9% figure), opt_lv is routinely
+bettered overall yet unbeaten on the dense bucket.
+"""
+
+from repro.experiments.buckets import Bucket
+from repro.experiments.table4 import (
+    orthogonality,
+    render_table4,
+    table4_matrix,
+)
+
+
+def test_matrix_generation(benchmark, quick_results):
+    matrix = benchmark(table4_matrix, quick_results)
+    assert matrix
+
+
+def test_table4_shape_and_render(benchmark, quick_results):
+    text = benchmark(render_table4, quick_results)
+    print()
+    print(text)
+    print()
+    print(render_table4(quick_results, bucket=Bucket.DENSE))
+    matrix = table4_matrix(quick_results)
+    names = ("f_orig", "constrain", "restrict", "osm_bt", "tsm_td", "opt_lv")
+    # Diagonal is zero; nobody strictly beats min on any call.
+    for name in names:
+        assert matrix[(name, name)] == 0.0
+    for result in quick_results.results:
+        assert result.min_size <= min(result.sizes.values())
+    # min beats osm_bt on a minority of calls (the paper's 21.9%).
+    assert matrix[("min", "osm_bt")] < 50.0
+    # Orthogonality is symmetric-sum bounded.
+    assert 0.0 <= orthogonality(matrix, "constrain", "tsm_td") <= 200.0
+    # Dense bucket: the opt_lv column is (near) all zeroes — in the
+    # paper's data it is exactly zero ("always the best").
+    dense = table4_matrix(quick_results, bucket=Bucket.DENSE)
+    for name in names:
+        assert dense[(name, "opt_lv")] <= 5.0

@@ -1,0 +1,26 @@
+"""Shared session fixtures for the benchmark harness.
+
+Collection (running the FSM traversals) happens once per session; the
+individual benches then measure heuristic replay, exhibit generation,
+and ablations against the same recorded call set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.suite import QUICK_SUITE
+from repro.experiments.calls import collect_suite_calls
+from repro.experiments.harness import run_heuristics
+
+
+@pytest.fixture(scope="session")
+def quick_calls():
+    """Recorded minimization calls over the fast benchmark subset."""
+    return collect_suite_calls(list(QUICK_SUITE))
+
+
+@pytest.fixture(scope="session")
+def quick_results(quick_calls):
+    """Measured results over the fast subset (computed once)."""
+    return run_heuristics(quick_calls, cube_limit=200)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Frontier-set minimization during reachability analysis.
+
+Shows the raw vs minimized frontier BDD sizes at every BFS iteration —
+the quantity the paper's minimization is designed to shrink — across
+several minimizers, on a machine whose frontiers have structure
+(the carry-propagate accumulator).
+
+Run:  python examples/frontier_minimization.py
+"""
+
+from repro.bdd import Manager
+from repro.circuits import carry_propagate_accumulator
+from repro.core.registry import HEURISTICS
+from repro.fsm import compile_fsm, reachable_states
+
+
+def main() -> None:
+    spec = carry_propagate_accumulator(6, 3)
+    print("machine: %s" % spec.name)
+    print()
+    summaries = {}
+    for name in ("f_orig", "constrain", "restrict", "osm_bt", "tsm_td"):
+        manager = Manager()
+        fsm = compile_fsm(manager, spec)
+        result = reachable_states(fsm, minimize=HEURISTICS[name])
+        summaries[name] = result
+        print(
+            "%-10s iterations=%2d  reachable states=%d"
+            % (name, result.iterations, result.state_count(fsm))
+        )
+        rows = zip(result.frontier_sizes, result.minimized_sizes)
+        trace = "  ".join(
+            "%d->%d" % (raw, small) for raw, small in rows
+        )
+        print("  frontier |U| -> |minimized| per iteration: %s" % trace)
+        total_raw = sum(result.frontier_sizes)
+        total_min = sum(result.minimized_sizes)
+        print(
+            "  cumulative frontier nodes: %d -> %d (%.2fx)"
+            % (total_raw, total_min, total_raw / total_min)
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation (§4).
+
+Runs the full pipeline — self-equivalence traversal over the benchmark
+suite, interception of every constrain call, replay through all
+heuristics with cache flushing, cube lower bounds — and prints
+Table 3 (all three onset buckets), Table 4 (head-to-head) and Figure 3
+(robustness curves), plus the headline summary numbers quoted in the
+paper's prose.
+
+Run:  python examples/run_paper_experiments.py [--quick]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.circuits.suite import QUICK_SUITE
+from repro.experiments import (
+    run_experiment,
+    render_table3,
+    render_table4,
+    render_figure3,
+)
+from repro.experiments.buckets import Bucket
+from repro.experiments.figure3 import y_intercepts
+from repro.experiments.summary import (
+    export_csv,
+    lower_bound_attainment,
+    render_per_benchmark,
+)
+from repro.experiments.table3 import reduction_factor, table3_rows
+from repro.experiments.table4 import table4_matrix
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the fast benchmark subset instead of the full suite",
+    )
+    parser.add_argument(
+        "--cube-limit",
+        type=int,
+        default=1000,
+        help="cubes enumerated for the lower bound (paper: 1000)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also dump per-call raw measurements as CSV",
+    )
+    parser.add_argument(
+        "--output-dir",
+        metavar="DIR",
+        help="also write each exhibit to its own text file in DIR",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    names = list(QUICK_SUITE) if args.quick else None
+    results = run_experiment(names=names, cube_limit=args.cube_limit)
+    elapsed = time.time() - started
+
+    print(
+        "%d calls measured (%d filtered as trivial) in %.1fs"
+        % (results.total_calls, results.filtered_out, elapsed)
+    )
+    print()
+    print("=" * 70)
+    print("TABLE 3")
+    print("=" * 70)
+    print(
+        render_table3(
+            results, buckets=[None, Bucket.SPARSE, Bucket.MIDDLE, Bucket.DENSE]
+        )
+    )
+    print()
+    print("=" * 70)
+    print("TABLE 4")
+    print("=" * 70)
+    print(render_table4(results))
+    print()
+    print(render_table4(results, bucket=Bucket.DENSE))
+    print()
+    print("=" * 70)
+    print("FIGURE 3")
+    print("=" * 70)
+    print(render_figure3(results))
+    print()
+    print("=" * 70)
+    print("HEADLINE NUMBERS (paper §4.2 prose)")
+    print("=" * 70)
+    rows = {row.name: row for row in table3_rows(results)}
+    print(
+        "min vs lower bound: %.2fx   (paper: ~3.4x)"
+        % (rows["min"].total_size / max(rows["low_bd"].total_size, 1))
+    )
+    print(
+        "f_orig reduction:   %.2fx overall, %.2fx sparse, %.2fx dense"
+        % (
+            reduction_factor(results),
+            reduction_factor(results, Bucket.SPARSE) or 0.0,
+            reduction_factor(results, Bucket.DENSE) or 0.0,
+        )
+    )
+    matrix = table4_matrix(results)
+    print(
+        "min strictly beats osm_bt on %.1f%% of calls (paper: 21.9%%)"
+        % matrix[("min", "osm_bt")]
+    )
+    intercepts = y_intercepts(results)
+    print(
+        "Figure 3 y-intercepts: %s"
+        % "  ".join(
+            "%s=%.0f%%" % (name, value)
+            for name, value in intercepts.items()
+        )
+    )
+    attainment = lower_bound_attainment(results)
+    if attainment is not None:
+        print(
+            "lower bound attained on %.1f%% of calls (paper: 26.2%%)"
+            % (100.0 * attainment)
+        )
+    print()
+    print(render_per_benchmark(results))
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            export_csv(results, stream=handle)
+        print()
+        print("raw measurements written to %s" % args.csv)
+    if args.output_dir:
+        import pathlib
+
+        directory = pathlib.Path(args.output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        exhibits = {
+            "table3.txt": render_table3(
+                results,
+                buckets=[None, Bucket.SPARSE, Bucket.MIDDLE, Bucket.DENSE],
+            ),
+            "table4.txt": render_table4(results),
+            "figure3.txt": render_figure3(results),
+            "per_benchmark.txt": render_per_benchmark(results),
+        }
+        for filename, text in exhibits.items():
+            (directory / filename).write_text(text + "\n")
+        print("exhibits written to %s" % directory)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The §3.4 windowed schedule and its parameters.
+
+Sweeps window_size and stop_top_down on instances collected from the
+benchmark traversal, comparing the scheduler against the fixed
+heuristics — the experiment the paper leaves as future work
+("Experimental verification of what values work well for window_size
+and stop_top_down remains").
+
+Run:  python examples/scheduling_demo.py
+"""
+
+from repro.core.registry import HEURISTICS
+from repro.core.schedule import Schedule, scheduled_minimize
+from repro.experiments.calls import collect_suite_calls
+
+
+def main() -> None:
+    records = collect_suite_calls(["s386", "styr", "tlc"])
+    calls = [
+        (record.manager, call) for record in records for call in record.calls
+    ]
+    print("%d minimization instances collected" % len(calls))
+    print()
+
+    print("fixed heuristics:")
+    for name in ("constrain", "restrict", "osm_bt", "tsm_td", "opt_lv"):
+        total = sum(
+            manager.size(HEURISTICS[name](manager, call.f, call.c))
+            for manager, call in calls
+        )
+        print("  %-10s total size %6d" % (name, total))
+    print()
+
+    print("scheduler parameter sweep (window_size x stop_top_down):")
+    print("%10s %14s %12s" % ("window", "stop_top_down", "total size"))
+    for window_size in (1, 2, 4, 8):
+        for stop_top_down in (0, 2, 4):
+            schedule = Schedule(
+                window_size=window_size, stop_top_down=stop_top_down
+            )
+            total = sum(
+                manager.size(
+                    scheduled_minimize(manager, call.f, call.c, schedule)
+                )
+                for manager, call in calls
+            )
+            print("%10d %14d %12d" % (window_size, stop_top_down, total))
+
+
+if __name__ == "__main__":
+    main()

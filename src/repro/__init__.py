@@ -1,0 +1,26 @@
+"""Reproduction of Shiple et al., "Heuristic Minimization of BDDs Using
+Don't Cares" (DAC 1994).
+
+Subpackages
+-----------
+
+``repro.bdd``
+    A from-scratch ROBDD package with complement edges (the substrate).
+``repro.core``
+    The paper's contribution: matching criteria, sibling- and
+    level-matching heuristics, scheduling, lower bounds, exact EBM.
+``repro.fsm``
+    Netlists, BLIF, FSMs, image computation and the FSM-equivalence
+    application that drives the experiments.
+``repro.circuits``
+    Synthetic benchmark machines standing in for the paper's suite.
+``repro.experiments``
+    The measurement harness regenerating every table and figure.
+"""
+
+from repro.bdd import Manager, Function
+from repro.core import ISpec, minimize, HEURISTICS
+
+__version__ = "1.0.0"
+
+__all__ = ["Manager", "Function", "ISpec", "minimize", "HEURISTICS", "__version__"]

@@ -1,0 +1,57 @@
+"""Reduced ordered binary decision diagrams with complement edges.
+
+This package is a from-scratch implementation of the BDD substrate the
+paper builds on (Brace, Rudell, Bryant, DAC 1990): a unique table, an
+ITE-based operator core, computed-table caches that can be flushed, and
+output complement pointers.  A fixed variable ordering ``x1 < x2 < ...``
+is used for all BDDs, exactly as in the paper.
+
+Two API layers are provided:
+
+* :class:`~repro.bdd.manager.Manager` works on integer *refs* (a node
+  index tagged with a complement bit).  All algorithms in
+  :mod:`repro.core` use this layer for speed.
+* :class:`~repro.bdd.function.Function` wraps ``(manager, ref)`` with
+  operator overloading for ergonomic use in examples and applications.
+"""
+
+from repro.bdd.manager import Manager, ONE, ZERO, TERMINAL_LEVEL
+from repro.bdd.function import Function
+from repro.bdd.parser import parse_expression
+from repro.bdd.truthtable import (
+    bdd_from_leaves,
+    leaves_from_bdd,
+    parse_leaf_string,
+)
+from repro.bdd.reorder import (
+    transfer,
+    reorder,
+    sift,
+    exhaustive_order_search,
+    compact,
+)
+from repro.bdd.isop import isop, isop_of_ispec, cube_count
+from repro.bdd.pretty import format_sop, format_ite, format_table
+
+__all__ = [
+    "Manager",
+    "Function",
+    "ONE",
+    "ZERO",
+    "TERMINAL_LEVEL",
+    "parse_expression",
+    "bdd_from_leaves",
+    "leaves_from_bdd",
+    "parse_leaf_string",
+    "transfer",
+    "reorder",
+    "sift",
+    "exhaustive_order_search",
+    "compact",
+    "isop",
+    "isop_of_ispec",
+    "cube_count",
+    "format_sop",
+    "format_ite",
+    "format_table",
+]

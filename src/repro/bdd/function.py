@@ -1,0 +1,188 @@
+"""Ergonomic wrapper around ``(manager, ref)`` pairs.
+
+:class:`Function` gives BDDs value semantics: overloaded boolean
+operators, structural equality, and convenience accessors.  It is a thin
+veneer — every operation delegates to the :class:`~repro.bdd.manager.Manager`
+ref layer, which is what the minimization algorithms use directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.bdd.manager import Manager, ONE, ZERO
+
+
+class Function:
+    """A Boolean function represented as a BDD in some manager."""
+
+    __slots__ = ("manager", "ref")
+
+    def __init__(self, manager: Manager, ref: int):
+        self.manager = manager
+        self.ref = ref
+
+    # -- construction helpers ------------------------------------------
+    @staticmethod
+    def true(manager: Manager) -> "Function":
+        """The constant TRUE function."""
+        return Function(manager, ONE)
+
+    @staticmethod
+    def false(manager: Manager) -> "Function":
+        """The constant FALSE function."""
+        return Function(manager, ZERO)
+
+    def _wrap(self, ref: int) -> "Function":
+        return Function(self.manager, ref)
+
+    def _check(self, other: "Function") -> int:
+        if other.manager is not self.manager:
+            raise ValueError("functions belong to different managers")
+        return other.ref
+
+    # -- operators ------------------------------------------------------
+    def __and__(self, other: "Function") -> "Function":
+        return self._wrap(self.manager.and_(self.ref, self._check(other)))
+
+    def __or__(self, other: "Function") -> "Function":
+        return self._wrap(self.manager.or_(self.ref, self._check(other)))
+
+    def __xor__(self, other: "Function") -> "Function":
+        return self._wrap(self.manager.xor(self.ref, self._check(other)))
+
+    def __invert__(self) -> "Function":
+        return self._wrap(self.ref ^ 1)
+
+    def __sub__(self, other: "Function") -> "Function":
+        """Set difference: ``self · ¬other``."""
+        return self._wrap(self.manager.diff(self.ref, self._check(other)))
+
+    def implies(self, other: "Function") -> "Function":
+        """Implication as a function."""
+        return self._wrap(self.manager.implies(self.ref, self._check(other)))
+
+    def iff(self, other: "Function") -> "Function":
+        """Biconditional as a function."""
+        return self._wrap(self.manager.xnor(self.ref, self._check(other)))
+
+    def ite(self, then_f: "Function", else_f: "Function") -> "Function":
+        """``self`` selecting between ``then_f`` and ``else_f``."""
+        return self._wrap(
+            self.manager.ite(self.ref, self._check(then_f), self._check(else_f))
+        )
+
+    def __le__(self, other: "Function") -> bool:
+        """Containment: every onset point of self is in other."""
+        return self.manager.leq(self.ref, self._check(other))
+
+    def __ge__(self, other: "Function") -> bool:
+        return self.manager.leq(self._check(other), self.ref)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Function):
+            return NotImplemented
+        return self.manager is other.manager and self.ref == other.ref
+
+    def __ne__(self, other: object) -> bool:
+        equal = self.__eq__(other)
+        if equal is NotImplemented:
+            return equal
+        return not equal
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.ref))
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Function truth value is ambiguous; use .is_one() / .is_zero()"
+        )
+
+    # -- predicates and queries ------------------------------------------
+    def is_one(self) -> bool:
+        """True iff this is the constant TRUE function."""
+        return self.ref == ONE
+
+    def is_zero(self) -> bool:
+        """True iff this is the constant FALSE function."""
+        return self.ref == ZERO
+
+    def is_constant(self) -> bool:
+        """True iff this is either constant."""
+        return self.manager.is_constant(self.ref)
+
+    def is_cube(self) -> bool:
+        """True iff the function is a single product of literals."""
+        return self.manager.is_cube(self.ref)
+
+    def size(self) -> int:
+        """Node count including the terminal (the paper's |f|)."""
+        return self.manager.size(self.ref)
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def support(self) -> frozenset:
+        """Variable names the function depends on."""
+        return frozenset(
+            self.manager.name_of_level(level)
+            for level in self.manager.support(self.ref)
+        )
+
+    def sat_count(self, num_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments."""
+        return self.manager.sat_count(self.ref, num_vars)
+
+    # -- evaluation and decomposition -------------------------------------
+    def __call__(self, **assignment: bool) -> bool:
+        """Evaluate with keyword arguments naming variables."""
+        by_level = {
+            self.manager.level_of_var(name): bool(value)
+            for name, value in assignment.items()
+        }
+        return self.manager.eval(self.ref, by_level)
+
+    def cofactor(self, **assignment: bool) -> "Function":
+        """Cofactor by a cube of named variables."""
+        ref = self.ref
+        for name, value in assignment.items():
+            ref = self.manager.cofactor(
+                ref, self.manager.level_of_var(name), bool(value)
+            )
+        return self._wrap(ref)
+
+    def exists(self, *names: str) -> "Function":
+        """Existentially quantify the named variables."""
+        levels = [self.manager.level_of_var(name) for name in names]
+        return self._wrap(self.manager.exists(self.ref, levels))
+
+    def forall(self, *names: str) -> "Function":
+        """Universally quantify the named variables."""
+        levels = [self.manager.level_of_var(name) for name in names]
+        return self._wrap(self.manager.forall(self.ref, levels))
+
+    def compose(self, **substitution: "Function") -> "Function":
+        """Substitute functions for named variables (simultaneous)."""
+        mapping = {
+            self.manager.level_of_var(name): self._check(value)
+            for name, value in substitution.items()
+        }
+        return self._wrap(self.manager.vector_compose(self.ref, mapping))
+
+    def cubes(self, limit: Optional[int] = None) -> Iterator[Dict[str, bool]]:
+        """Iterate cubes as ``{var_name: value}`` dictionaries."""
+        for cube in self.manager.cubes(self.ref, limit=limit):
+            yield {
+                self.manager.name_of_level(level): value
+                for level, value in cube.items()
+            }
+
+    def __repr__(self) -> str:
+        if self.ref == ONE:
+            return "<Function TRUE>"
+        if self.ref == ZERO:
+            return "<Function FALSE>"
+        return "<Function %d nodes, support {%s}>" % (
+            self.size(),
+            ", ".join(sorted(self.support())),
+        )

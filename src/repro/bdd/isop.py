@@ -1,0 +1,102 @@
+"""Irredundant sum-of-products covers from BDD intervals (Minato ISOP).
+
+The Minato–Morreale algorithm takes an incompletely specified function
+as an interval ``(lower, upper)`` — exactly the ``[f·c, f + ¬c]``
+interval of a ``[f, c]`` instance — and produces an *irredundant* SOP
+cover whose function lies inside the interval.  It is the
+two-level-logic cousin of the BDD minimization this library is about,
+and the natural way to print compact ``.names`` tables when writing
+BLIF (cube-path enumeration of the onset can be exponentially larger).
+
+``isop`` returns both the cube list and the BDD of the cover, which by
+construction satisfies ``lower ≤ cover ≤ upper``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bdd.manager import Manager, ONE, ZERO
+
+#: A cube as ``{level: value}``.
+Cube = Dict[int, bool]
+
+
+def isop(manager: Manager, lower: int, upper: int) -> Tuple[List[Cube], int]:
+    """Minato–Morreale ISOP over the interval ``[lower, upper]``.
+
+    Requires ``lower ≤ upper``.  Returns ``(cubes, cover_ref)`` where
+    the disjunction of the cubes equals ``cover_ref`` and
+    ``lower ≤ cover_ref ≤ upper``.  The cover is irredundant: removing
+    any cube uncovers part of ``lower``.
+    """
+    if not manager.leq(lower, upper):
+        raise ValueError("empty interval: lower is not contained in upper")
+    cache: Dict[Tuple[int, int], Tuple[Tuple[Tuple[int, bool], ...], int]] = {}
+    frozen_cubes, cover = _isop(manager, lower, upper, cache)
+    return [dict(cube) for cube in frozen_cubes], cover
+
+
+def _isop(
+    manager: Manager,
+    lower: int,
+    upper: int,
+    cache: Dict,
+) -> Tuple[Tuple[Tuple[Tuple[int, bool], ...], ...], int]:
+    if lower == ZERO:
+        return (), ZERO
+    if upper == ONE:
+        return ((),), ONE
+    key = (lower, upper)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    top = min(manager.level(lower), manager.level(upper))
+    lower1, lower0 = manager.branches(lower, top)
+    upper1, upper0 = manager.branches(upper, top)
+    # Cubes that must contain the literal x (resp. x̄): the part of the
+    # onset not coverable by cubes independent of the variable.
+    lower0_only = manager.diff(lower0, upper1)
+    lower1_only = manager.diff(lower1, upper0)
+    cubes0, cover0 = _isop(manager, lower0_only, upper0, cache)
+    cubes1, cover1 = _isop(manager, lower1_only, upper1, cache)
+    # What remains must be covered by cubes without the variable.
+    remaining0 = manager.diff(lower0, cover0)
+    remaining1 = manager.diff(lower1, cover1)
+    remaining = manager.or_(remaining0, remaining1)
+    common_upper = manager.and_(upper0, upper1)
+    cubes_star, cover_star = _isop(manager, remaining, common_upper, cache)
+    cover = manager.or_many(
+        [
+            manager.and_(manager.var(top) ^ 1, cover0),
+            manager.and_(manager.var(top), cover1),
+            cover_star,
+        ]
+    )
+    cubes = tuple(
+        tuple(sorted(cube + ((top, False),))) for cube in cubes0
+    )
+    cubes += tuple(
+        tuple(sorted(cube + ((top, True),))) for cube in cubes1
+    )
+    cubes += cubes_star
+    result = (cubes, cover)
+    cache[key] = result
+    return result
+
+
+def isop_of_ispec(manager: Manager, f: int, c: int) -> Tuple[List[Cube], int]:
+    """ISOP cover of ``[f, c]`` via its interval."""
+    lower = manager.and_(f, c)
+    upper = manager.or_(f, c ^ 1)
+    return isop(manager, lower, upper)
+
+
+def cubes_to_ref(manager: Manager, cubes: List[Cube]) -> int:
+    """Disjunction of a cube list (for verification)."""
+    return manager.or_many(manager.cube_ref(cube) for cube in cubes)
+
+
+def cube_count(manager: Manager, ref: int) -> int:
+    """Number of ISOP cubes of a completely specified function."""
+    return len(isop(manager, ref, ref)[0])

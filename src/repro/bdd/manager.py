@@ -1,0 +1,731 @@
+"""The BDD manager: node storage, unique table, and the operator core.
+
+Representation
+--------------
+
+An edge (a *ref*) is an integer ``(node_index << 1) | complement_bit``.
+Node index 0 is the single terminal node, so the constant functions are
+``ONE = 0`` (regular edge to the terminal) and ``ZERO = 1`` (complemented
+edge to the terminal).  Per-node attributes live in parallel lists
+indexed by node index: the variable level, the *then* (high) child and
+the *else* (low) child.
+
+Canonicity with complement edges requires one branch to be regular; we
+keep the *then* edge regular, as in CUDD.  ``make_node`` re-normalizes
+by complementing the output when needed, so structurally equal functions
+are always represented by the same ref and equality is ``==`` on ints.
+
+Levels
+------
+
+A fixed variable ordering is used: level 0 is the topmost variable.  The
+terminal node sits at ``TERMINAL_LEVEL``, a sentinel larger than any
+variable level, which lets ``min`` pick the splitting variable without
+special cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Ref of the constant TRUE function.
+ONE = 0
+#: Ref of the constant FALSE function (complement edge to the terminal).
+ZERO = 1
+
+#: Sentinel level of the terminal node; larger than any variable level.
+TERMINAL_LEVEL = 1 << 30
+
+
+class Manager:
+    """Owns BDD nodes and implements the operator core.
+
+    Parameters
+    ----------
+    var_names:
+        Optional initial variable names, created in order (level 0
+        first).  Further variables can be added with :meth:`new_var`.
+    """
+
+    def __init__(self, var_names: Optional[Sequence[str]] = None):
+        # Node 0 is the terminal.  Its children are self-loops that are
+        # never followed; the level is the sentinel.
+        self._level: List[int] = [TERMINAL_LEVEL]
+        self._high: List[int] = [ONE]
+        self._low: List[int] = [ONE]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._op_caches: Dict[str, dict] = {}
+        self._var_names: List[str] = []
+        self._name_to_level: Dict[str, int] = {}
+        if var_names is not None:
+            for name in var_names:
+                self.new_var(name)
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Number of variables declared so far."""
+        return len(self._var_names)
+
+    @property
+    def var_names(self) -> Tuple[str, ...]:
+        """Variable names in level order (level 0 first)."""
+        return tuple(self._var_names)
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Declare a new variable at the bottom of the order.
+
+        Returns the ref of the positive literal.
+        """
+        level = len(self._var_names)
+        if name is None:
+            name = "x%d" % (level + 1)
+        if name in self._name_to_level:
+            raise ValueError("variable %r already declared" % name)
+        self._var_names.append(name)
+        self._name_to_level[name] = level
+        return self.make_node(level, ONE, ZERO)
+
+    def var(self, which) -> int:
+        """Ref of the positive literal for a variable.
+
+        ``which`` may be a level (int) or a declared variable name.
+        """
+        if isinstance(which, str):
+            try:
+                level = self._name_to_level[which]
+            except KeyError:
+                raise KeyError("unknown variable %r" % which) from None
+        else:
+            level = which
+            if not 0 <= level < len(self._var_names):
+                raise IndexError("no variable at level %d" % level)
+        return self.make_node(level, ONE, ZERO)
+
+    def level_of_var(self, name: str) -> int:
+        """Level of a declared variable name."""
+        return self._name_to_level[name]
+
+    def name_of_level(self, level: int) -> str:
+        """Name of the variable at ``level``."""
+        return self._var_names[level]
+
+    def ensure_vars(self, count: int) -> None:
+        """Declare anonymous variables until ``count`` exist."""
+        while len(self._var_names) < count:
+            self.new_var()
+
+    # ------------------------------------------------------------------
+    # Node structure
+    # ------------------------------------------------------------------
+    def make_node(self, level: int, high: int, low: int) -> int:
+        """Find-or-create the node ``(level, high, low)``.
+
+        Applies the deletion rule (equal children) and the complement
+        normalization (*then* edge regular), so the result is canonical.
+        """
+        if high == low:
+            return high
+        if high & 1:
+            # Normalize: complement both children and the output.
+            return self._make_raw(level, high ^ 1, low ^ 1) | 1
+        return self._make_raw(level, high, low)
+
+    def _make_raw(self, level: int, high: int, low: int) -> int:
+        key = (level, high, low)
+        index = self._unique.get(key)
+        if index is None:
+            index = len(self._level)
+            self._level.append(level)
+            self._high.append(high)
+            self._low.append(low)
+            self._unique[key] = index
+        return index << 1
+
+    def level(self, ref: int) -> int:
+        """Level of the node a ref points to (terminal: TERMINAL_LEVEL)."""
+        return self._level[ref >> 1]
+
+    def is_constant(self, ref: int) -> bool:
+        """True iff ``ref`` is ONE or ZERO."""
+        return ref >> 1 == 0
+
+    def regular(self, ref: int) -> int:
+        """The ref with its complement bit cleared."""
+        return ref & ~1
+
+    def branches(self, ref: int, level: int) -> Tuple[int, int]:
+        """Cofactors of ``ref`` with respect to the variable at ``level``.
+
+        Returns ``(then, else)``.  If the node is rooted strictly below
+        ``level`` the function does not depend on that variable and both
+        cofactors equal ``ref`` — this mirrors ``bdd_get_branches`` in
+        the paper's Figure 2.
+        """
+        index = ref >> 1
+        if self._level[index] != level:
+            return ref, ref
+        complement = ref & 1
+        return self._high[index] ^ complement, self._low[index] ^ complement
+
+    def top_branches(self, ref: int) -> Tuple[int, int, int]:
+        """``(level, then, else)`` at the root of a non-constant ref."""
+        index = ref >> 1
+        complement = ref & 1
+        return (
+            self._level[index],
+            self._high[index] ^ complement,
+            self._low[index] ^ complement,
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes ever created (including the terminal)."""
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def cache(self, name: str) -> dict:
+        """A named computed-table cache, flushed by :meth:`clear_caches`.
+
+        The paper invokes the garbage collector before each heuristic to
+        flush caches so runtimes are comparable; library code uses named
+        caches so the experiment harness can do the same.
+        """
+        cache = self._op_caches.get(name)
+        if cache is None:
+            cache = {}
+            self._op_caches[name] = cache
+        return cache
+
+    def clear_caches(self) -> None:
+        """Flush every computed table (the unique table is kept)."""
+        self._ite_cache.clear()
+        for cache in self._op_caches.values():
+            cache.clear()
+
+    def validate(self, ref: int) -> None:
+        """Assert structural invariants of a BDD (a debugging aid).
+
+        Checks, for every reachable node: the variable order is strict
+        along both edges, the then-edge is regular, children differ,
+        and the node is the unique-table representative of its key.
+        Raises ``AssertionError`` with a description on violation.
+        """
+        for index in self.nodes_reachable((ref,)):
+            if index == 0:
+                continue
+            level = self._level[index]
+            high = self._high[index]
+            low = self._low[index]
+            assert high != low, "node %d has equal children" % index
+            assert high & 1 == 0, "node %d has a complemented then-edge" % index
+            assert (
+                self._level[high >> 1] > level
+            ), "node %d: then-edge does not descend" % index
+            assert (
+                self._level[low >> 1] > level
+            ), "node %d: else-edge does not descend" % index
+            assert (
+                self._unique.get((level, high, low)) == index
+            ), "node %d is not its unique-table representative" % index
+
+    def statistics(self) -> Dict[str, int]:
+        """Bookkeeping counters: node, table and cache sizes."""
+        stats = {
+            "num_vars": len(self._var_names),
+            "num_nodes": len(self._level),
+            "unique_table": len(self._unique),
+            "ite_cache": len(self._ite_cache),
+        }
+        for name, cache in sorted(self._op_caches.items()):
+            stats["cache_" + name] = len(cache)
+        return stats
+
+    # ------------------------------------------------------------------
+    # The ITE core
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f·g + ¬f·h``, the universal binary operator."""
+        # Normalize so the condition is regular.
+        if f & 1:
+            f ^= 1
+            g, h = h, g
+        # Terminal cases.
+        if f == ONE:
+            return g
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        if g == ZERO and h == ONE:
+            return f ^ 1
+        # Absorb the condition into equal/complement branches.
+        if g == f:
+            g = ONE
+        elif g == (f ^ 1):
+            g = ZERO
+        if h == f:
+            h = ZERO
+        elif h == (f ^ 1):
+            h = ONE
+        if g == ONE and h == ZERO:
+            return f
+        if g == ZERO and h == ONE:
+            return f ^ 1
+        if g == h:
+            return g
+        # Canonicalize commutable triples so the cache hits more often.
+        if g == ONE:
+            if h > f:
+                f, h = h, f
+        elif g == ZERO:
+            if (h ^ 1) > f:
+                f, h = h ^ 1, f ^ 1
+        elif h == ONE:
+            if (g ^ 1) > f:
+                f, g = g ^ 1, f ^ 1
+        elif h == ZERO:
+            if g > f:
+                f, g = g, f
+        elif g == (h ^ 1):
+            if g > f:
+                f, g = g, f
+                h = g ^ 1
+        # Normalize so the then-branch is regular (complement the output).
+        output_complement = 0
+        if g & 1:
+            g ^= 1
+            h ^= 1
+            output_complement = 1
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached ^ output_complement
+        level_f = self._level[f >> 1]
+        level_g = self._level[g >> 1]
+        level_h = self._level[h >> 1]
+        top = min(level_f, level_g, level_h)
+        f_then, f_else = self.branches(f, top)
+        g_then, g_else = self.branches(g, top)
+        h_then, h_else = self.branches(h, top)
+        result = self.make_node(
+            top,
+            self.ite(f_then, g_then, h_then),
+            self.ite(f_else, g_else, h_else),
+        )
+        self._ite_cache[key] = result
+        return result ^ output_complement
+
+    # ------------------------------------------------------------------
+    # Boolean connectives
+    # ------------------------------------------------------------------
+    def not_(self, f: int) -> int:
+        """Complement (free with complement edges)."""
+        return f ^ 1
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.ite(f, g, ZERO)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.ite(f, ONE, g)
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, g ^ 1, g)
+
+    def xnor(self, f: int, g: int) -> int:
+        """Equivalence (biconditional)."""
+        return self.ite(f, g, g ^ 1)
+
+    def implies(self, f: int, g: int) -> int:
+        """Implication ``f → g``."""
+        return self.ite(f, g, ONE)
+
+    def diff(self, f: int, g: int) -> int:
+        """Difference ``f · ¬g``."""
+        return self.ite(f, g ^ 1, ZERO)
+
+    def and_many(self, refs: Iterable[int]) -> int:
+        """Conjunction of a collection of refs."""
+        result = ONE
+        for ref in refs:
+            result = self.and_(result, ref)
+            if result == ZERO:
+                break
+        return result
+
+    def or_many(self, refs: Iterable[int]) -> int:
+        """Disjunction of a collection of refs."""
+        result = ZERO
+        for ref in refs:
+            result = self.or_(result, ref)
+            if result == ONE:
+                break
+        return result
+
+    def leq(self, f: int, g: int) -> bool:
+        """Containment test: ``f ≤ g`` (f implies g)."""
+        return self.and_(f, g ^ 1) == ZERO
+
+    # ------------------------------------------------------------------
+    # Cofactors and quantification
+    # ------------------------------------------------------------------
+    def cofactor(self, f: int, level: int, value: bool) -> int:
+        """Cofactor of ``f`` by the literal at ``level`` set to ``value``."""
+        cache = self.cache("cofactor")
+        return self._cofactor(f, level, 1 if value else 0, cache)
+
+    def _cofactor(self, f: int, level: int, value: int, cache: dict) -> int:
+        node_level = self._level[f >> 1]
+        if node_level > level:
+            return f
+        key = (f, level, value)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        then_f, else_f = self.top_branches(f)[1:]
+        if node_level == level:
+            result = then_f if value else else_f
+        else:
+            result = self.make_node(
+                node_level,
+                self._cofactor(then_f, level, value, cache),
+                self._cofactor(else_f, level, value, cache),
+            )
+        cache[key] = result
+        return result
+
+    def restrict_cube(self, f: int, cube: Dict[int, bool]) -> int:
+        """Cofactor ``f`` by a cube given as ``{level: value}``."""
+        for level in sorted(cube):
+            f = self.cofactor(f, level, cube[level])
+        return f
+
+    def exists(self, f: int, levels: Iterable[int]) -> int:
+        """Existential quantification over the given variable levels."""
+        level_set = frozenset(levels)
+        if not level_set:
+            return f
+        cache = self.cache("exists")
+        return self._quantify(f, level_set, cache, conjunctive=False)
+
+    def forall(self, f: int, levels: Iterable[int]) -> int:
+        """Universal quantification over the given variable levels."""
+        level_set = frozenset(levels)
+        if not level_set:
+            return f
+        cache = self.cache("forall")
+        return self._quantify(f, level_set, cache, conjunctive=True)
+
+    def _quantify(
+        self, f: int, levels: frozenset, cache: dict, conjunctive: bool
+    ) -> int:
+        node_level = self._level[f >> 1]
+        if node_level == TERMINAL_LEVEL or node_level > max(levels):
+            return f
+        key = (f, levels)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        then_f, else_f = self.top_branches(f)[1:]
+        then_r = self._quantify(then_f, levels, cache, conjunctive)
+        else_r = self._quantify(else_f, levels, cache, conjunctive)
+        if node_level in levels:
+            if conjunctive:
+                result = self.and_(then_r, else_r)
+            else:
+                result = self.or_(then_r, else_r)
+        else:
+            result = self.make_node(node_level, then_r, else_r)
+        cache[key] = result
+        return result
+
+    def and_exists(self, f: int, g: int, levels: Iterable[int]) -> int:
+        """Relational product ``∃ levels. f · g`` without the full AND.
+
+        The workhorse of image computation: quantification is interleaved
+        with the conjunction so intermediate BDDs stay small.
+        """
+        level_set = frozenset(levels)
+        cache = self.cache("and_exists")
+        return self._and_exists(f, g, level_set, cache)
+
+    def _and_exists(self, f: int, g: int, levels: frozenset, cache: dict) -> int:
+        if f == ZERO or g == ZERO:
+            return ZERO
+        if f == ONE and g == ONE:
+            return ONE
+        if f == ONE:
+            return self.exists(g, levels) if levels else g
+        if g == ONE:
+            return self.exists(f, levels) if levels else f
+        if f == (g ^ 1):
+            return ZERO
+        if f == g:
+            return self.exists(f, levels)
+        if f > g:
+            f, g = g, f
+        key = (f, g, levels)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._level[f >> 1], self._level[g >> 1])
+        f_then, f_else = self.branches(f, top)
+        g_then, g_else = self.branches(g, top)
+        then_r = self._and_exists(f_then, g_then, levels, cache)
+        if top in levels:
+            if then_r == ONE:
+                result = ONE
+            else:
+                else_r = self._and_exists(f_else, g_else, levels, cache)
+                result = self.or_(then_r, else_r)
+        else:
+            else_r = self._and_exists(f_else, g_else, levels, cache)
+            result = self.make_node(top, then_r, else_r)
+        cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Composition and renaming
+    # ------------------------------------------------------------------
+    def compose(self, f: int, level: int, g: int) -> int:
+        """Substitute function ``g`` for the variable at ``level`` in ``f``."""
+        return self.vector_compose(f, {level: g})
+
+    def vector_compose(self, f: int, mapping: Dict[int, int]) -> int:
+        """Simultaneously substitute functions for variables.
+
+        ``mapping`` is ``{level: replacement_ref}``.  Substitution is
+        simultaneous, not sequential.
+        """
+        if not mapping:
+            return f
+        cache: dict = {}
+        frozen = tuple(sorted(mapping.items()))
+        return self._vector_compose(f, dict(frozen), frozen, cache)
+
+    def _vector_compose(
+        self, f: int, mapping: Dict[int, int], key_tag: tuple, cache: dict
+    ) -> int:
+        node_level = self._level[f >> 1]
+        if node_level == TERMINAL_LEVEL:
+            return f
+        cached = cache.get(f)
+        if cached is not None:
+            return cached
+        top, then_f, else_f = self.top_branches(f)
+        then_r = self._vector_compose(then_f, mapping, key_tag, cache)
+        else_r = self._vector_compose(else_f, mapping, key_tag, cache)
+        replacement = mapping.get(top)
+        if replacement is None:
+            replacement = self.make_node(top, ONE, ZERO)
+        result = self.ite(replacement, then_r, else_r)
+        cache[f] = result
+        return result
+
+    def rename(self, f: int, mapping: Dict[int, int]) -> int:
+        """Rename variables: ``mapping`` is ``{old_level: new_level}``."""
+        return self.vector_compose(
+            f, {old: self.make_node(new, ONE, ZERO) for old, new in mapping.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def size(self, ref: int) -> int:
+        """Number of BDD nodes, including the terminal (the paper's |f|)."""
+        return len(self.nodes_reachable((ref,)))
+
+    def size_multi(self, refs: Iterable[int]) -> int:
+        """Nodes in the shared DAG of several functions (terminal once)."""
+        return len(self.nodes_reachable(refs))
+
+    def nodes_reachable(self, refs: Iterable[int]) -> Set[int]:
+        """Set of node indices reachable from the given refs."""
+        seen: Set[int] = set()
+        stack = [ref >> 1 for ref in refs]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            if index:
+                stack.append(self._high[index] >> 1)
+                stack.append(self._low[index] >> 1)
+        return seen
+
+    def support(self, ref: int) -> Set[int]:
+        """Set of variable levels the function depends on."""
+        levels: Set[int] = set()
+        for index in self.nodes_reachable((ref,)):
+            if index:
+                levels.add(self._level[index])
+        return levels
+
+    def support_multi(self, refs: Iterable[int]) -> Set[int]:
+        """Union of the supports of several functions."""
+        levels: Set[int] = set()
+        for index in self.nodes_reachable(refs):
+            if index:
+                levels.add(self._level[index])
+        return levels
+
+    def nodes_below(self, ref: int, level: int) -> int:
+        """Number of reachable nodes rooted strictly below ``level``.
+
+        This is the paper's ``N_i(g)`` (Definition 11): nodes whose
+        variable level is ``> level``, plus the terminal.
+        """
+        count = 0
+        for index in self.nodes_reachable((ref,)):
+            if self._level[index] > level:
+                count += 1
+        return count
+
+    def level_profile(self, ref: int) -> Dict[int, int]:
+        """Histogram ``{level: node_count}`` (terminal under TERMINAL_LEVEL)."""
+        profile: Dict[int, int] = {}
+        for index in self.nodes_reachable((ref,)):
+            level = self._level[index]
+            profile[level] = profile.get(level, 0) + 1
+        return profile
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def eval(self, ref: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate under ``{level: value}``; all support vars required."""
+        while ref >> 1:
+            level, then_f, else_f = self.top_branches(ref)
+            ref = then_f if assignment[level] else else_f
+        return ref == ONE
+
+    def sat_count(self, ref: int, num_levels: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``num_levels`` variables.
+
+        Defaults to the number of declared variables.
+        """
+        if num_levels is None:
+            num_levels = len(self._var_names)
+        cache: Dict[int, int] = {}
+        total = 1 << num_levels
+
+        def count(r: int) -> int:
+            # Returns satisfying fraction numerator over 2**num_levels.
+            if r == ONE:
+                return total
+            if r == ZERO:
+                return 0
+            if r & 1:
+                return total - count(r ^ 1)
+            cached = cache.get(r)
+            if cached is not None:
+                return cached
+            level, then_f, else_f = self.top_branches(r)
+            result = (count(then_f) + count(else_f)) >> 1
+            cache[r] = result
+            return result
+
+        result = count(ref)
+        del cache
+        return result
+
+    def pick_cube(self, ref: int) -> Optional[Dict[int, bool]]:
+        """One satisfying cube as ``{level: value}`` or None if ZERO."""
+        if ref == ZERO:
+            return None
+        cube: Dict[int, bool] = {}
+        while ref >> 1:
+            level, then_f, else_f = self.top_branches(ref)
+            if else_f != ZERO:
+                cube[level] = False
+                ref = else_f
+            else:
+                cube[level] = True
+                ref = then_f
+        return cube
+
+    def cubes(self, ref: int, limit: Optional[int] = None) -> Iterator[Dict[int, bool]]:
+        """Iterate cubes (paths to the 1 terminal) in depth-first order.
+
+        Each cube is ``{level: value}`` mentioning only the variables on
+        the path — exactly the cube enumeration the paper uses for its
+        lower-bound computation (§4.1.1).  ``limit`` caps the count.
+        """
+        emitted = 0
+        path: Dict[int, bool] = {}
+
+        def walk(r: int) -> Iterator[Dict[int, bool]]:
+            nonlocal emitted
+            if limit is not None and emitted >= limit:
+                return
+            if r == ZERO:
+                return
+            if r == ONE:
+                emitted += 1
+                yield dict(path)
+                return
+            level, then_f, else_f = self.top_branches(r)
+            path[level] = False
+            yield from walk(else_f)
+            path[level] = True
+            yield from walk(then_f)
+            del path[level]
+
+        yield from walk(ref)
+
+    def cube_ref(self, cube: Dict[int, bool]) -> int:
+        """Build the BDD of a cube given as ``{level: value}``."""
+        result = ONE
+        for level in sorted(cube, reverse=True):
+            if cube[level]:
+                result = self.make_node(level, result, ZERO)
+            else:
+                result = self.make_node(level, ZERO, result)
+        return result
+
+    def is_cube(self, ref: int) -> bool:
+        """True iff the function is a single cube (product of literals)."""
+        if ref == ZERO:
+            return False
+        while ref >> 1:
+            _, then_f, else_f = self.top_branches(ref)
+            if then_f == ZERO:
+                ref = else_f
+            elif else_f == ZERO:
+                ref = then_f
+            else:
+                return False
+        return True
+
+    def minterms(self, ref: int, levels: Sequence[int]) -> Iterator[Tuple[bool, ...]]:
+        """Iterate full minterms of ``ref`` over the given variable levels."""
+        level_list = list(levels)
+
+        def expand(cube: Dict[int, bool], position: int) -> Iterator[Tuple[bool, ...]]:
+            if position == len(level_list):
+                yield tuple(cube[level] for level in level_list)
+                return
+            level = level_list[position]
+            if level in cube:
+                yield from expand(cube, position + 1)
+            else:
+                for value in (False, True):
+                    cube[level] = value
+                    yield from expand(cube, position + 1)
+                del cube[level]
+
+        for cube in self.cubes(ref):
+            extra = [lvl for lvl in cube if lvl not in level_list]
+            if extra:
+                raise ValueError(
+                    "function depends on levels %s outside %s" % (extra, level_list)
+                )
+            yield from expand(dict(cube), 0)

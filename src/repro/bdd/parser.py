@@ -1,0 +1,175 @@
+"""A small Boolean expression parser for building BDDs from text.
+
+Grammar (loosest binding first)::
+
+    expr     := iff
+    iff      := implies ( ("<->" | "==") implies )*
+    implies  := or ( "->" or )*          # right associative
+    or       := xor ( ("|" | "+") xor )*
+    xor      := and ( "^" and )*
+    and      := unary ( ("&" | "*") unary )*
+    unary    := ("!" | "~") unary | atom
+    atom     := "0" | "1" | IDENT [ "'" ]  | "(" expr ")"
+
+A trailing apostrophe complements an identifier (``a'`` is ¬a), matching
+the cube notation common in logic-synthesis papers.  Undeclared
+variables are created on first use, in order of appearance.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.bdd.manager import Manager, ONE, ZERO
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z_0-9.\[\]]*)|(?P<op><->|->|==|[01()!~&*|+^']))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ValueError("cannot tokenize %r" % remainder[:20])
+        if match.group("ident") is not None:
+            tokens.append(("ident", match.group("ident")))
+        else:
+            tokens.append(("op", match.group("op")))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(
+        self,
+        manager: Manager,
+        tokens: List[Tuple[str, str]],
+        env=None,
+    ):
+        self.manager = manager
+        self.tokens = tokens
+        self.position = 0
+        self.env = env
+
+    def peek(self) -> Tuple[str, str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return ("eof", "")
+
+    def take(self) -> Tuple[str, str]:
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, text = self.take()
+        if kind == "eof" or text != value:
+            raise ValueError("expected %r, found %r" % (value, text))
+
+    def parse(self) -> int:
+        ref = self.iff()
+        kind, text = self.peek()
+        if kind != "eof":
+            raise ValueError("unexpected trailing token %r" % text)
+        return ref
+
+    def iff(self) -> int:
+        ref = self.implies()
+        while self.peek() == ("op", "<->") or self.peek() == ("op", "=="):
+            self.take()
+            ref = self.manager.xnor(ref, self.implies())
+        return ref
+
+    def implies(self) -> int:
+        ref = self.or_()
+        if self.peek() == ("op", "->"):
+            self.take()
+            return self.manager.implies(ref, self.implies())
+        return ref
+
+    def or_(self) -> int:
+        ref = self.xor()
+        while self.peek() in (("op", "|"), ("op", "+")):
+            self.take()
+            ref = self.manager.or_(ref, self.xor())
+        return ref
+
+    def xor(self) -> int:
+        ref = self.and_()
+        while self.peek() == ("op", "^"):
+            self.take()
+            ref = self.manager.xor(ref, self.and_())
+        return ref
+
+    def and_(self) -> int:
+        ref = self.unary()
+        while True:
+            kind, text = self.peek()
+            if (kind, text) in (("op", "&"), ("op", "*")):
+                self.take()
+                ref = self.manager.and_(ref, self.unary())
+            elif kind == "ident" or text in ("(", "!", "~", "0", "1"):
+                # Juxtaposition is conjunction, as in cube notation "ab'c".
+                ref = self.manager.and_(ref, self.unary())
+            else:
+                return ref
+
+    def unary(self) -> int:
+        kind, text = self.peek()
+        if (kind, text) in (("op", "!"), ("op", "~")):
+            self.take()
+            return self.unary() ^ 1
+        return self.atom()
+
+    def atom(self) -> int:
+        kind, text = self.take()
+        if kind == "ident":
+            if self.env is not None:
+                try:
+                    ref = self.env[text]
+                except KeyError:
+                    raise KeyError(
+                        "unknown signal %r in expression" % text
+                    ) from None
+            else:
+                manager = self.manager
+                if text not in manager.var_names:
+                    manager.new_var(text)
+                ref = manager.var(text)
+            if self.peek() == ("op", "'"):
+                self.take()
+                ref ^= 1
+            return ref
+        if text == "0":
+            return ZERO
+        if text == "1":
+            return ONE
+        if text == "(":
+            ref = self.iff()
+            self.expect(")")
+            if self.peek() == ("op", "'"):
+                self.take()
+                ref ^= 1
+            return ref
+        raise ValueError("unexpected token %r" % text)
+
+
+def parse_expression(manager: Manager, text: str, env=None) -> int:
+    """Parse a Boolean expression and return its BDD ref.
+
+    With ``env=None`` identifiers are manager variables, declared on
+    first use.  With an ``env`` mapping (name → ref), identifiers
+    resolve against it and unknown names raise ``KeyError`` — this is
+    how FSM next-state expressions reference named signals.  Example::
+
+        manager = Manager(["a", "b", "c"])
+        ref = parse_expression(manager, "a & (b | ~c)")
+    """
+    return _Parser(manager, _tokenize(text), env=env).parse()

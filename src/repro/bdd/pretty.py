@@ -1,0 +1,76 @@
+"""Human-readable renderings of BDDs.
+
+``format_sop`` prints an irredundant sum-of-products (via the Minato
+ISOP), the form logic designers read; ``format_ite`` prints the raw
+Shannon decomposition, which mirrors the BDD's structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.isop import isop
+
+
+def format_sop(manager: Manager, ref: int) -> str:
+    """Render as an irredundant SOP, e.g. ``a b' + c``.
+
+    Complemented literals use the apostrophe convention of the paper's
+    cube notation; the constants render as ``0`` and ``1``.
+    """
+    if ref == ONE:
+        return "1"
+    if ref == ZERO:
+        return "0"
+    cubes, _ = isop(manager, ref, ref)
+    terms = []
+    for cube in cubes:
+        literals = []
+        for level in sorted(cube):
+            name = manager.name_of_level(level)
+            literals.append(name if cube[level] else name + "'")
+        terms.append(" ".join(literals) if literals else "1")
+    return " + ".join(terms)
+
+
+def format_ite(manager: Manager, ref: int, max_depth: int = 12) -> str:
+    """Render the Shannon decomposition: ``ite(a, <then>, <else>)``."""
+
+    def walk(node: int, depth: int) -> str:
+        if node == ONE:
+            return "1"
+        if node == ZERO:
+            return "0"
+        if depth >= max_depth:
+            return "..."
+        level, then_ref, else_ref = manager.top_branches(node)
+        return "ite(%s, %s, %s)" % (
+            manager.name_of_level(level),
+            walk(then_ref, depth + 1),
+            walk(else_ref, depth + 1),
+        )
+
+    return walk(ref, 0)
+
+
+def format_table(manager: Manager, ref: int, num_vars: int) -> str:
+    """A small truth table (for functions over few variables)."""
+    if num_vars > 6:
+        raise ValueError("truth tables beyond 6 variables are unreadable")
+    names = [manager.name_of_level(level) for level in range(num_vars)]
+    lines = [" ".join(names) + " | f"]
+    lines.append("-" * len(lines[0]))
+    assignment: Dict[int, bool] = {}
+    for index in range(1 << num_vars):
+        for level in range(num_vars):
+            assignment[level] = bool(
+                (index >> (num_vars - 1 - level)) & 1
+            )
+        bits = " ".join(
+            ("1" if assignment[level] else "0").ljust(len(names[level]))
+            for level in range(num_vars)
+        )
+        value = "1" if manager.eval(ref, assignment) else "0"
+        lines.append("%s | %s" % (bits, value))
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Variable reordering by rebuild: transfer, window search, sifting.
+
+The paper fixes the variable order throughout ("assuming the variable
+ordering is fixed") — minimization freedom comes from don't cares, not
+from reordering.  This module provides the complementary knob so the
+two can be studied together (see ``benchmarks/bench_ablation_order.py``):
+
+* :func:`transfer` — copy functions into another manager that declares
+  its variables in a different order (the same names must exist).
+* :func:`reorder` — rebuild a set of functions under an explicit new
+  order, returning a fresh manager and the translated refs.
+* :func:`sift` — greedy sifting (Rudell-style search over positions,
+  implemented by rebuild rather than in-place level swapping, which
+  keeps the manager's immutable-ref design; fine for the sizes this
+  library targets).
+* :func:`exhaustive_order_search` — exact minimum over all ``n!``
+  orders for small variable counts.
+
+All entry points are pure: the input manager is never mutated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import Manager, ONE, ZERO
+
+
+def transfer(
+    source: Manager, target: Manager, refs: Sequence[int]
+) -> List[int]:
+    """Copy functions from one manager to another by variable *name*.
+
+    The target manager must declare every variable in the support of
+    the transferred functions (possibly at different levels).  Returns
+    the translated refs, index-aligned with the input.
+    """
+    name_of = source.name_of_level
+    cache: Dict[int, int] = {}
+
+    def walk(ref: int) -> int:
+        if ref == ONE or ref == ZERO:
+            return ref
+        if ref & 1:
+            return walk(ref ^ 1) ^ 1
+        cached = cache.get(ref)
+        if cached is not None:
+            return cached
+        level, then_ref, else_ref = source.top_branches(ref)
+        variable = target.var(name_of(level))
+        result = target.ite(variable, walk(then_ref), walk(else_ref))
+        cache[ref] = result
+        return result
+
+    return [walk(ref) for ref in refs]
+
+
+def reorder(
+    manager: Manager, refs: Sequence[int], order: Sequence[str]
+) -> Tuple[Manager, List[int]]:
+    """Rebuild ``refs`` under an explicit variable-name order.
+
+    ``order`` must be a permutation of the manager's variable names.
+    Returns ``(new_manager, new_refs)``.
+    """
+    if sorted(order) != sorted(manager.var_names):
+        raise ValueError("order must be a permutation of the variable names")
+    target = Manager(order)
+    return target, transfer(manager, target, refs)
+
+
+def shared_size(manager: Manager, refs: Sequence[int]) -> int:
+    """Size of the shared DAG — the quantity reordering minimizes."""
+    return manager.size_multi(refs)
+
+
+def compact(
+    manager: Manager, refs: Sequence[int]
+) -> Tuple[Manager, List[int]]:
+    """Copy live functions into a fresh manager, dropping dead nodes.
+
+    The manager has no reference counting, so nodes created by
+    intermediate computations accumulate in the unique table.  After a
+    long traversal, ``compact`` transplants just the functions you
+    still need (same variable order) into a new manager and lets the
+    old one be garbage collected wholesale.
+    """
+    target = Manager(manager.var_names)
+    return target, transfer(manager, target, refs)
+
+
+def exhaustive_order_search(
+    manager: Manager, refs: Sequence[int], max_vars: int = 8
+) -> Tuple[Manager, List[int], Tuple[str, ...]]:
+    """Try every permutation; exact but ``O(n!)`` rebuilds.
+
+    Returns ``(best_manager, best_refs, best_order)``.
+    """
+    names = list(manager.var_names)
+    if len(names) > max_vars:
+        raise ValueError(
+            "%d variables exceed the exhaustive budget of %d"
+            % (len(names), max_vars)
+        )
+    best: Optional[Tuple[int, Manager, List[int], Tuple[str, ...]]] = None
+    for permutation in itertools.permutations(names):
+        candidate_manager, candidate_refs = reorder(
+            manager, refs, permutation
+        )
+        size = shared_size(candidate_manager, candidate_refs)
+        if best is None or size < best[0]:
+            best = (size, candidate_manager, candidate_refs, permutation)
+    assert best is not None
+    return best[1], best[2], best[3]
+
+
+def sift(
+    manager: Manager,
+    refs: Sequence[int],
+    max_passes: int = 2,
+) -> Tuple[Manager, List[int], Tuple[str, ...]]:
+    """Greedy sifting: move each variable to its best position.
+
+    Variables are processed in decreasing contribution (node count at
+    their level); for each, every position in the order is evaluated by
+    rebuild and the best kept.  Repeats up to ``max_passes`` times or
+    until a pass makes no improvement.  Returns
+    ``(new_manager, new_refs, order)``.
+    """
+    current_manager = manager
+    current_refs = list(refs)
+    current_order = list(manager.var_names)
+    current_size = shared_size(current_manager, current_refs)
+    for _ in range(max_passes):
+        improved = False
+        for name in _by_contribution(current_manager, current_refs):
+            best_local: Tuple[int, int] = (current_size, current_order.index(name))
+            base = [entry for entry in current_order if entry != name]
+            for position in range(len(current_order)):
+                candidate_order = base[:position] + [name] + base[position:]
+                if candidate_order == current_order:
+                    continue
+                candidate_manager, candidate_refs = reorder(
+                    current_manager, current_refs, candidate_order
+                )
+                size = shared_size(candidate_manager, candidate_refs)
+                if size < best_local[0]:
+                    best_local = (size, position)
+            if best_local[0] < current_size:
+                position = best_local[1]
+                current_order = base[:position] + [name] + base[position:]
+                current_manager, current_refs = reorder(
+                    manager, refs, current_order
+                )
+                current_size = best_local[0]
+                improved = True
+        if not improved:
+            break
+    return current_manager, current_refs, tuple(current_order)
+
+
+def _by_contribution(manager: Manager, refs: Sequence[int]) -> List[str]:
+    """Variable names sorted by how many shared-DAG nodes they label."""
+    counts: Dict[int, int] = {}
+    for index in manager.nodes_reachable(refs):
+        if index:
+            level = manager.level(index << 1)
+            counts[level] = counts.get(level, 0) + 1
+    ranked = sorted(
+        range(manager.num_vars),
+        key=lambda level: (-counts.get(level, 0), level),
+    )
+    return [manager.name_of_level(level) for level in ranked]

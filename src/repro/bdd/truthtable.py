@@ -1,0 +1,103 @@
+"""Binary-decision-tree leaf strings, the paper's instance notation.
+
+Section 3.2 specifies instances by "the values of the function on the
+leaves of the binary decision tree, listed from left to right, as
+suggested by Figure 1c", with ``d`` marking a don't-care leaf — e.g. the
+constrain counterexample ``(d1 01)``.  Figure 1f fixes the convention:
+the left branch is 0 and the right branch is 1, with x1 at the root, so
+leaf index ``k`` (0-based, left to right) encodes the assignment whose
+bit ``i`` (MSB first) is the value of ``x_{i+1}``.
+
+This module converts between leaf strings/sequences and BDDs, which lets
+the test-suite quote the paper's counterexamples literally and lets the
+exact minimizer enumerate completions of small instances.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.bdd.manager import Manager, ONE, ZERO
+
+
+def parse_leaf_string(text: str) -> List[str]:
+    """Normalize a leaf string like ``"d1 01"`` to a list of characters.
+
+    Whitespace is ignored; the length must be a power of two and every
+    character must be one of ``0``, ``1``, ``d``.
+    """
+    leaves = [char for char in text if not char.isspace()]
+    if not leaves or len(leaves) & (len(leaves) - 1):
+        raise ValueError("leaf count %d is not a power of two" % len(leaves))
+    for char in leaves:
+        if char not in ("0", "1", "d"):
+            raise ValueError("invalid leaf character %r" % char)
+    return leaves
+
+
+def num_leaf_vars(leaves: Sequence) -> int:
+    """Number of variables for a leaf sequence (log2 of its length)."""
+    return (len(leaves) - 1).bit_length()
+
+
+def bdd_from_leaves(manager: Manager, leaves: Sequence[bool]) -> int:
+    """Build the BDD of the function with the given truth-table leaves.
+
+    ``leaves[k]`` is the value on the assignment encoded by ``k`` with
+    the topmost variable as the most significant bit, 0 on the left.
+    The manager must have (or will get) enough variables.
+    """
+    num_vars = num_leaf_vars(leaves)
+    if 1 << num_vars != len(leaves):
+        raise ValueError("leaf count %d is not a power of two" % len(leaves))
+    manager.ensure_vars(num_vars)
+
+    def build(low_index: int, high_index: int, level: int) -> int:
+        if high_index - low_index == 1:
+            return ONE if leaves[low_index] else ZERO
+        middle = (low_index + high_index) // 2
+        else_child = build(low_index, middle, level + 1)  # variable = 0, left
+        then_child = build(middle, high_index, level + 1)  # variable = 1, right
+        return manager.make_node(level, then_child, else_child)
+
+    return build(0, len(leaves), 0)
+
+
+def instance_from_leaf_string(manager: Manager, text: str) -> Tuple[int, int]:
+    """Parse a paper-style instance like ``"d1 01"`` into ``(f, c)`` refs.
+
+    ``d`` leaves go to the don't-care set (care = 0 there); the f value
+    on a don't-care leaf is arbitrarily 0, which no criterion-based
+    algorithm in this library inspects (cf. Proposition 6).
+    """
+    leaves = parse_leaf_string(text)
+    f_leaves = [char == "1" for char in leaves]
+    c_leaves = [char != "d" for char in leaves]
+    return (
+        bdd_from_leaves(manager, f_leaves),
+        bdd_from_leaves(manager, c_leaves),
+    )
+
+
+def leaves_from_bdd(manager: Manager, ref: int, num_vars: int) -> List[bool]:
+    """Evaluate a BDD on every assignment of the first ``num_vars`` levels."""
+    result: List[bool] = []
+    assignment = {}
+    for index in range(1 << num_vars):
+        for level in range(num_vars):
+            assignment[level] = bool((index >> (num_vars - 1 - level)) & 1)
+        result.append(manager.eval(ref, assignment))
+    return result
+
+
+def leaf_string(manager: Manager, f: int, c: int, num_vars: int) -> str:
+    """Render ``[f, c]`` in the paper's leaf notation (``d`` = don't care)."""
+    f_leaves = leaves_from_bdd(manager, f, num_vars)
+    c_leaves = leaves_from_bdd(manager, c, num_vars)
+    chars = []
+    for f_value, c_value in zip(f_leaves, c_leaves):
+        if not c_value:
+            chars.append("d")
+        else:
+            chars.append("1" if f_value else "0")
+    return "".join(chars)

@@ -1,0 +1,54 @@
+"""Synthetic benchmark machines standing in for the paper's suite.
+
+The paper runs ``verify_fsm`` on s344, s386, s510, s641, s820, s953,
+s1238, s1488, scf, styr, tbk, mult16b, cbp.32.4, minmax5 and tlc.  The
+original BLIF files are not redistributable here, so
+:mod:`repro.circuits.generators` provides deterministic synthetic
+machines from the same families — counters, shifters, controllers with
+pseudo-random decoded next-state logic (the s* circuits), a traffic
+light controller (tlc), a min/max tracker (minmax5), a serial
+multiplier (mult16b) and a carry-propagate accumulator (cbp) — scaled
+so pure-Python BDD traversal finishes in seconds.  What matters for the
+reproduction is the *stream of minimization instances* the traversal
+produces, not the exact circuit netlists; see DESIGN.md.
+"""
+
+from repro.circuits.generators import (
+    counter,
+    gray_counter,
+    shift_register,
+    lfsr,
+    johnson_counter,
+    traffic_light_controller,
+    minmax_tracker,
+    serial_multiplier,
+    carry_propagate_accumulator,
+    round_robin_arbiter,
+    random_controller,
+    redundant_counter,
+)
+from repro.circuits.suite import (
+    BENCHMARK_SUITE,
+    QUICK_SUITE,
+    benchmark_spec,
+    suite_specs,
+)
+
+__all__ = [
+    "counter",
+    "gray_counter",
+    "shift_register",
+    "lfsr",
+    "johnson_counter",
+    "traffic_light_controller",
+    "minmax_tracker",
+    "serial_multiplier",
+    "carry_propagate_accumulator",
+    "round_robin_arbiter",
+    "random_controller",
+    "redundant_counter",
+    "BENCHMARK_SUITE",
+    "QUICK_SUITE",
+    "benchmark_spec",
+    "suite_specs",
+]

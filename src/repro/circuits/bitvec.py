@@ -1,0 +1,74 @@
+"""Small bit-vector helpers over Function lists (LSB first).
+
+Used by the circuit generators to describe arithmetic next-state logic
+(ripple-carry addition, comparison, multiplexing) at the word level.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.bdd.function import Function
+
+
+def ripple_add(
+    a: Sequence[Function], b: Sequence[Function], carry_in: Function
+) -> Tuple[List[Function], Function]:
+    """Ripple-carry addition; returns (sum bits, carry out)."""
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    carry = carry_in
+    total: List[Function] = []
+    for bit_a, bit_b in zip(a, b):
+        total.append(bit_a ^ bit_b ^ carry)
+        carry = (bit_a & bit_b) | (carry & (bit_a ^ bit_b))
+    return total, carry
+
+
+def increment(
+    bits: Sequence[Function], enable: Function
+) -> List[Function]:
+    """Add ``enable`` (0 or 1) to a word, dropping the carry out."""
+    carry = enable
+    result: List[Function] = []
+    for bit in bits:
+        result.append(bit ^ carry)
+        carry = bit & carry
+    return result
+
+
+def less_than(a: Sequence[Function], b: Sequence[Function]) -> Function:
+    """Unsigned ``a < b`` (LSB-first operands of equal width)."""
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    result = ~(a[0] | ~a[0])  # constant false in a's manager
+    for bit_a, bit_b in zip(a, b):  # LSB to MSB
+        result = (~bit_a & bit_b) | ((bit_a.iff(bit_b)) & result)
+    return result
+
+
+def mux_word(
+    select: Function, when_true: Sequence[Function], when_false: Sequence[Function]
+) -> List[Function]:
+    """Word-level 2:1 multiplexer."""
+    if len(when_true) != len(when_false):
+        raise ValueError("operand widths differ")
+    return [
+        select.ite(bit_true, bit_false)
+        for bit_true, bit_false in zip(when_true, when_false)
+    ]
+
+
+def equal_word(a: Sequence[Function], b: Sequence[Function]) -> Function:
+    """Bitwise equality of two words."""
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    result = a[0] | ~a[0]  # constant true
+    for bit_a, bit_b in zip(a, b):
+        result = result & bit_a.iff(bit_b)
+    return result
+
+
+def rotate_left(bits: Sequence[Function]) -> List[Function]:
+    """One-position left rotation (index 0 receives the top bit)."""
+    return [bits[-1]] + list(bits[:-1])

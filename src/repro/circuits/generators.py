@@ -1,0 +1,537 @@
+"""Deterministic generators of benchmark FSM specifications.
+
+Each generator returns a manager-independent :class:`FsmSpec`.  Word
+structures use callables over Function environments; simple control
+logic uses expression strings.  Everything is deterministic — the
+pseudo-random controllers take an explicit seed — so experiments are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.bdd.function import Function
+from repro.fsm.machine import FsmSpec, LatchSpec, OutputSpec
+from repro.circuits.bitvec import (
+    increment,
+    less_than,
+    mux_word,
+    ripple_add,
+    rotate_left,
+)
+
+Env = Dict[str, Function]
+
+
+def _word(env: Env, stem: str, width: int) -> List[Function]:
+    return [env["%s%d" % (stem, index)] for index in range(width)]
+
+
+# ----------------------------------------------------------------------
+# Counters and registers
+# ----------------------------------------------------------------------
+def counter(bits: int, with_enable: bool = True) -> FsmSpec:
+    """An up-counter with optional enable; output fires on rollover."""
+
+    def next_bit(index: int) -> Callable[[Env], Function]:
+        def fn(env: Env) -> Function:
+            word = _word(env, "q", bits)
+            enable = env["en"] if with_enable else (word[0] | ~word[0])
+            return increment(word, enable)[index]
+
+        return fn
+
+    def rollover(env: Env) -> Function:
+        word = _word(env, "q", bits)
+        enable = env["en"] if with_enable else (word[0] | ~word[0])
+        result = enable
+        for bit in word:
+            result = result & bit
+        return result
+
+    return FsmSpec(
+        name="count%d" % bits,
+        inputs=("en",) if with_enable else (),
+        latches=tuple(
+            LatchSpec("q%d" % index, next_bit(index)) for index in range(bits)
+        ),
+        outputs=(OutputSpec("rollover", rollover),),
+    )
+
+
+def gray_counter(bits: int) -> FsmSpec:
+    """A Gray-code counter built as binary-increment-re-encode."""
+
+    def binary_from_gray(word: Sequence[Function]) -> List[Function]:
+        # b_j = g_j ^ g_{j+1} ^ ... ^ g_{top} (LSB-first storage).
+        binary: List[Function] = [None] * len(word)
+        running = word[-1]
+        binary[-1] = running
+        for index in range(len(word) - 2, -1, -1):
+            running = running ^ word[index]
+            binary[index] = running
+        return binary
+
+    def next_bit(index: int) -> Callable[[Env], Function]:
+        def fn(env: Env) -> Function:
+            gray = _word(env, "g", bits)
+            binary = binary_from_gray(gray)
+            bumped = increment(binary, env["en"])
+            # Re-encode: g_j = b_j ^ b_{j+1}; top bit passes through.
+            if index == bits - 1:
+                return bumped[index]
+            return bumped[index] ^ bumped[index + 1]
+
+        return fn
+
+    def parity(env: Env) -> Function:
+        gray = _word(env, "g", bits)
+        result = gray[0]
+        for bit in gray[1:]:
+            result = result ^ bit
+        return result
+
+    return FsmSpec(
+        name="gray%d" % bits,
+        inputs=("en",),
+        latches=tuple(
+            LatchSpec("g%d" % index, next_bit(index)) for index in range(bits)
+        ),
+        outputs=(OutputSpec("parity", parity),),
+    )
+
+
+def shift_register(bits: int) -> FsmSpec:
+    """A serial-in shift register with serial and parity outputs."""
+    latches = [LatchSpec("q0", "sin")]
+    for index in range(1, bits):
+        latches.append(LatchSpec("q%d" % index, "q%d" % (index - 1)))
+
+    parity_expr = " ^ ".join("q%d" % index for index in range(bits))
+    return FsmSpec(
+        name="shift%d" % bits,
+        inputs=("sin",),
+        latches=tuple(latches),
+        outputs=(
+            OutputSpec("sout", "q%d" % (bits - 1)),
+            OutputSpec("parity", parity_expr),
+        ),
+    )
+
+
+def lfsr(bits: int, taps: Sequence[int] = (), scan: bool = False) -> FsmSpec:
+    """A Fibonacci LFSR; optional scan input XORed into the feedback.
+
+    ``taps`` lists the register indices feeding the XOR; defaults to
+    the two top bits.  Reset state is all-ones so the register is never
+    stuck at zero.
+    """
+    if not taps:
+        taps = (bits - 1, bits - 2) if bits >= 2 else (0,)
+    feedback = " ^ ".join("q%d" % index for index in taps)
+    if scan:
+        feedback = "(%s) ^ scan" % feedback
+    latches = [LatchSpec("q0", feedback, init=True)]
+    for index in range(1, bits):
+        latches.append(
+            LatchSpec("q%d" % index, "q%d" % (index - 1), init=True)
+        )
+    return FsmSpec(
+        name="lfsr%d" % bits,
+        inputs=("scan",) if scan else (),
+        latches=tuple(latches),
+        outputs=(OutputSpec("bit", "q%d" % (bits - 1)),),
+    )
+
+
+def johnson_counter(bits: int) -> FsmSpec:
+    """A twisted-ring (Johnson) counter."""
+    latches = [LatchSpec("q0", "~q%d" % (bits - 1))]
+    for index in range(1, bits):
+        latches.append(LatchSpec("q%d" % index, "q%d" % (index - 1)))
+    return FsmSpec(
+        name="johnson%d" % bits,
+        inputs=(),
+        latches=tuple(latches),
+        outputs=(OutputSpec("top", "q%d" % (bits - 1)),),
+    )
+
+
+# ----------------------------------------------------------------------
+# Controllers
+# ----------------------------------------------------------------------
+def traffic_light_controller(timer_bits: int = 3) -> FsmSpec:
+    """The classic highway/farm-road traffic light controller (tlc).
+
+    States (s1 s0): 00 highway-green, 01 highway-yellow, 10 farm-green,
+    11 farm-yellow.  A free-running timer is cleared on each state
+    change; ``car`` senses farm-road traffic.
+    """
+    top = timer_bits - 1
+
+    def timer_word(env: Env) -> List[Function]:
+        return _word(env, "t", timer_bits)
+
+    def long_timeout(env: Env) -> Function:
+        word = timer_word(env)
+        result = word[top]
+        for bit in word[:top]:
+            result = result & bit
+        return result
+
+    def short_timeout(env: Env) -> Function:
+        word = timer_word(env)
+        result = word[0]
+        if timer_bits > 1:
+            result = result & word[1]
+        return result
+
+    def advance(env: Env) -> Function:
+        s0, s1, car = env["s0"], env["s1"], env["car"]
+        highway_green = ~s1 & ~s0
+        highway_yellow = ~s1 & s0
+        farm_green = s1 & ~s0
+        farm_yellow = s1 & s0
+        return (
+            (highway_green & car & long_timeout(env))
+            | (highway_yellow & short_timeout(env))
+            | (farm_green & (~car | long_timeout(env)))
+            | (farm_yellow & short_timeout(env))
+        )
+
+    def next_s0(env: Env) -> Function:
+        return advance(env) ^ env["s0"]
+
+    def next_s1(env: Env) -> Function:
+        return (advance(env) & env["s0"]) ^ env["s1"]
+
+    def next_timer(index: int) -> Callable[[Env], Function]:
+        def fn(env: Env) -> Function:
+            word = timer_word(env)
+            bumped = increment(word, advance(env) | ~advance(env))
+            # Clear on state change, else count.
+            return ~advance(env) & bumped[index]
+
+        return fn
+
+    latches = [LatchSpec("s0", next_s0), LatchSpec("s1", next_s1)]
+    latches.extend(
+        LatchSpec("t%d" % index, next_timer(index))
+        for index in range(timer_bits)
+    )
+    return FsmSpec(
+        name="tlc",
+        inputs=("car",),
+        latches=tuple(latches),
+        outputs=(
+            OutputSpec("highway_go", "~s1 & ~s0"),
+            OutputSpec("farm_go", "s1 & ~s0"),
+            OutputSpec("yellow", "s0"),
+        ),
+    )
+
+
+def minmax_tracker(bits: int) -> FsmSpec:
+    """Track the running min and max of an input word (minmax5 family)."""
+
+    def next_min(index: int) -> Callable[[Env], Function]:
+        def fn(env: Env) -> Function:
+            data = _word(env, "d", bits)
+            lowest = _word(env, "lo", bits)
+            take = less_than(data, lowest) | env["clear"]
+            return mux_word(take, data, lowest)[index]
+
+        return fn
+
+    def next_max(index: int) -> Callable[[Env], Function]:
+        def fn(env: Env) -> Function:
+            data = _word(env, "d", bits)
+            highest = _word(env, "hi", bits)
+            take = less_than(highest, data) | env["clear"]
+            return mux_word(take, data, highest)[index]
+
+        return fn
+
+    def in_range(env: Env) -> Function:
+        data = _word(env, "d", bits)
+        lowest = _word(env, "lo", bits)
+        highest = _word(env, "hi", bits)
+        return ~less_than(data, lowest) & ~less_than(highest, data)
+
+    latches = [
+        LatchSpec("lo%d" % index, next_min(index), init=True)
+        for index in range(bits)
+    ]
+    latches.extend(
+        LatchSpec("hi%d" % index, next_max(index), init=False)
+        for index in range(bits)
+    )
+    return FsmSpec(
+        name="minmax%d" % bits,
+        inputs=tuple("d%d" % index for index in range(bits)) + ("clear",),
+        latches=tuple(latches),
+        outputs=(OutputSpec("in_range", in_range),),
+    )
+
+
+def serial_multiplier(bits: int) -> FsmSpec:
+    """Shift-add multiplier core (mult16b family, scaled down).
+
+    The multiplier word B shifts down while the product accumulates
+    A·b0 each cycle; A arrives on the input bus, B loads on ``load``.
+    """
+    product_bits = 2 * bits
+
+    def next_product(index: int) -> Callable[[Env], Function]:
+        def fn(env: Env) -> Function:
+            accumulator = _word(env, "p", product_bits)
+            operand = _word(env, "a", bits)
+            false = ~(operand[0] | ~operand[0])
+            padded = list(operand) + [false] * (product_bits - bits)
+            gated = [bit & env["b0"] for bit in padded]
+            total, _ = ripple_add(accumulator, gated, false)
+            shifted = total[1:] + [false]
+            return env["load"].ite(false, shifted[index])
+
+        return fn
+
+    def next_b(index: int) -> Callable[[Env], Function]:
+        def fn(env: Env) -> Function:
+            word = _word(env, "b", bits)
+            false = ~(word[0] | ~word[0])
+            shifted = (word[1:] + [false])[index]
+            return env["load"].ite(env["a%d" % index], shifted)
+
+        return fn
+
+    latches = [
+        LatchSpec("p%d" % index, next_product(index))
+        for index in range(product_bits)
+    ]
+    latches.extend(LatchSpec("b%d" % index, next_b(index)) for index in range(bits))
+    busy = " | ".join("b%d" % index for index in range(bits))
+    return FsmSpec(
+        name="mult%d" % bits,
+        inputs=tuple("a%d" % index for index in range(bits)) + ("load",),
+        latches=tuple(latches),
+        outputs=(
+            OutputSpec("busy", busy),
+            OutputSpec("p_low", "p0"),
+        ),
+    )
+
+
+def carry_propagate_accumulator(width: int, input_bits: int) -> FsmSpec:
+    """Accumulate an input word modulo ``2**width`` (cbp family)."""
+
+    def next_bit(index: int) -> Callable[[Env], Function]:
+        def fn(env: Env) -> Function:
+            accumulator = _word(env, "s", width)
+            data = _word(env, "d", input_bits)
+            false = ~(data[0] | ~data[0])
+            padded = list(data) + [false] * (width - input_bits)
+            total, _ = ripple_add(accumulator, padded, false)
+            return env["clear"].ite(false, total[index])
+
+        return fn
+
+    def overflow(env: Env) -> Function:
+        accumulator = _word(env, "s", width)
+        result = accumulator[-1]
+        for bit in accumulator[:-1]:
+            result = result & bit
+        return result
+
+    return FsmSpec(
+        name="cbp.%d.%d" % (width, input_bits),
+        inputs=tuple("d%d" % index for index in range(input_bits)) + ("clear",),
+        latches=tuple(
+            LatchSpec("s%d" % index, next_bit(index)) for index in range(width)
+        ),
+        outputs=(OutputSpec("near_full", overflow),),
+    )
+
+
+def round_robin_arbiter(clients: int) -> FsmSpec:
+    """A rotating-token arbiter granting one requester per cycle."""
+
+    def next_token(index: int) -> Callable[[Env], Function]:
+        def fn(env: Env) -> Function:
+            token = _word(env, "tok", clients)
+            return rotate_left(token)[index]
+
+        return fn
+
+    latches = [
+        LatchSpec("tok%d" % index, next_token(index), init=(index == 0))
+        for index in range(clients)
+    ]
+    outputs = [
+        OutputSpec("grant%d" % index, "tok%d & r%d" % (index, index))
+        for index in range(clients)
+    ]
+    return FsmSpec(
+        name="arb%d" % clients,
+        inputs=tuple("r%d" % index for index in range(clients)),
+        latches=tuple(latches),
+        outputs=tuple(outputs),
+    )
+
+
+def redundant_counter(
+    seed: int, bits: int, garbage_terms: int = 10
+) -> FsmSpec:
+    """A counter with a redundant shadow encoding and garbage logic.
+
+    Models *sequential redundancy*, the structure that makes don't-care
+    BDD minimization pay off on real synthesized circuits: the machine
+    keeps a ``bits``-wide counter ``q`` plus a shadow word ``s`` bound
+    by the invariant ``s_j = q_j ⊕ q_{j+1 mod bits}``.  Next-state logic
+    checks the invariant and produces pseudo-random "garbage" when it
+    fails — which never happens on reachable states, exactly like the
+    arbitrary values synthesis assigns to unreachable codes.  Constrain
+    calls against reachable frontiers therefore collapse the garbage
+    away, giving the large ``f_orig``-to-``min`` reductions the paper
+    reports on the ISCAS machines.
+
+    The counter steps by ``en + 2·skip`` each cycle, so frontiers are
+    multi-state sets (single-state frontiers are cube-care instances
+    the harness filters out).
+    """
+    if bits < 2:
+        raise ValueError("redundant_counter needs at least 2 bits")
+    rng = random.Random(seed)
+    signal_names = (
+        ["q%d" % index for index in range(bits)]
+        + ["s%d" % index for index in range(bits)]
+        + ["en", "skip"]
+    )
+
+    def make_garbage_terms() -> List[List[str]]:
+        # Drawn at spec-construction time so the machine is
+        # deterministic per seed.
+        terms = []
+        for _ in range(garbage_terms):
+            chosen = rng.sample(signal_names, min(4, len(signal_names)))
+            terms.append(
+                [
+                    name if rng.random() < 0.5 else "~" + name
+                    for name in chosen
+                ]
+            )
+        return terms
+
+    def evaluate_terms(env: Env, terms: List[List[str]]) -> Function:
+        result = None
+        for term in terms:
+            product = None
+            for literal in term:
+                if literal.startswith("~"):
+                    value = ~env[literal[1:]]
+                else:
+                    value = env[literal]
+                product = value if product is None else product & value
+            result = product if result is None else result | product
+        assert result is not None
+        return result
+
+    def invariant(env: Env) -> Function:
+        held = None
+        for index in range(bits):
+            bit_ok = ~(
+                env["s%d" % index]
+                ^ env["q%d" % index]
+                ^ env["q%d" % ((index + 1) % bits)]
+            )
+            held = bit_ok if held is None else held & bit_ok
+        return held
+
+    def next_counter(env: Env) -> List[Function]:
+        word = _word(env, "q", bits)
+        false = ~(word[0] | ~word[0])
+        addend = [env["en"], env["skip"]] + [false] * (bits - 2)
+        total, _ = ripple_add(word, addend[:bits], false)
+        return total
+
+    def next_q(index: int, terms: List[List[str]]) -> Callable[[Env], Function]:
+        def fn(env: Env) -> Function:
+            ok = invariant(env)
+            return ok.ite(
+                next_counter(env)[index], evaluate_terms(env, terms)
+            )
+
+        return fn
+
+    def next_s(index: int, terms: List[List[str]]) -> Callable[[Env], Function]:
+        def fn(env: Env) -> Function:
+            ok = invariant(env)
+            counter_next = next_counter(env)
+            correct = counter_next[index] ^ counter_next[(index + 1) % bits]
+            return ok.ite(correct, evaluate_terms(env, terms))
+
+        return fn
+
+    latches = [
+        LatchSpec("q%d" % index, next_q(index, make_garbage_terms()))
+        for index in range(bits)
+    ]
+    latches.extend(
+        LatchSpec("s%d" % index, next_s(index, make_garbage_terms()))
+        for index in range(bits)
+    )
+    return FsmSpec(
+        name="redc%d" % seed,
+        inputs=("en", "skip"),
+        latches=tuple(latches),
+        outputs=(OutputSpec("top", "q%d" % (bits - 1)),),
+    )
+
+
+# ----------------------------------------------------------------------
+# Pseudo-random decoded controllers (the s* stand-ins)
+# ----------------------------------------------------------------------
+def random_controller(
+    seed: int,
+    state_bits: int,
+    input_bits: int,
+    terms_per_function: int = 3,
+    literals_per_term: int = 3,
+    num_outputs: int = 2,
+) -> FsmSpec:
+    """A deterministic pseudo-random Moore/Mealy controller.
+
+    Next-state functions are random sums of products over the state and
+    input literals — the texture of decoded control logic in the ISCAS
+    s-series benchmarks.  The same seed always yields the same machine.
+    """
+    rng = random.Random(seed)
+    signal_names = ["w%d" % index for index in range(input_bits)] + [
+        "y%d" % index for index in range(state_bits)
+    ]
+
+    def random_sop() -> str:
+        terms = []
+        for _ in range(terms_per_function):
+            width = rng.randint(2, literals_per_term)
+            chosen = rng.sample(signal_names, min(width, len(signal_names)))
+            literals = [
+                name if rng.random() < 0.5 else "~" + name for name in chosen
+            ]
+            terms.append("(" + " & ".join(literals) + ")")
+        return " | ".join(terms)
+
+    latches = tuple(
+        LatchSpec("y%d" % index, random_sop(), init=bool(rng.getrandbits(1)))
+        for index in range(state_bits)
+    )
+    outputs = tuple(
+        OutputSpec("o%d" % index, random_sop()) for index in range(num_outputs)
+    )
+    return FsmSpec(
+        name="ctrl_s%d" % seed,
+        inputs=tuple("w%d" % index for index in range(input_bits)),
+        latches=latches,
+        outputs=outputs,
+    )

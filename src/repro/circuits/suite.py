@@ -1,0 +1,95 @@
+"""The benchmark suite: paper names mapped to synthetic machines.
+
+Sizes are scaled so that a full self-equivalence traversal of every
+machine finishes in seconds under pure-Python BDDs while still
+producing minimization instances in both of the paper's interesting
+regimes (sparse and dense care-set onsets).  The seeds of the s-series
+controllers follow the benchmark numbers for memorability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.fsm.machine import FsmSpec
+from repro.circuits.generators import (
+    carry_propagate_accumulator,
+    counter,
+    gray_counter,
+    johnson_counter,
+    lfsr,
+    minmax_tracker,
+    random_controller,
+    redundant_counter,
+    round_robin_arbiter,
+    serial_multiplier,
+    shift_register,
+    traffic_light_controller,
+)
+
+#: name -> zero-argument factory for the full experiment suite.
+#:
+#: The larger s-series circuits are modeled as redundant-encoding
+#: machines (synthesized logic with arbitrary values on unreachable
+#: codes — the structure responsible for the paper's large f_orig
+#: reductions); the smaller ones as pseudo-random decoded controllers.
+BENCHMARK_SUITE: Dict[str, Callable[[], FsmSpec]] = {
+    "s344": lambda: redundant_counter(344, bits=4, garbage_terms=4),
+    "s386": lambda: random_controller(386, state_bits=6, input_bits=5),
+    "s510": lambda: random_controller(510, state_bits=6, input_bits=4),
+    "s641": lambda: redundant_counter(641, bits=5, garbage_terms=5),
+    "s820": lambda: random_controller(820, state_bits=5, input_bits=6),
+    "s953": lambda: redundant_counter(953, bits=5, garbage_terms=6),
+    "s1238": lambda: random_controller(
+        1238, state_bits=8, input_bits=5, terms_per_function=4
+    ),
+    "s1488": lambda: random_controller(
+        1488, state_bits=6, input_bits=6, terms_per_function=4
+    ),
+    "scf": lambda: random_controller(
+        907, state_bits=7, input_bits=5, num_outputs=4
+    ),
+    "styr": lambda: random_controller(524, state_bits=5, input_bits=6),
+    "tbk": lambda: random_controller(
+        1116, state_bits=8, input_bits=3, literals_per_term=4
+    ),
+    "mult16b": lambda: serial_multiplier(3),
+    "cbp.32.4": lambda: carry_propagate_accumulator(6, 3),
+    "minmax5": lambda: minmax_tracker(3),
+    "tlc": lambda: traffic_light_controller(3),
+}
+
+#: A fast subset used by the pytest benchmarks (seconds, not minutes).
+QUICK_SUITE: Tuple[str, ...] = ("s344", "s386", "s820", "styr", "tlc", "minmax5")
+
+#: Extra machines exercised by tests and examples (not in the paper).
+EXTRA_MACHINES: Dict[str, Callable[[], FsmSpec]] = {
+    "count4": lambda: counter(4),
+    "gray4": lambda: gray_counter(4),
+    "shift5": lambda: shift_register(5),
+    "lfsr5": lambda: lfsr(5),
+    "johnson4": lambda: johnson_counter(4),
+    "arb4": lambda: round_robin_arbiter(4),
+}
+
+
+def benchmark_spec(name: str) -> FsmSpec:
+    """Instantiate a suite machine by its paper name."""
+    try:
+        factory = BENCHMARK_SUITE[name]
+    except KeyError:
+        try:
+            factory = EXTRA_MACHINES[name]
+        except KeyError:
+            raise KeyError(
+                "unknown benchmark %r; known: %s"
+                % (name, ", ".join(sorted(BENCHMARK_SUITE)))
+            ) from None
+    return factory()
+
+
+def suite_specs(names=None) -> List[Tuple[str, FsmSpec]]:
+    """Materialize (name, spec) pairs, defaulting to the full suite."""
+    if names is None:
+        names = list(BENCHMARK_SUITE)
+    return [(name, benchmark_spec(name)) for name in names]

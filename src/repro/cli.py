@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+
+``minimize``
+    Minimize a paper-notation instance (``"d1 01"``) or an
+    expression pair, with one heuristic or all of them.
+``experiments``
+    Run the §4 pipeline and print Tables 3/4 and Figure 3
+    (the same driver as ``examples/run_paper_experiments.py``).
+``equivalence``
+    Self-check a benchmark machine (or compare two) with
+    ``verify_fsm``-style product traversal.
+``blif``
+    Parse a BLIF file, report machine shape, optionally compute the
+    reachable state count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bdd.manager import Manager
+from repro.bdd.parser import parse_expression
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    manager = Manager()
+    if args.expression:
+        if args.care is None:
+            print("--care is required with --expression", file=sys.stderr)
+            return 2
+        f = parse_expression(manager, args.instance)
+        c = parse_expression(manager, args.care)
+        from repro.core.ispec import ISpec
+
+        spec = ISpec(manager, f, c)
+    else:
+        from repro.core.ispec import parse_instance
+
+        spec = parse_instance(manager, args.instance)
+    from repro.core.registry import HEURISTICS, get_heuristic
+    from repro.core.lower_bound import cube_lower_bound
+
+    print("|f| = %d  |c| = %d" % (manager.size(spec.f), manager.size(spec.c)))
+    print(
+        "cube lower bound = %d"
+        % cube_lower_bound(manager, spec.f, spec.c, cube_limit=args.cube_limit)
+    )
+    if args.all:
+        names = sorted(HEURISTICS)
+    else:
+        names = [args.method]
+    for name in names:
+        cover = get_heuristic(name)(manager, spec.f, spec.c)
+        print("%-12s |g| = %d" % (name, manager.size(cover)))
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    from repro.circuits.suite import QUICK_SUITE
+    from repro.experiments import (
+        run_experiment,
+        render_table3,
+        render_table4,
+        render_figure3,
+        render_per_benchmark,
+        export_csv,
+    )
+    from repro.experiments.buckets import Bucket
+
+    names = list(QUICK_SUITE) if args.quick else None
+    results = run_experiment(names=names, cube_limit=args.cube_limit)
+    print(
+        "%d calls measured (%d filtered as trivial)"
+        % (results.total_calls, results.filtered_out)
+    )
+    print()
+    print(
+        render_table3(
+            results, buckets=[None, Bucket.SPARSE, Bucket.DENSE]
+        )
+    )
+    print()
+    print(render_table4(results))
+    print()
+    print(render_figure3(results))
+    print()
+    print(render_per_benchmark(results))
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            export_csv(results, stream=handle)
+        print("raw measurements written to %s" % args.csv)
+    return 0
+
+
+def _cmd_equivalence(args: argparse.Namespace) -> int:
+    from repro.circuits.suite import benchmark_spec
+    from repro.fsm import (
+        compile_product,
+        check_equivalence,
+        equivalence_counterexample_trace,
+    )
+
+    manager = Manager()
+    left = benchmark_spec(args.left)
+    right = benchmark_spec(args.right or args.left)
+    product = compile_product(manager, left, right)
+    result = check_equivalence(product)
+    print(
+        "%s vs %s: %s (%d iterations, %d nodes)"
+        % (
+            args.left,
+            args.right or args.left,
+            "EQUIVALENT" if result.equivalent else "NOT EQUIVALENT",
+            result.iterations,
+            manager.num_nodes,
+        )
+    )
+    if result.counterexample is not None:
+        state = ", ".join(
+            "%s=%d" % (name, value)
+            for name, value in sorted(result.counterexample.items())
+        )
+        print("counterexample state: %s" % state)
+        if args.trace:
+            trace = equivalence_counterexample_trace(product)
+            if trace is not None:
+                print("distinguishing run:")
+                print(trace.render())
+    return 0 if result.equivalent else 1
+
+
+def _cmd_blif(args: argparse.Namespace) -> int:
+    from repro.fsm.blif import parse_blif, compile_blif
+    from repro.fsm.reachability import reachable_states
+
+    with open(args.path) as handle:
+        model = parse_blif(handle.read())
+    print(
+        "model %s: %d inputs, %d outputs, %d latches, %d tables"
+        % (
+            model.name,
+            len(model.inputs),
+            len(model.outputs),
+            len(model.latches),
+            len(model.tables),
+        )
+    )
+    manager = Manager()
+    fsm = compile_blif(manager, model)
+    if args.reachable:
+        result = reachable_states(fsm)
+        print(
+            "reachable states: %d of %d (%d iterations)"
+            % (
+                result.state_count(fsm),
+                1 << fsm.num_latches,
+                result.iterations,
+            )
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heuristic BDD minimization with don't cares (DAC'94)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    minimize_parser = commands.add_parser(
+        "minimize", help="minimize one [f, c] instance"
+    )
+    minimize_parser.add_argument(
+        "instance",
+        help='leaf string like "d1 01", or an expression with --expression',
+    )
+    minimize_parser.add_argument(
+        "--expression",
+        action="store_true",
+        help="treat the instance as a Boolean expression for f",
+    )
+    minimize_parser.add_argument(
+        "--care", help="care-set expression (with --expression)"
+    )
+    minimize_parser.add_argument("--method", default="osm_bt")
+    minimize_parser.add_argument("--all", action="store_true")
+    minimize_parser.add_argument("--cube-limit", type=int, default=1000)
+    minimize_parser.set_defaults(handler=_cmd_minimize)
+
+    experiments_parser = commands.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments_parser.add_argument("--quick", action="store_true")
+    experiments_parser.add_argument("--cube-limit", type=int, default=1000)
+    experiments_parser.add_argument("--csv")
+    experiments_parser.set_defaults(handler=_run_experiments)
+
+    equivalence_parser = commands.add_parser(
+        "equivalence", help="product-machine equivalence check"
+    )
+    equivalence_parser.add_argument("left", help="benchmark name")
+    equivalence_parser.add_argument(
+        "right", nargs="?", help="second benchmark (default: self-check)"
+    )
+    equivalence_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a distinguishing input sequence on inequivalence",
+    )
+    equivalence_parser.set_defaults(handler=_cmd_equivalence)
+
+    blif_parser = commands.add_parser("blif", help="inspect a BLIF file")
+    blif_parser.add_argument("path")
+    blif_parser.add_argument("--reachable", action="store_true")
+    blif_parser.set_defaults(handler=_cmd_blif)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Heuristic minimization of BDDs using don't cares (the paper's core).
+
+The public surface:
+
+* :class:`~repro.core.ispec.ISpec` — an incompletely specified function
+  ``[f, c]`` (Section 2).
+* :mod:`~repro.core.criteria` — the ``osdm`` / ``osm`` / ``tsm`` matching
+  criteria (Section 3.1.1).
+* :func:`~repro.core.sibling.generic_td` — the generic top-down
+  sibling-matching algorithm of Figure 2, from which ``constrain``,
+  ``restrict`` and the six osm/tsm variants are instantiated (Table 2).
+* :func:`~repro.core.levels.minimize_at_level` and the ``opt_lv``
+  heuristic (Section 3.3).
+* :func:`~repro.core.schedule.scheduled_minimize` — the windowed
+  schedule of Section 3.4.
+* :func:`~repro.core.lower_bound.cube_lower_bound` — the Theorem 7 based
+  lower bound (Section 4.1.1).
+* :data:`~repro.core.registry.HEURISTICS` — every named heuristic from
+  the paper's experiments, incl. ``f_orig``/``f_and_c``/``f_or_nc``.
+"""
+
+from repro.core.ispec import ISpec, parse_instance
+from repro.core.criteria import Criterion
+from repro.core.sibling import (
+    SiblingHeuristic,
+    generic_td,
+    constrain,
+    restrict,
+)
+from repro.core.levels import minimize_at_level, opt_lv
+from repro.core.schedule import Schedule, scheduled_minimize
+from repro.core.lower_bound import cube_lower_bound
+from repro.core.exact import exact_minimize
+from repro.core.registry import (
+    HEURISTICS,
+    get_heuristic,
+    minimize,
+    minimize_interval,
+    safe_minimize,
+)
+
+__all__ = [
+    "ISpec",
+    "parse_instance",
+    "Criterion",
+    "SiblingHeuristic",
+    "generic_td",
+    "constrain",
+    "restrict",
+    "minimize_at_level",
+    "opt_lv",
+    "Schedule",
+    "scheduled_minimize",
+    "cube_lower_bound",
+    "exact_minimize",
+    "HEURISTICS",
+    "get_heuristic",
+    "minimize",
+    "minimize_interval",
+    "safe_minimize",
+]

@@ -1,0 +1,119 @@
+"""Matching criteria: ``osdm``, ``osm``, ``tsm`` (paper Section 3.1.1).
+
+Two incompletely specified functions *match* under a criterion when a
+common i-cover exists using only the don't cares the criterion permits:
+
+* **osdm** (one-sided DC match): ``[f1,c1] osdm [f2,c2]`` iff ``c1 = 0``
+  — the first function is entirely don't care.  i-cover: ``[f2, c2]``.
+* **osm** (one-sided match): iff ``(f1 ⊕ f2)·c1 = 0`` and ``c1 ≤ c2`` —
+  the two can be made equal assigning DCs of the first only, and the DC
+  set of the first contains that of the other.  i-cover: ``[f2, c2]``.
+* **tsm** (two-sided match): iff ``(f1 ⊕ f2)·c1·c2 = 0`` — DCs from both
+  sides may be assigned.  i-cover: ``[f1·c1 + f2·c2, c1 + c2]``.
+
+An osdm match implies an osm match implies a tsm match (the strength
+hierarchy).  Table 1 records that osdm is transitive only, osm is
+reflexive and transitive, tsm is reflexive and symmetric.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.bdd.manager import Manager, ZERO
+
+
+class Criterion(enum.Enum):
+    """The three matching criteria of Definition 5."""
+
+    OSDM = "osdm"
+    OSM = "osm"
+    TSM = "tsm"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def osdm_matches(manager: Manager, f1: int, c1: int, f2: int, c2: int) -> bool:
+    """One-sided DC match: the first function has no care points."""
+    return c1 == ZERO
+
+
+def osm_matches(manager: Manager, f1: int, c1: int, f2: int, c2: int) -> bool:
+    """One-sided match (Definition 5.2)."""
+    if not manager.leq(c1, c2):
+        return False
+    return manager.and_(manager.xor(f1, f2), c1) == ZERO
+
+
+def tsm_matches(manager: Manager, f1: int, c1: int, f2: int, c2: int) -> bool:
+    """Two-sided match (Definition 5.3)."""
+    disagreement = manager.and_(manager.xor(f1, f2), manager.and_(c1, c2))
+    return disagreement == ZERO
+
+
+def matches(
+    criterion: Criterion, manager: Manager, f1: int, c1: int, f2: int, c2: int
+) -> bool:
+    """Directional match test ``[f1,c1] criterion [f2,c2]``."""
+    if criterion is Criterion.OSDM:
+        return osdm_matches(manager, f1, c1, f2, c2)
+    if criterion is Criterion.OSM:
+        return osm_matches(manager, f1, c1, f2, c2)
+    return tsm_matches(manager, f1, c1, f2, c2)
+
+
+def i_cover_of_match(
+    criterion: Criterion, manager: Manager, f1: int, c1: int, f2: int, c2: int
+) -> Tuple[int, int]:
+    """Common i-cover produced when ``[f1,c1] criterion [f2,c2]`` holds.
+
+    Maximal don't-care part is preserved (Section 3.1.1): for osdm/osm
+    the i-cover is the second function untouched; for tsm the care sets
+    union and the onsets merge.
+    """
+    if criterion is Criterion.TSM:
+        merged_c = manager.or_(c1, c2)
+        if f1 == f2:
+            # Same representative: keep it, so that e.g. the no-new-vars
+            # flag has no effect on tsm (Table 2: rows 10/12 = 9/11).
+            return f1, merged_c
+        merged_f = manager.or_(
+            manager.and_(f1, c1), manager.and_(f2, c2)
+        )
+        return merged_f, merged_c
+    return f2, c2
+
+
+def try_match(
+    criterion: Criterion,
+    manager: Manager,
+    f1: int,
+    c1: int,
+    f2: int,
+    c2: int,
+    complemented: bool = False,
+) -> Optional[Tuple[int, int]]:
+    """Attempt a (possibly complemented) match between two functions.
+
+    This is the paper's ``is_match``: for the directional criteria
+    (osdm, osm) both directions are tried; tsm is symmetric so one test
+    suffices.  With ``complemented=True`` the *second* function is
+    complemented before matching, which implements the match-complement
+    flag of Table 2: a successful result ``[g, cg]`` then means the
+    first function is covered by covers of ``[g, cg]`` and the second by
+    their complements.
+
+    Returns the common i-cover ``(g, cg)`` for the first function's
+    polarity, or None when no match exists.
+    """
+    g2 = f2 ^ 1 if complemented else f2
+    if matches(criterion, manager, f1, c1, g2, c2):
+        return i_cover_of_match(criterion, manager, f1, c1, g2, c2)
+    if criterion is not Criterion.TSM:
+        # Try the other direction: [f2', c2] crit [f1, c1]; the i-cover
+        # is then [f1, c1] itself (expressed in the first's polarity).
+        if matches(criterion, manager, g2, c2, f1, c1):
+            return f1, c1
+    return None

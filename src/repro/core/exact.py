@@ -1,0 +1,136 @@
+"""Exact BDD minimization by exhaustive completion (small instances).
+
+The decision problem for EBM is in NP (Proposition 4) and its exact
+complexity is open, so the paper evaluates heuristics against a lower
+bound, not an exact optimum.  For *testing* the optimality theorems,
+however, an exact minimizer over small supports is invaluable: it
+enumerates every assignment of the don't-care minterms, builds the BDD
+of each completion, and keeps the best.  Since it is never beneficial
+to introduce a variable outside ``support(f) ∪ support(c)`` (§3.2), the
+search over the support union is exact.
+
+Complexity is ``O(2^d)`` completions for ``d`` don't-care minterms —
+fine for the unit-test instances (≤ 4 variables), hopeless beyond.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.bdd.manager import Manager, ONE, ZERO
+
+
+class ExactSearchTooLarge(ValueError):
+    """Raised when an instance exceeds the exhaustive-search budget."""
+
+
+def _enumerate_leaves(
+    manager: Manager, ref: int, levels: List[int]
+) -> List[bool]:
+    """Truth-table of ``ref`` over the given variable levels (MSB first)."""
+    width = len(levels)
+    leaves = []
+    assignment = {}
+    for index in range(1 << width):
+        for position, level in enumerate(levels):
+            assignment[level] = bool((index >> (width - 1 - position)) & 1)
+        leaves.append(manager.eval(ref, assignment))
+    return leaves
+
+
+def _build_over_levels(
+    manager: Manager, leaves: List[bool], levels: List[int]
+) -> int:
+    """BDD of a truth table whose variables sit at arbitrary levels."""
+
+    def build(low_index: int, high_index: int, position: int) -> int:
+        if high_index - low_index == 1:
+            return ONE if leaves[low_index] else ZERO
+        middle = (low_index + high_index) // 2
+        else_child = build(low_index, middle, position + 1)
+        then_child = build(middle, high_index, position + 1)
+        return manager.make_node(levels[position], then_child, else_child)
+
+    return build(0, len(leaves), 0)
+
+
+def enumerate_covers(
+    manager: Manager,
+    f: int,
+    c: int,
+    max_support: int = 10,
+    max_dc: int = 18,
+):
+    """Yield the BDD ref of every cover of ``[f, c]`` (support-bounded).
+
+    Raises :class:`ExactSearchTooLarge` when the support union exceeds
+    ``max_support`` variables or there are more than ``max_dc``
+    don't-care minterms.
+    """
+    levels = sorted(manager.support_multi((f, c)))
+    if len(levels) > max_support:
+        raise ExactSearchTooLarge(
+            "support union has %d variables (max %d)"
+            % (len(levels), max_support)
+        )
+    f_leaves = _enumerate_leaves(manager, f, levels)
+    c_leaves = _enumerate_leaves(manager, c, levels)
+    dc_positions = [
+        index for index, care in enumerate(c_leaves) if not care
+    ]
+    if len(dc_positions) > max_dc:
+        raise ExactSearchTooLarge(
+            "%d don't-care minterms (max %d)" % (len(dc_positions), max_dc)
+        )
+    base = list(f_leaves)
+    for mask in range(1 << len(dc_positions)):
+        for bit, position in enumerate(dc_positions):
+            base[position] = bool((mask >> bit) & 1)
+        yield _build_over_levels(manager, base, levels)
+
+
+def exact_minimize(
+    manager: Manager,
+    f: int,
+    c: int,
+    max_support: int = 10,
+    max_dc: int = 18,
+    cost: Optional[Callable[[int], int]] = None,
+) -> Tuple[int, int]:
+    """Exhaustive EBM: returns ``(best_cover_ref, best_cost)``.
+
+    ``cost`` defaults to the BDD size |g| (the EBM objective); pass
+    e.g. ``lambda g: manager.nodes_below(g, i)`` to compute the paper's
+    ``N_i[f, c]`` of Definition 11 instead.
+    """
+    if cost is None:
+        cost = manager.size
+    best_ref = None
+    best_cost = None
+    for candidate in enumerate_covers(
+        manager, f, c, max_support=max_support, max_dc=max_dc
+    ):
+        candidate_cost = cost(candidate)
+        if best_cost is None or candidate_cost < best_cost:
+            best_ref = candidate
+            best_cost = candidate_cost
+    assert best_ref is not None and best_cost is not None
+    return best_ref, best_cost
+
+
+def exact_minimum_size(manager: Manager, f: int, c: int, **limits) -> int:
+    """The EBM optimum value |g*| for a small instance."""
+    return exact_minimize(manager, f, c, **limits)[1]
+
+
+def exact_minimum_below(
+    manager: Manager, f: int, c: int, boundary: int, **limits
+) -> int:
+    """Definition 11's ``N_i[f, c]``: min nodes strictly below a level."""
+    return exact_minimize(
+        manager,
+        f,
+        c,
+        cost=lambda ref: manager.nodes_below(ref, boundary),
+        **limits,
+    )[1]

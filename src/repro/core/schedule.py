@@ -1,0 +1,109 @@
+"""The windowed scheduling heuristic (paper Section 3.4).
+
+The paper's key observation is that the transformations differ in how
+*safe* they are — how much don't-care freedom they consume and how
+likely they are to lose the optimal solution.  osm only risks the
+superstructure (Theorem 12), so it is applied first; tsm consumes
+freedom from both sides; constrain commits everything locally.  The
+schedule walks a window of levels down the BDD and, inside each window,
+applies in order:
+
+1. osm on siblings,
+2. tsm on siblings,
+3. osm at each level in the window,
+4. tsm at each level in the window,
+
+then slides the window.  When fewer than ``stop_top_down`` levels
+remain, constrain assigns the rest of the don't cares locally and the
+result is returned.  Steps 3 and 4 are the expensive ones and can be
+disabled to trade quality for runtime, as the paper suggests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.core.criteria import Criterion
+from repro.core.sibling import constrain, sibling_pass
+from repro.core.levels import minimize_at_level
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Parameters of the Section 3.4 schedule.
+
+    The paper leaves good values of ``window_size`` and
+    ``stop_top_down`` as an open experimental question; the ablation
+    bench ``benchmarks/bench_ablation_schedule.py`` sweeps them.
+    """
+
+    window_size: int = 4
+    stop_top_down: int = 4
+    use_level_steps: bool = True
+    sibling_no_new_vars: bool = True
+    sibling_match_complement: bool = False
+    batch_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ValueError("window_size must be positive")
+        if self.stop_top_down < 0:
+            raise ValueError("stop_top_down must be non-negative")
+
+
+def scheduled_minimize(
+    manager: Manager, f: int, c: int, schedule: Schedule = Schedule()
+) -> int:
+    """Minimize ``[f, c]`` with the windowed schedule; returns a cover."""
+    if c == ZERO:
+        return ONE
+    current_f, current_c = f, c
+    level = 0
+    while True:
+        if current_c == ONE or manager.is_constant(current_f):
+            return current_f
+        support = manager.support_multi((current_f, current_c))
+        if not support:
+            return current_f
+        deepest = max(support)
+        remaining = deepest + 1 - level
+        if remaining < schedule.stop_top_down or level > deepest:
+            # Step 6: few levels left; matches made down here cannot
+            # save many nodes, so assign the rest locally.
+            return constrain(manager, current_f, current_c)
+        lo, hi = level, level + schedule.window_size
+        current_f, current_c = sibling_pass(
+            manager,
+            current_f,
+            current_c,
+            Criterion.OSM,
+            match_complement=schedule.sibling_match_complement,
+            no_new_vars=schedule.sibling_no_new_vars,
+            lo=lo,
+            hi=hi,
+        )
+        current_f, current_c = sibling_pass(
+            manager,
+            current_f,
+            current_c,
+            Criterion.TSM,
+            match_complement=schedule.sibling_match_complement,
+            lo=lo,
+            hi=hi,
+        )
+        if schedule.use_level_steps:
+            top_boundary = max(lo, 1)
+            bottom_boundary = min(hi, deepest + 1)
+            for criterion in (Criterion.OSM, Criterion.TSM):
+                for boundary in range(top_boundary, bottom_boundary + 1):
+                    current_f, current_c = minimize_at_level(
+                        manager,
+                        current_f,
+                        current_c,
+                        boundary,
+                        criterion=criterion,
+                        batch_size=schedule.batch_size,
+                    )
+        level += schedule.window_size

@@ -1,0 +1,77 @@
+"""The measurement harness regenerating the paper's tables and figures.
+
+Pipeline (mirroring §4.1):
+
+1. :func:`~repro.experiments.calls.collect_benchmark_calls` runs the
+   product-machine self-equivalence check on a benchmark and intercepts
+   every frontier-minimization call, recording the ``[f, c]`` instance
+   while returning constrain's result to the traversal (some of SIS's
+   calls rely on constrain's image property, so any other cover would
+   be incorrect there — §4.1.1).
+2. :func:`~repro.experiments.harness.run_heuristics` replays every
+   recorded call through all heuristics, flushing the BDD caches before
+   each so runtimes are comparable, and computes the per-call best
+   (``min``) and the cube lower bound.
+3. :mod:`~repro.experiments.table3`, :mod:`~repro.experiments.table4`
+   and :mod:`~repro.experiments.figure3` aggregate the results into the
+   paper's exhibits, bucketed by ``c_onset_size`` (<5%, 5–95%, >95%).
+"""
+
+from repro.experiments.calls import (
+    MinimizationCall,
+    BenchmarkCalls,
+    collect_benchmark_calls,
+    collect_suite_calls,
+)
+from repro.experiments.harness import (
+    CallResult,
+    ExperimentResults,
+    run_heuristics,
+    run_experiment,
+)
+from repro.experiments.buckets import Bucket, bucket_of
+from repro.experiments.table3 import table3_rows, render_table3
+from repro.experiments.table4 import table4_matrix, render_table4
+from repro.experiments.figure3 import figure3_curves, render_figure3
+from repro.experiments.instances import dump_calls, load_calls
+from repro.experiments.application import (
+    ApplicationRun,
+    measure_application_impact,
+    render_application_impact,
+)
+from repro.experiments.summary import (
+    per_benchmark_summaries,
+    render_per_benchmark,
+    lower_bound_attainment,
+    win_counts,
+    export_csv,
+)
+
+__all__ = [
+    "MinimizationCall",
+    "BenchmarkCalls",
+    "collect_benchmark_calls",
+    "collect_suite_calls",
+    "CallResult",
+    "ExperimentResults",
+    "run_heuristics",
+    "run_experiment",
+    "Bucket",
+    "bucket_of",
+    "table3_rows",
+    "render_table3",
+    "table4_matrix",
+    "render_table4",
+    "figure3_curves",
+    "render_figure3",
+    "per_benchmark_summaries",
+    "render_per_benchmark",
+    "lower_bound_attainment",
+    "win_counts",
+    "export_csv",
+    "ApplicationRun",
+    "measure_application_impact",
+    "render_application_impact",
+    "dump_calls",
+    "load_calls",
+]

@@ -1,0 +1,32 @@
+"""Bucketing calls by the size of the care-set onset (§4.1.2).
+
+The paper divides the data by ``c_onset_size`` into three sub-buckets:
+less than 5%, between 5% and 95%, and greater than 95%.  The regimes
+behave very differently: sparse onsets give abundant matches (the
+challenge is choosing well); dense onsets make matches scarce (extra
+search effort pays off).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Bucket(enum.Enum):
+    """The paper's three c_onset_size sub-buckets."""
+
+    SPARSE = "< 5%"
+    MIDDLE = "5%-95%"
+    DENSE = "> 95%"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def bucket_of(onset_fraction: float) -> Bucket:
+    """Classify an onset fraction into the paper's sub-buckets."""
+    if onset_fraction < 0.05:
+        return Bucket.SPARSE
+    if onset_fraction > 0.95:
+        return Bucket.DENSE
+    return Bucket.MIDDLE

@@ -1,0 +1,137 @@
+"""Intercepting minimization calls from the FSM-equivalence traversal.
+
+The paper: "we intercept each call to constrain, apply all the
+heuristics to [f, c], measuring their runtimes and resulting sizes, and
+then return the result of constrain to verify_fsm" (§4.1.1).  Here the
+interception records the instances first; the heuristics are replayed
+afterwards by :mod:`repro.experiments.harness`, which keeps collection
+(BDD-heavy) separate from measurement (flush caches, time each
+heuristic).
+
+Calls where ``c`` is a cube or ``c ≤ f`` or ``c ≤ ¬f`` are filtered
+out, "since most heuristics find a minimum in these cases" (§4.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import Manager
+from repro.core.ispec import ISpec
+from repro.core.sibling import constrain
+from repro.fsm.machine import FsmSpec
+from repro.fsm.image import image_by_constrain_range
+from repro.fsm.product import compile_product
+from repro.fsm.reachability import check_equivalence
+from repro.circuits.suite import BENCHMARK_SUITE, benchmark_spec
+
+
+@dataclass(frozen=True)
+class MinimizationCall:
+    """One recorded ``[f, c]`` instance from the traversal.
+
+    ``kind`` distinguishes the two families of constrain calls inside
+    ``verify_fsm``: ``"image"`` calls constrain a next-state function by
+    the current state set (sparse care sets — the bulk of the data) and
+    ``"frontier"`` calls simplify the new frontier against the reached
+    set (dense care sets).
+    """
+
+    benchmark: str
+    iteration: int
+    f: int
+    c: int
+    f_size: int
+    onset_fraction: float
+    kind: str = "frontier"
+
+
+@dataclass
+class BenchmarkCalls:
+    """All recorded calls of one benchmark, plus their owning manager.
+
+    The manager must stay alive as long as the refs are used, so it
+    travels with the calls.
+    """
+
+    name: str
+    manager: Manager
+    calls: List[MinimizationCall] = field(default_factory=list)
+    filtered_out: int = 0
+    equivalent: bool = True
+    iterations: int = 0
+
+
+def collect_benchmark_calls(
+    name: str,
+    spec: Optional[FsmSpec] = None,
+    filter_trivial: bool = True,
+    max_iterations: Optional[int] = None,
+) -> BenchmarkCalls:
+    """Run self-equivalence on a benchmark and record every call."""
+    if spec is None:
+        spec = benchmark_spec(name)
+    manager = Manager()
+    product = compile_product(manager, spec, spec)
+    record = BenchmarkCalls(name, manager)
+    counter = {"iteration": 0}
+
+    def observe(mgr: Manager, f: int, c: int, kind: str) -> None:
+        spec_fc = ISpec(mgr, f, c)
+        if filter_trivial and spec_fc.is_trivial():
+            record.filtered_out += 1
+            return
+        record.calls.append(
+            MinimizationCall(
+                benchmark=name,
+                iteration=counter["iteration"],
+                f=f,
+                c=c,
+                f_size=mgr.size(f),
+                onset_fraction=spec_fc.c_onset_fraction(),
+                kind=kind,
+            )
+        )
+
+    def frontier_interceptor(mgr: Manager, f: int, c: int) -> int:
+        counter["iteration"] += 1
+        observe(mgr, f, c, "frontier")
+        # §4.1.1: the traversal must continue with constrain's result.
+        return constrain(mgr, f, c)
+
+    def image_interceptor(mgr: Manager, f: int, c: int) -> None:
+        observe(mgr, f, c, "image")
+
+    def image(machine, states):
+        return image_by_constrain_range(
+            machine, states, constrain_hook=image_interceptor
+        )
+
+    result = check_equivalence(
+        product,
+        minimize=frontier_interceptor,
+        image=image,
+        max_iterations=max_iterations,
+    )
+    record.equivalent = result.equivalent
+    record.iterations = result.iterations
+    return record
+
+
+def collect_suite_calls(
+    names: Optional[Sequence[str]] = None,
+    filter_trivial: bool = True,
+    max_iterations: Optional[int] = None,
+) -> List[BenchmarkCalls]:
+    """Collect calls over a list of benchmarks (default: full suite)."""
+    if names is None:
+        names = list(BENCHMARK_SUITE)
+    return [
+        collect_benchmark_calls(
+            name,
+            filter_trivial=filter_trivial,
+            max_iterations=max_iterations,
+        )
+        for name in names
+    ]

@@ -1,0 +1,116 @@
+"""Figure 3: robustness curves — % of calls within x% of ``min``.
+
+For each heuristic, the cumulative distribution of relative quality:
+a point (x, y) means on y% of the calls the heuristic's result was
+within x% of the smallest result found by any heuristic.  The
+y-intercept is how often the heuristic *is* the best; curves that sit
+high are robust even when not winning.  Rendered as data series plus an
+ASCII plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.buckets import Bucket
+from repro.experiments.harness import ExperimentResults
+
+#: The five representative heuristics plotted in the paper's Figure 3.
+PAPER_CURVES: Tuple[str, ...] = (
+    "f_orig",
+    "opt_lv",
+    "constrain",
+    "restrict",
+    "tsm_td",
+)
+
+#: Default x-axis sample points ("within x% of min").
+DEFAULT_THRESHOLDS: Tuple[int, ...] = tuple(range(0, 101, 5))
+
+
+def figure3_curves(
+    results: ExperimentResults,
+    names: Optional[Sequence[str]] = None,
+    thresholds: Sequence[int] = DEFAULT_THRESHOLDS,
+    bucket: Optional[Bucket] = None,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Compute the cumulative-quality curves.
+
+    Returns ``{heuristic: [(threshold_pct, pct_of_calls), ...]}``.
+    """
+    if names is None:
+        names = [name for name in PAPER_CURVES if name in results.heuristics]
+    calls = results.in_bucket(bucket)
+    total = len(calls)
+    curves: Dict[str, List[Tuple[int, float]]] = {}
+    for name in names:
+        series: List[Tuple[int, float]] = []
+        for threshold in thresholds:
+            allowed = 1.0 + threshold / 100.0
+            if total == 0:
+                series.append((threshold, 0.0))
+                continue
+            within = sum(
+                1
+                for result in calls
+                if result.sizes[name] <= allowed * result.min_size
+            )
+            series.append((threshold, 100.0 * within / total))
+        curves[name] = series
+    return curves
+
+
+def y_intercepts(
+    results: ExperimentResults,
+    names: Optional[Sequence[str]] = None,
+    bucket: Optional[Bucket] = None,
+) -> Dict[str, float]:
+    """How often each heuristic finds the smallest result (x = 0)."""
+    curves = figure3_curves(results, names, thresholds=(0,), bucket=bucket)
+    return {name: series[0][1] for name, series in curves.items()}
+
+
+def render_figure3(
+    results: ExperimentResults,
+    names: Optional[Sequence[str]] = None,
+    bucket: Optional[Bucket] = None,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render the curves as a data table plus an ASCII plot."""
+    curves = figure3_curves(results, names, bucket=bucket)
+    if not curves:
+        return "(no data)"
+    lines: List[str] = []
+    label = "all calls" if bucket is None else "c_onset %s" % bucket
+    lines.append("Figure 3: %% of calls within x%% of min (%s)" % label)
+    # Data series.
+    thresholds = [point[0] for point in next(iter(curves.values()))]
+    header = "within%   " + "  ".join("%10s" % name for name in curves)
+    lines.append(header)
+    for index, threshold in enumerate(thresholds):
+        row = "%7d   " % threshold + "  ".join(
+            "%10.1f" % curves[name][index][1] for name in curves
+        )
+        lines.append(row)
+    # ASCII plot: one glyph per curve.
+    glyphs = "o*+x#@%&"
+    lines.append("")
+    grid = [[" "] * width for _ in range(height)]
+    for curve_index, (name, series) in enumerate(curves.items()):
+        glyph = glyphs[curve_index % len(glyphs)]
+        for threshold, value in series:
+            column = min(width - 1, int(threshold / 100.0 * (width - 1)))
+            row = min(height - 1, int((100.0 - value) / 100.0 * (height - 1)))
+            grid[row][column] = glyph
+    lines.append("100% +" + "-" * width)
+    for row in grid:
+        lines.append("     |" + "".join(row))
+    lines.append("  0% +" + "-" * width)
+    lines.append("      0%" + " " * 10 + "within % of min" + " " * 10 + "100%")
+    legend = "  ".join(
+        "%s=%s" % (glyphs[index % len(glyphs)], name)
+        for index, name in enumerate(curves)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)

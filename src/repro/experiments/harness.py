@@ -1,0 +1,133 @@
+"""Replaying recorded calls through every heuristic, fairly timed.
+
+"Measuring runtimes is a delicate issue since the BDD package caches
+the results of earlier computations. ... we invoke the BDD garbage
+collector before each heuristic is called to flush the caches of
+computations from earlier heuristics" (§4.1.1).  ``run_heuristics``
+does exactly that via :meth:`Manager.clear_caches`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import Manager
+from repro.core.ispec import ISpec
+from repro.core.lower_bound import cube_lower_bound
+from repro.core.registry import HEURISTICS, PAPER_HEURISTICS
+from repro.experiments.buckets import Bucket, bucket_of
+from repro.experiments.calls import (
+    BenchmarkCalls,
+    MinimizationCall,
+    collect_suite_calls,
+)
+
+
+@dataclass
+class CallResult:
+    """Per-call measurements across all heuristics."""
+
+    benchmark: str
+    iteration: int
+    f_size: int
+    onset_fraction: float
+    sizes: Dict[str, int]
+    runtimes: Dict[str, float]
+    min_size: int
+    lower_bound: Optional[int] = None
+
+    @property
+    def bucket(self) -> Bucket:
+        return bucket_of(self.onset_fraction)
+
+
+@dataclass
+class ExperimentResults:
+    """All call results plus bookkeeping for the exhibits."""
+
+    heuristics: Tuple[str, ...]
+    results: List[CallResult] = field(default_factory=list)
+    total_calls: int = 0
+    filtered_out: int = 0
+
+    def in_bucket(self, bucket: Optional[Bucket]) -> List[CallResult]:
+        """Results restricted to one bucket (None = all calls)."""
+        if bucket is None:
+            return self.results
+        return [result for result in self.results if result.bucket is bucket]
+
+
+def run_heuristics(
+    benchmark_calls: Sequence[BenchmarkCalls],
+    heuristics: Sequence[str] = PAPER_HEURISTICS,
+    compute_lower_bound: bool = True,
+    cube_limit: int = 1000,
+    verify_covers: bool = True,
+) -> ExperimentResults:
+    """Measure every heuristic on every recorded call.
+
+    With ``verify_covers`` each result is checked to actually cover its
+    instance — a paranoia bit that has caught real bugs and costs two
+    BDD operations per measurement.
+    """
+    results = ExperimentResults(heuristics=tuple(heuristics))
+    for record in benchmark_calls:
+        manager = record.manager
+        results.filtered_out += record.filtered_out
+        for call in record.calls:
+            results.total_calls += 1
+            sizes: Dict[str, int] = {}
+            runtimes: Dict[str, float] = {}
+            spec = ISpec(manager, call.f, call.c)
+            for name in heuristics:
+                heuristic = HEURISTICS[name]
+                manager.clear_caches()
+                started = time.perf_counter()
+                cover = heuristic(manager, call.f, call.c)
+                runtimes[name] = time.perf_counter() - started
+                if verify_covers and not spec.is_cover(cover):
+                    raise AssertionError(
+                        "%s returned a non-cover on %s call %d"
+                        % (name, call.benchmark, call.iteration)
+                    )
+                sizes[name] = manager.size(cover)
+            lower = None
+            if compute_lower_bound:
+                manager.clear_caches()
+                lower = cube_lower_bound(
+                    manager, call.f, call.c, cube_limit=cube_limit
+                )
+            results.results.append(
+                CallResult(
+                    benchmark=call.benchmark,
+                    iteration=call.iteration,
+                    f_size=call.f_size,
+                    onset_fraction=call.onset_fraction,
+                    sizes=sizes,
+                    runtimes=runtimes,
+                    min_size=min(sizes.values()),
+                    lower_bound=lower,
+                )
+            )
+    return results
+
+
+def run_experiment(
+    names: Optional[Sequence[str]] = None,
+    heuristics: Sequence[str] = PAPER_HEURISTICS,
+    compute_lower_bound: bool = True,
+    cube_limit: int = 1000,
+    max_iterations: Optional[int] = None,
+) -> ExperimentResults:
+    """Collect calls over a suite and measure: the whole §4 pipeline."""
+    benchmark_calls = collect_suite_calls(
+        names, max_iterations=max_iterations
+    )
+    return run_heuristics(
+        benchmark_calls,
+        heuristics=heuristics,
+        compute_lower_bound=compute_lower_bound,
+        cube_limit=cube_limit,
+    )

@@ -1,0 +1,100 @@
+"""Serializing minimization instances to a portable corpus format.
+
+Recorded ``[f, c]`` instances live as refs inside a manager; to share
+them across processes (or archive a corpus for regression), each
+function is serialized as an irredundant SOP over named variables — a
+compact, human-inspectable JSON structure — and reloaded by rebuilding
+the BDDs in a fresh manager.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.isop import isop
+from repro.experiments.calls import BenchmarkCalls, MinimizationCall
+
+#: Serialized function: list of cubes, each {var_name: bool}.
+SerializedFunction = List[Dict[str, bool]]
+
+
+def _serialize_ref(manager: Manager, ref: int) -> Optional[SerializedFunction]:
+    if ref == ONE:
+        return [{}]
+    if ref == ZERO:
+        return []
+    cubes, _ = isop(manager, ref, ref)
+    return [
+        {
+            manager.name_of_level(level): value
+            for level, value in cube.items()
+        }
+        for cube in cubes
+    ]
+
+
+def _deserialize_ref(
+    manager: Manager, cubes: SerializedFunction
+) -> int:
+    result = ZERO
+    for cube in cubes:
+        term = ONE
+        for name, value in cube.items():
+            if name not in manager.var_names:
+                manager.new_var(name)
+            literal = manager.var(name)
+            term = manager.and_(term, literal if value else literal ^ 1)
+        result = manager.or_(result, term)
+    return result
+
+
+def dump_calls(records: Sequence[BenchmarkCalls]) -> str:
+    """Serialize recorded calls (with variable orders) to JSON text."""
+    payload = []
+    for record in records:
+        manager = record.manager
+        payload.append(
+            {
+                "benchmark": record.name,
+                "var_order": list(manager.var_names),
+                "calls": [
+                    {
+                        "iteration": call.iteration,
+                        "kind": call.kind,
+                        "f": _serialize_ref(manager, call.f),
+                        "c": _serialize_ref(manager, call.c),
+                    }
+                    for call in record.calls
+                ],
+            }
+        )
+    return json.dumps(payload, sort_keys=True)
+
+
+def load_calls(text: str) -> List[BenchmarkCalls]:
+    """Rebuild a corpus in fresh managers (original variable orders)."""
+    payload = json.loads(text)
+    records: List[BenchmarkCalls] = []
+    for entry in payload:
+        manager = Manager(entry["var_order"])
+        record = BenchmarkCalls(entry["benchmark"], manager)
+        for call in entry["calls"]:
+            f = _deserialize_ref(manager, call["f"])
+            c = _deserialize_ref(manager, call["c"])
+            from repro.core.ispec import ISpec
+
+            record.calls.append(
+                MinimizationCall(
+                    benchmark=entry["benchmark"],
+                    iteration=call["iteration"],
+                    f=f,
+                    c=c,
+                    f_size=manager.size(f),
+                    onset_fraction=ISpec(manager, f, c).c_onset_fraction(),
+                    kind=call["kind"],
+                )
+            )
+        records.append(record)
+    return records

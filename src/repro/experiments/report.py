@@ -1,0 +1,49 @@
+"""Plain-text table rendering shared by the exhibit modules."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width %d != header width %d" % (len(row), columns))
+    widths = [
+        max(len(str(headers[index])), *(len(str(row[index])) for row in rows))
+        if rows
+        else len(str(headers[index]))
+        for index in range(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(header).ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                str(cell).rjust(widths[index]) if index else str(cell).ljust(widths[0])
+                for index, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Fixed-point formatting used across reports."""
+    return "%.*f" % (digits, value)
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Percentage formatting (value given as a fraction)."""
+    return "%.*f%%" % (digits, 100.0 * value)

@@ -1,0 +1,164 @@
+"""Per-benchmark breakdowns, summary statistics and CSV export.
+
+The paper aggregates over all benchmarks ("since there always exist an
+instance where one heuristic will perform better than another, it does
+not make sense to compare individual instances") — but a per-benchmark
+view is still useful for debugging a reproduction, and a CSV dump lets
+external tooling re-analyze the raw measurements.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.buckets import Bucket
+from repro.experiments.harness import CallResult, ExperimentResults
+from repro.experiments.report import render_table
+
+
+@dataclass(frozen=True)
+class BenchmarkSummary:
+    """Aggregates for one benchmark machine."""
+
+    name: str
+    calls: int
+    f_orig_total: int
+    min_total: int
+    best_heuristic: str
+    sparse_calls: int
+    dense_calls: int
+
+    @property
+    def reduction(self) -> float:
+        if not self.min_total:
+            return 1.0
+        return self.f_orig_total / self.min_total
+
+
+def per_benchmark_summaries(
+    results: ExperimentResults,
+) -> List[BenchmarkSummary]:
+    """One summary row per benchmark, in first-seen order."""
+    order: List[str] = []
+    grouped: Dict[str, List[CallResult]] = {}
+    for result in results.results:
+        if result.benchmark not in grouped:
+            grouped[result.benchmark] = []
+            order.append(result.benchmark)
+        grouped[result.benchmark].append(result)
+    summaries = []
+    for name in order:
+        calls = grouped[name]
+        totals = {
+            heuristic: sum(result.sizes[heuristic] for result in calls)
+            for heuristic in results.heuristics
+        }
+        best = min(totals, key=lambda heuristic: (totals[heuristic], heuristic))
+        summaries.append(
+            BenchmarkSummary(
+                name=name,
+                calls=len(calls),
+                f_orig_total=sum(result.f_size for result in calls),
+                min_total=sum(result.min_size for result in calls),
+                best_heuristic=best,
+                sparse_calls=sum(
+                    1 for result in calls if result.bucket is Bucket.SPARSE
+                ),
+                dense_calls=sum(
+                    1 for result in calls if result.bucket is Bucket.DENSE
+                ),
+            )
+        )
+    return summaries
+
+
+def render_per_benchmark(results: ExperimentResults) -> str:
+    """Text table of the per-benchmark breakdown."""
+    rows = [
+        [
+            summary.name,
+            str(summary.calls),
+            str(summary.sparse_calls),
+            str(summary.dense_calls),
+            str(summary.f_orig_total),
+            str(summary.min_total),
+            "%.1f" % summary.reduction,
+            summary.best_heuristic,
+        ]
+        for summary in per_benchmark_summaries(results)
+    ]
+    return render_table(
+        [
+            "Benchmark",
+            "Calls",
+            "<5%",
+            ">95%",
+            "|f| total",
+            "min total",
+            "Reduction",
+            "Best",
+        ],
+        rows,
+        title="Per-benchmark breakdown",
+    )
+
+
+def lower_bound_attainment(results: ExperimentResults) -> Optional[float]:
+    """Fraction of calls where ``min`` equals the cube lower bound."""
+    measured = [
+        result
+        for result in results.results
+        if result.lower_bound is not None
+    ]
+    if not measured:
+        return None
+    hits = sum(
+        1 for result in measured if result.min_size == result.lower_bound
+    )
+    return hits / len(measured)
+
+
+def win_counts(results: ExperimentResults) -> Dict[str, int]:
+    """How many calls each heuristic wins (ties all count)."""
+    counts = {name: 0 for name in results.heuristics}
+    for result in results.results:
+        for name in results.heuristics:
+            if result.sizes[name] == result.min_size:
+                counts[name] += 1
+    return counts
+
+
+def export_csv(results: ExperimentResults, stream=None) -> str:
+    """Dump one row per call (sizes and runtimes) as CSV text.
+
+    If ``stream`` is given, also writes to it (e.g. an open file).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    header = ["benchmark", "iteration", "bucket", "onset_fraction", "f_size"]
+    header += ["min", "lower_bound"]
+    for name in results.heuristics:
+        header.append("size_%s" % name)
+    for name in results.heuristics:
+        header.append("time_%s" % name)
+    writer.writerow(header)
+    for result in results.results:
+        row = [
+            result.benchmark,
+            result.iteration,
+            result.bucket.name.lower(),
+            "%.6f" % result.onset_fraction,
+            result.f_size,
+            result.min_size,
+            result.lower_bound if result.lower_bound is not None else "",
+        ]
+        row += [result.sizes[name] for name in results.heuristics]
+        row += ["%.6f" % result.runtimes[name] for name in results.heuristics]
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text

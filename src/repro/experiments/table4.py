@@ -1,0 +1,93 @@
+"""Table 4: head-to-head comparisons between heuristics.
+
+Entry (i, j) is the percentage of calls on which heuristic *i* found a
+*strictly smaller* result than heuristic *j*.  The paper shows a
+representative subset; the diagonal is zero by construction, and the
+sum of entries (i, j) + (j, i) measures the "orthogonality" of the two
+heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.buckets import Bucket
+from repro.experiments.harness import ExperimentResults
+from repro.experiments.report import render_table
+
+#: The representative subset shown in the paper's Table 4.
+PAPER_SUBSET: Tuple[str, ...] = (
+    "f_orig",
+    "constrain",
+    "restrict",
+    "osm_bt",
+    "tsm_td",
+    "opt_lv",
+)
+
+
+def _size_of(result, name: str) -> int:
+    if name == "min":
+        return result.min_size
+    return result.sizes[name]
+
+
+def table4_matrix(
+    results: ExperimentResults,
+    names: Optional[Sequence[str]] = None,
+    bucket: Optional[Bucket] = None,
+    include_min: bool = True,
+) -> Dict[Tuple[str, str], float]:
+    """Percentages {(i, j): % of calls where size_i < size_j}."""
+    if names is None:
+        names = [
+            name for name in PAPER_SUBSET if name in results.heuristics
+        ]
+    rows = list(names) + (["min"] if include_min else [])
+    calls = results.in_bucket(bucket)
+    matrix: Dict[Tuple[str, str], float] = {}
+    total = len(calls)
+    for row_name in rows:
+        for col_name in names:
+            if total == 0:
+                matrix[(row_name, col_name)] = 0.0
+                continue
+            wins = sum(
+                1
+                for result in calls
+                if _size_of(result, row_name) < _size_of(result, col_name)
+            )
+            matrix[(row_name, col_name)] = 100.0 * wins / total
+    return matrix
+
+
+def orthogonality(
+    matrix: Dict[Tuple[str, str], float], first: str, second: str
+) -> float:
+    """Sum of (i, j) and (j, i): how often the two heuristics differ."""
+    return matrix[(first, second)] + matrix[(second, first)]
+
+
+def render_table4(
+    results: ExperimentResults,
+    names: Optional[Sequence[str]] = None,
+    bucket: Optional[Bucket] = None,
+) -> str:
+    """Render the head-to-head matrix as an aligned text table."""
+    if names is None:
+        names = [
+            name for name in PAPER_SUBSET if name in results.heuristics
+        ]
+    matrix = table4_matrix(results, names, bucket)
+    rows = []
+    for row_name in list(names) + ["min"]:
+        rows.append(
+            [row_name]
+            + ["%.1f" % matrix[(row_name, col_name)] for col_name in names]
+        )
+    label = "all calls" if bucket is None else "c_onset %s" % bucket
+    return render_table(
+        ["Heur."] + list(names),
+        rows,
+        title="Head-to-head (%% of calls strictly smaller), %s" % label,
+    )

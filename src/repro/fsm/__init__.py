@@ -1,0 +1,77 @@
+"""Finite state machines over BDDs — the paper's application substrate.
+
+The experiments in the paper intercept BDD minimization calls made by
+the SIS command ``verify_fsm -m product`` while it checks equivalence of
+two FSMs by breadth-first traversal of their product machine (Coudert,
+Berthet, Madre; Touati et al.).  This package rebuilds that stack:
+
+* :mod:`~repro.fsm.netlist` — combinational gate-level netlists.
+* :mod:`~repro.fsm.blif` — a minimal BLIF subset reader/writer.
+* :mod:`~repro.fsm.machine` — declarative :class:`FsmSpec` and the
+  compiled BDD :class:`Fsm` (interleaved current/next state variables).
+* :mod:`~repro.fsm.image` — image computation, both by transition
+  relation and by Coudert–Madre range-of-constrained-functions (the
+  "special property" of constrain from the paper's footnote 1).
+* :mod:`~repro.fsm.reachability` — breadth-first reachability with
+  frontier-set minimization and the product-machine equivalence check,
+  with an interception hook for the experiment harness.
+"""
+
+from repro.fsm.netlist import Netlist
+from repro.fsm.machine import FsmSpec, LatchSpec, OutputSpec, Fsm, compile_fsm
+from repro.fsm.product import compile_product, ProductMachine
+from repro.fsm.image import (
+    transition_relation,
+    image_by_relation,
+    image_by_clustered_relation,
+    image_by_constrain_range,
+)
+from repro.fsm.optimize import (
+    LogicMinimizationReport,
+    minimize_fsm_logic,
+    sequentially_equivalent,
+)
+from repro.fsm.reachability import (
+    ReachabilityResult,
+    EquivalenceResult,
+    reachable_states,
+    check_equivalence,
+)
+from repro.fsm.blif import parse_blif, compile_blif, write_blif
+from repro.fsm.verify import (
+    Trace,
+    InvariantResult,
+    check_invariant,
+    build_trace,
+    equivalence_counterexample_trace,
+)
+
+__all__ = [
+    "Netlist",
+    "FsmSpec",
+    "LatchSpec",
+    "OutputSpec",
+    "Fsm",
+    "compile_fsm",
+    "compile_product",
+    "ProductMachine",
+    "transition_relation",
+    "image_by_relation",
+    "image_by_clustered_relation",
+    "image_by_constrain_range",
+    "LogicMinimizationReport",
+    "minimize_fsm_logic",
+    "sequentially_equivalent",
+    "ReachabilityResult",
+    "EquivalenceResult",
+    "reachable_states",
+    "check_equivalence",
+    "parse_blif",
+    "compile_blif",
+    "write_blif",
+    "Trace",
+    "InvariantResult",
+    "check_invariant",
+    "build_trace",
+    "equivalence_counterexample_trace",
+]

@@ -1,0 +1,320 @@
+"""A minimal BLIF reader/writer (the benchmark interchange format).
+
+Supported subset: ``.model``, ``.inputs``, ``.outputs``, ``.latch``
+(short form: ``data_in output [init]``), ``.names`` single-output
+covers, ``.end``, ``#`` comments and ``\\`` line continuations.  This is
+enough to round-trip every machine in :mod:`repro.circuits` and to read
+simple academic benchmark files.
+
+``.names`` semantics follow standard BLIF: each row is an input pattern
+over ``{0, 1, -}`` plus an output value; all rows of one table must
+share the output value.  Value ``1`` makes the function the OR of the
+row cubes; value ``0`` makes it the complement of that OR; an empty
+table is constant 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.isop import isop
+from repro.fsm.machine import Fsm
+
+
+@dataclass
+class NamesTable:
+    """One ``.names`` single-output cover."""
+
+    inputs: Tuple[str, ...]
+    output: str
+    rows: Tuple[Tuple[str, str], ...]  # (pattern, value)
+
+
+@dataclass
+class BlifModel:
+    """Parsed structural content of a ``.model`` section."""
+
+    name: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    latches: List[Tuple[str, str, bool]] = field(default_factory=list)
+    tables: List[NamesTable] = field(default_factory=list)
+
+
+class BlifError(ValueError):
+    """Raised on malformed BLIF input."""
+
+
+def parse_blif(text: str) -> BlifModel:
+    """Parse one model from BLIF text."""
+    lines = _logical_lines(text)
+    model: Optional[BlifModel] = None
+    pending_table: Optional[List] = None
+
+    def flush_table() -> None:
+        nonlocal pending_table
+        if pending_table is not None:
+            signals, rows = pending_table
+            model.tables.append(
+                NamesTable(tuple(signals[:-1]), signals[-1], tuple(rows))
+            )
+            pending_table = None
+
+    for line in lines:
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword.startswith("."):
+            if keyword != ".names":
+                flush_table()
+            if keyword == ".model":
+                if model is not None:
+                    raise BlifError("multiple .model sections")
+                model = BlifModel(tokens[1] if len(tokens) > 1 else "top")
+            elif model is None:
+                raise BlifError("%s before .model" % keyword)
+            elif keyword == ".inputs":
+                model.inputs.extend(tokens[1:])
+            elif keyword == ".outputs":
+                model.outputs.extend(tokens[1:])
+            elif keyword == ".latch":
+                if len(tokens) < 3:
+                    raise BlifError("malformed .latch: %r" % line)
+                data_in, output = tokens[1], tokens[2]
+                init = False
+                if len(tokens) > 3:
+                    init = tokens[-1] == "1"
+                model.latches.append((data_in, output, init))
+            elif keyword == ".names":
+                flush_table()
+                if len(tokens) < 2:
+                    raise BlifError("malformed .names: %r" % line)
+                pending_table = [tokens[1:], []]
+            elif keyword == ".end":
+                flush_table()
+                break
+            else:
+                raise BlifError("unsupported construct %r" % keyword)
+        else:
+            if pending_table is None:
+                raise BlifError("cover row outside .names: %r" % line)
+            signals, rows = pending_table
+            num_inputs = len(signals) - 1
+            if num_inputs == 0:
+                pattern, value = "", tokens[0]
+            else:
+                if len(tokens) != 2:
+                    raise BlifError("malformed cover row: %r" % line)
+                pattern, value = tokens
+            if len(pattern) != num_inputs:
+                raise BlifError(
+                    "pattern %r does not match %d inputs" % (pattern, num_inputs)
+                )
+            if value not in ("0", "1"):
+                raise BlifError("output value must be 0 or 1: %r" % line)
+            rows.append((pattern, value))
+    if model is None:
+        raise BlifError("no .model section found")
+    flush_table()
+    return model
+
+
+def _logical_lines(text: str) -> List[str]:
+    lines: List[str] = []
+    buffer = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        line = (buffer + line).strip()
+        buffer = ""
+        if line:
+            lines.append(line)
+    if buffer.strip():
+        lines.append(buffer.strip())
+    return lines
+
+
+def compile_blif(manager: Manager, model: BlifModel, prefix: str = "") -> Fsm:
+    """Compile a parsed model into a BDD :class:`Fsm`.
+
+    Variables are allocated inputs-first, then latch current/next pairs
+    in declaration order.  Tables may appear in any order; they are
+    evaluated topologically.
+    """
+    input_levels = []
+    env: Dict[str, int] = {}
+    for name in model.inputs:
+        ref = manager.new_var(prefix + name)
+        env[name] = ref
+        input_levels.append(manager.level(ref))
+    current_levels, next_levels = [], []
+    for _, output, _ in model.latches:
+        current = manager.new_var(prefix + output)
+        nxt = manager.new_var(prefix + output + "'")
+        env[output] = current
+        current_levels.append(manager.level(current))
+        next_levels.append(manager.level(nxt))
+    _evaluate_tables(manager, model, env)
+    next_fns = []
+    for data_in, _, _ in model.latches:
+        if data_in not in env:
+            raise BlifError("latch input %r is undefined" % data_in)
+        next_fns.append(env[data_in])
+    output_fns = {}
+    for name in model.outputs:
+        if name not in env:
+            raise BlifError("output %r is undefined" % name)
+        output_fns[name] = env[name]
+    return Fsm(
+        manager,
+        prefix + model.name,
+        model.inputs,
+        input_levels,
+        [output for _, output, _ in model.latches],
+        current_levels,
+        next_levels,
+        next_fns,
+        output_fns,
+        [init for _, _, init in model.latches],
+    )
+
+
+def _evaluate_tables(
+    manager: Manager, model: BlifModel, env: Dict[str, int]
+) -> None:
+    remaining = list(model.tables)
+    progress = True
+    while remaining and progress:
+        progress = False
+        still_remaining = []
+        for table in remaining:
+            if all(signal in env for signal in table.inputs):
+                env[table.output] = _table_to_bdd(manager, table, env)
+                progress = True
+            else:
+                still_remaining.append(table)
+        remaining = still_remaining
+    if remaining:
+        missing = sorted(
+            {
+                signal
+                for table in remaining
+                for signal in table.inputs
+                if signal not in env
+            }
+        )
+        raise BlifError(
+            "combinational cycle or undefined signals: %s" % ", ".join(missing)
+        )
+
+
+def _table_to_bdd(
+    manager: Manager, table: NamesTable, env: Dict[str, int]
+) -> int:
+    union = ZERO
+    output_value = None
+    for pattern, value in table.rows:
+        if output_value is None:
+            output_value = value
+        elif value != output_value:
+            raise BlifError(
+                "mixed output values in .names for %r" % table.output
+            )
+        term = ONE
+        for signal, char in zip(table.inputs, pattern):
+            if char == "1":
+                term = manager.and_(term, env[signal])
+            elif char == "0":
+                term = manager.and_(term, env[signal] ^ 1)
+            elif char != "-":
+                raise BlifError("bad pattern character %r" % char)
+        union = manager.or_(union, term)
+    if output_value == "0":
+        return union ^ 1
+    return union
+
+
+def write_blif(fsm: Fsm) -> str:
+    """Serialize a compiled machine back to BLIF text.
+
+    Each next-state and output function is written as a ``.names``
+    cover computed by the Minato-Morreale ISOP algorithm (an
+    irredundant SOP, usually far smaller than raw BDD path cubes).
+    """
+    manager = fsm.manager
+    level_to_signal = {}
+    for name, level in zip(fsm.input_names, fsm.input_levels):
+        level_to_signal[level] = name
+    for name, level in zip(fsm.latch_names, fsm.current_levels):
+        level_to_signal[level] = name
+    signal_order = fsm.input_names + fsm.latch_names
+
+    lines = [".model %s" % fsm.name]
+    if fsm.input_names:
+        lines.append(".inputs %s" % " ".join(fsm.input_names))
+    if fsm.output_fns:
+        lines.append(".outputs %s" % " ".join(sorted(fsm.output_fns)))
+    for index, name in enumerate(fsm.latch_names):
+        lines.append(
+            ".latch %s_next %s %d" % (name, name, int(fsm.init_values[index]))
+        )
+    for index, name in enumerate(fsm.latch_names):
+        lines.extend(
+            _cover_lines(
+                manager,
+                fsm.next_fns[index],
+                name + "_next",
+                signal_order,
+                level_to_signal,
+            )
+        )
+    for name in sorted(fsm.output_fns):
+        lines.extend(
+            _cover_lines(
+                manager,
+                fsm.output_fns[name],
+                name,
+                signal_order,
+                level_to_signal,
+            )
+        )
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _cover_lines(
+    manager: Manager,
+    ref: int,
+    output: str,
+    signal_order: Sequence[str],
+    level_to_signal: Dict[int, str],
+) -> List[str]:
+    if ref == ZERO:
+        return [".names %s" % output]
+    if ref == ONE:
+        return [".names %s" % output, "1"]
+    support_levels = sorted(manager.support(ref))
+    for level in support_levels:
+        if level not in level_to_signal:
+            raise BlifError(
+                "function depends on non-signal variable at level %d" % level
+            )
+    used = [
+        name
+        for name in signal_order
+        if any(level_to_signal[level] == name for level in support_levels)
+    ]
+    name_to_position = {name: position for position, name in enumerate(used)}
+    lines = [".names %s %s" % (" ".join(used), output)]
+    cubes, _ = isop(manager, ref, ref)
+    for cube in cubes:
+        pattern = ["-"] * len(used)
+        for level, value in cube.items():
+            pattern[name_to_position[level_to_signal[level]]] = (
+                "1" if value else "0"
+            )
+        lines.append("%s 1" % "".join(pattern))
+    return lines

@@ -1,0 +1,269 @@
+"""Declarative FSM specifications and their compiled BDD form.
+
+A :class:`FsmSpec` is manager-independent: named inputs, latches with
+reset values and next-state functions, and named outputs.  Next-state
+and output functions are given either as expression strings (parsed by
+:mod:`repro.bdd.parser` against the machine's signals) or as Python
+callables receiving a ``{name: Function}`` environment — convenient for
+generated arithmetic circuits.
+
+Compilation allocates BDD variables in an order that keeps image
+computation cheap: primary inputs first, then for each latch its
+current-state and next-state variable adjacently.  For product machines
+(:mod:`repro.fsm.product`) the latches of the two machines are
+interleaved, the standard ordering for equivalence checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.function import Function
+from repro.bdd.parser import parse_expression
+
+#: A logic function in a spec: expression string or env -> Function.
+SpecFn = Union[str, Callable[[Dict[str, Function]], Function]]
+
+
+@dataclass(frozen=True)
+class LatchSpec:
+    """One state element: reset value and next-state function."""
+
+    name: str
+    next: SpecFn
+    init: bool = False
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """One named primary output."""
+
+    name: str
+    fn: SpecFn
+
+
+@dataclass(frozen=True)
+class FsmSpec:
+    """A manager-independent FSM description."""
+
+    name: str
+    inputs: Tuple[str, ...]
+    latches: Tuple[LatchSpec, ...]
+    outputs: Tuple[OutputSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = list(self.inputs) + [latch.name for latch in self.latches]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate signal names in FSM spec")
+        output_names = [output.name for output in self.outputs]
+        if len(output_names) != len(set(output_names)):
+            raise ValueError("duplicate output names in FSM spec")
+
+    @property
+    def num_state_bits(self) -> int:
+        return len(self.latches)
+
+
+def _compile_fn(
+    manager: Manager, fn: SpecFn, env_refs: Dict[str, int]
+) -> int:
+    """Evaluate a spec function to a BDD ref against named signals."""
+    if isinstance(fn, str):
+        return parse_expression(manager, fn, env=env_refs)
+    env = {name: Function(manager, ref) for name, ref in env_refs.items()}
+    result = fn(env)
+    if not isinstance(result, Function):
+        raise TypeError(
+            "FSM callable must return a Function, got %r" % type(result)
+        )
+    if result.manager is not manager:
+        raise ValueError("FSM callable returned a foreign-manager Function")
+    return result.ref
+
+
+class Fsm:
+    """A compiled FSM: every function is a BDD ref in one manager.
+
+    Attributes
+    ----------
+    input_levels / current_levels / next_levels:
+        Variable levels of the primary inputs, current-state and
+        next-state variables (index-aligned with ``latch_names``).
+    next_fns:
+        Next-state functions over input and current-state variables.
+    output_fns:
+        ``{name: ref}`` output functions over the same support.
+    init_cube:
+        BDD of the single reset state (over current-state variables).
+    """
+
+    def __init__(
+        self,
+        manager: Manager,
+        name: str,
+        input_names: Sequence[str],
+        input_levels: Sequence[int],
+        latch_names: Sequence[str],
+        current_levels: Sequence[int],
+        next_levels: Sequence[int],
+        next_fns: Sequence[int],
+        output_fns: Dict[str, int],
+        init_values: Sequence[bool],
+    ):
+        self.manager = manager
+        self.name = name
+        self.input_names = list(input_names)
+        self.input_levels = list(input_levels)
+        self.latch_names = list(latch_names)
+        self.current_levels = list(current_levels)
+        self.next_levels = list(next_levels)
+        self.next_fns = list(next_fns)
+        self.output_fns = dict(output_fns)
+        self.init_values = tuple(bool(value) for value in init_values)
+        self.init_cube = manager.cube_ref(
+            dict(zip(self.current_levels, self.init_values))
+        )
+        self._relation: Optional[int] = None
+
+    @property
+    def num_latches(self) -> int:
+        return len(self.latch_names)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_names)
+
+    def current_var(self, index: int) -> int:
+        """Ref of the index-th current-state variable."""
+        return self.manager.var(self.current_levels[index])
+
+    def next_var(self, index: int) -> int:
+        """Ref of the index-th next-state variable."""
+        return self.manager.var(self.next_levels[index])
+
+    def rename_next_to_current(self, ref: int) -> int:
+        """Substitute current-state for next-state variables."""
+        return self.manager.rename(
+            ref, dict(zip(self.next_levels, self.current_levels))
+        )
+
+    def rename_current_to_next(self, ref: int) -> int:
+        """Substitute next-state for current-state variables."""
+        return self.manager.rename(
+            ref, dict(zip(self.current_levels, self.next_levels))
+        )
+
+    def simulate(
+        self, input_sequence: Sequence[Dict[str, bool]]
+    ) -> List[Dict[str, bool]]:
+        """Explicit-state simulation from reset; returns output traces.
+
+        Mostly used by tests to cross-validate the symbolic machinery.
+        """
+        state = {
+            level: value
+            for level, value in zip(self.current_levels, self.init_values)
+        }
+        trace = []
+        for step_inputs in input_sequence:
+            assignment = dict(state)
+            for name, value in step_inputs.items():
+                try:
+                    position = self.input_names.index(name)
+                except ValueError:
+                    raise KeyError(
+                        "unknown input %r (machine inputs: %s)"
+                        % (name, ", ".join(self.input_names))
+                    ) from None
+                assignment[self.input_levels[position]] = bool(value)
+            outputs = {
+                name: self.manager.eval(ref, assignment)
+                for name, ref in self.output_fns.items()
+            }
+            trace.append(outputs)
+            state = {
+                level: self.manager.eval(next_fn, assignment)
+                for level, next_fn in zip(self.current_levels, self.next_fns)
+            }
+        return trace
+
+    def __repr__(self) -> str:
+        return "<Fsm %s: %d inputs, %d latches, %d outputs>" % (
+            self.name,
+            self.num_inputs,
+            self.num_latches,
+            len(self.output_fns),
+        )
+
+
+def compile_fsm(
+    manager: Manager, spec: FsmSpec, prefix: str = ""
+) -> Fsm:
+    """Compile a spec: allocate variables and build every function.
+
+    ``prefix`` namespaces the manager-level variable names (used by the
+    product compiler); expressions always use the spec's local names.
+    """
+    input_levels = _allocate_inputs(manager, spec, prefix)
+    current_levels, next_levels = _allocate_latches(manager, spec, prefix)
+    return _build_functions(
+        manager, spec, prefix, input_levels, current_levels, next_levels
+    )
+
+
+def _allocate_inputs(
+    manager: Manager, spec: FsmSpec, prefix: str
+) -> List[int]:
+    levels = []
+    for name in spec.inputs:
+        ref = manager.new_var(prefix + name)
+        levels.append(manager.level(ref))
+    return levels
+
+
+def _allocate_latches(
+    manager: Manager, spec: FsmSpec, prefix: str
+) -> Tuple[List[int], List[int]]:
+    current_levels, next_levels = [], []
+    for latch in spec.latches:
+        current = manager.new_var(prefix + latch.name)
+        nxt = manager.new_var(prefix + latch.name + "'")
+        current_levels.append(manager.level(current))
+        next_levels.append(manager.level(nxt))
+    return current_levels, next_levels
+
+
+def _build_functions(
+    manager: Manager,
+    spec: FsmSpec,
+    prefix: str,
+    input_levels: Sequence[int],
+    current_levels: Sequence[int],
+    next_levels: Sequence[int],
+) -> Fsm:
+    env_refs: Dict[str, int] = {}
+    for name, level in zip(spec.inputs, input_levels):
+        env_refs[name] = manager.var(level)
+    for latch, level in zip(spec.latches, current_levels):
+        env_refs[latch.name] = manager.var(level)
+    next_fns = [
+        _compile_fn(manager, latch.next, env_refs) for latch in spec.latches
+    ]
+    output_fns = {
+        output.name: _compile_fn(manager, output.fn, env_refs)
+        for output in spec.outputs
+    }
+    return Fsm(
+        manager,
+        (prefix + spec.name) if prefix else spec.name,
+        spec.inputs,
+        input_levels,
+        [latch.name for latch in spec.latches],
+        current_levels,
+        next_levels,
+        next_fns,
+        output_fns,
+        [latch.init for latch in spec.latches],
+    )

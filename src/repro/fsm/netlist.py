@@ -1,0 +1,147 @@
+"""Combinational gate-level netlists evaluated to BDDs.
+
+A :class:`Netlist` is a DAG of named signals: primary inputs plus gates
+over earlier signals.  ``to_bdds`` evaluates every signal symbolically
+given BDD refs for the inputs — the standard way a logic-synthesis
+system builds the BDDs of a circuit's next-state and output functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.manager import Manager, ONE, ZERO
+
+#: Supported gate operators and their arities (None = any arity >= 1).
+GATE_ARITY = {
+    "AND": None,
+    "OR": None,
+    "NAND": None,
+    "NOR": None,
+    "XOR": None,
+    "XNOR": None,
+    "NOT": 1,
+    "BUF": 1,
+    "MUX": 3,  # MUX(select, then, else)
+    "CONST0": 0,
+    "CONST1": 0,
+}
+
+
+@dataclass
+class Gate:
+    """One gate: ``output = op(fanins...)``."""
+
+    output: str
+    op: str
+    fanins: Tuple[str, ...]
+
+
+class Netlist:
+    """A combinational netlist with named signals."""
+
+    def __init__(self, name: str = "netlist"):
+        self.name = name
+        self.inputs: List[str] = []
+        self.gates: List[Gate] = []
+        self._defined: Dict[str, str] = {}
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input signal."""
+        self._declare(name, "input")
+        self.inputs.append(name)
+        return name
+
+    def add_gate(self, output: str, op: str, fanins: Sequence[str]) -> str:
+        """Add a gate; fanins must already be defined (the DAG rule)."""
+        op = op.upper()
+        arity = GATE_ARITY.get(op)
+        if op not in GATE_ARITY:
+            raise ValueError("unknown gate operator %r" % op)
+        if arity is not None and len(fanins) != arity:
+            raise ValueError(
+                "%s takes %d fanins, got %d" % (op, arity, len(fanins))
+            )
+        if arity is None and not fanins:
+            raise ValueError("%s needs at least one fanin" % op)
+        for fanin in fanins:
+            if fanin not in self._defined:
+                raise ValueError("fanin %r is not defined yet" % fanin)
+        self._declare(output, "gate")
+        self.gates.append(Gate(output, op, tuple(fanins)))
+        return output
+
+    def _declare(self, name: str, kind: str) -> None:
+        if name in self._defined:
+            raise ValueError(
+                "signal %r already defined as %s" % (name, self._defined[name])
+            )
+        self._defined[name] = kind
+
+    @property
+    def signals(self) -> List[str]:
+        """All defined signal names, inputs first, in definition order."""
+        return self.inputs + [gate.output for gate in self.gates]
+
+    def to_bdds(
+        self,
+        manager: Manager,
+        input_refs: Dict[str, int],
+        overrides: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Evaluate every signal to a BDD ref.
+
+        ``input_refs`` supplies a ref for each primary input (typically
+        a fresh variable, but any function works — that is how latches
+        feed state variables into next-state logic).  ``overrides``
+        forces internal signals to given refs instead of their gate
+        functions — the device observability analysis uses to cut a
+        signal and replace it with a free variable.
+        """
+        if overrides is None:
+            overrides = {}
+        values: Dict[str, int] = {}
+        for name in self.inputs:
+            if name not in input_refs:
+                raise KeyError("no ref supplied for input %r" % name)
+            values[name] = overrides.get(name, input_refs[name])
+        for gate in self.gates:
+            if gate.output in overrides:
+                values[gate.output] = overrides[gate.output]
+                continue
+            args = [values[fanin] for fanin in gate.fanins]
+            values[gate.output] = _apply_gate(manager, gate.op, args)
+        return values
+
+
+def _apply_gate(manager: Manager, op: str, args: List[int]) -> int:
+    if op == "AND":
+        return manager.and_many(args)
+    if op == "OR":
+        return manager.or_many(args)
+    if op == "NAND":
+        return manager.and_many(args) ^ 1
+    if op == "NOR":
+        return manager.or_many(args) ^ 1
+    if op == "XOR":
+        result = ZERO
+        for arg in args:
+            result = manager.xor(result, arg)
+        return result
+    if op == "XNOR":
+        result = ZERO
+        for arg in args:
+            result = manager.xor(result, arg)
+        return result ^ 1
+    if op == "NOT":
+        return args[0] ^ 1
+    if op == "BUF":
+        return args[0]
+    if op == "MUX":
+        return manager.ite(args[0], args[1], args[2])
+    if op == "CONST0":
+        return ZERO
+    if op == "CONST1":
+        return ONE
+    raise ValueError("unknown gate operator %r" % op)

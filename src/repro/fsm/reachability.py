@@ -1,0 +1,157 @@
+"""Breadth-first reachability and FSM equivalence checking.
+
+This is the application the paper instruments (SIS ``verify_fsm -m
+product``).  At each BFS iteration the new frontier ``U`` may be
+replaced by any set ``S`` with ``U ⊆ S ⊆ R`` (re-exploring reached
+states is harmless), i.e. by any cover of the incompletely specified
+function ``[f = U, c = U + ¬R]`` — the minimization instance of the
+paper's introduction.  A ``minimize`` hook receives every such instance;
+the experiment harness intercepts it to record the calls, exactly as
+the paper intercepts SIS's calls to constrain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.core.sibling import constrain
+from repro.fsm.machine import Fsm
+from repro.fsm.image import image_by_relation, image_by_constrain_range
+from repro.fsm.product import ProductMachine
+
+#: Hook signature: (manager, f, c) -> cover of [f, c].
+Minimizer = Callable[[Manager, int, int], int]
+
+#: Image method signature.
+ImageFn = Callable[[Fsm, int], int]
+
+
+@dataclass
+class ReachabilityResult:
+    """Outcome of a breadth-first traversal."""
+
+    reached: int
+    iterations: int
+    frontier_sizes: List[int] = field(default_factory=list)
+    minimized_sizes: List[int] = field(default_factory=list)
+
+    def state_count(self, fsm: Fsm) -> int:
+        """Number of reachable states (over the state variables)."""
+        manager = fsm.manager
+        total_vars = manager.num_vars
+        count = manager.sat_count(self.reached, total_vars)
+        irrelevant = total_vars - len(fsm.current_levels)
+        return count >> irrelevant
+
+
+def reachable_states(
+    fsm: Fsm,
+    minimize: Optional[Minimizer] = None,
+    image: ImageFn = image_by_relation,
+    max_iterations: Optional[int] = None,
+) -> ReachabilityResult:
+    """All states reachable from reset, with frontier minimization.
+
+    ``minimize`` receives ``(manager, U, U + ¬R)`` for each non-empty
+    new frontier ``U`` and must return a cover (``U ⊆ S ⊆ R``); it
+    defaults to the constrain operator, matching the SIS behaviour the
+    paper instruments.
+    """
+    if minimize is None:
+        minimize = constrain
+    manager = fsm.manager
+    reached = fsm.init_cube
+    frontier = fsm.init_cube
+    frontier_sizes = [manager.size(frontier)]
+    minimized_sizes = [manager.size(frontier)]
+    iterations = 0
+    while frontier != ZERO:
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        iterations += 1
+        successors = image(fsm, frontier)
+        new_states = manager.diff(successors, reached)
+        reached = manager.or_(reached, successors)
+        if new_states == ZERO:
+            break
+        care = manager.or_(new_states, reached ^ 1)
+        frontier = minimize(manager, new_states, care)
+        _check_frontier(manager, frontier, new_states, reached, minimize)
+        frontier_sizes.append(manager.size(new_states))
+        minimized_sizes.append(manager.size(frontier))
+    return ReachabilityResult(
+        reached, iterations, frontier_sizes, minimized_sizes
+    )
+
+
+def _check_frontier(
+    manager: Manager, frontier: int, new_states: int, reached: int, minimize
+) -> None:
+    if not manager.leq(new_states, frontier) or not manager.leq(
+        frontier, reached
+    ):
+        raise ValueError(
+            "minimizer %r returned a non-cover: frontier must satisfy "
+            "U <= S <= R" % (getattr(minimize, "__name__", minimize),)
+        )
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of a product-machine equivalence check."""
+
+    equivalent: bool
+    iterations: int
+    reached: int
+    counterexample: Optional[dict] = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def check_equivalence(
+    product: ProductMachine,
+    minimize: Optional[Minimizer] = None,
+    image: ImageFn = image_by_relation,
+    max_iterations: Optional[int] = None,
+) -> EquivalenceResult:
+    """``verify_fsm -m product``: BFS over the product machine.
+
+    At every frontier, verify the outputs agree for all inputs; on
+    failure return a counterexample product state.  The ``minimize``
+    hook sees the same ``[U, U + ¬R]`` instances as in
+    :func:`reachable_states`.
+    """
+    if minimize is None:
+        minimize = constrain
+    machine = product.machine
+    manager = machine.manager
+    outputs_agree = manager.forall(
+        product.outputs_equal, machine.input_levels
+    )
+    reached = machine.init_cube
+    frontier = machine.init_cube
+    iterations = 0
+    while frontier != ZERO:
+        violating = manager.diff(frontier, outputs_agree)
+        if violating != ZERO:
+            cube = manager.pick_cube(violating)
+            named = {
+                manager.name_of_level(level): value
+                for level, value in cube.items()
+            }
+            return EquivalenceResult(False, iterations, reached, named)
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        iterations += 1
+        successors = image(machine, frontier)
+        new_states = manager.diff(successors, reached)
+        reached = manager.or_(reached, successors)
+        if new_states == ZERO:
+            break
+        care = manager.or_(new_states, reached ^ 1)
+        frontier = minimize(manager, new_states, care)
+        _check_frontier(manager, frontier, new_states, reached, minimize)
+    return EquivalenceResult(True, iterations, reached, None)

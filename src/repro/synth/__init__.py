@@ -1,0 +1,29 @@
+"""BDD-based combinational resynthesis with don't cares.
+
+The paper's heuristics were born inside SIS, where node simplification
+exploits two kinds of don't cares: *external* DCs handed in with the
+specification (e.g. unused input codes) and *observability* DCs (input
+vectors where a node's value cannot affect any primary output).  This
+package computes ODCs on gate-level netlists and feeds them, together
+with external DCs, to the minimization heuristics — the third
+application family named in the paper's introduction (FPGA mapping from
+BDDs: a smaller node BDD is a smaller mux implementation).
+"""
+
+from repro.synth.observability import (
+    observability_care,
+    cut_signal,
+)
+from repro.synth.simplify import (
+    NodeSimplification,
+    SimplifyReport,
+    simplify_netlist,
+)
+
+__all__ = [
+    "observability_care",
+    "cut_signal",
+    "NodeSimplification",
+    "SimplifyReport",
+    "simplify_netlist",
+]

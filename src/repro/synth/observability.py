@@ -1,0 +1,75 @@
+"""Observability don't cares on gate-level netlists.
+
+An internal signal ``s`` is *observable* under a primary-input vector
+when flipping ``s`` changes at least one primary output; where it is
+not observable, the implementation of ``s`` is free — an observability
+don't care (ODC).  The classical computation cuts the signal: re-derive
+the outputs with ``s`` replaced by a fresh variable ``t``, then
+
+``observable(x) = ⋁_out  F_out(x, t=0) ⊕ F_out(x, t=1)``.
+
+The care function for minimizing ``s``'s global BDD is
+``observable ∧ external_care``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.fsm.netlist import Netlist
+
+
+def cut_signal(
+    netlist: Netlist,
+    manager: Manager,
+    input_refs: Dict[str, int],
+    signal: str,
+    cut_level: int,
+    overrides: Optional[Dict[str, int]] = None,
+) -> Dict[str, int]:
+    """Signal values with ``signal`` replaced by the variable at
+    ``cut_level`` (which must not appear among the inputs).
+
+    ``overrides`` lets the caller evaluate against an already-rewritten
+    network (needed for *compatible* don't cares: after one node is
+    replaced, later observability must be computed in the new network).
+    """
+    cut_var = manager.make_node(cut_level, ONE, ZERO)
+    combined = dict(overrides) if overrides else {}
+    combined[signal] = cut_var
+    return netlist.to_bdds(manager, input_refs, overrides=combined)
+
+
+def observability_care(
+    netlist: Netlist,
+    manager: Manager,
+    input_refs: Dict[str, int],
+    signal: str,
+    outputs: Sequence[str],
+    cut_level: int,
+    external_care: int = ONE,
+    overrides: Optional[Dict[str, int]] = None,
+) -> int:
+    """Care function for re-implementing ``signal``.
+
+    ``outputs`` names the primary outputs the signal must keep
+    producing; ``cut_level`` is a spare variable level used for the
+    cut (it must not be in the support of the inputs).  The result is
+    over the primary-input variables only.  ``overrides`` evaluates the
+    network with earlier node replacements applied.
+    """
+    cut_values = cut_signal(
+        netlist, manager, input_refs, signal, cut_level, overrides=overrides
+    )
+    observable = ZERO
+    for output in outputs:
+        function = cut_values[output]
+        positive = manager.cofactor(function, cut_level, True)
+        negative = manager.cofactor(function, cut_level, False)
+        observable = manager.or_(
+            observable, manager.xor(positive, negative)
+        )
+        if observable == ONE:
+            break
+    return manager.and_(observable, external_care)

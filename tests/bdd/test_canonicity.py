@@ -1,0 +1,120 @@
+"""Property-based tests for ROBDD canonicity and semantics.
+
+The central BDD invariant: two functions are semantically equal iff
+their refs are identical.  We exercise it by building random truth
+tables through two independent routes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.truthtable import bdd_from_leaves, leaves_from_bdd
+
+NUM_VARS = 4
+
+leaves = st.lists(
+    st.booleans(), min_size=1 << NUM_VARS, max_size=1 << NUM_VARS
+)
+
+
+@given(leaves)
+def test_truth_table_roundtrip(table):
+    manager = Manager()
+    ref = bdd_from_leaves(manager, table)
+    assert leaves_from_bdd(manager, ref, NUM_VARS) == table
+
+
+@given(leaves)
+def test_minterm_build_matches_leaf_build(table):
+    """Build via OR of minterm cubes — must hit the identical ref."""
+    manager = Manager()
+    manager.ensure_vars(NUM_VARS)
+    from_leaves = bdd_from_leaves(manager, table)
+    from_minterms = ZERO
+    for index, value in enumerate(table):
+        if not value:
+            continue
+        cube = {
+            level: bool((index >> (NUM_VARS - 1 - level)) & 1)
+            for level in range(NUM_VARS)
+        }
+        from_minterms = manager.or_(from_minterms, manager.cube_ref(cube))
+    assert from_leaves == from_minterms
+
+
+@given(leaves, leaves)
+def test_connectives_pointwise(table_f, table_g):
+    manager = Manager()
+    f = bdd_from_leaves(manager, table_f)
+    g = bdd_from_leaves(manager, table_g)
+    and_leaves = leaves_from_bdd(manager, manager.and_(f, g), NUM_VARS)
+    or_leaves = leaves_from_bdd(manager, manager.or_(f, g), NUM_VARS)
+    xor_leaves = leaves_from_bdd(manager, manager.xor(f, g), NUM_VARS)
+    not_leaves = leaves_from_bdd(manager, f ^ 1, NUM_VARS)
+    for index, (vf, vg) in enumerate(zip(table_f, table_g)):
+        assert and_leaves[index] == (vf and vg)
+        assert or_leaves[index] == (vf or vg)
+        assert xor_leaves[index] == (vf != vg)
+        assert not_leaves[index] == (not vf)
+
+
+@given(leaves, leaves, leaves)
+@settings(max_examples=50)
+def test_ite_pointwise(table_f, table_g, table_h):
+    manager = Manager()
+    f = bdd_from_leaves(manager, table_f)
+    g = bdd_from_leaves(manager, table_g)
+    h = bdd_from_leaves(manager, table_h)
+    ite_leaves = leaves_from_bdd(manager, manager.ite(f, g, h), NUM_VARS)
+    for index in range(1 << NUM_VARS):
+        expected = table_g[index] if table_f[index] else table_h[index]
+        assert ite_leaves[index] == expected
+
+
+@given(leaves)
+def test_complement_edges_reduce_storage(table):
+    """f and ¬f always share the exact same node set."""
+    manager = Manager()
+    f = bdd_from_leaves(manager, table)
+    assert manager.nodes_reachable((f,)) == manager.nodes_reachable((f ^ 1,))
+
+
+@given(leaves)
+def test_sat_count_matches_truth_table(table):
+    manager = Manager()
+    f = bdd_from_leaves(manager, table)
+    assert manager.sat_count(f, NUM_VARS) == sum(table)
+
+
+@given(leaves, st.integers(min_value=0, max_value=NUM_VARS - 1))
+def test_shannon_expansion(table, level):
+    """f = x·f_x + ¬x·f_¬x for every variable."""
+    manager = Manager()
+    f = bdd_from_leaves(manager, table)
+    x = manager.var(level)
+    positive = manager.cofactor(f, level, True)
+    negative = manager.cofactor(f, level, False)
+    assert manager.ite(x, positive, negative) == f
+
+
+@given(leaves, st.integers(min_value=0, max_value=NUM_VARS - 1))
+def test_quantification_pointwise(table, level):
+    manager = Manager()
+    f = bdd_from_leaves(manager, table)
+    exists_f = manager.exists(f, [level])
+    forall_f = manager.forall(f, [level])
+    positive = manager.cofactor(f, level, True)
+    negative = manager.cofactor(f, level, False)
+    assert exists_f == manager.or_(positive, negative)
+    assert forall_f == manager.and_(positive, negative)
+
+
+@given(leaves)
+def test_cube_iteration_covers_onset(table):
+    """Cubes partition the onset: their sat counts sum to |onset|."""
+    manager = Manager()
+    f = bdd_from_leaves(manager, table)
+    total = 0
+    for cube in manager.cubes(f):
+        total += 1 << (NUM_VARS - len(cube))
+    assert total == sum(table)

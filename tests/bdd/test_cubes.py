@@ -1,0 +1,110 @@
+"""Tests for cube utilities: iteration, construction, recognition."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+
+
+class TestCubeRef:
+    def test_single_literal(self):
+        manager = Manager(["a"])
+        assert manager.cube_ref({0: True}) == manager.var(0)
+        assert manager.cube_ref({0: False}) == manager.var(0) ^ 1
+
+    def test_multi_literal(self):
+        manager = Manager(["a", "b", "c"])
+        cube = manager.cube_ref({0: True, 2: False})
+        expected = manager.and_(manager.var(0), manager.var(2) ^ 1)
+        assert cube == expected
+
+    def test_empty_cube_is_one(self):
+        manager = Manager()
+        assert manager.cube_ref({}) == ONE
+
+
+class TestIsCube:
+    def test_constants(self):
+        manager = Manager(["a"])
+        assert manager.is_cube(ONE)  # the empty cube
+        assert not manager.is_cube(ZERO)
+
+    def test_literals_and_products(self):
+        manager = Manager(["a", "b"])
+        a, b = manager.var(0), manager.var(1)
+        assert manager.is_cube(a)
+        assert manager.is_cube(a ^ 1)
+        assert manager.is_cube(manager.and_(a, b ^ 1))
+
+    def test_non_cubes(self):
+        manager = Manager(["a", "b"])
+        a, b = manager.var(0), manager.var(1)
+        assert not manager.is_cube(manager.or_(a, b))
+        assert not manager.is_cube(manager.xor(a, b))
+
+
+class TestCubeIteration:
+    def test_zero_has_no_cubes(self):
+        manager = Manager(["a"])
+        assert list(manager.cubes(ZERO)) == []
+
+    def test_one_has_empty_cube(self):
+        manager = Manager(["a"])
+        assert list(manager.cubes(ONE)) == [{}]
+
+    def test_xor_cubes(self):
+        manager = Manager(["a", "b"])
+        f = manager.xor(manager.var(0), manager.var(1))
+        cubes = list(manager.cubes(f))
+        assert len(cubes) == 2
+        for cube in cubes:
+            assert cube[0] != cube[1]
+
+    def test_limit(self):
+        manager = Manager(["a", "b", "c"])
+        f = ONE
+        for level in range(3):
+            f = manager.and_(f, ONE)  # keep f = ONE, then build xor chain
+        f = manager.xor(manager.var(0), manager.xor(manager.var(1), manager.var(2)))
+        assert len(list(manager.cubes(f, limit=2))) == 2
+
+    def test_cubes_are_disjoint_paths(self):
+        """Each cube corresponds to a distinct BDD path to 1."""
+        manager = Manager(["a", "b", "c"])
+        a, b, c = (manager.var(level) for level in range(3))
+        f = manager.or_(manager.and_(a, b), manager.and_(a ^ 1, c))
+        union = ZERO
+        for cube in manager.cubes(f):
+            cube_ref = manager.cube_ref(cube)
+            assert manager.and_(cube_ref, union) == ZERO  # disjoint
+            union = manager.or_(union, cube_ref)
+        assert union == f
+
+
+class TestPickCube:
+    def test_pick_none_for_zero(self):
+        manager = Manager(["a"])
+        assert manager.pick_cube(ZERO) is None
+
+    def test_pick_satisfies(self):
+        manager = Manager(["a", "b", "c"])
+        a, b = manager.var(0), manager.var(1)
+        f = manager.and_(a, b ^ 1)
+        cube = manager.pick_cube(f)
+        full = dict(cube)
+        for level in range(3):
+            full.setdefault(level, False)
+        assert manager.eval(f, full)
+
+
+class TestMinterms:
+    def test_minterm_enumeration(self):
+        manager = Manager(["a", "b"])
+        f = manager.or_(manager.var(0), manager.var(1))
+        minterms = sorted(manager.minterms(f, [0, 1]))
+        assert minterms == [(False, True), (True, False), (True, True)]
+
+    def test_minterms_reject_missing_levels(self):
+        manager = Manager(["a", "b"])
+        f = manager.and_(manager.var(0), manager.var(1))
+        with pytest.raises(ValueError):
+            list(manager.minterms(f, [0]))

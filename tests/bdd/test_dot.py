@@ -1,0 +1,55 @@
+"""Smoke tests for DOT export."""
+
+from repro.bdd.manager import Manager
+from repro.bdd.dot import to_dot
+
+import pytest
+
+
+def test_dot_contains_nodes_and_edges():
+    manager = Manager(["a", "b"])
+    f = manager.and_(manager.var("a"), manager.var("b"))
+    text = to_dot(manager, [f], names=["f"])
+    assert text.startswith("digraph")
+    assert text.rstrip().endswith("}")
+    assert 'label="a"' in text
+    assert 'label="b"' in text
+    assert "r_f" in text
+
+
+def test_dot_marks_complement_edges():
+    manager = Manager(["a"])
+    f = manager.var("a") ^ 1
+    text = to_dot(manager, [f], names=["nota"])
+    assert "odot" in text
+
+
+def test_dot_multiple_roots_share_nodes():
+    manager = Manager(["a", "b"])
+    f = manager.and_(manager.var("a"), manager.var("b"))
+    g = manager.or_(manager.var("a"), manager.var("b"))
+    text = to_dot(manager, [f, g], names=["f", "g"])
+    assert "r_f" in text and "r_g" in text
+
+
+def test_dot_name_count_mismatch():
+    manager = Manager(["a"])
+    with pytest.raises(ValueError):
+        to_dot(manager, [manager.var("a")], names=["x", "y"])
+
+
+def test_dot_default_names():
+    manager = Manager(["a"])
+    text = to_dot(manager, [manager.var("a")])
+    assert "r_f0" in text
+
+
+def test_rank_same_per_level():
+    manager = Manager(["a", "b", "c"])
+    f = manager.ite(
+        manager.var("a"),
+        manager.and_(manager.var("b"), manager.var("c")),
+        manager.or_(manager.var("b"), manager.var("c")),
+    )
+    text = to_dot(manager, [f])
+    assert text.count("rank=same") >= 2

@@ -1,0 +1,116 @@
+"""Tests for the Function wrapper layer."""
+
+import pytest
+
+from repro.bdd import Manager, Function
+
+
+@pytest.fixture
+def setup():
+    manager = Manager(["a", "b", "c"])
+    a = Function(manager, manager.var("a"))
+    b = Function(manager, manager.var("b"))
+    c = Function(manager, manager.var("c"))
+    return manager, a, b, c
+
+
+def test_operators(setup):
+    manager, a, b, c = setup
+    assert (a & b).ref == manager.and_(a.ref, b.ref)
+    assert (a | b).ref == manager.or_(a.ref, b.ref)
+    assert (a ^ b).ref == manager.xor(a.ref, b.ref)
+    assert (~a).ref == a.ref ^ 1
+    assert (a - b).ref == manager.diff(a.ref, b.ref)
+
+
+def test_equality_and_hash(setup):
+    manager, a, b, _ = setup
+    assert a & b == b & a
+    assert hash(a & b) == hash(b & a)
+    assert a != b
+    assert a != "not a function"
+
+
+def test_constants(setup):
+    manager, a, _, _ = setup
+    true = Function.true(manager)
+    false = Function.false(manager)
+    assert (a | ~a) == true
+    assert (a & ~a) == false
+    assert true.is_one() and false.is_zero()
+    assert true.is_constant() and not a.is_constant()
+
+
+def test_truthiness_is_ambiguous(setup):
+    _, a, _, _ = setup
+    with pytest.raises(TypeError):
+        bool(a)
+
+
+def test_containment(setup):
+    _, a, b, _ = setup
+    assert (a & b) <= a
+    assert a >= (a & b)
+    assert not (a <= (a & b))
+
+
+def test_call_evaluates(setup):
+    _, a, b, _ = setup
+    f = a & ~b
+    assert f(a=True, b=False)
+    assert not f(a=True, b=True)
+
+
+def test_cofactor_exists_forall(setup):
+    _, a, b, c = setup
+    f = (a & b) | c
+    assert f.cofactor(a=True) == b | c
+    assert f.exists("b") == a | c
+    assert f.forall("b") == c
+
+
+def test_compose(setup):
+    _, a, b, c = setup
+    f = a & b
+    assert f.compose(b=c) == a & c
+
+
+def test_ite_iff_implies(setup):
+    _, a, b, c = setup
+    assert a.ite(b, c) == (a & b) | (~a & c)
+    assert a.implies(b) == ~a | b
+    assert a.iff(b) == ~(a ^ b)
+
+
+def test_size_support_len(setup):
+    _, a, b, _ = setup
+    f = a & b
+    assert f.size() == 3
+    assert len(f) == 3
+    assert f.support() == {"a", "b"}
+
+
+def test_sat_count(setup):
+    _, a, b, _ = setup
+    assert (a | b).sat_count() == 6  # three vars declared
+
+
+def test_cubes_named(setup):
+    _, a, b, _ = setup
+    cubes = list((a & ~b).cubes())
+    assert cubes == [{"a": True, "b": False}]
+
+
+def test_cross_manager_rejected(setup):
+    _, a, _, _ = setup
+    other = Manager(["a"])
+    foreign = Function(other, other.var("a"))
+    with pytest.raises(ValueError):
+        a & foreign
+
+
+def test_repr(setup):
+    manager, a, _, _ = setup
+    assert "TRUE" in repr(Function.true(manager))
+    assert "FALSE" in repr(Function.false(manager))
+    assert "support" in repr(a)

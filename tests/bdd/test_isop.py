@@ -1,0 +1,95 @@
+"""Tests for the Minato-Morreale ISOP algorithm."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.parser import parse_expression
+from repro.bdd.isop import cube_count, cubes_to_ref, isop, isop_of_ispec
+
+from tests.conftest import instance_strategy, build_instance
+
+
+class TestBasics:
+    def test_constants(self):
+        manager = Manager(["a"])
+        cubes, cover = isop(manager, ZERO, ZERO)
+        assert cubes == [] and cover == ZERO
+        cubes, cover = isop(manager, ONE, ONE)
+        assert cubes == [{}] and cover == ONE
+
+    def test_single_literal(self):
+        manager = Manager(["a"])
+        a = manager.var(0)
+        cubes, cover = isop(manager, a, a)
+        assert cover == a
+        assert cubes == [{0: True}]
+
+    def test_completely_specified_exact(self):
+        manager = Manager(["a", "b", "c"])
+        f = parse_expression(manager, "(a & b) | (~a & c)")
+        cubes, cover = isop(manager, f, f)
+        assert cover == f
+        assert cubes_to_ref(manager, cubes) == f
+
+    def test_empty_interval_rejected(self):
+        manager = Manager(["a", "b"])
+        a, b = manager.var(0), manager.var(1)
+        with pytest.raises(ValueError):
+            isop(manager, a, manager.and_(a, b))
+
+    def test_interval_exploited(self):
+        """With don't cares, the cover can be far simpler than f·c."""
+        manager = Manager(["a", "b", "c"])
+        lower = parse_expression(manager, "a & b & c")
+        upper = parse_expression(manager, "a")
+        cubes, cover = isop(manager, lower, upper)
+        assert cubes == [{0: True}]  # just "a"
+        assert cover == upper
+
+
+@given(instance_strategy(4, nonzero_care=True))
+@settings(max_examples=60)
+def test_cover_within_interval(instance):
+    manager = Manager()
+    f, c = build_instance(manager, *instance)
+    cubes, cover = isop_of_ispec(manager, f, c)
+    lower = manager.and_(f, c)
+    upper = manager.or_(f, c ^ 1)
+    assert manager.leq(lower, cover)
+    assert manager.leq(cover, upper)
+    assert cubes_to_ref(manager, cubes) == cover
+
+
+@given(instance_strategy(4, nonzero_care=True))
+@settings(max_examples=40)
+def test_cover_is_irredundant(instance):
+    """Removing any cube uncovers part of the onset."""
+    manager = Manager()
+    f, c = build_instance(manager, *instance)
+    cubes, cover = isop_of_ispec(manager, f, c)
+    lower = manager.and_(f, c)
+    for index in range(len(cubes)):
+        rest = cubes[:index] + cubes[index + 1 :]
+        rest_ref = cubes_to_ref(manager, rest)
+        assert not manager.leq(lower, rest_ref), "cube %d redundant" % index
+
+
+@given(instance_strategy(4, nonzero_care=True))
+@settings(max_examples=40)
+def test_cubes_are_implicants(instance):
+    """Every cube lies inside the upper bound (is an implicant)."""
+    manager = Manager()
+    f, c = build_instance(manager, *instance)
+    cubes, _ = isop_of_ispec(manager, f, c)
+    upper = manager.or_(f, c ^ 1)
+    for cube in cubes:
+        assert manager.leq(manager.cube_ref(cube), upper)
+
+
+def test_cube_count_examples():
+    manager = Manager(["a", "b", "c", "d"])
+    xor2 = parse_expression(manager, "a ^ b")
+    assert cube_count(manager, xor2) == 2
+    majority = parse_expression(manager, "(a & b) | (a & c) | (b & c)")
+    assert cube_count(manager, majority) == 3

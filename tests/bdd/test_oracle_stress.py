@@ -1,0 +1,103 @@
+"""Oracle stress test: random operation sequences vs truth tables.
+
+Builds random expression DAGs over a small variable set and evaluates
+each intermediate result two ways — through the BDD manager and through
+plain Python truth tables — checking agreement and canonicity at every
+step.  This is the broadest net over the manager's operator core.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.truthtable import bdd_from_leaves, leaves_from_bdd
+
+NUM_VARS = 4
+WIDTH = 1 << NUM_VARS
+MASK = (1 << WIDTH) - 1
+
+# Truth tables as bitmasks: bit k = value on assignment k (MSB var 0).
+
+
+def _var_table(level: int) -> int:
+    table = 0
+    for assignment in range(WIDTH):
+        if (assignment >> (NUM_VARS - 1 - level)) & 1:
+            table |= 1 << assignment
+    return table
+
+
+OPERATIONS = ("and", "or", "xor", "not", "ite", "exists", "forall", "cofactor")
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_random_operation_sequences(seed):
+    rng = random.Random(seed)
+    manager = Manager()
+    manager.ensure_vars(NUM_VARS)
+    # Parallel stacks of (ref, truth-table-bitmask).
+    refs = [manager.var(level) for level in range(NUM_VARS)]
+    tables = [_var_table(level) for level in range(NUM_VARS)]
+    refs += [ONE, ZERO]
+    tables += [MASK, 0]
+    for _ in range(25):
+        operation = rng.choice(OPERATIONS)
+        pick = lambda: rng.randrange(len(refs))
+        if operation == "not":
+            index = pick()
+            refs.append(refs[index] ^ 1)
+            tables.append(~tables[index] & MASK)
+        elif operation in ("and", "or", "xor"):
+            a, b = pick(), pick()
+            if operation == "and":
+                refs.append(manager.and_(refs[a], refs[b]))
+                tables.append(tables[a] & tables[b])
+            elif operation == "or":
+                refs.append(manager.or_(refs[a], refs[b]))
+                tables.append(tables[a] | tables[b])
+            else:
+                refs.append(manager.xor(refs[a], refs[b]))
+                tables.append(tables[a] ^ tables[b])
+        elif operation == "ite":
+            a, b, c = pick(), pick(), pick()
+            refs.append(manager.ite(refs[a], refs[b], refs[c]))
+            tables.append(
+                (tables[a] & tables[b]) | (~tables[a] & tables[c]) & MASK
+            )
+            tables[-1] &= MASK
+        elif operation in ("exists", "forall"):
+            index = pick()
+            level = rng.randrange(NUM_VARS)
+            positive = _cofactor_table(tables[index], level, True)
+            negative = _cofactor_table(tables[index], level, False)
+            if operation == "exists":
+                refs.append(manager.exists(refs[index], [level]))
+                tables.append(positive | negative)
+            else:
+                refs.append(manager.forall(refs[index], [level]))
+                tables.append(positive & negative)
+        else:  # cofactor
+            index = pick()
+            level = rng.randrange(NUM_VARS)
+            value = rng.random() < 0.5
+            refs.append(manager.cofactor(refs[index], level, value))
+            tables.append(_cofactor_table(tables[index], level, value))
+        # Check the newest result agrees with its oracle table, and
+        # that the canonical form matches a fresh rebuild.
+        leaves = leaves_from_bdd(manager, refs[-1], NUM_VARS)
+        expected = [bool((tables[-1] >> k) & 1) for k in range(WIDTH)]
+        assert leaves == expected
+        rebuilt = bdd_from_leaves(manager, expected)
+        assert rebuilt == refs[-1]
+
+
+def _cofactor_table(table: int, level: int, value: bool) -> int:
+    result = 0
+    bit = NUM_VARS - 1 - level
+    for assignment in range(WIDTH):
+        forced = (assignment | (1 << bit)) if value else (assignment & ~(1 << bit))
+        if (table >> forced) & 1:
+            result |= 1 << assignment
+    return result

@@ -1,0 +1,92 @@
+"""Tests for the Boolean expression parser."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.parser import parse_expression
+
+
+def test_constants():
+    manager = Manager()
+    assert parse_expression(manager, "1") == ONE
+    assert parse_expression(manager, "0") == ZERO
+
+
+def test_variable_autodeclare_in_order():
+    manager = Manager()
+    parse_expression(manager, "b & a")
+    assert manager.var_names == ("b", "a")
+
+
+def test_negation_forms(defaults=None):
+    manager = Manager(["a"])
+    a = manager.var("a")
+    assert parse_expression(manager, "!a") == a ^ 1
+    assert parse_expression(manager, "~a") == a ^ 1
+    assert parse_expression(manager, "a'") == a ^ 1
+    assert parse_expression(manager, "~~a") == a
+
+
+def test_precedence_and_over_or():
+    manager = Manager(["a", "b", "c"])
+    got = parse_expression(manager, "a | b & c")
+    expected = manager.or_(
+        manager.var("a"), manager.and_(manager.var("b"), manager.var("c"))
+    )
+    assert got == expected
+
+
+def test_xor_precedence_between_and_and_or():
+    manager = Manager(["a", "b", "c"])
+    got = parse_expression(manager, "a ^ b | c")
+    expected = manager.or_(
+        manager.xor(manager.var("a"), manager.var("b")), manager.var("c")
+    )
+    assert got == expected
+
+
+def test_juxtaposition_is_conjunction():
+    """Cube notation: ab'c means a AND NOT b AND c."""
+    manager = Manager(["a", "b", "c"])
+    got = parse_expression(manager, "a b' c")
+    expected = manager.and_many(
+        [manager.var("a"), manager.var("b") ^ 1, manager.var("c")]
+    )
+    assert got == expected
+
+
+def test_implication_right_associative():
+    manager = Manager(["a", "b", "c"])
+    got = parse_expression(manager, "a -> b -> c")
+    expected = manager.implies(
+        manager.var("a"), manager.implies(manager.var("b"), manager.var("c"))
+    )
+    assert got == expected
+
+
+def test_iff():
+    manager = Manager(["a", "b"])
+    got = parse_expression(manager, "a <-> b")
+    assert got == manager.xnor(manager.var("a"), manager.var("b"))
+
+
+def test_parentheses_and_postfix_complement():
+    manager = Manager(["a", "b"])
+    got = parse_expression(manager, "(a | b)'")
+    assert got == manager.or_(manager.var("a"), manager.var("b")) ^ 1
+
+
+def test_tautology_and_contradiction():
+    manager = Manager(["p"])
+    assert parse_expression(manager, "p | ~p") == ONE
+    assert parse_expression(manager, "p & ~p") == ZERO
+
+
+def test_error_on_garbage():
+    manager = Manager()
+    with pytest.raises(ValueError):
+        parse_expression(manager, "a @ b")
+    with pytest.raises(ValueError):
+        parse_expression(manager, "(a")
+    with pytest.raises(ValueError):
+        parse_expression(manager, "a b )")

@@ -1,0 +1,88 @@
+"""Tests for pretty-printing and the structural validator."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.parser import parse_expression
+from repro.bdd.pretty import format_ite, format_sop, format_table
+from repro.bdd.truthtable import bdd_from_leaves
+
+from tests.conftest import leaves_strategy
+
+
+class TestFormatSop:
+    def test_constants(self):
+        manager = Manager(["a"])
+        assert format_sop(manager, ONE) == "1"
+        assert format_sop(manager, ZERO) == "0"
+
+    def test_literals(self):
+        manager = Manager(["a"])
+        assert format_sop(manager, manager.var("a")) == "a"
+        assert format_sop(manager, manager.var("a") ^ 1) == "a'"
+
+    def test_products_and_sums(self):
+        manager = Manager(["a", "b"])
+        f = parse_expression(manager, "a & ~b")
+        assert format_sop(manager, f) == "a b'"
+        g = parse_expression(manager, "a ^ b")
+        assert format_sop(manager, g) in ("a b' + a' b", "a' b + a b'")
+
+    @given(leaves_strategy(3))
+    @settings(max_examples=40)
+    def test_roundtrip_through_parser(self, table):
+        """Printing then re-parsing reproduces the function."""
+        manager = Manager(["a", "b", "c"])
+        f = bdd_from_leaves(manager, table)
+        text = format_sop(manager, f)
+        assert parse_expression(manager, text) == f
+
+
+class TestFormatIte:
+    def test_structure(self):
+        manager = Manager(["a", "b"])
+        f = parse_expression(manager, "a & b")
+        assert format_ite(manager, f) == "ite(a, ite(b, 1, 0), 0)"
+
+    def test_depth_cap(self):
+        manager = Manager(["a", "b", "c"])
+        f = parse_expression(manager, "a & b & c")
+        assert "..." in format_ite(manager, f, max_depth=1)
+
+
+class TestFormatTable:
+    def test_small_table(self):
+        manager = Manager(["a", "b"])
+        f = parse_expression(manager, "a | b")
+        text = format_table(manager, f, 2)
+        assert text.count("| 1") == 3
+        assert text.count("| 0") == 1
+
+    def test_too_wide_rejected(self):
+        manager = Manager(["v%d" % i for i in range(7)])
+        with pytest.raises(ValueError):
+            format_table(manager, ONE, 7)
+
+
+class TestValidate:
+    @given(leaves_strategy(4))
+    @settings(max_examples=30)
+    def test_all_built_bdds_validate(self, table):
+        manager = Manager()
+        f = bdd_from_leaves(manager, table)
+        manager.validate(f)
+        manager.validate(f ^ 1)
+
+    def test_validate_catches_corruption(self):
+        manager = Manager(["a", "b"])
+        f = parse_expression(manager, "a & b")
+        # Corrupt a node in place: make the else-edge point upward.
+        index = f >> 1
+        saved = manager._low[index]
+        manager._low[index] = f
+        try:
+            with pytest.raises(AssertionError):
+                manager.validate(f)
+        finally:
+            manager._low[index] = saved

@@ -1,0 +1,99 @@
+"""Tests for the paper's leaf-string instance notation."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.truthtable import (
+    bdd_from_leaves,
+    instance_from_leaf_string,
+    leaf_string,
+    leaves_from_bdd,
+    parse_leaf_string,
+)
+
+
+class TestParseLeafString:
+    def test_whitespace_ignored(self):
+        assert parse_leaf_string("d1 01") == ["d", "1", "0", "1"]
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            parse_leaf_string("d1 0")
+
+    def test_invalid_characters(self):
+        with pytest.raises(ValueError):
+            parse_leaf_string("d1x0")
+
+
+class TestLeafConvention:
+    """Figure 1f: left branch is 0, right branch is 1, x1 at the root."""
+
+    def test_leftmost_leaf_is_all_zero_assignment(self):
+        manager = Manager()
+        f = bdd_from_leaves(manager, [True, False, False, False])
+        assert manager.eval(f, {0: False, 1: False})
+        assert not manager.eval(f, {0: True, 1: True})
+
+    def test_top_variable_is_msb(self):
+        manager = Manager()
+        # 0011: true exactly when x1 = 1.
+        f = bdd_from_leaves(manager, [False, False, True, True])
+        assert f == manager.var(0)
+
+    def test_bottom_variable_is_lsb(self):
+        manager = Manager()
+        # 0101: true exactly when x2 = 1.
+        f = bdd_from_leaves(manager, [False, True, False, True])
+        assert f == manager.var(1)
+
+    def test_constants(self):
+        manager = Manager()
+        assert bdd_from_leaves(manager, [True, True]) == ONE
+        assert bdd_from_leaves(manager, [False, False]) == ZERO
+
+
+class TestInstanceParsing:
+    def test_dc_positions_carry_to_care_function(self):
+        manager = Manager()
+        f, c = instance_from_leaf_string(manager, "d1 01")
+        # Care function is 0111: false only on the leftmost leaf.
+        assert not manager.eval(c, {0: False, 1: False})
+        assert manager.eval(c, {0: False, 1: True})
+        # f is 0 on the don't-care leaf by convention.
+        assert not manager.eval(f, {0: False, 1: False})
+        assert manager.eval(f, {0: True, 1: True})
+
+    def test_roundtrip_via_leaf_string(self):
+        manager = Manager()
+        text = "d1011d00"
+        f, c = instance_from_leaf_string(manager, text)
+        assert leaf_string(manager, f, c, 3) == text
+
+    def test_paper_figure1_instance(self):
+        """Figure 1: f = (1011 0100), c marks leaves 'enclosed by squares'.
+
+        We reconstruct the instance from Figures 1a-1c: the minimum
+        covers of Figures 1e/1f have 4 nodes while the plain f has more,
+        and the suboptimal cover of Figure 1d sits in between.
+        """
+        manager = Manager()
+        # A 3-variable instance exercising both merge and delete rules.
+        f, c = instance_from_leaf_string(manager, "1d0d 0d00")
+        size_f = manager.size(f)
+        from repro.core.sibling import restrict
+
+        cover = restrict(manager, f, c)
+        assert manager.size(cover) <= size_f
+
+
+class TestLeavesFromBdd:
+    def test_inverse_of_build(self):
+        manager = Manager()
+        table = [True, False, True, True, False, False, True, False]
+        ref = bdd_from_leaves(manager, table)
+        assert leaves_from_bdd(manager, ref, 3) == table
+
+    def test_rejects_bad_length(self):
+        manager = Manager()
+        with pytest.raises(ValueError):
+            bdd_from_leaves(manager, [True, False, True])

@@ -1,0 +1,136 @@
+"""Tests for the word-level bit-vector helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bdd.manager import Manager
+from repro.bdd.function import Function
+from repro.circuits.bitvec import (
+    equal_word,
+    increment,
+    less_than,
+    mux_word,
+    ripple_add,
+    rotate_left,
+)
+
+WIDTH = 4
+
+
+def _constant_word(manager, value, width=WIDTH):
+    true = Function.true(manager)
+    false = Function.false(manager)
+    return [
+        true if (value >> index) & 1 else false for index in range(width)
+    ]
+
+
+def _word_value(word):
+    total = 0
+    for index, bit in enumerate(word):
+        if bit.is_one():
+            total |= 1 << index
+        elif not bit.is_zero():
+            raise AssertionError("non-constant bit in constant word")
+    return total
+
+
+small_ints = st.integers(min_value=0, max_value=(1 << WIDTH) - 1)
+
+
+@given(small_ints, small_ints)
+def test_ripple_add_matches_integers(a_value, b_value):
+    manager = Manager()
+    a = _constant_word(manager, a_value)
+    b = _constant_word(manager, b_value)
+    total, carry = ripple_add(a, b, Function.false(manager))
+    expected = a_value + b_value
+    assert _word_value(total) == expected % (1 << WIDTH)
+    assert carry.is_one() == (expected >= (1 << WIDTH))
+
+
+@given(small_ints)
+def test_increment_matches_integers(value):
+    manager = Manager()
+    word = _constant_word(manager, value)
+    bumped = increment(word, Function.true(manager))
+    assert _word_value(bumped) == (value + 1) % (1 << WIDTH)
+    unchanged = increment(word, Function.false(manager))
+    assert _word_value(unchanged) == value
+
+
+@given(small_ints, small_ints)
+def test_less_than_matches_integers(a_value, b_value):
+    manager = Manager()
+    a = _constant_word(manager, a_value)
+    b = _constant_word(manager, b_value)
+    assert less_than(a, b).is_one() == (a_value < b_value)
+
+
+@given(small_ints, small_ints)
+def test_equal_word_matches_integers(a_value, b_value):
+    manager = Manager()
+    a = _constant_word(manager, a_value)
+    b = _constant_word(manager, b_value)
+    assert equal_word(a, b).is_one() == (a_value == b_value)
+
+
+@given(small_ints, small_ints, st.booleans())
+def test_mux_word(a_value, b_value, select_value):
+    manager = Manager()
+    a = _constant_word(manager, a_value)
+    b = _constant_word(manager, b_value)
+    select = (
+        Function.true(manager) if select_value else Function.false(manager)
+    )
+    chosen = mux_word(select, a, b)
+    assert _word_value(chosen) == (a_value if select_value else b_value)
+
+
+@given(small_ints)
+def test_rotate_left(value):
+    manager = Manager()
+    word = _constant_word(manager, value)
+    rotated = rotate_left(word)
+    expected = ((value << 1) | (value >> (WIDTH - 1))) & ((1 << WIDTH) - 1)
+    assert _word_value(rotated) == expected
+
+
+def test_width_mismatches_rejected():
+    manager = Manager()
+    a = _constant_word(manager, 3, width=3)
+    b = _constant_word(manager, 3, width=4)
+    false = Function.false(manager)
+    with pytest.raises(ValueError):
+        ripple_add(a, b, false)
+    with pytest.raises(ValueError):
+        less_than(a, b)
+    with pytest.raises(ValueError):
+        equal_word(a, b)
+    with pytest.raises(ValueError):
+        mux_word(false, a, b)
+
+
+def test_symbolic_adder_is_functionally_complete():
+    """Adding symbolic words yields the full adder truth table."""
+    manager = Manager(["a0", "a1", "b0", "b1"])
+    a = [
+        Function(manager, manager.var("a0")),
+        Function(manager, manager.var("a1")),
+    ]
+    b = [
+        Function(manager, manager.var("b0")),
+        Function(manager, manager.var("b1")),
+    ]
+    total, carry = ripple_add(a, b, Function.false(manager))
+    for a_value in range(4):
+        for b_value in range(4):
+            env = {
+                "a0": bool(a_value & 1),
+                "a1": bool(a_value & 2),
+                "b0": bool(b_value & 1),
+                "b1": bool(b_value & 2),
+            }
+            got = int(total[0](**env)) | (int(total[1](**env)) << 1)
+            got |= int(carry(**env)) << 2
+            assert got == a_value + b_value

@@ -1,0 +1,247 @@
+"""Tests for the synthetic benchmark generators (behavioural checks)."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.fsm.machine import compile_fsm
+from repro.fsm.reachability import reachable_states
+from repro.circuits.generators import (
+    carry_propagate_accumulator,
+    counter,
+    gray_counter,
+    johnson_counter,
+    lfsr,
+    minmax_tracker,
+    random_controller,
+    round_robin_arbiter,
+    serial_multiplier,
+    shift_register,
+    traffic_light_controller,
+)
+
+
+def simulate_outputs(spec, stimulus):
+    manager = Manager()
+    fsm = compile_fsm(manager, spec)
+    return fsm.simulate(stimulus)
+
+
+class TestCounter:
+    def test_counts_and_rolls_over(self):
+        trace = simulate_outputs(counter(2), [{"en": True}] * 5)
+        rollovers = [step["rollover"] for step in trace]
+        # Counter hits 11 on step 3 (states 00,01,10,11,00).
+        assert rollovers == [False, False, False, True, False]
+
+    def test_enable_gates_counting(self):
+        trace = simulate_outputs(
+            counter(2), [{"en": False}] * 4 + [{"en": True}] * 4
+        )
+        assert not any(step["rollover"] for step in trace[:4])
+
+    def test_without_enable(self):
+        spec = counter(2, with_enable=False)
+        assert spec.inputs == ()
+        manager = Manager()
+        fsm = compile_fsm(manager, spec)
+        assert reachable_states(fsm).state_count(fsm) == 4
+
+
+class TestGrayCounter:
+    def test_single_bit_changes_per_step(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, gray_counter(3))
+        state = list(fsm.init_values)
+        assignment = {}
+        for level, value in zip(fsm.current_levels, state):
+            assignment[level] = value
+        previous = list(state)
+        seen = {tuple(state)}
+        for _ in range(7):
+            assignment = {
+                level: value
+                for level, value in zip(fsm.current_levels, previous)
+            }
+            assignment[fsm.input_levels[0]] = True  # enable
+            current = [
+                manager.eval(next_fn, assignment) for next_fn in fsm.next_fns
+            ]
+            flips = sum(
+                1 for before, after in zip(previous, current) if before != after
+            )
+            assert flips == 1
+            seen.add(tuple(current))
+            previous = current
+        assert len(seen) == 8  # full Gray cycle
+
+
+class TestShiftRegister:
+    def test_serial_delay(self):
+        stimulus = [{"sin": bit} for bit in (True, False, True, True, False, False)]
+        trace = simulate_outputs(shift_register(3), stimulus)
+        souts = [step["sout"] for step in trace]
+        # Output is the input delayed by 3 cycles (zeros initially).
+        assert souts[:3] == [False, False, False]
+        assert souts[3:] == [True, False, True]
+
+
+class TestLfsr:
+    def test_period_is_maximal_for_4_bits(self):
+        """Default taps (top two bits) give the maximal 15-cycle."""
+        manager = Manager()
+        fsm = compile_fsm(manager, lfsr(4))
+        assert reachable_states(fsm).state_count(fsm) == 15
+
+    def test_custom_taps(self):
+        spec = lfsr(3, taps=(2, 0))
+        manager = Manager()
+        fsm = compile_fsm(manager, spec)
+        count = reachable_states(fsm).state_count(fsm)
+        assert 1 <= count <= 7
+
+    def test_scan_input(self):
+        spec = lfsr(3, scan=True)
+        assert spec.inputs == ("scan",)
+
+
+class TestJohnson:
+    def test_cycle_length(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, johnson_counter(3))
+        assert reachable_states(fsm).state_count(fsm) == 6
+
+
+class TestTrafficLight:
+    def test_exclusive_greens(self):
+        """Highway and farm road are never green simultaneously."""
+        manager = Manager()
+        fsm = compile_fsm(manager, traffic_light_controller())
+        result = reachable_states(fsm)
+        both_green = manager.and_(
+            fsm.output_fns["highway_go"], fsm.output_fns["farm_go"]
+        )
+        reachable_violation = manager.and_(result.reached, both_green)
+        assert reachable_violation == ZERO
+
+    def test_farm_eventually_served(self):
+        """With a car always waiting, the farm light goes green."""
+        manager = Manager()
+        fsm = compile_fsm(manager, traffic_light_controller())
+        trace = fsm.simulate([{"car": True}] * 30)
+        assert any(step["farm_go"] for step in trace)
+
+
+class TestMinMax:
+    def test_tracks_extremes(self):
+        spec = minmax_tracker(2)
+        stimulus = []
+        for value in (2, 1, 3, 0):
+            stimulus.append(
+                {"d0": bool(value & 1), "d1": bool(value & 2), "clear": False}
+            )
+        manager = Manager()
+        fsm = compile_fsm(manager, spec)
+        fsm.simulate(stimulus)
+        # After the trace, verify via explicit state stepping.
+        state = dict(zip(fsm.current_levels, fsm.init_values))
+        for step in stimulus:
+            assignment = dict(state)
+            for name, value in step.items():
+                position = fsm.input_names.index(name)
+                assignment[fsm.input_levels[position]] = value
+            state = {
+                level: manager.eval(fn, assignment)
+                for level, fn in zip(fsm.current_levels, fsm.next_fns)
+            }
+        by_name = {
+            name: state[level]
+            for name, level in zip(fsm.latch_names, fsm.current_levels)
+        }
+        low = int(by_name["lo0"]) + 2 * int(by_name["lo1"])
+        high = int(by_name["hi0"]) + 2 * int(by_name["hi1"])
+        assert low == 0
+        assert high == 3
+
+
+class TestArithmetic:
+    def test_accumulator_counts_modulo(self):
+        spec = carry_propagate_accumulator(3, 2)
+        stimulus = [
+            {"d0": True, "d1": False, "clear": False} for _ in range(3)
+        ]
+        manager = Manager()
+        fsm = compile_fsm(manager, spec)
+        state = dict(zip(fsm.current_levels, fsm.init_values))
+        for step in stimulus:
+            assignment = dict(state)
+            for name, value in step.items():
+                position = fsm.input_names.index(name)
+                assignment[fsm.input_levels[position]] = value
+            state = {
+                level: manager.eval(fn, assignment)
+                for level, fn in zip(fsm.current_levels, fsm.next_fns)
+            }
+        total = sum(
+            (1 << index) * int(state[level])
+            for index, level in enumerate(fsm.current_levels)
+        )
+        assert total == 3
+
+    def test_multiplier_busy_clears(self):
+        spec = serial_multiplier(2)
+        manager = Manager()
+        fsm = compile_fsm(manager, spec)
+        stimulus = [{"a0": True, "a1": False, "load": True}]
+        stimulus += [{"a0": True, "a1": False, "load": False}] * 3
+        trace = fsm.simulate(stimulus)
+        # B loads 01, then shifts out: busy goes high then low.
+        busy = [step["busy"] for step in trace]
+        assert busy[1] is True
+        assert busy[-1] is False
+
+
+class TestArbiter:
+    def test_one_grant_at_a_time(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, round_robin_arbiter(3))
+        result = reachable_states(fsm)
+        grants = list(fsm.output_fns.values())
+        for first in range(len(grants)):
+            for second in range(first + 1, len(grants)):
+                overlap = manager.and_many(
+                    [result.reached, grants[first], grants[second]]
+                )
+                assert overlap == ZERO
+
+    def test_token_rotates(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, round_robin_arbiter(3))
+        assert reachable_states(fsm).state_count(fsm) == 3
+
+
+class TestRandomController:
+    def test_deterministic_per_seed(self):
+        first = random_controller(11, state_bits=4, input_bits=3)
+        second = random_controller(11, state_bits=4, input_bits=3)
+        manager_a, manager_b = Manager(), Manager()
+        fsm_a = compile_fsm(manager_a, first)
+        fsm_b = compile_fsm(manager_b, second)
+        assert fsm_a.next_fns == fsm_b.next_fns
+        assert fsm_a.init_values == fsm_b.init_values
+
+    def test_different_seeds_differ(self):
+        first = random_controller(1, state_bits=4, input_bits=3)
+        second = random_controller(2, state_bits=4, input_bits=3)
+        manager_a, manager_b = Manager(), Manager()
+        assert (
+            compile_fsm(manager_a, first).next_fns
+            != compile_fsm(manager_b, second).next_fns
+        )
+
+    def test_shape_parameters(self):
+        spec = random_controller(
+            5, state_bits=6, input_bits=4, num_outputs=3
+        )
+        assert len(spec.latches) == 6
+        assert len(spec.inputs) == 4
+        assert len(spec.outputs) == 3

@@ -1,0 +1,64 @@
+"""Tests for the benchmark suite registry."""
+
+import pytest
+
+from repro.bdd.manager import Manager
+from repro.fsm.machine import compile_fsm
+from repro.circuits.suite import (
+    BENCHMARK_SUITE,
+    EXTRA_MACHINES,
+    QUICK_SUITE,
+    benchmark_spec,
+    suite_specs,
+)
+
+
+def test_paper_benchmark_names_present():
+    expected = {
+        "s344", "s386", "s510", "s641", "s820", "s953", "s1238",
+        "s1488", "scf", "styr", "tbk", "mult16b", "cbp.32.4",
+        "minmax5", "tlc",
+    }
+    assert expected == set(BENCHMARK_SUITE)
+
+
+def test_quick_suite_is_subset():
+    assert set(QUICK_SUITE) <= set(BENCHMARK_SUITE)
+
+
+def test_every_suite_machine_compiles():
+    for name, spec in suite_specs():
+        manager = Manager()
+        fsm = compile_fsm(manager, spec)
+        assert fsm.num_latches >= 2, name
+        assert fsm.output_fns, name
+
+
+def test_benchmark_spec_lookup():
+    spec = benchmark_spec("tlc")
+    assert spec.name == "tlc"
+    extra = benchmark_spec("count4")
+    assert extra.name == "count4"
+    with pytest.raises(KeyError):
+        benchmark_spec("s9999")
+
+
+def test_suite_specs_subset():
+    pairs = suite_specs(["tlc", "s386"])
+    assert [name for name, _ in pairs] == ["tlc", "s386"]
+
+
+def test_specs_are_deterministic():
+    first = benchmark_spec("s344")
+    second = benchmark_spec("s344")
+    manager_a, manager_b = Manager(), Manager()
+    assert (
+        compile_fsm(manager_a, first).next_fns
+        == compile_fsm(manager_b, second).next_fns
+    )
+
+
+def test_extra_machines_compile():
+    for name in EXTRA_MACHINES:
+        manager = Manager()
+        compile_fsm(manager, benchmark_spec(name))

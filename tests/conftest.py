@@ -1,0 +1,38 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.bdd.manager import Manager
+from repro.bdd.truthtable import bdd_from_leaves
+
+
+@pytest.fixture
+def manager() -> Manager:
+    """A fresh manager with eight anonymous variables."""
+    return Manager(["x%d" % index for index in range(1, 9)])
+
+
+def leaves_strategy(num_vars: int):
+    """Truth tables over ``num_vars`` variables as boolean lists."""
+    return st.lists(
+        st.booleans(), min_size=1 << num_vars, max_size=1 << num_vars
+    )
+
+
+def instance_strategy(num_vars: int, nonzero_care: bool = False):
+    """Random ``[f, c]`` instances as pairs of leaf lists."""
+    care = leaves_strategy(num_vars)
+    if nonzero_care:
+        care = care.filter(lambda leaves: any(leaves))
+    return st.tuples(leaves_strategy(num_vars), care)
+
+
+def build_instance(manager: Manager, f_leaves, c_leaves):
+    """Materialize leaf lists into ``(f, c)`` refs."""
+    return (
+        bdd_from_leaves(manager, f_leaves),
+        bdd_from_leaves(manager, c_leaves),
+    )

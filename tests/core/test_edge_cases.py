@@ -1,0 +1,142 @@
+"""Edge cases and less-traveled branches across the core modules."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO, TERMINAL_LEVEL
+from repro.bdd.parser import parse_expression
+from repro.core.criteria import Criterion, try_match
+from repro.core.ispec import ISpec, parse_instance
+from repro.core.levels import gather_at_level, minimize_at_level, opt_lv
+from repro.core.matching_graph import UndirectedMatchingGraph
+from repro.core.schedule import Schedule, scheduled_minimize
+from repro.core.sibling import generic_td, sibling_pass
+
+
+class TestIspecEdges:
+    def test_repr(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 01")
+        assert "|f|" in repr(spec)
+
+    def test_constant_specs(self):
+        manager = Manager(["a"])
+        spec = ISpec(manager, ONE, ONE)
+        assert spec.is_cover(ONE)
+        assert not spec.is_cover(ZERO)
+        assert spec.is_trivial()  # c <= f
+
+    def test_onset_fraction_of_constants(self):
+        manager = Manager()  # no variables at all
+        assert ISpec(manager, ONE, ONE).c_onset_fraction() == 1.0
+        assert ISpec(manager, ONE, ZERO).c_onset_fraction() == 0.0
+
+
+class TestCriteriaEdges:
+    def test_try_match_complemented_tsm(self):
+        manager = Manager(["a"])
+        a = manager.var(0)
+        # [a, 1] vs complement of [~a, 1]: complement makes them equal.
+        got = try_match(
+            Criterion.TSM, manager, a, ONE, a ^ 1, ONE, complemented=True
+        )
+        assert got is not None
+        g, cg = got
+        assert manager.and_(manager.xor(g, a), cg) == ZERO
+
+    def test_try_match_failure(self):
+        manager = Manager(["a"])
+        a = manager.var(0)
+        assert (
+            try_match(Criterion.OSM, manager, a, ONE, a ^ 1, ONE) is None
+        )
+
+
+class TestSiblingEdges:
+    def test_generic_td_deep_chain(self):
+        """A long conjunction exercises deep recursion safely."""
+        manager = Manager()
+        manager.ensure_vars(200)
+        f = manager.and_many(manager.var(level) for level in range(200))
+        care = manager.var(0)
+        cover = generic_td(manager, f, care, Criterion.OSM, no_new_vars=True)
+        assert ISpec(manager, f, care).is_cover(cover)
+
+    def test_sibling_pass_constant_care(self):
+        manager = Manager(["a"])
+        a = manager.var(0)
+        assert sibling_pass(manager, a, ONE, Criterion.TSM) == (a, ONE)
+        assert sibling_pass(manager, a, ZERO, Criterion.TSM) == (a, ZERO)
+
+    def test_sibling_pass_window_beyond_support(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 01")
+        pair = sibling_pass(
+            manager, spec.f, spec.c, Criterion.OSM, lo=10, hi=20
+        )
+        assert pair == (spec.f, spec.c)
+
+
+class TestLevelsEdges:
+    def test_gather_beyond_depth_returns_constant_pairs(self):
+        """A boundary below the whole BDD gathers only terminal pairs."""
+        manager = Manager()
+        spec = parse_instance(manager, "d1 01")
+        pairs, paths = gather_at_level(manager, spec.f, spec.c, 99)
+        for f_sub, c_sub in pairs:
+            assert manager.is_constant(f_sub)
+            assert manager.is_constant(c_sub)
+        for path in paths.values():
+            assert len(path) == 99
+
+    def test_minimize_at_level_single_candidate(self):
+        manager = Manager(["a"])
+        a = manager.var(0)
+        # Only one pair below the boundary: nothing to match.
+        assert minimize_at_level(manager, a, ONE, 5) == (a, ONE)
+
+    def test_minimize_at_level_batch_of_one(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 01 1d 01")
+        new_f, new_c = minimize_at_level(
+            manager, spec.f, spec.c, 1, batch_size=1
+        )
+        # Batches of one cannot match anything across batches.
+        assert ISpec(manager, new_f, new_c).i_covers(spec)
+
+    def test_opt_lv_constant_functions(self):
+        manager = Manager(["a"])
+        assert opt_lv(manager, ONE, ONE) == ONE
+        assert opt_lv(manager, ZERO, ONE) == ZERO
+
+    def test_empty_umg(self):
+        manager = Manager()
+        graph = UndirectedMatchingGraph(manager, [])
+        assert graph.clique_cover() == []
+
+
+class TestScheduleEdges:
+    def test_schedule_on_deep_function(self):
+        manager = Manager()
+        manager.ensure_vars(12)
+        f = manager.and_many(manager.var(level) for level in range(12))
+        care = manager.or_(manager.var(0), manager.var(5))
+        cover = scheduled_minimize(
+            manager, f, care, Schedule(window_size=3, stop_top_down=2)
+        )
+        assert ISpec(manager, f, care).is_cover(cover)
+
+    def test_schedule_batch_size_path(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 01 1d 01")
+        cover = scheduled_minimize(
+            manager, spec.f, spec.c, Schedule(batch_size=2)
+        )
+        assert spec.is_cover(cover)
+
+    def test_window_size_one_many_windows(self):
+        manager = Manager()
+        spec = parse_instance(manager, "1d d1 d0 0d 01 11 d1 0d")
+        cover = scheduled_minimize(
+            manager, spec.f, spec.c, Schedule(window_size=1, stop_top_down=0)
+        )
+        assert spec.is_cover(cover)

@@ -1,0 +1,90 @@
+"""Tests for the exhaustive exact EBM minimizer."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.parser import parse_expression
+from repro.core.exact import (
+    ExactSearchTooLarge,
+    enumerate_covers,
+    exact_minimize,
+    exact_minimum_size,
+)
+from repro.core.ispec import ISpec, parse_instance
+
+from tests.conftest import instance_strategy, build_instance
+
+
+class TestEnumerateCovers:
+    def test_count_is_two_to_the_dc(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 0d")  # two DC leaves
+        covers = list(enumerate_covers(manager, spec.f, spec.c))
+        assert len(covers) == 4
+
+    def test_every_enumerated_function_covers(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 0d 11 d0")
+        for cover in enumerate_covers(manager, spec.f, spec.c):
+            assert spec.is_cover(cover)
+
+    def test_fully_specified_has_single_cover(self):
+        manager = Manager()
+        spec = parse_instance(manager, "01 10")
+        covers = list(enumerate_covers(manager, spec.f, spec.c))
+        assert covers == [spec.f]
+
+    def test_support_budget(self):
+        manager = Manager()
+        manager.ensure_vars(12)
+        f = manager.and_many(manager.var(level) for level in range(12))
+        with pytest.raises(ExactSearchTooLarge):
+            list(enumerate_covers(manager, f, ONE, max_support=10))
+
+    def test_dc_budget(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1dd dddd")  # 7 DC minterms
+        with pytest.raises(ExactSearchTooLarge):
+            list(enumerate_covers(manager, spec.f, spec.c, max_dc=4))
+
+
+class TestExactMinimize:
+    def test_known_minimum_example1(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 01")
+        best, size = exact_minimize(manager, spec.f, spec.c)
+        assert size == 2
+        assert spec.is_cover(best)
+
+    def test_all_dc_gives_constant(self):
+        manager = Manager()
+        spec = parse_instance(manager, "dd dd")
+        assert exact_minimum_size(manager, spec.f, spec.c) == 1
+
+    def test_no_dc_returns_f_size(self):
+        manager = Manager(["a", "b"])
+        f = parse_expression(manager, "a ^ b")
+        assert exact_minimum_size(manager, f, ONE) == manager.size(f)
+
+    def test_custom_cost(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 01")
+        _, below = exact_minimize(
+            manager,
+            spec.f,
+            spec.c,
+            cost=lambda ref: manager.nodes_below(ref, 0),
+        )
+        assert below >= 1  # at least the terminal
+
+    @given(instance_strategy(3, nonzero_care=True))
+    @settings(max_examples=25)
+    def test_minimum_is_a_cover_and_lower_bound(self, instance):
+        manager = Manager()
+        f, c = build_instance(manager, *instance)
+        best, size = exact_minimize(manager, f, c)
+        spec = ISpec(manager, f, c)
+        assert spec.is_cover(best)
+        assert size <= manager.size(f)
+        assert size <= manager.size(spec.onset())

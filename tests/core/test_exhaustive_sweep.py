@@ -1,0 +1,91 @@
+"""Exhaustive correctness sweep: every 2-variable instance.
+
+There are 16 × 16 = 256 incompletely specified functions over two
+variables.  For every one of them and every registered heuristic we
+check the full contract: the result is a cover, never beats the exact
+optimum, and the documented special cases hold.  This is a complete
+enumeration, not a sample — if a heuristic mishandles any 2-variable
+corner, this fails.
+"""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.truthtable import bdd_from_leaves
+from repro.core.exact import exact_minimum_size
+from repro.core.ispec import ISpec
+from repro.core.lower_bound import cube_lower_bound
+from repro.core.registry import HEURISTICS
+from repro.core.sibling import TABLE2_HEURISTICS
+
+
+def _all_instances():
+    manager = Manager()
+    manager.ensure_vars(2)
+    tables = []
+    for mask in range(16):
+        tables.append(
+            bdd_from_leaves(manager, [bool((mask >> k) & 1) for k in range(4)])
+        )
+    instances = []
+    for f in tables:
+        for c in tables:
+            instances.append((manager, f, c))
+    return instances
+
+
+ALL_INSTANCES = _all_instances()
+
+
+def test_instance_count():
+    assert len(ALL_INSTANCES) == 256
+
+
+@pytest.mark.parametrize("name", sorted(HEURISTICS))
+def test_heuristic_exhaustive_two_vars(name):
+    heuristic = HEURISTICS[name]
+    for manager, f, c in ALL_INSTANCES:
+        cover = heuristic(manager, f, c)
+        spec = ISpec(manager, f, c)
+        if c == ZERO:
+            # Degenerate: everything covers; result must be constant-ish
+            # small, and trivially a cover.
+            assert spec.is_cover(cover)
+            continue
+        assert spec.is_cover(cover), (name, f, c)
+
+
+def test_exact_and_bound_exhaustive():
+    for manager, f, c in ALL_INSTANCES:
+        if c == ZERO:
+            continue
+        optimum = exact_minimum_size(manager, f, c)
+        bound = cube_lower_bound(manager, f, c)
+        assert bound <= optimum
+        for heuristic in TABLE2_HEURISTICS:
+            size = manager.size(heuristic(manager, f, c))
+            assert size >= optimum, heuristic.name
+
+
+def test_special_cases_exhaustive():
+    """§3.1's closed forms on every applicable instance."""
+    for manager, f, c in ALL_INSTANCES:
+        if c == ZERO:
+            continue
+        for heuristic in TABLE2_HEURISTICS:
+            cover = heuristic(manager, f, c)
+            if manager.leq(c, f):
+                assert cover == ONE, heuristic.name
+            elif manager.leq(c, f ^ 1):
+                assert cover == ZERO, heuristic.name
+
+
+def test_cube_care_optimality_exhaustive():
+    """Theorem 7 over every instance whose care set is a cube."""
+    for manager, f, c in ALL_INSTANCES:
+        if c == ZERO or not manager.is_cube(c):
+            continue
+        optimum = exact_minimum_size(manager, f, c)
+        for heuristic in TABLE2_HEURISTICS:
+            size = manager.size(heuristic(manager, f, c))
+            assert size == optimum, (heuristic.name, f, c)

@@ -1,0 +1,176 @@
+"""Tests for incompletely specified functions and their relations."""
+
+import pytest
+from hypothesis import given
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.parser import parse_expression
+from repro.core.ispec import ISpec, parse_instance
+
+from tests.conftest import instance_strategy, build_instance
+
+
+class TestSets:
+    def test_onset_offset_dc_partition(self):
+        manager = Manager(["a", "b"])
+        f = parse_expression(manager, "a")
+        c = parse_expression(manager, "b")
+        spec = ISpec(manager, f, c)
+        assert spec.onset() == parse_expression(manager, "a & b")
+        assert spec.offset() == parse_expression(manager, "~a & b")
+        assert spec.dcset() == parse_expression(manager, "~b")
+        union = manager.or_many([spec.onset(), spec.offset(), spec.dcset()])
+        assert union == ONE
+
+    def test_interval(self):
+        manager = Manager(["a", "b"])
+        f = parse_expression(manager, "a")
+        c = parse_expression(manager, "b")
+        spec = ISpec(manager, f, c)
+        lower, upper = spec.interval()
+        assert lower == parse_expression(manager, "a & b")
+        assert upper == parse_expression(manager, "a | ~b")
+
+
+class TestCover:
+    def test_f_is_always_a_cover(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 0d 11 d0")
+        assert spec.is_cover(spec.f)
+
+    def test_bounds_are_covers(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 0d 11 d0")
+        assert spec.is_cover(spec.onset())
+        assert spec.is_cover(spec.upper())
+
+    def test_non_cover_detected(self):
+        manager = Manager()
+        spec = parse_instance(manager, "11 dd")
+        assert not spec.is_cover(ZERO)
+
+    def test_everything_covers_empty_care(self):
+        manager = Manager(["a"])
+        spec = ISpec(manager, manager.var(0), ZERO)
+        assert spec.is_cover(ONE)
+        assert spec.is_cover(ZERO)
+        assert spec.is_cover(manager.var(0) ^ 1)
+
+
+class TestICover:
+    def test_icover_requires_care_containment(self):
+        manager = Manager()
+        narrow = parse_instance(manager, "d1 01")  # care on 3 leaves
+        manager2 = Manager()
+        # Use the same manager for a fair comparison.
+        wide = parse_instance(manager, "11 01")  # care everywhere
+        assert wide.i_covers(narrow)
+        assert not narrow.i_covers(wide)
+
+    def test_icover_requires_agreement(self):
+        manager = Manager()
+        first = parse_instance(manager, "11 dd")
+        second = parse_instance(manager, "00 dd")
+        assert not first.i_covers(second)
+
+    def test_icover_reflexive(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 0d")
+        assert spec.i_covers(spec)
+
+    def test_equivalent(self):
+        manager = Manager()
+        first = parse_instance(manager, "d1 01")
+        # Same care set/values but different representative f.
+        from repro.bdd.truthtable import bdd_from_leaves
+
+        other_f = bdd_from_leaves(manager, [True, True, False, True])
+        second = ISpec(manager, other_f, first.c)
+        assert first.equivalent(second)
+        assert first.i_covers(second) and second.i_covers(first)
+
+
+class TestTrivial:
+    def test_cube_care_is_trivial(self):
+        manager = Manager(["a", "b"])
+        spec = ISpec(
+            manager,
+            parse_expression(manager, "a ^ b"),
+            parse_expression(manager, "a & ~b"),
+        )
+        assert spec.is_trivial()
+
+    def test_care_below_f_is_trivial(self):
+        manager = Manager(["a", "b"])
+        f = parse_expression(manager, "a | b")
+        c = parse_expression(manager, "a ^ b")  # c <= f
+        assert ISpec(manager, f, c).is_trivial()
+
+    def test_care_below_not_f_is_trivial(self):
+        manager = Manager(["a", "b"])
+        f = parse_expression(manager, "a & b")
+        c = parse_expression(manager, "~a & ~b")
+        assert ISpec(manager, f, c).is_trivial()
+
+    def test_general_instance_not_trivial(self):
+        manager = Manager()
+        spec = parse_instance(manager, "1d d1 d0 0d")
+        assert not spec.is_trivial()
+
+
+class TestOnsetFraction:
+    def test_extremes(self):
+        manager = Manager(["a"])
+        assert ISpec(manager, ONE, ONE).c_onset_fraction() == 1.0
+        assert ISpec(manager, ONE, ZERO).c_onset_fraction() == 0.0
+
+    def test_half(self):
+        manager = Manager(["a", "b"])
+        spec = ISpec(
+            manager,
+            parse_expression(manager, "a & b"),
+            parse_expression(manager, "a"),
+        )
+        assert spec.c_onset_fraction() == pytest.approx(0.5)
+
+    def test_fraction_independent_of_extra_vars(self):
+        manager = Manager(["a", "b", "c", "d"])
+        spec = ISpec(
+            manager,
+            parse_expression(manager, "a & b"),
+            parse_expression(manager, "a"),
+        )
+        assert spec.c_onset_fraction() == pytest.approx(0.5)
+
+
+class TestFromInterval:
+    def test_interval_roundtrip(self):
+        manager = Manager(["a", "b"])
+        lower = parse_expression(manager, "a & b")
+        upper = parse_expression(manager, "a | b")
+        spec = ISpec.from_interval(manager, lower, upper)
+        # Section 2: c = f_m + ¬f_M; covers are exactly the interval.
+        assert spec.is_cover(lower)
+        assert spec.is_cover(upper)
+        assert spec.is_cover(manager.var(0))
+        assert not spec.is_cover(ZERO)
+        assert not spec.is_cover(ONE)
+
+    def test_empty_interval_rejected(self):
+        manager = Manager(["a", "b"])
+        lower = parse_expression(manager, "a")
+        upper = parse_expression(manager, "a & b")
+        with pytest.raises(ValueError):
+            ISpec.from_interval(manager, lower, upper)
+
+
+@given(instance_strategy(3))
+def test_cover_definition_pointwise(instance):
+    """is_cover agrees with the pointwise Definition 2."""
+    manager = Manager()
+    f, c = build_instance(manager, *instance)
+    spec = ISpec(manager, f, c)
+    g = spec.onset()
+    assert spec.is_cover(g)
+    lower, upper = spec.interval()
+    assert manager.leq(lower, g) and manager.leq(g, upper)

@@ -1,0 +1,165 @@
+"""Tests for level minimization: gathering, rebuild, opt_lv."""
+
+from hypothesis import given, settings
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.parser import parse_expression
+from repro.core.criteria import Criterion
+from repro.core.ispec import ISpec, parse_instance
+from repro.core.levels import (
+    gather_at_level,
+    minimize_at_level,
+    opt_lv,
+    rebuild_with_replacements,
+)
+
+from tests.conftest import instance_strategy, build_instance
+
+
+class TestGather:
+    def test_root_pair_at_boundary_zero(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 01 1d 01")
+        pairs, paths = gather_at_level(manager, spec.f, spec.c, 0)
+        assert pairs == [(spec.f, spec.c)]
+        assert paths[(spec.f, spec.c)] == ()
+
+    def test_boundary_one_gathers_cofactor_pairs(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 01 1d 01")
+        pairs, paths = gather_at_level(manager, spec.f, spec.c, 1)
+        for f_sub, c_sub in pairs:
+            assert manager.level(f_sub) >= 1
+            assert manager.level(c_sub) >= 1
+        # Paths are single entries: 0 (else) or 1 (then).
+        for path in paths.values():
+            assert len(path) == 1
+
+    def test_gathered_pairs_unique(self):
+        manager = Manager()
+        spec = parse_instance(manager, "01 01 01 01")
+        pairs, _ = gather_at_level(manager, spec.f, spec.c, 2)
+        assert len(pairs) == len(set(pairs))
+
+    def test_only_boundary_rooted_filter(self):
+        manager = Manager(["a", "b", "c"])
+        f = parse_expression(manager, "(a & b) | c")
+        c = ONE
+        pairs, _ = gather_at_level(manager, f, c, 1, only_boundary_rooted=True)
+        for f_sub, _ in pairs:
+            assert manager.level(f_sub) == 1
+
+    def test_constants_gathered_at_deep_boundary(self):
+        manager = Manager(["a"])
+        f = manager.var(0)
+        pairs, _ = gather_at_level(manager, f, ONE, 1)
+        assert (ONE, ONE) in pairs
+        assert (ZERO, ONE) in pairs
+
+
+class TestRebuild:
+    def test_identity_rebuild(self):
+        manager = Manager()
+        spec = parse_instance(manager, "d1 01 1d 01")
+        rebuilt = rebuild_with_replacements(manager, spec.f, spec.c, 1, {})
+        assert rebuilt == (spec.f, spec.c)
+
+    def test_replacement_applied(self):
+        manager = Manager(["a", "b"])
+        a, b = manager.var(0), manager.var(1)
+        f = manager.ite(a, b, b ^ 1)
+        # Replace the then-branch pair (b, ONE) with (ONE, ONE).
+        rebuilt_f, rebuilt_c = rebuild_with_replacements(
+            manager, f, ONE, 1, {(b, ONE): (ONE, ONE)}
+        )
+        assert rebuilt_f == manager.ite(a, ONE, b ^ 1)
+        assert rebuilt_c == ONE
+
+
+class TestMinimizeAtLevel:
+    @given(instance_strategy(4, nonzero_care=True))
+    @settings(max_examples=30)
+    def test_result_i_covers_input(self, instance):
+        manager = Manager()
+        f, c = build_instance(manager, *instance)
+        original = ISpec(manager, f, c)
+        for boundary in range(1, 5):
+            for criterion in Criterion:
+                new_f, new_c = minimize_at_level(
+                    manager, f, c, boundary, criterion=criterion
+                )
+                assert ISpec(manager, new_f, new_c).i_covers(original)
+
+    @given(instance_strategy(3, nonzero_care=True))
+    @settings(max_examples=30)
+    def test_batching_preserves_validity(self, instance):
+        manager = Manager()
+        f, c = build_instance(manager, *instance)
+        original = ISpec(manager, f, c)
+        new_f, new_c = minimize_at_level(
+            manager, f, c, 2, criterion=Criterion.TSM, batch_size=2
+        )
+        assert ISpec(manager, new_f, new_c).i_covers(original)
+
+    def test_merging_happens(self):
+        """Two level-1 subfunctions that agree on care points merge."""
+        manager = Manager()
+        # f = (01 0d): cofactors x2 and "0 or d"; with tsm at level 1
+        # the pair [(0d)] can match [01] -> both become x2-like.
+        spec = parse_instance(manager, "01 0d")
+        new_f, new_c = minimize_at_level(
+            manager, spec.f, spec.c, 1, criterion=Criterion.TSM
+        )
+        assert ISpec(manager, new_f, new_c).i_covers(spec)
+        assert manager.size(new_f) <= manager.size(spec.f)
+
+
+class TestOptLv:
+    @given(instance_strategy(4, nonzero_care=True))
+    @settings(max_examples=25)
+    def test_returns_cover(self, instance):
+        manager = Manager()
+        f, c = build_instance(manager, *instance)
+        cover = opt_lv(manager, f, c)
+        assert ISpec(manager, f, c).is_cover(cover)
+
+    def test_empty_care(self):
+        manager = Manager(["a"])
+        assert opt_lv(manager, manager.var(0), ZERO) == ONE
+
+    def test_constant_input(self):
+        manager = Manager(["a"])
+        assert opt_lv(manager, ONE, manager.var(0)) == ONE
+
+    def test_reduces_redundant_structure(self):
+        """opt_lv collapses shareable subfunctions across the level."""
+        manager = Manager()
+        # f distinguishes branches only on don't-care points.
+        spec = parse_instance(manager, "01 0d 01 d1")
+        cover = opt_lv(manager, spec.f, spec.c)
+        assert ISpec(manager, spec.f, spec.c).is_cover(cover)
+        assert manager.size(cover) <= manager.size(spec.f)
+
+    @given(instance_strategy(4, nonzero_care=True))
+    @settings(max_examples=15)
+    def test_osm_variant_also_covers(self, instance):
+        manager = Manager()
+        f, c = build_instance(manager, *instance)
+        cover = opt_lv(manager, f, c, criterion=Criterion.OSM)
+        assert ISpec(manager, f, c).is_cover(cover)
+
+    @given(instance_strategy(3, nonzero_care=True))
+    @settings(max_examples=15)
+    def test_ablation_flags_preserve_validity(self, instance):
+        manager = Manager()
+        f, c = build_instance(manager, *instance)
+        for degree in (False, True):
+            for weights in (False, True):
+                cover = opt_lv(
+                    manager,
+                    f,
+                    c,
+                    order_by_degree=degree,
+                    use_distance_weights=weights,
+                )
+                assert ISpec(manager, f, c).is_cover(cover)

@@ -1,0 +1,62 @@
+"""Theorem 12: osm level matching preserves the optimum below the level.
+
+After osm matchings at level i produce [f', c'], there exists a cover g'
+of [f', c'] with N_i(g') = N_i[f, c] — the minimum node count below the
+level is unchanged.  We verify the checkable consequence with the exact
+minimizer: min over covers of [f', c'] of nodes-below equals min over
+covers of [f, c].
+"""
+
+from hypothesis import given, settings
+
+from repro.bdd.manager import Manager
+from repro.core.criteria import Criterion
+from repro.core.exact import exact_minimum_below
+from repro.core.ispec import ISpec
+from repro.core.levels import minimize_at_level
+
+from tests.conftest import instance_strategy, build_instance
+
+NUM_VARS = 3
+
+
+@given(instance_strategy(NUM_VARS, nonzero_care=True))
+@settings(max_examples=25, deadline=None)
+def test_theorem12_osm_preserves_optimum_below(instance):
+    manager = Manager()
+    f, c = build_instance(manager, *instance)
+    for boundary in (1, 2):
+        new_f, new_c = minimize_at_level(
+            manager, f, c, boundary, criterion=Criterion.OSM
+        )
+        # nodes_below(ref, boundary - 1) counts nodes at levels >= boundary.
+        before = exact_minimum_below(manager, f, c, boundary - 1)
+        after = exact_minimum_below(manager, new_f, new_c, boundary - 1)
+        assert after == before
+
+
+@given(instance_strategy(NUM_VARS, nonzero_care=True))
+@settings(max_examples=25, deadline=None)
+def test_osdm_also_preserves_optimum_below(instance):
+    """§3.3.2: Definition 9 / Prop 10 carry over to osdm."""
+    manager = Manager()
+    f, c = build_instance(manager, *instance)
+    new_f, new_c = minimize_at_level(
+        manager, f, c, 1, criterion=Criterion.OSDM
+    )
+    before = exact_minimum_below(manager, f, c, 0)
+    after = exact_minimum_below(manager, new_f, new_c, 0)
+    assert after == before
+
+
+@given(instance_strategy(NUM_VARS, nonzero_care=True))
+@settings(max_examples=25, deadline=None)
+def test_tsm_can_only_lose_freedom_monotonically(instance):
+    """tsm has no Theorem 12 guarantee, but i-covering still implies the
+    optimum below the level can only grow (freedom shrinks)."""
+    manager = Manager()
+    f, c = build_instance(manager, *instance)
+    new_f, new_c = minimize_at_level(manager, f, c, 1, criterion=Criterion.TSM)
+    before = exact_minimum_below(manager, f, c, 0)
+    after = exact_minimum_below(manager, new_f, new_c, 0)
+    assert after >= before

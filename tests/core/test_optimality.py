@@ -1,0 +1,103 @@
+"""Optimality results: Theorem 7, Proposition 6, and exactness checks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.core.criteria import Criterion
+from repro.core.exact import exact_minimum_size
+from repro.core.ispec import ISpec
+from repro.core.sibling import TABLE2_HEURISTICS, constrain, generic_td
+from repro.bdd.truthtable import bdd_from_leaves
+
+from tests.conftest import leaves_strategy
+
+NUM_VARS = 3
+
+
+def cube_strategy(num_vars: int):
+    """Random non-empty cubes as {level: value} dicts."""
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=num_vars - 1),
+        st.booleans(),
+        max_size=num_vars,
+    )
+
+
+@given(leaves_strategy(NUM_VARS), cube_strategy(NUM_VARS))
+@settings(max_examples=80)
+def test_theorem7_constrain_optimal_on_cube_care(table, cube):
+    """Theorem 7: constrain is a minimum solution when c is a cube."""
+    manager = Manager()
+    manager.ensure_vars(NUM_VARS)
+    f = bdd_from_leaves(manager, table)
+    c = manager.cube_ref(cube)
+    result = constrain(manager, f, c)
+    assert ISpec(manager, f, c).is_cover(result)
+    assert manager.size(result) == exact_minimum_size(manager, f, c)
+
+
+@given(leaves_strategy(NUM_VARS), cube_strategy(NUM_VARS))
+@settings(max_examples=40)
+def test_all_sibling_heuristics_optimal_on_cube_care(table, cube):
+    """§3.2: 'In the special case where c is a cube, all the algorithms
+    do find a minimum solution.'"""
+    manager = Manager()
+    manager.ensure_vars(NUM_VARS)
+    f = bdd_from_leaves(manager, table)
+    c = manager.cube_ref(cube)
+    optimum = exact_minimum_size(manager, f, c)
+    for heuristic in TABLE2_HEURISTICS:
+        result = heuristic(manager, f, c)
+        assert ISpec(manager, f, c).is_cover(result)
+        assert manager.size(result) == optimum, heuristic.name
+
+
+@given(leaves_strategy(NUM_VARS), cube_strategy(NUM_VARS))
+@settings(max_examples=40)
+def test_constrain_never_grows_on_cube_care(table, cube):
+    """The key step of Theorem 7's proof: sizes never increase."""
+    manager = Manager()
+    manager.ensure_vars(NUM_VARS)
+    f = bdd_from_leaves(manager, table)
+    c = manager.cube_ref(cube)
+    assert manager.size(constrain(manager, f, c)) <= manager.size(f)
+
+
+@given(leaves_strategy(NUM_VARS), leaves_strategy(NUM_VARS))
+@settings(max_examples=40)
+def test_heuristics_never_beat_exact(table_f, table_c):
+    """Sanity for the exact minimizer: no heuristic does better."""
+    manager = Manager()
+    f = bdd_from_leaves(manager, table_f)
+    c = bdd_from_leaves(manager, table_c)
+    if c == ZERO:
+        return
+    optimum = exact_minimum_size(manager, f, c)
+    for heuristic in TABLE2_HEURISTICS:
+        assert manager.size(heuristic(manager, f, c)) >= optimum
+
+
+def test_proposition6_constrain_can_increase_size():
+    """Prop. 6 construction: replant the minimum cover's values onto the
+    care points; a non-optimal algorithm must then *increase* the size."""
+    manager = Manager()
+    manager.ensure_vars(2)
+    # Example 1: constrain on (d1 01) returns (11 01), minimum is (01 01).
+    # Build f̂ = the minimum cover (01 01) = x2 and keep the same care.
+    f_hat = bdd_from_leaves(manager, [False, True, False, True])
+    care = bdd_from_leaves(manager, [False, True, True, True])
+    result = constrain(manager, f_hat, care)
+    # constrain is insensitive to values on the DC point, so it returns
+    # the same (11 01) — strictly larger than f̂ itself.
+    assert manager.size(result) > manager.size(f_hat)
+
+
+def test_in_practice_take_min_with_f():
+    """The paper's remedy: compare with f and return the smaller."""
+    manager = Manager()
+    manager.ensure_vars(2)
+    f_hat = bdd_from_leaves(manager, [False, True, False, True])
+    care = bdd_from_leaves(manager, [False, True, True, True])
+    result = constrain(manager, f_hat, care)
+    guarded = result if manager.size(result) < manager.size(f_hat) else f_hat
+    assert manager.size(guarded) <= manager.size(f_hat)

@@ -1,0 +1,120 @@
+"""The paper's §3.2 counterexamples, quoted literally.
+
+For each example the paper gives: the instance, the heuristic's result,
+and a minimum solution — demonstrating non-optimality and that no
+heuristic dominates another:
+
+1. constrain: (d1 01) → (11 01); minimum (01 01).
+2. osm_td:    (d1 01 1d 01) → (01 01 11 01); minimum (11 01 11 01).
+3. tsm_td:    (1d d1 d0 0d) → (10 01 10 01); minimum (11 11 00 00).
+"""
+
+from repro.bdd.manager import Manager
+from repro.bdd.truthtable import bdd_from_leaves, parse_leaf_string
+from repro.core.criteria import Criterion
+from repro.core.exact import exact_minimum_size
+from repro.core.ispec import parse_instance
+from repro.core.sibling import generic_td
+
+
+def _completely_specified(manager, text):
+    leaves = [char == "1" for char in parse_leaf_string(text)]
+    return bdd_from_leaves(manager, leaves)
+
+
+def _run(text, criterion, **flags):
+    manager = Manager()
+    spec = parse_instance(manager, text)
+    result = generic_td(manager, spec.f, spec.c, criterion, **flags)
+    return manager, spec, result
+
+
+class TestExample1Constrain:
+    def test_constrain_returns_paper_result(self):
+        manager, spec, result = _run("d1 01", Criterion.OSDM)
+        assert result == _completely_specified(manager, "11 01")
+
+    def test_paper_minimum_is_smaller(self):
+        manager, spec, result = _run("d1 01", Criterion.OSDM)
+        minimum = _completely_specified(manager, "01 01")
+        assert spec.is_cover(minimum)
+        assert manager.size(minimum) < manager.size(result)
+        assert manager.size(minimum) == exact_minimum_size(
+            manager, spec.f, spec.c
+        )
+
+    def test_other_heuristics_find_minimum_here(self):
+        """§3.2: both osm_td and tsm_td find a minimum in example 1."""
+        for criterion in (Criterion.OSM, Criterion.TSM):
+            manager, spec, result = _run("d1 01", criterion)
+            assert manager.size(result) == 2  # x2 plus terminal
+
+
+class TestExample2OsmTd:
+    INSTANCE = "d1 01 1d 01"
+
+    def test_osm_td_returns_paper_result(self):
+        manager, spec, result = _run(self.INSTANCE, Criterion.OSM)
+        assert result == _completely_specified(manager, "01 01 11 01")
+
+    def test_paper_minimum_is_smaller(self):
+        manager, spec, result = _run(self.INSTANCE, Criterion.OSM)
+        minimum = _completely_specified(manager, "11 01 11 01")
+        assert spec.is_cover(minimum)
+        assert manager.size(minimum) < manager.size(result)
+
+    def test_constrain_and_tsm_find_minimum_here(self):
+        """§3.2: constrain and tsm_td find a minimum in example 2."""
+        manager, spec, _ = _run(self.INSTANCE, Criterion.OSM)
+        minimum_size = exact_minimum_size(manager, spec.f, spec.c)
+        for criterion in (Criterion.OSDM, Criterion.TSM):
+            result = generic_td(manager, spec.f, spec.c, criterion)
+            assert manager.size(result) == minimum_size
+
+
+class TestExample3TsmTd:
+    INSTANCE = "1d d1 d0 0d"
+
+    def test_tsm_td_returns_paper_result(self):
+        manager, spec, result = _run(self.INSTANCE, Criterion.TSM)
+        assert result == _completely_specified(manager, "10 01 10 01")
+
+    def test_paper_minimum_is_smaller(self):
+        manager, spec, result = _run(self.INSTANCE, Criterion.TSM)
+        minimum = _completely_specified(manager, "11 11 00 00")
+        assert spec.is_cover(minimum)
+        assert manager.size(minimum) < manager.size(result)
+        assert manager.size(minimum) == exact_minimum_size(
+            manager, spec.f, spec.c
+        )
+
+    def test_constrain_and_osm_find_minimum_here(self):
+        """§3.2: constrain and osm_td find a minimum in example 3."""
+        manager, spec, _ = _run(self.INSTANCE, Criterion.TSM)
+        minimum_size = exact_minimum_size(manager, spec.f, spec.c)
+        for criterion in (Criterion.OSDM, Criterion.OSM):
+            result = generic_td(manager, spec.f, spec.c, criterion)
+            assert manager.size(result) == minimum_size
+
+
+class TestNoDominance:
+    """No heuristic is always better than another (§3.2)."""
+
+    def test_each_criterion_wins_somewhere(self):
+        wins = {Criterion.OSDM: 0, Criterion.OSM: 0, Criterion.TSM: 0}
+        for text in ("d1 01", "d1 01 1d 01", "1d d1 d0 0d"):
+            manager = Manager()
+            spec = parse_instance(manager, text)
+            sizes = {
+                criterion: manager.size(
+                    generic_td(manager, spec.f, spec.c, criterion)
+                )
+                for criterion in Criterion
+            }
+            best = min(sizes.values())
+            for criterion, size in sizes.items():
+                if size == best:
+                    wins[criterion] += 1
+        # Every criterion is optimal on some example but not all three.
+        for criterion, count in wins.items():
+            assert 0 < count < 3, (criterion, wins)

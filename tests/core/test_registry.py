@@ -1,0 +1,69 @@
+"""Tests for the heuristic registry and the public minimize() API."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd.manager import Manager, ONE
+from repro.core.ispec import ISpec
+from repro.core.registry import (
+    HEURISTICS,
+    PAPER_HEURISTICS,
+    get_heuristic,
+    minimize,
+)
+
+from tests.conftest import instance_strategy, build_instance
+
+
+def test_paper_names_all_registered():
+    for name in PAPER_HEURISTICS:
+        assert name in HEURISTICS
+
+
+def test_paper_heuristic_count():
+    """Twelve reported heuristics (min is computed by the harness)."""
+    assert len(PAPER_HEURISTICS) == 12
+
+
+def test_extension_scheduler_registered():
+    assert "sched" in HEURISTICS
+
+
+def test_unknown_name_raises_with_listing():
+    with pytest.raises(KeyError) as excinfo:
+        get_heuristic("nope")
+    assert "constrain" in str(excinfo.value)
+
+
+def test_f_orig_is_identity():
+    manager = Manager(["a"])
+    a = manager.var(0)
+    assert HEURISTICS["f_orig"](manager, a, ONE) == a
+
+
+def test_bounds_heuristics():
+    manager = Manager(["a", "b"])
+    a, b = manager.var(0), manager.var(1)
+    assert HEURISTICS["f_and_c"](manager, a, b) == manager.and_(a, b)
+    assert HEURISTICS["f_or_nc"](manager, a, b) == manager.or_(a, b ^ 1)
+
+
+def test_minimize_default_is_osm_bt():
+    manager = Manager()
+    from repro.core.ispec import parse_instance
+
+    spec = parse_instance(manager, "d1 01 1d 01")
+    default = minimize(manager, spec.f, spec.c)
+    explicit = minimize(manager, spec.f, spec.c, method="osm_bt")
+    assert default == explicit
+
+
+@given(instance_strategy(4, nonzero_care=True))
+@settings(max_examples=20, deadline=None)
+def test_every_registered_heuristic_returns_cover(instance):
+    manager = Manager()
+    f, c = build_instance(manager, *instance)
+    spec = ISpec(manager, f, c)
+    for name, heuristic in HEURISTICS.items():
+        cover = heuristic(manager, f, c)
+        assert spec.is_cover(cover), name

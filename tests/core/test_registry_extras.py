@@ -1,0 +1,85 @@
+"""Tests for safe_minimize, minimize_interval, and manager statistics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.parser import parse_expression
+from repro.bdd.truthtable import bdd_from_leaves
+from repro.core.ispec import ISpec
+from repro.core.registry import minimize, minimize_interval, safe_minimize
+
+from tests.conftest import instance_strategy, build_instance
+
+
+class TestSafeMinimize:
+    def test_never_larger_than_f(self):
+        """The Proposition 6 instance where plain constrain grows."""
+        manager = Manager()
+        manager.ensure_vars(2)
+        f_hat = bdd_from_leaves(manager, [False, True, False, True])
+        care = bdd_from_leaves(manager, [False, True, True, True])
+        plain = minimize(manager, f_hat, care, method="constrain")
+        guarded = safe_minimize(manager, f_hat, care, method="constrain")
+        assert manager.size(plain) > manager.size(f_hat)
+        assert manager.size(guarded) <= manager.size(f_hat)
+        assert guarded == f_hat
+
+    @given(instance_strategy(4, nonzero_care=True))
+    @settings(max_examples=25)
+    def test_safe_results_are_covers(self, instance):
+        manager = Manager()
+        f, c = build_instance(manager, *instance)
+        spec = ISpec(manager, f, c)
+        for method in ("constrain", "restrict", "osm_bt", "tsm_td"):
+            cover = safe_minimize(manager, f, c, method=method)
+            assert spec.is_cover(cover)
+            assert manager.size(cover) <= manager.size(f)
+
+
+class TestMinimizeInterval:
+    def test_result_within_interval(self):
+        manager = Manager(["a", "b", "c"])
+        lower = parse_expression(manager, "a & b & c")
+        upper = parse_expression(manager, "a | b | c")
+        g = minimize_interval(manager, lower, upper)
+        assert manager.leq(lower, g)
+        assert manager.leq(g, upper)
+        assert manager.size(g) <= manager.size(lower)
+
+    def test_wide_interval_gives_tiny_result(self):
+        manager = Manager(["a", "b"])
+        g = minimize_interval(manager, ZERO, ONE)
+        assert manager.is_constant(g)
+
+    def test_degenerate_interval_is_identity(self):
+        manager = Manager(["a", "b"])
+        f = parse_expression(manager, "a ^ b")
+        assert minimize_interval(manager, f, f) == f
+
+    def test_empty_interval_rejected(self):
+        manager = Manager(["a", "b"])
+        lower = parse_expression(manager, "a")
+        upper = parse_expression(manager, "a & b")
+        with pytest.raises(ValueError):
+            minimize_interval(manager, lower, upper)
+
+
+class TestStatistics:
+    def test_counters_present_and_consistent(self):
+        manager = Manager(["a", "b"])
+        manager.and_(manager.var(0), manager.var(1))
+        stats = manager.statistics()
+        assert stats["num_vars"] == 2
+        assert stats["num_nodes"] == manager.num_nodes
+        assert stats["unique_table"] == stats["num_nodes"] - 1  # no terminal
+        assert stats["ite_cache"] >= 1
+
+    def test_clear_caches_resets_cache_counters(self):
+        manager = Manager(["a", "b"])
+        manager.and_(manager.var(0), manager.var(1))
+        manager.cofactor(manager.var(0), 0, True)
+        manager.clear_caches()
+        stats = manager.statistics()
+        assert stats["ite_cache"] == 0
+        assert stats["cache_cofactor"] == 0

@@ -1,0 +1,44 @@
+"""Tests for the §5 'robust' combination heuristic."""
+
+from hypothesis import given, settings
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.core.ispec import ISpec, parse_instance
+from repro.core.registry import HEURISTICS
+
+from tests.conftest import instance_strategy, build_instance
+
+
+@given(instance_strategy(4, nonzero_care=True))
+@settings(max_examples=30)
+def test_robust_returns_cover_never_larger(instance):
+    manager = Manager()
+    f, c = build_instance(manager, *instance)
+    spec = ISpec(manager, f, c)
+    cover = HEURISTICS["robust"](manager, f, c)
+    assert spec.is_cover(cover)
+    assert manager.size(cover) <= manager.size(f)
+
+
+def test_dispatch_dense_uses_level_matching():
+    """On a dense care set robust must match opt_lv's choice class."""
+    manager = Manager()
+    # Care everywhere except one point: dense.
+    spec = parse_instance(manager, "d1 01 11 01")
+    robust = HEURISTICS["robust"](manager, spec.f, spec.c)
+    assert spec.is_cover(robust)
+
+
+def test_dispatch_sparse_uses_sibling_matching():
+    manager = Manager()
+    # Mostly don't care: sparse onset.
+    spec = parse_instance(manager, "d1 dd dd dd")
+    robust = HEURISTICS["robust"](manager, spec.f, spec.c)
+    osm_bt = HEURISTICS["osm_bt"](manager, spec.f, spec.c)
+    assert manager.size(robust) <= manager.size(osm_bt)
+
+
+def test_empty_care():
+    manager = Manager(["a"])
+    cover = HEURISTICS["robust"](manager, manager.var(0), ZERO)
+    assert manager.is_constant(cover)

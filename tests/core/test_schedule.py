@@ -1,0 +1,104 @@
+"""Tests for the windowed scheduler and the sibling_pass building block."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.core.criteria import Criterion
+from repro.core.ispec import ISpec
+from repro.core.schedule import Schedule, scheduled_minimize
+from repro.core.sibling import sibling_pass
+
+from tests.conftest import instance_strategy, build_instance
+
+
+class TestSiblingPass:
+    @given(instance_strategy(4, nonzero_care=True))
+    @settings(max_examples=30)
+    def test_full_window_result_i_covers(self, instance):
+        manager = Manager()
+        f, c = build_instance(manager, *instance)
+        original = ISpec(manager, f, c)
+        for criterion in Criterion:
+            new_f, new_c = sibling_pass(manager, f, c, criterion)
+            assert ISpec(manager, new_f, new_c).i_covers(original)
+
+    @given(instance_strategy(4, nonzero_care=True))
+    @settings(max_examples=30)
+    def test_windowed_result_i_covers(self, instance):
+        manager = Manager()
+        f, c = build_instance(manager, *instance)
+        original = ISpec(manager, f, c)
+        for lo, hi in ((0, 2), (1, 3), (2, 4)):
+            new_f, new_c = sibling_pass(
+                manager,
+                f,
+                c,
+                Criterion.TSM,
+                match_complement=True,
+                lo=lo,
+                hi=hi,
+            )
+            assert ISpec(manager, new_f, new_c).i_covers(original)
+
+    def test_empty_window_is_identity_on_specs(self):
+        manager = Manager()
+        from repro.core.ispec import parse_instance
+
+        spec = parse_instance(manager, "d1 01 1d 01")
+        new_f, new_c = sibling_pass(
+            manager, spec.f, spec.c, Criterion.TSM, lo=0, hi=0
+        )
+        assert (new_f, new_c) == (spec.f, spec.c)
+
+    @given(instance_strategy(3, nonzero_care=True))
+    @settings(max_examples=20)
+    def test_pass_never_shrinks_care(self, instance):
+        """DC freedom monotonically decreases (care grows): §3.1."""
+        manager = Manager()
+        f, c = build_instance(manager, *instance)
+        new_f, new_c = sibling_pass(manager, f, c, Criterion.TSM)
+        assert manager.leq(c, new_c)
+
+
+class TestSchedule:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Schedule(window_size=0)
+        with pytest.raises(ValueError):
+            Schedule(stop_top_down=-1)
+
+    @given(instance_strategy(4, nonzero_care=True))
+    @settings(max_examples=25, deadline=None)
+    def test_result_is_cover(self, instance):
+        manager = Manager()
+        f, c = build_instance(manager, *instance)
+        spec = ISpec(manager, f, c)
+        for schedule in (
+            Schedule(),
+            Schedule(window_size=1, stop_top_down=0),
+            Schedule(window_size=2, stop_top_down=2, use_level_steps=False),
+            Schedule(window_size=3, stop_top_down=1, batch_size=4),
+        ):
+            cover = scheduled_minimize(manager, f, c, schedule)
+            assert spec.is_cover(cover), schedule
+
+    def test_empty_care(self):
+        manager = Manager(["a"])
+        assert scheduled_minimize(manager, manager.var(0), ZERO) == ONE
+
+    def test_full_care_returns_f(self):
+        manager = Manager(["a", "b"])
+        f = manager.xor(manager.var(0), manager.var(1))
+        assert scheduled_minimize(manager, f, ONE) == f
+
+    def test_degenerates_to_constrain_with_large_stop(self):
+        """With stop_top_down above the depth, only step 6 runs."""
+        manager = Manager()
+        from repro.core.ispec import parse_instance
+        from repro.core.sibling import constrain
+
+        spec = parse_instance(manager, "d1 01")
+        schedule = Schedule(stop_top_down=100)
+        got = scheduled_minimize(manager, spec.f, spec.c, schedule)
+        assert got == constrain(manager, spec.f, spec.c)

@@ -1,0 +1,58 @@
+"""Tests for the application-impact measurement."""
+
+import pytest
+
+from repro.experiments.application import (
+    DEFAULT_MINIMIZERS,
+    measure_application_impact,
+    render_application_impact,
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return measure_application_impact(
+        ["tlc", "styr"], minimizers=("f_orig", "constrain", "osm_bt")
+    )
+
+
+def test_every_combination_measured(runs):
+    assert len(runs) == 2 * 3
+    assert {run.benchmark for run in runs} == {"tlc", "styr"}
+    assert {run.minimizer for run in runs} == {
+        "f_orig",
+        "constrain",
+        "osm_bt",
+    }
+
+
+def test_traversals_remain_correct(runs):
+    """Whatever the minimizer, self-equivalence must hold."""
+    for run in runs:
+        assert run.equivalent
+        assert run.iterations > 0
+        assert run.seconds >= 0.0
+        assert run.nodes_allocated > 0
+
+
+def test_minimizer_choice_does_not_change_iterations(runs):
+    """Frontier covers satisfy U <= S <= R: same fixpoint depth ±1."""
+    by_benchmark = {}
+    for run in runs:
+        by_benchmark.setdefault(run.benchmark, []).append(run.iterations)
+    for iterations in by_benchmark.values():
+        assert max(iterations) - min(iterations) <= 1
+
+
+def test_render(runs):
+    text = render_application_impact(runs)
+    assert "Application impact" in text
+    assert "tlc" in text
+    assert "osm_bt nodes" in text
+
+
+def test_default_minimizers_registered():
+    from repro.core.registry import HEURISTICS
+
+    for name in DEFAULT_MINIMIZERS:
+        assert name in HEURISTICS

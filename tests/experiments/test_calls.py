@@ -1,0 +1,70 @@
+"""Tests for call collection (interception during equivalence checks)."""
+
+import pytest
+
+from repro.bdd.manager import ZERO
+from repro.core.ispec import ISpec
+from repro.experiments.calls import (
+    collect_benchmark_calls,
+    collect_suite_calls,
+)
+
+
+@pytest.fixture(scope="module")
+def tlc_calls():
+    return collect_benchmark_calls("tlc")
+
+
+def test_traversal_still_correct(tlc_calls):
+    assert tlc_calls.equivalent
+    assert tlc_calls.iterations > 0
+
+
+def test_calls_recorded(tlc_calls):
+    assert tlc_calls.calls
+    assert tlc_calls.filtered_out > 0  # cube frontiers get filtered
+
+
+def test_both_call_kinds_present(tlc_calls):
+    kinds = {call.kind for call in tlc_calls.calls}
+    assert kinds == {"image", "frontier"}
+
+
+def test_image_calls_are_sparse_frontier_calls_dense(tlc_calls):
+    image_fracs = [
+        call.onset_fraction for call in tlc_calls.calls if call.kind == "image"
+    ]
+    frontier_fracs = [
+        call.onset_fraction
+        for call in tlc_calls.calls
+        if call.kind == "frontier"
+    ]
+    assert max(image_fracs) < 0.5
+    assert min(frontier_fracs) > 0.5
+
+
+def test_recorded_instances_are_nontrivial(tlc_calls):
+    manager = tlc_calls.manager
+    for call in tlc_calls.calls:
+        spec = ISpec(manager, call.f, call.c)
+        assert not spec.is_trivial()
+        assert call.c != ZERO
+        assert call.f_size == manager.size(call.f)
+
+
+def test_unfiltered_collection_keeps_everything():
+    unfiltered = collect_benchmark_calls("tlc", filter_trivial=False)
+    filtered = collect_benchmark_calls("tlc", filter_trivial=True)
+    assert len(unfiltered.calls) == len(filtered.calls) + filtered.filtered_out
+    assert unfiltered.filtered_out == 0
+
+
+def test_max_iterations_truncates():
+    short = collect_benchmark_calls("tlc", max_iterations=3)
+    assert short.iterations == 3
+
+
+def test_collect_suite_calls_subset():
+    records = collect_suite_calls(["tlc", "styr"])
+    assert [record.name for record in records] == ["tlc", "styr"]
+    assert all(record.equivalent for record in records)

@@ -1,0 +1,59 @@
+"""Tests for instance-corpus serialization."""
+
+import json
+
+import pytest
+
+from repro.core.ispec import ISpec
+from repro.core.registry import HEURISTICS
+from repro.experiments.calls import collect_benchmark_calls
+from repro.experiments.instances import dump_calls, load_calls
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    records = [collect_benchmark_calls("tlc")]
+    text = dump_calls(records)
+    return records, text
+
+
+def test_dump_is_valid_json(corpus):
+    records, text = corpus
+    payload = json.loads(text)
+    assert payload[0]["benchmark"] == "tlc"
+    assert len(payload[0]["calls"]) == len(records[0].calls)
+
+
+def test_roundtrip_preserves_semantics(corpus):
+    """Each reloaded [f, c] has the same care set and care values."""
+    records, text = corpus
+    reloaded = load_calls(text)
+    original_record = records[0]
+    reloaded_record = reloaded[0]
+    assert len(reloaded_record.calls) == len(original_record.calls)
+    source = original_record.manager
+    target = reloaded_record.manager
+    for before, after in zip(original_record.calls, reloaded_record.calls):
+        assert before.kind == after.kind
+        assert before.iteration == after.iteration
+        # Compare semantically via the leaf strings over shared names.
+        assert before.onset_fraction == pytest.approx(
+            after.onset_fraction
+        )
+        assert source.sat_count(before.f) == target.sat_count(after.f)
+        assert source.sat_count(before.c) == target.sat_count(after.c)
+
+
+def test_reloaded_instances_minimizable(corpus):
+    """Heuristics run unchanged on a reloaded corpus."""
+    _, text = corpus
+    record = load_calls(text)[0]
+    manager = record.manager
+    for call in record.calls[:5]:
+        cover = HEURISTICS["osm_bt"](manager, call.f, call.c)
+        assert ISpec(manager, call.f, call.c).is_cover(cover)
+
+
+def test_deterministic_dump(corpus):
+    records, text = corpus
+    assert dump_calls(records) == text

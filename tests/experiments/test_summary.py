@@ -1,0 +1,94 @@
+"""Tests for per-benchmark summaries, stats, and CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.calls import collect_suite_calls
+from repro.experiments.harness import run_heuristics
+from repro.experiments.summary import (
+    export_csv,
+    lower_bound_attainment,
+    per_benchmark_summaries,
+    render_per_benchmark,
+    win_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    calls = collect_suite_calls(["tlc", "styr"])
+    return run_heuristics(calls, cube_limit=50)
+
+
+class TestPerBenchmark:
+    def test_one_summary_per_benchmark(self, results):
+        summaries = per_benchmark_summaries(results)
+        assert [summary.name for summary in summaries] == ["tlc", "styr"]
+
+    def test_call_counts_partition(self, results):
+        summaries = per_benchmark_summaries(results)
+        assert sum(summary.calls for summary in summaries) == len(
+            results.results
+        )
+        for summary in summaries:
+            assert summary.sparse_calls + summary.dense_calls <= summary.calls
+
+    def test_reduction_at_least_min_ratio(self, results):
+        for summary in per_benchmark_summaries(results):
+            assert summary.reduction >= 0.0
+            assert summary.min_total <= summary.f_orig_total or (
+                summary.reduction < 1.0
+            )
+
+    def test_best_heuristic_is_registered(self, results):
+        for summary in per_benchmark_summaries(results):
+            assert summary.best_heuristic in results.heuristics
+
+    def test_render(self, results):
+        text = render_per_benchmark(results)
+        assert "tlc" in text
+        assert "Reduction" in text
+
+
+class TestStats:
+    def test_attainment_in_unit_interval(self, results):
+        fraction = lower_bound_attainment(results)
+        assert fraction is not None
+        assert 0.0 <= fraction <= 1.0
+
+    def test_attainment_none_without_bounds(self):
+        calls = collect_suite_calls(["tlc"])
+        results = run_heuristics(calls, compute_lower_bound=False)
+        assert lower_bound_attainment(results) is None
+
+    def test_win_counts_cover_every_call(self, results):
+        counts = win_counts(results)
+        # Every call is won by at least one heuristic (ties count all).
+        assert max(counts.values()) <= len(results.results)
+        assert sum(counts.values()) >= len(results.results)
+
+
+class TestCsv:
+    def test_row_count_and_header(self, results):
+        text = export_csv(results)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == len(results.results) + 1
+        header = rows[0]
+        assert header[0] == "benchmark"
+        assert "size_constrain" in header
+        assert "time_opt_lv" in header
+
+    def test_values_roundtrip(self, results):
+        text = export_csv(results)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        for row, result in zip(rows, results.results):
+            assert row["benchmark"] == result.benchmark
+            assert int(row["min"]) == result.min_size
+            assert int(row["size_restrict"]) == result.sizes["restrict"]
+
+    def test_stream_write(self, results):
+        buffer = io.StringIO()
+        text = export_csv(results, stream=buffer)
+        assert buffer.getvalue() == text

@@ -1,0 +1,153 @@
+"""Tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.fsm.blif import (
+    BlifError,
+    compile_blif,
+    parse_blif,
+    write_blif,
+)
+from repro.fsm.machine import compile_fsm
+from repro.fsm.product import ProductMachine, compile_product
+from repro.fsm.reachability import check_equivalence
+from repro.circuits.generators import counter, traffic_light_controller
+
+SIMPLE = """
+# a toggle flip-flop with enable
+.model toggle
+.inputs en
+.outputs out
+.latch q_next q 0
+.names en q q_next
+10 1
+01 1
+.names q out
+1 1
+.end
+"""
+
+
+class TestParse:
+    def test_structure(self):
+        model = parse_blif(SIMPLE)
+        assert model.name == "toggle"
+        assert model.inputs == ["en"]
+        assert model.outputs == ["out"]
+        assert model.latches == [("q_next", "q", False)]
+        assert len(model.tables) == 2
+
+    def test_comments_and_continuations(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs o\n.names a b o  # and\n11 1\n.end\n"
+        model = parse_blif(text)
+        assert model.inputs == ["a", "b"]
+
+    def test_missing_model(self):
+        with pytest.raises(BlifError):
+            parse_blif(".inputs a\n")
+
+    def test_row_outside_names(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n11 1\n.end\n")
+
+    def test_bad_pattern_width(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a b\n.names a b o\n1 1\n.end\n")
+
+    def test_bad_output_value(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n.names a o\n1 x\n.end\n")
+
+    def test_malformed_latch(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.latch x\n.end\n")
+
+    def test_unsupported_construct(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.gate nand2 a=x b=y o=z\n.end\n")
+
+
+class TestCompile:
+    def test_toggle_semantics(self):
+        manager = Manager()
+        fsm = compile_blif(manager, parse_blif(SIMPLE))
+        trace = fsm.simulate([{"en": True}, {"en": True}, {"en": False}])
+        assert [step["out"] for step in trace] == [False, True, False]
+
+    def test_zero_polarity_cover(self):
+        text = (
+            ".model inv\n.inputs a\n.outputs o\n.names a o\n1 0\n.end\n"
+        )
+        manager = Manager()
+        fsm = compile_blif(manager, parse_blif(text))
+        assert fsm.output_fns["o"] == manager.var(fsm.input_levels[0]) ^ 1
+
+    def test_constant_tables(self):
+        text = (
+            ".model consts\n.inputs a\n.outputs t f\n"
+            ".names t\n1\n.names f\n.end\n"
+        )
+        manager = Manager()
+        fsm = compile_blif(manager, parse_blif(text))
+        assert fsm.output_fns["t"] == ONE
+        assert fsm.output_fns["f"] == ZERO
+
+    def test_tables_in_any_order(self):
+        text = (
+            ".model ooo\n.inputs a\n.outputs o\n"
+            ".names mid o\n1 1\n"
+            ".names a mid\n0 1\n.end\n"
+        )
+        manager = Manager()
+        fsm = compile_blif(manager, parse_blif(text))
+        assert fsm.output_fns["o"] == manager.var(fsm.input_levels[0]) ^ 1
+
+    def test_cycle_detected(self):
+        text = (
+            ".model cyc\n.inputs a\n.outputs o\n"
+            ".names o2 o\n1 1\n.names o o2\n1 1\n.end\n"
+        )
+        with pytest.raises(BlifError):
+            compile_blif(Manager(), parse_blif(text))
+
+    def test_undefined_output(self):
+        text = ".model u\n.inputs a\n.outputs ghost\n.end\n"
+        with pytest.raises(BlifError):
+            compile_blif(Manager(), parse_blif(text))
+
+    def test_mixed_output_values_rejected(self):
+        text = ".model m\n.inputs a b\n.outputs o\n.names a b o\n11 1\n00 0\n.end\n"
+        with pytest.raises(BlifError):
+            compile_blif(Manager(), parse_blif(text))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "spec_factory", [lambda: counter(3), traffic_light_controller]
+    )
+    def test_machine_equivalent_after_roundtrip(self, spec_factory):
+        """compile -> write_blif -> parse -> compile gives an
+        equivalent machine (checked with the product machine)."""
+        spec = spec_factory()
+        scratch = Manager()
+        original = compile_fsm(scratch, spec)
+        text = write_blif(original)
+        model = parse_blif(text)
+
+        shared = Manager()
+        left = compile_fsm(shared, spec)
+        right = compile_blif(shared, model, prefix="copy.")
+        # Align the copy's inputs onto the original's input variables.
+        rename = dict(zip(right.input_levels, left.input_levels))
+        right.next_fns = [
+            shared.rename(fn, rename) for fn in right.next_fns
+        ]
+        right.output_fns = {
+            name: shared.rename(fn, rename)
+            for name, fn in right.output_fns.items()
+        }
+        right.input_levels = list(left.input_levels)
+        right.input_names = list(left.input_names)
+        product = ProductMachine(left, right)
+        assert check_equivalence(product).equivalent

@@ -1,0 +1,118 @@
+"""Edge cases across the FSM layer."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.fsm.blif import BlifError, write_blif
+from repro.fsm.machine import (
+    Fsm,
+    FsmSpec,
+    LatchSpec,
+    OutputSpec,
+    compile_fsm,
+)
+from repro.fsm.product import ProductMachine, compile_product
+from repro.fsm.reachability import check_equivalence, reachable_states
+from repro.circuits.generators import counter, lfsr
+
+
+class TestSimulateErrors:
+    def test_unknown_input_name(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(2))
+        with pytest.raises(KeyError) as excinfo:
+            fsm.simulate([{"nope": True}])
+        assert "en" in str(excinfo.value)
+
+
+class TestInputlessMachines:
+    def test_reachability_without_inputs(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, lfsr(3))
+        assert fsm.num_inputs == 0
+        result = reachable_states(fsm)
+        assert result.state_count(fsm) >= 1
+
+    def test_equivalence_without_inputs(self):
+        manager = Manager()
+        spec = lfsr(3)
+        product = compile_product(manager, spec, spec)
+        assert check_equivalence(product).equivalent
+
+
+class TestProductEdges:
+    def test_output_count_mismatch(self):
+        manager = Manager()
+        left = FsmSpec(
+            "l",
+            ("x",),
+            (LatchSpec("q", "x"),),
+            (OutputSpec("o1", "q"), OutputSpec("o2", "~q")),
+        )
+        right = FsmSpec(
+            "r", ("x",), (LatchSpec("q", "x"),), (OutputSpec("z", "q"),)
+        )
+        with pytest.raises(ValueError):
+            compile_product(manager, left, right)
+
+    def test_cross_manager_rejected(self):
+        spec = counter(2)
+        left = compile_fsm(Manager(), spec, prefix="a.")
+        right = compile_fsm(Manager(), spec, prefix="b.")
+        with pytest.raises(ValueError):
+            ProductMachine(left, right)
+
+    def test_asymmetric_latch_counts(self):
+        """Machines with different state sizes still interleave."""
+        small = FsmSpec(
+            "s", ("x",), (LatchSpec("q", "x"),), (OutputSpec("o", "q"),)
+        )
+        big = FsmSpec(
+            "b",
+            ("x",),
+            (
+                LatchSpec("p0", "x"),
+                LatchSpec("p1", "p0"),
+                LatchSpec("p2", "p1"),
+            ),
+            (OutputSpec("o", "p0"),),
+        )
+        manager = Manager()
+        product = compile_product(manager, small, big)
+        result = check_equivalence(product)
+        assert result.equivalent  # both output the delayed input by 1
+
+
+class TestBlifWriterEdges:
+    def test_machine_without_inputs(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, lfsr(3))
+        text = write_blif(fsm)
+        assert ".inputs" not in text
+        assert text.count(".latch") == 3
+
+    def test_function_on_foreign_variable_rejected(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(2))
+        rogue = manager.new_var("rogue")
+        fsm.output_fns["bad"] = rogue
+        with pytest.raises(BlifError):
+            write_blif(fsm)
+
+    def test_constant_next_state(self):
+        spec = FsmSpec(
+            "k", ("x",), (LatchSpec("q", "1"),), (OutputSpec("o", "q"),)
+        )
+        manager = Manager()
+        fsm = compile_fsm(manager, spec)
+        text = write_blif(fsm)
+        assert ".names q_next\n1" in text
+
+
+class TestReachabilityResultApi:
+    def test_state_count_respects_extra_vars(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(2))
+        manager.new_var("unrelated")
+        result = reachable_states(fsm)
+        assert result.state_count(fsm) == 4

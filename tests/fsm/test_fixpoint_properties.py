@@ -1,0 +1,105 @@
+"""Property tests on random machines: fixpoint and duality invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.fsm.machine import compile_fsm
+from repro.fsm.image import (
+    image_by_relation,
+    preimage_by_relation,
+    transition_relation,
+)
+from repro.fsm.reachability import reachable_states
+from repro.circuits.generators import random_controller
+
+
+def _machine(seed):
+    manager = Manager()
+    fsm = compile_fsm(
+        manager, random_controller(seed, state_bits=4, input_bits=2)
+    )
+    return manager, fsm
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_reached_set_is_a_fixpoint(seed):
+    """R contains the initial state and is closed under image."""
+    manager, fsm = _machine(seed)
+    reached = reachable_states(fsm).reached
+    assert manager.leq(fsm.init_cube, reached)
+    assert manager.leq(image_by_relation(fsm, reached), reached)
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_image_monotone(seed):
+    """S ⊆ T implies Img(S) ⊆ Img(T)."""
+    manager, fsm = _machine(seed)
+    rng = random.Random(seed)
+    small = fsm.init_cube
+    big = manager.or_(
+        small,
+        manager.cube_ref(
+            {
+                level: bool(rng.getrandbits(1))
+                for level in fsm.current_levels
+            }
+        ),
+    )
+    assert manager.leq(
+        image_by_relation(fsm, small), image_by_relation(fsm, big)
+    )
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=20, deadline=None)
+def test_image_preimage_galois_connection(seed):
+    """Img(S) ∩ T ≠ ∅  ⇔  S ∩ Pre(T) ≠ ∅ (adjointness)."""
+    manager, fsm = _machine(seed)
+    rng = random.Random(seed * 31 + 7)
+    source = fsm.init_cube
+    target = manager.cube_ref(
+        {level: bool(rng.getrandbits(1)) for level in fsm.current_levels}
+    )
+    forward_hits = (
+        manager.and_(image_by_relation(fsm, source), target) != ZERO
+    )
+    backward_hits = (
+        manager.and_(source, preimage_by_relation(fsm, target)) != ZERO
+    )
+    assert forward_hits == backward_hits
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=20, deadline=None)
+def test_image_distributes_over_union(seed):
+    manager, fsm = _machine(seed)
+    rng = random.Random(seed ^ 0xBEEF)
+    first = manager.cube_ref(
+        {level: bool(rng.getrandbits(1)) for level in fsm.current_levels}
+    )
+    second = manager.cube_ref(
+        {level: bool(rng.getrandbits(1)) for level in fsm.current_levels}
+    )
+    union_image = image_by_relation(fsm, manager.or_(first, second))
+    separate = manager.or_(
+        image_by_relation(fsm, first), image_by_relation(fsm, second)
+    )
+    assert union_image == separate
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=15, deadline=None)
+def test_relation_projection_consistency(seed):
+    """Projecting the relation onto next-state vars = Img(ONE)."""
+    manager, fsm = _machine(seed)
+    relation = transition_relation(fsm)
+    projected = manager.exists(
+        relation, fsm.input_levels + fsm.current_levels
+    )
+    from_image = fsm.rename_current_to_next(image_by_relation(fsm, ONE))
+    assert projected == from_image

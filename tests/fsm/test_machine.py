@@ -1,0 +1,128 @@
+"""Tests for FSM specs, compilation, and simulation."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.function import Function
+from repro.fsm.machine import (
+    Fsm,
+    FsmSpec,
+    LatchSpec,
+    OutputSpec,
+    compile_fsm,
+)
+
+
+def toggler_spec():
+    return FsmSpec(
+        name="toggle",
+        inputs=("en",),
+        latches=(LatchSpec("q", "q ^ en"),),
+        outputs=(OutputSpec("out", "q"),),
+    )
+
+
+class TestSpecValidation:
+    def test_duplicate_signal_names(self):
+        with pytest.raises(ValueError):
+            FsmSpec("bad", ("a",), (LatchSpec("a", "a"),), ())
+
+    def test_duplicate_output_names(self):
+        with pytest.raises(ValueError):
+            FsmSpec(
+                "bad",
+                ("a",),
+                (),
+                (OutputSpec("o", "a"), OutputSpec("o", "~a")),
+            )
+
+    def test_num_state_bits(self):
+        assert toggler_spec().num_state_bits == 1
+
+
+class TestCompile:
+    def test_variable_allocation_adjacent(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, toggler_spec())
+        assert fsm.next_levels[0] == fsm.current_levels[0] + 1
+
+    def test_next_function(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, toggler_spec())
+        en = manager.var(fsm.input_levels[0])
+        q = manager.var(fsm.current_levels[0])
+        assert fsm.next_fns[0] == manager.xor(q, en)
+
+    def test_init_cube(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, toggler_spec())
+        q_level = fsm.current_levels[0]
+        assert fsm.init_cube == manager.cube_ref({q_level: False})
+
+    def test_callable_spec_fn(self):
+        def next_q(env):
+            return env["q"] ^ env["en"]
+
+        spec = FsmSpec(
+            "toggle",
+            ("en",),
+            (LatchSpec("q", next_q),),
+            (OutputSpec("out", lambda env: env["q"]),),
+        )
+        manager = Manager()
+        fsm = compile_fsm(manager, spec)
+        en = manager.var(fsm.input_levels[0])
+        q = manager.var(fsm.current_levels[0])
+        assert fsm.next_fns[0] == manager.xor(q, en)
+
+    def test_callable_must_return_function(self):
+        spec = FsmSpec(
+            "bad", ("a",), (LatchSpec("q", lambda env: 42),), ()
+        )
+        with pytest.raises(TypeError):
+            compile_fsm(Manager(), spec)
+
+    def test_callable_foreign_manager_rejected(self):
+        foreign = Manager(["z"])
+
+        def bad(env):
+            return Function(foreign, foreign.var("z"))
+
+        spec = FsmSpec("bad", ("a",), (LatchSpec("q", bad),), ())
+        with pytest.raises(ValueError):
+            compile_fsm(Manager(), spec)
+
+    def test_unknown_signal_in_expression(self):
+        spec = FsmSpec("bad", ("a",), (LatchSpec("q", "zz | a"),), ())
+        with pytest.raises(KeyError):
+            compile_fsm(Manager(), spec)
+
+    def test_prefix_namespaces_manager_names(self):
+        manager = Manager()
+        compile_fsm(manager, toggler_spec(), prefix="m1.")
+        assert "m1.q" in manager.var_names
+
+
+class TestRename:
+    def test_roundtrip(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, toggler_spec())
+        q = manager.var(fsm.current_levels[0])
+        primed = fsm.rename_current_to_next(q)
+        assert primed == manager.var(fsm.next_levels[0])
+        assert fsm.rename_next_to_current(primed) == q
+
+
+class TestSimulate:
+    def test_toggler_trace(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, toggler_spec())
+        trace = fsm.simulate(
+            [{"en": True}, {"en": False}, {"en": True}, {"en": True}]
+        )
+        assert [step["out"] for step in trace] == [False, True, True, False]
+
+    def test_repr(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, toggler_spec())
+        assert "toggle" in repr(fsm)

@@ -1,0 +1,107 @@
+"""Tests for the combinational netlist substrate."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.fsm.netlist import Netlist
+
+
+@pytest.fixture
+def manager():
+    return Manager(["a", "b", "c"])
+
+
+def _inputs(manager):
+    return {name: manager.var(name) for name in ("a", "b", "c")}
+
+
+def test_simple_gates(manager):
+    netlist = Netlist()
+    for name in ("a", "b", "c"):
+        netlist.add_input(name)
+    netlist.add_gate("x", "AND", ["a", "b"])
+    netlist.add_gate("y", "OR", ["x", "c"])
+    netlist.add_gate("z", "NOT", ["y"])
+    values = netlist.to_bdds(manager, _inputs(manager))
+    a, b, c = (manager.var(name) for name in ("a", "b", "c"))
+    assert values["x"] == manager.and_(a, b)
+    assert values["y"] == manager.or_(manager.and_(a, b), c)
+    assert values["z"] == values["y"] ^ 1
+
+
+def test_all_operators(manager):
+    netlist = Netlist()
+    for name in ("a", "b", "c"):
+        netlist.add_input(name)
+    netlist.add_gate("nand2", "NAND", ["a", "b"])
+    netlist.add_gate("nor2", "NOR", ["a", "b"])
+    netlist.add_gate("xor2", "XOR", ["a", "b"])
+    netlist.add_gate("xnor2", "XNOR", ["a", "b"])
+    netlist.add_gate("buf1", "BUF", ["a"])
+    netlist.add_gate("mux1", "MUX", ["a", "b", "c"])
+    netlist.add_gate("k0", "CONST0", [])
+    netlist.add_gate("k1", "CONST1", [])
+    values = netlist.to_bdds(manager, _inputs(manager))
+    a, b, c = (manager.var(name) for name in ("a", "b", "c"))
+    assert values["nand2"] == manager.and_(a, b) ^ 1
+    assert values["nor2"] == manager.or_(a, b) ^ 1
+    assert values["xor2"] == manager.xor(a, b)
+    assert values["xnor2"] == manager.xnor(a, b)
+    assert values["buf1"] == a
+    assert values["mux1"] == manager.ite(a, b, c)
+    assert values["k0"] == ZERO
+    assert values["k1"] == ONE
+
+
+def test_def_before_use_enforced(manager):
+    netlist = Netlist()
+    netlist.add_input("a")
+    with pytest.raises(ValueError):
+        netlist.add_gate("x", "AND", ["a", "ghost"])
+
+
+def test_duplicate_signal_rejected(manager):
+    netlist = Netlist()
+    netlist.add_input("a")
+    with pytest.raises(ValueError):
+        netlist.add_input("a")
+    netlist.add_gate("x", "NOT", ["a"])
+    with pytest.raises(ValueError):
+        netlist.add_gate("x", "BUF", ["a"])
+
+
+def test_arity_checked(manager):
+    netlist = Netlist()
+    netlist.add_input("a")
+    with pytest.raises(ValueError):
+        netlist.add_gate("x", "NOT", ["a", "a"])
+    with pytest.raises(ValueError):
+        netlist.add_gate("y", "MUX", ["a"])
+    with pytest.raises(ValueError):
+        netlist.add_gate("z", "AND", [])
+    with pytest.raises(ValueError):
+        netlist.add_gate("w", "FROB", ["a"])
+
+
+def test_missing_input_ref(manager):
+    netlist = Netlist()
+    netlist.add_input("a")
+    with pytest.raises(KeyError):
+        netlist.to_bdds(manager, {})
+
+
+def test_signals_property(manager):
+    netlist = Netlist()
+    netlist.add_input("a")
+    netlist.add_gate("x", "NOT", ["a"])
+    assert netlist.signals == ["a", "x"]
+
+
+def test_inputs_may_be_arbitrary_functions(manager):
+    """Latch feedback: inputs can be any BDD, not just variables."""
+    netlist = Netlist()
+    netlist.add_input("s")
+    netlist.add_gate("n", "NOT", ["s"])
+    a, b = manager.var("a"), manager.var("b")
+    values = netlist.to_bdds(manager, {"s": manager.and_(a, b)})
+    assert values["n"] == manager.and_(a, b) ^ 1

@@ -1,0 +1,141 @@
+"""Tests for unreachable-state logic minimization and clustered image."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.fsm.machine import compile_fsm
+from repro.fsm.image import (
+    image_by_clustered_relation,
+    image_by_relation,
+)
+from repro.fsm.optimize import (
+    minimize_fsm_logic,
+    sequentially_equivalent,
+)
+from repro.fsm.reachability import reachable_states
+from repro.circuits.generators import (
+    johnson_counter,
+    lfsr,
+    random_controller,
+    redundant_counter,
+    traffic_light_controller,
+)
+
+
+class TestMinimizeFsmLogic:
+    @pytest.mark.parametrize(
+        "spec_factory",
+        [
+            lambda: johnson_counter(4),
+            lambda: lfsr(4),
+            traffic_light_controller,
+            lambda: redundant_counter(9, bits=3, garbage_terms=6),
+        ],
+    )
+    def test_optimized_machine_is_sequentially_equivalent(self, spec_factory):
+        manager = Manager()
+        fsm = compile_fsm(manager, spec_factory())
+        report = minimize_fsm_logic(fsm)
+        assert sequentially_equivalent(fsm, report.machine)
+
+    def test_never_grows(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, random_controller(3, 5, 3))
+        report = minimize_fsm_logic(fsm, method="constrain")
+        assert report.total_after <= report.total_before
+        assert report.reduction >= 1.0
+
+    def test_redundant_machine_shrinks_substantially(self):
+        """The garbage logic lives entirely on unreachable states."""
+        manager = Manager()
+        fsm = compile_fsm(manager, redundant_counter(5, bits=4, garbage_terms=8))
+        report = minimize_fsm_logic(fsm, method="restrict")
+        assert report.reduction > 1.5
+        assert report.reachable_fraction < 0.5
+
+    def test_reachable_fraction_sane(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, johnson_counter(4))
+        report = minimize_fsm_logic(fsm)
+        assert report.reachable_fraction == pytest.approx(8 / 16)
+
+    def test_precomputed_reached_accepted(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, lfsr(4))
+        reached = reachable_states(fsm).reached
+        report = minimize_fsm_logic(fsm, reached=reached)
+        assert sequentially_equivalent(fsm, report.machine, reached=reached)
+
+    def test_optimized_machine_same_reachable_set(self):
+        """Sequential equivalence implies identical traversals."""
+        manager = Manager()
+        fsm = compile_fsm(manager, traffic_light_controller())
+        report = minimize_fsm_logic(fsm)
+        original = reachable_states(fsm)
+        optimized = reachable_states(report.machine)
+        assert original.reached == optimized.reached
+
+    def test_mismatched_machines_rejected(self):
+        manager_a, manager_b = Manager(), Manager()
+        fsm_a = compile_fsm(manager_a, lfsr(3))
+        fsm_b = compile_fsm(manager_b, lfsr(3))
+        fsm_b.current_levels = [level + 1 for level in fsm_b.current_levels]
+        with pytest.raises(ValueError):
+            sequentially_equivalent(fsm_a, fsm_b)
+
+    def test_detects_behavioural_difference(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, johnson_counter(3))
+        import copy
+
+        broken = copy.copy(fsm)
+        broken.next_fns = list(fsm.next_fns)
+        broken.next_fns[0] ^= 1  # flip a next-state function everywhere
+        assert not sequentially_equivalent(fsm, broken)
+
+
+class TestClusteredImage:
+    @pytest.mark.parametrize("seed", [5, 23, 77])
+    def test_agrees_with_monolithic(self, seed):
+        manager = Manager()
+        fsm = compile_fsm(
+            manager, random_controller(seed, state_bits=5, input_bits=3)
+        )
+        states = fsm.init_cube
+        for _ in range(3):
+            mono = image_by_relation(fsm, states)
+            clustered = image_by_clustered_relation(fsm, states)
+            assert mono == clustered
+            states = manager.or_(states, mono)
+
+    def test_tiny_cluster_cap_still_correct(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, traffic_light_controller())
+        states = fsm.init_cube
+        for _ in range(4):
+            mono = image_by_relation(fsm, states)
+            clustered = image_by_clustered_relation(
+                fsm, states, cluster_size=1
+            )
+            assert mono == clustered
+            states = manager.or_(states, mono)
+
+    def test_empty_states(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, lfsr(3))
+        assert image_by_clustered_relation(fsm, ZERO) == ZERO
+
+    def test_clusters_cached_per_cap(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, lfsr(3))
+        image_by_clustered_relation(fsm, fsm.init_cube, cluster_size=7)
+        image_by_clustered_relation(fsm, fsm.init_cube, cluster_size=9)
+        assert set(fsm.__dict__["_clusters"]) == {7, 9}
+
+    def test_reachability_with_clustered_image(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, johnson_counter(4))
+        result = reachable_states(
+            fsm, image=image_by_clustered_relation
+        )
+        assert result.state_count(fsm) == 8

@@ -1,0 +1,171 @@
+"""Tests for reachability, frontier minimization, and equivalence."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.core.registry import HEURISTICS
+from repro.fsm.machine import FsmSpec, LatchSpec, OutputSpec, compile_fsm
+from repro.fsm.image import image_by_constrain_range
+from repro.fsm.product import compile_product
+from repro.fsm.reachability import (
+    check_equivalence,
+    reachable_states,
+)
+from repro.circuits.generators import (
+    counter,
+    gray_counter,
+    johnson_counter,
+    lfsr,
+    shift_register,
+)
+
+
+class TestReachableStates:
+    def test_counter_reaches_everything(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(3))
+        result = reachable_states(fsm)
+        assert result.reached == ONE  # over state vars: all 8 states
+        assert result.state_count(fsm) == 8
+
+    def test_johnson_counter_reaches_2n_states(self):
+        manager = Manager()
+        bits = 4
+        fsm = compile_fsm(manager, johnson_counter(bits))
+        result = reachable_states(fsm)
+        assert result.state_count(fsm) == 2 * bits
+
+    def test_lfsr_avoids_zero_state(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, lfsr(4))
+        result = reachable_states(fsm)
+        zero_state = manager.cube_ref(
+            {level: False for level in fsm.current_levels}
+        )
+        assert manager.and_(result.reached, zero_state) == ZERO
+
+    def test_max_iterations_truncates(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(4))
+        result = reachable_states(fsm, max_iterations=2)
+        assert result.iterations == 2
+        assert result.state_count(fsm) < 16
+
+    def test_every_heuristic_is_a_valid_frontier_minimizer(self):
+        """Reachability result is identical under any cover choice."""
+        manager = Manager()
+        fsm = compile_fsm(manager, gray_counter(3))
+        baseline = reachable_states(fsm).reached
+        for name in ("constrain", "restrict", "osm_bt", "tsm_td", "sched"):
+            other_manager = Manager()
+            other_fsm = compile_fsm(other_manager, gray_counter(3))
+            result = reachable_states(
+                other_fsm, minimize=HEURISTICS[name]
+            )
+            assert result.state_count(other_fsm) == 8, name
+
+    def test_invalid_minimizer_detected(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(3))
+
+        def broken(mgr, f, c):
+            return ZERO  # drops required frontier states
+
+        with pytest.raises(ValueError):
+            reachable_states(fsm, minimize=broken)
+
+    def test_frontier_sizes_recorded(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(3))
+        result = reachable_states(fsm)
+        assert len(result.frontier_sizes) == len(result.minimized_sizes)
+        assert all(size >= 1 for size in result.frontier_sizes)
+
+    def test_constrain_range_image_gives_same_reached_set(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, gray_counter(3))
+        by_relation = reachable_states(fsm).reached
+        manager2 = Manager()
+        fsm2 = compile_fsm(manager2, gray_counter(3))
+        by_range = reachable_states(
+            fsm2, image=image_by_constrain_range
+        ).reached
+        assert manager.sat_count(by_relation, 8) == manager2.sat_count(
+            by_range, 8
+        )
+
+
+class TestEquivalence:
+    def test_machine_equivalent_to_itself(self):
+        manager = Manager()
+        spec = counter(3)
+        product = compile_product(manager, spec, spec)
+        result = check_equivalence(product)
+        assert result.equivalent
+        assert bool(result)
+        assert result.counterexample is None
+
+    def test_binary_vs_gray_counters_differ(self):
+        """Different encodings with incompatible outputs: not equal."""
+        manager = Manager()
+        binary = counter(3, with_enable=True)
+        gray = FsmSpec(
+            name=gray_counter(3).name,
+            inputs=("en",),
+            latches=gray_counter(3).latches,
+            outputs=(OutputSpec("rollover", "g0 & g1 & g2 & en"),),
+        )
+        product = compile_product(manager, binary, gray)
+        result = check_equivalence(product)
+        assert not result.equivalent
+        assert result.counterexample is not None
+
+    def test_equivalent_reencodings(self):
+        """A shift register equals itself with renamed latches."""
+        spec_a = shift_register(4)
+        spec_b = FsmSpec(
+            name="shadow",
+            inputs=spec_a.inputs,
+            latches=spec_a.latches,
+            outputs=spec_a.outputs,
+        )
+        manager = Manager()
+        product = compile_product(manager, spec_a, spec_b)
+        assert check_equivalence(product).equivalent
+
+    def test_inequivalent_initial_states(self):
+        base = FsmSpec(
+            "flip",
+            ("en",),
+            (LatchSpec("q", "q ^ en", init=False),),
+            (OutputSpec("o", "q"),),
+        )
+        other = FsmSpec(
+            "flop",
+            ("en",),
+            (LatchSpec("q", "q ^ en", init=True),),
+            (OutputSpec("o", "q"),),
+        )
+        manager = Manager()
+        product = compile_product(manager, base, other)
+        result = check_equivalence(product)
+        assert not result.equivalent
+
+    def test_mismatched_inputs_rejected(self):
+        manager = Manager()
+        with pytest.raises(ValueError):
+            compile_product(manager, counter(2), shift_register(2))
+
+    def test_counterexample_is_reachable_state(self):
+        manager = Manager()
+        left = FsmSpec(
+            "a", ("x",), (LatchSpec("q", "x"),), (OutputSpec("o", "q"),)
+        )
+        right = FsmSpec(
+            "b", ("x",), (LatchSpec("q", "x"),), (OutputSpec("o", "~q"),)
+        )
+        product = compile_product(manager, left, right)
+        result = check_equivalence(product)
+        assert not result.equivalent
+        # The counterexample is found at the very first frontier.
+        assert result.iterations == 0

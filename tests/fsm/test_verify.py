@@ -1,0 +1,203 @@
+"""Tests for invariant checking and counterexample traces."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.parser import parse_expression
+from repro.fsm.machine import FsmSpec, LatchSpec, OutputSpec, compile_fsm
+from repro.fsm.product import compile_product
+from repro.fsm.verify import (
+    Trace,
+    build_trace,
+    check_invariant,
+    equivalence_counterexample_trace,
+)
+from repro.circuits.generators import (
+    counter,
+    johnson_counter,
+    traffic_light_controller,
+)
+
+
+def _replay(fsm, trace):
+    """Re-simulate a trace's inputs and return the visited states."""
+    visited = [
+        {
+            name: value
+            for name, value in zip(fsm.latch_names, fsm.init_values)
+        }
+    ]
+    state = dict(zip(fsm.current_levels, fsm.init_values))
+    for step_inputs in trace.inputs:
+        assignment = dict(state)
+        for name, value in step_inputs.items():
+            position = fsm.input_names.index(name)
+            assignment[fsm.input_levels[position]] = value
+        state = {
+            level: fsm.manager.eval(fn, assignment)
+            for level, fn in zip(fsm.current_levels, fsm.next_fns)
+        }
+        visited.append(
+            {
+                name: state[level]
+                for name, level in zip(fsm.latch_names, fsm.current_levels)
+            }
+        )
+    return visited
+
+
+class TestCheckInvariant:
+    def test_holding_invariant(self):
+        """The TLC's mutual-exclusion property holds."""
+        manager = Manager()
+        fsm = compile_fsm(manager, traffic_light_controller())
+        both_green = manager.and_(
+            fsm.output_fns["highway_go"], fsm.output_fns["farm_go"]
+        )
+        result = check_invariant(fsm, both_green ^ 1)
+        assert result.holds
+        assert result.trace is None
+        assert bool(result)
+
+    def test_violated_invariant_produces_trace(self):
+        """'Counter never reaches 3' is violated after 3 enabled steps."""
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(2))
+        q0 = manager.var(fsm.current_levels[0])
+        q1 = manager.var(fsm.current_levels[1])
+        at_three = manager.and_(q0, q1)
+        result = check_invariant(fsm, at_three ^ 1)
+        assert not result.holds
+        trace = result.trace
+        assert trace is not None
+        assert len(trace) == 3  # minimal-length counterexample
+        # Final state is the violation.
+        assert trace.states[-1] == {"q0": True, "q1": True}
+
+    def test_trace_replays_correctly(self):
+        """The generated input sequence actually drives the machine."""
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(3))
+        target = manager.and_many(
+            [manager.var(level) for level in fsm.current_levels]
+        )
+        result = check_invariant(fsm, target ^ 1)
+        assert not result.holds
+        replayed = _replay(fsm, result.trace)
+        assert replayed == result.trace.states
+        assert replayed[-1] == {"q0": True, "q1": True, "q2": True}
+
+    def test_unreachable_violation_is_fine(self):
+        """Johnson counters never reach non-code states."""
+        manager = Manager()
+        fsm = compile_fsm(manager, johnson_counter(3))
+        # 101 is not a Johnson code word from reset 000.
+        q = [manager.var(level) for level in fsm.current_levels]
+        bad = manager.and_many([q[0], q[1] ^ 1, q[2]])
+        result = check_invariant(fsm, bad ^ 1)
+        assert result.holds
+
+    def test_max_iterations(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(4))
+        top = manager.and_many(
+            [manager.var(level) for level in fsm.current_levels]
+        )
+        result = check_invariant(fsm, top ^ 1, max_iterations=2)
+        assert result.holds  # truncated before the violation is found
+        assert result.iterations == 2
+
+    def test_initial_state_violation(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(2))
+        result = check_invariant(fsm, ZERO)  # nothing is allowed
+        assert not result.holds
+        assert len(result.trace) == 0
+
+    def test_render(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(2))
+        at_one = manager.and_(
+            manager.var(fsm.current_levels[0]),
+            manager.var(fsm.current_levels[1]) ^ 1,
+        )
+        result = check_invariant(fsm, at_one ^ 1)
+        text = result.trace.render()
+        assert "state 0" in text
+        assert "inputs" in text
+
+
+class TestTraceMinimality:
+    def test_bfs_traces_are_shortest(self):
+        """Onion-ring reconstruction yields a shortest counterexample.
+
+        Cross-checked against explicit breadth-first search over the
+        concrete state graph of a small machine.
+        """
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(3))
+        # Explicit BFS distances over (state value) with en in {0,1}.
+        distances = {0: 0}
+        frontier = [0]
+        while frontier:
+            new_frontier = []
+            for value in frontier:
+                for enabled in (0, 1):
+                    successor = (value + enabled) % 8
+                    if successor not in distances:
+                        distances[successor] = distances[value] + 1
+                        new_frontier.append(successor)
+            frontier = new_frontier
+        for target_value in range(1, 8):
+            target = manager.cube_ref(
+                {
+                    level: bool((target_value >> index) & 1)
+                    for index, level in enumerate(fsm.current_levels)
+                }
+            )
+            result = check_invariant(fsm, target ^ 1)
+            assert not result.holds
+            assert len(result.trace) == distances[target_value], target_value
+
+
+class TestBuildTrace:
+    def test_bad_target_rejected(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(2))
+        with pytest.raises(ValueError):
+            build_trace(fsm, [fsm.init_cube], ZERO)
+
+
+class TestEquivalenceTrace:
+    def test_none_for_equivalent_machines(self):
+        manager = Manager()
+        spec = counter(3)
+        product = compile_product(manager, spec, spec)
+        assert equivalence_counterexample_trace(product) is None
+
+    def test_trace_distinguishes_machines(self):
+        """The trace's inputs produce different outputs on the two."""
+        left = FsmSpec(
+            "late",
+            ("en",),
+            (LatchSpec("q0", "q0 ^ en"), LatchSpec("q1", "q1 ^ (q0 & en)")),
+            (OutputSpec("o", "q1"),),
+        )
+        right = FsmSpec(
+            "early",
+            ("en",),
+            (LatchSpec("q0", "q0 ^ en"), LatchSpec("q1", "q1 ^ q0")),
+            (OutputSpec("o", "q1"),),
+        )
+        manager = Manager()
+        product = compile_product(manager, left, right)
+        trace = equivalence_counterexample_trace(product)
+        assert trace is not None
+        # Replay the inputs on both machines separately and compare the
+        # output under the final (distinguishing) input.
+        manager_left, manager_right = Manager(), Manager()
+        fsm_left = compile_fsm(manager_left, left)
+        fsm_right = compile_fsm(manager_right, right)
+        out_left = fsm_left.simulate(trace.inputs)
+        out_right = fsm_right.simulate(trace.inputs)
+        assert out_left[-1] != out_right[-1]

@@ -1,0 +1,101 @@
+"""Tests for observability don't-care computation."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.fsm.netlist import Netlist
+from repro.synth.observability import cut_signal, observability_care
+
+
+def _and_gate_circuit():
+    """out = (a & b) & g, with s = a & b the signal under analysis."""
+    netlist = Netlist()
+    for name in ("a", "b", "g"):
+        netlist.add_input(name)
+    netlist.add_gate("s", "AND", ["a", "b"])
+    netlist.add_gate("out", "AND", ["s", "g"])
+    manager = Manager(["a", "b", "g"])
+    input_refs = {name: manager.var(name) for name in ("a", "b", "g")}
+    return netlist, manager, input_refs
+
+
+def test_cut_replaces_signal():
+    netlist, manager, input_refs = _and_gate_circuit()
+    cut_level = manager.level(manager.new_var("t"))
+    values = cut_signal(netlist, manager, input_refs, "s", cut_level)
+    t = manager.var(cut_level)
+    assert values["s"] == t
+    assert values["out"] == manager.and_(t, manager.var("g"))
+
+
+def test_odc_behind_and_gate():
+    """s feeds an AND with g: s is unobservable exactly where g = 0."""
+    netlist, manager, input_refs = _and_gate_circuit()
+    cut_level = manager.level(manager.new_var("t"))
+    care = observability_care(
+        netlist, manager, input_refs, "s", ["out"], cut_level
+    )
+    assert care == manager.var("g")
+
+
+def test_odc_behind_xor_gate_is_full():
+    """XOR propagates every flip: no observability DCs."""
+    netlist = Netlist()
+    for name in ("a", "b", "g"):
+        netlist.add_input(name)
+    netlist.add_gate("s", "AND", ["a", "b"])
+    netlist.add_gate("out", "XOR", ["s", "g"])
+    manager = Manager(["a", "b", "g"])
+    input_refs = {name: manager.var(name) for name in ("a", "b", "g")}
+    cut_level = manager.level(manager.new_var("t"))
+    care = observability_care(
+        netlist, manager, input_refs, "s", ["out"], cut_level
+    )
+    assert care == ONE
+
+
+def test_dead_signal_has_empty_care():
+    netlist = Netlist()
+    netlist.add_input("a")
+    netlist.add_gate("dead", "NOT", ["a"])
+    netlist.add_gate("out", "BUF", ["a"])
+    manager = Manager(["a"])
+    input_refs = {"a": manager.var("a")}
+    cut_level = manager.level(manager.new_var("t"))
+    care = observability_care(
+        netlist, manager, input_refs, "dead", ["out"], cut_level
+    )
+    assert care == ZERO
+
+
+def test_multiple_outputs_union_observability():
+    """Observable through either output counts as observable."""
+    netlist = Netlist()
+    for name in ("a", "g", "h"):
+        netlist.add_input(name)
+    netlist.add_gate("s", "BUF", ["a"])
+    netlist.add_gate("o1", "AND", ["s", "g"])
+    netlist.add_gate("o2", "AND", ["s", "h"])
+    manager = Manager(["a", "g", "h"])
+    input_refs = {name: manager.var(name) for name in ("a", "g", "h")}
+    cut_level = manager.level(manager.new_var("t"))
+    care = observability_care(
+        netlist, manager, input_refs, "s", ["o1", "o2"], cut_level
+    )
+    assert care == manager.or_(manager.var("g"), manager.var("h"))
+
+
+def test_external_care_intersects():
+    netlist, manager, input_refs = _and_gate_circuit()
+    cut_level = manager.level(manager.new_var("t"))
+    external = manager.var("a")
+    care = observability_care(
+        netlist,
+        manager,
+        input_refs,
+        "s",
+        ["out"],
+        cut_level,
+        external_care=external,
+    )
+    assert care == manager.and_(manager.var("g"), manager.var("a"))

@@ -1,0 +1,150 @@
+"""Tests for DC-based netlist node simplification."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.fsm.netlist import Netlist
+from repro.synth.simplify import simplify_netlist
+
+
+def _random_netlist(seed, num_inputs=4, num_gates=10):
+    rng = random.Random(seed)
+    netlist = Netlist("rand%d" % seed)
+    signals = []
+    for index in range(num_inputs):
+        signals.append(netlist.add_input("i%d" % index))
+    for index in range(num_gates):
+        op = rng.choice(["AND", "OR", "XOR", "NAND", "NOR"])
+        fanins = rng.sample(signals, 2)
+        signals.append(netlist.add_gate("g%d" % index, op, fanins))
+    outputs = signals[-2:]
+    manager = Manager(["i%d" % index for index in range(num_inputs)])
+    input_refs = {
+        "i%d" % index: manager.var(index) for index in range(num_inputs)
+    }
+    return netlist, manager, input_refs, outputs
+
+
+class TestSimplifyNetlist:
+    @pytest.mark.parametrize("seed", [1, 7, 13, 42])
+    def test_outputs_preserved(self, seed):
+        """Every accepted replacement keeps the outputs intact."""
+        netlist, manager, input_refs, outputs = _random_netlist(seed)
+        original = netlist.to_bdds(manager, input_refs)
+        report = simplify_netlist(
+            netlist, manager, input_refs, outputs
+        )
+        # Rebuild the outputs from the replaced functions.
+        substituted = netlist.to_bdds(
+            manager,
+            input_refs,
+            overrides={
+                signal: ref
+                for signal, ref in report.functions.items()
+                if signal not in netlist.inputs
+            },
+        )
+        for output in outputs:
+            assert substituted[output] == original[output]
+
+    def test_never_grows(self):
+        netlist, manager, input_refs, outputs = _random_netlist(3)
+        report = simplify_netlist(netlist, manager, input_refs, outputs)
+        assert report.total_after <= report.total_before
+        for node in report.nodes:
+            assert node.size_after <= node.size_before
+
+    def test_dead_logic_collapses(self):
+        """A signal no output depends on becomes constant."""
+        netlist = Netlist()
+        for name in ("a", "b"):
+            netlist.add_input(name)
+        netlist.add_gate("dead", "XOR", ["a", "b"])
+        netlist.add_gate("out", "AND", ["a", "b"])
+        manager = Manager(["a", "b"])
+        input_refs = {"a": manager.var("a"), "b": manager.var("b")}
+        report = simplify_netlist(netlist, manager, input_refs, ["out"])
+        assert report.functions["dead"] == ZERO
+        dead_node = next(
+            node for node in report.nodes if node.signal == "dead"
+        )
+        assert dead_node.replaced
+        assert dead_node.care_fraction == 0.0
+
+    def test_external_care_enables_simplification(self):
+        """With input codes excluded, an XOR simplifies to OR or less."""
+        netlist = Netlist()
+        for name in ("a", "b"):
+            netlist.add_input(name)
+        netlist.add_gate("out", "XOR", ["a", "b"])
+        manager = Manager(["a", "b"])
+        input_refs = {"a": manager.var("a"), "b": manager.var("b")}
+        # Exclude the a=b=1 code: on the rest, XOR == OR.
+        external = manager.and_(manager.var("a"), manager.var("b")) ^ 1
+        report = simplify_netlist(
+            netlist,
+            manager,
+            input_refs,
+            ["out"],
+            external_care=external,
+        )
+        out = report.functions["out"]
+        disagrees = manager.and_(
+            manager.xor(out, manager.xor(manager.var("a"), manager.var("b"))),
+            external,
+        )
+        assert disagrees == ZERO
+        assert manager.size(out) <= 3
+
+    def test_report_counts(self):
+        netlist, manager, input_refs, outputs = _random_netlist(5)
+        report = simplify_netlist(netlist, manager, input_refs, outputs)
+        assert len(report.nodes) == len(netlist.gates)
+        assert 0 <= report.replaced_count <= len(report.nodes)
+        for node in report.nodes:
+            assert 0.0 <= node.care_fraction <= 1.0
+
+    def test_incremental_compatibility_sweep(self):
+        """Many random netlists: simultaneous application of all
+        accepted replacements always preserves the outputs (the
+        compatible-ODC guarantee of incremental verification)."""
+        for seed in range(30):
+            netlist, manager, input_refs, outputs = _random_netlist(
+                seed, num_inputs=4, num_gates=8
+            )
+            original = netlist.to_bdds(manager, input_refs)
+            report = simplify_netlist(
+                netlist, manager, input_refs, outputs
+            )
+            substituted = netlist.to_bdds(
+                manager,
+                input_refs,
+                overrides={
+                    signal: ref
+                    for signal, ref in report.functions.items()
+                    if signal not in netlist.inputs
+                },
+            )
+            for output in outputs:
+                assert substituted[output] == original[output], seed
+
+    @pytest.mark.parametrize("method", ["constrain", "osm_bt", "tsm_td"])
+    def test_other_heuristics(self, method):
+        netlist, manager, input_refs, outputs = _random_netlist(11)
+        original = netlist.to_bdds(manager, input_refs)
+        report = simplify_netlist(
+            netlist, manager, input_refs, outputs, method=method
+        )
+        substituted = netlist.to_bdds(
+            manager,
+            input_refs,
+            overrides={
+                signal: ref
+                for signal, ref in report.functions.items()
+                if signal not in netlist.inputs
+            },
+        )
+        for output in outputs:
+            assert substituted[output] == original[output]

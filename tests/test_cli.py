@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestMinimize:
+    def test_leaf_instance(self, capsys):
+        assert main(["minimize", "d1 01"]) == 0
+        out = capsys.readouterr().out
+        assert "osm_bt" in out
+        assert "|g| = 2" in out
+
+    def test_all_heuristics(self, capsys):
+        assert main(["minimize", "d1 01", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "constrain" in out and "opt_lv" in out
+
+    def test_expression_mode(self, capsys):
+        code = main(
+            [
+                "minimize",
+                "(a & b) | c",
+                "--expression",
+                "--care",
+                "a | b",
+                "--method",
+                "restrict",
+            ]
+        )
+        assert code == 0
+        assert "restrict" in capsys.readouterr().out
+
+    def test_expression_requires_care(self, capsys):
+        assert main(["minimize", "a & b", "--expression"]) == 2
+
+    def test_bad_leaf_string(self):
+        with pytest.raises(ValueError):
+            main(["minimize", "d1 0"])
+
+
+class TestEquivalence:
+    def test_self_check(self, capsys):
+        assert main(["equivalence", "tlc"]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_two_machines_differ(self, capsys):
+        # Same input interface ('en'), different output behaviour.
+        assert main(["equivalence", "count4", "gray4"]) == 1
+        out = capsys.readouterr().out
+        assert "NOT EQUIVALENT" in out
+        assert "counterexample" in out
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["equivalence", "nope"])
+
+
+class TestBlif:
+    def test_inspect_and_reachable(self, tmp_path, capsys):
+        path = tmp_path / "toggle.blif"
+        path.write_text(
+            ".model toggle\n.inputs en\n.outputs out\n"
+            ".latch q_next q 0\n"
+            ".names en q q_next\n10 1\n01 1\n"
+            ".names q out\n1 1\n.end\n"
+        )
+        assert main(["blif", str(path), "--reachable"]) == 0
+        out = capsys.readouterr().out
+        assert "1 latches" in out
+        assert "reachable states: 2 of 2" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_flags_parse(self):
+        args = build_parser().parse_args(
+            ["experiments", "--quick", "--csv", "out.csv"]
+        )
+        assert args.quick and args.csv == "out.csv"

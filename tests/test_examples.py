@@ -1,0 +1,89 @@
+"""Smoke tests: every example script runs and prints what it promises."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    path = EXAMPLES / ("%s.py" % name)
+    spec = importlib.util.spec_from_file_location("example_" + name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart(capsys):
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "exact minimum    = 2" in out
+    assert "digraph" in out
+    assert "constrain" in out
+
+
+def test_fpga_mapping(capsys):
+    _load("fpga_mapping").main()
+    out = capsys.readouterr().out
+    assert "TOTAL" in out
+    assert "saves" in out
+
+
+def test_frontier_minimization(capsys):
+    _load("frontier_minimization").main()
+    out = capsys.readouterr().out
+    assert "reachable states=64" in out
+    assert "cumulative frontier nodes" in out
+
+
+def test_transition_relation_minimization(capsys):
+    _load("transition_relation_minimization").main()
+    out = capsys.readouterr().out
+    assert "lfsr5" in out
+    assert "osm_bt=" in out
+
+
+def test_fsm_equivalence(capsys):
+    _load("fsm_equivalence").main()
+    out = capsys.readouterr().out
+    assert "equivalent=True" in out
+    assert "equivalent=False" in out
+    assert "counterexample" in out
+
+
+def test_netlist_simplification(capsys):
+    _load("netlist_simplification").main()
+    out = capsys.readouterr().out
+    assert "total mux cost" in out
+    assert "replaced" in out
+
+
+def test_blif_workflow(capsys, tmp_path):
+    module = _load("blif_workflow")
+    module.main()
+    out = capsys.readouterr().out
+    assert "redc344.blif" in out
+    assert "equivalent=True" in out
+    # Clean the generated .opt.blif files so the repo stays pristine.
+    for generated in (EXAMPLES / "data").glob("*.opt.blif"):
+        generated.unlink()
+
+
+@pytest.mark.slow
+def test_scheduling_demo(capsys):
+    _load("scheduling_demo").main()
+    out = capsys.readouterr().out
+    assert "scheduler parameter sweep" in out
+
+
+@pytest.mark.slow
+def test_run_paper_experiments_quick(capsys):
+    module = _load("run_paper_experiments")
+    assert module.main(["--quick", "--cube-limit", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE 3" in out
+    assert "FIGURE 3" in out
+    assert "Per-benchmark breakdown" in out
