@@ -1,0 +1,82 @@
+"""Static analysis and runtime auditing for the BDD core and heuristics.
+
+Two halves (see ``docs/analysis.md``):
+
+* :mod:`repro.analysis.lint` — ``repro-lint``, an AST lint pass with
+  five codebase-specific rules (ref-truthiness, manager encapsulation,
+  bare asserts, uncached BDD recursion, mutable defaults).  Run with
+  ``python -m repro.cli lint`` or ``python -m repro.analysis.lint``.
+* :mod:`repro.analysis.checked` / :mod:`repro.analysis.contracts` — a
+  runtime contract auditor: :class:`CheckedManager` re-validates
+  structural invariants after every operation, and the per-heuristic
+  contract checks audit cover containment, no-new-vars, never-grow and
+  the Theorem-7 cube bound.  ``REPRO_CHECK=1`` switches the audits on
+  library-wide.
+
+Everything except the exception types is imported lazily so that
+:mod:`repro.bdd.manager` can depend on
+:mod:`repro.analysis.errors` without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.errors import AnalysisError, ContractError, InvariantError
+
+__all__ = [
+    "AnalysisError",
+    "ContractError",
+    "InvariantError",
+    "CheckedManager",
+    "checking_enabled",
+    "manager_class",
+    "install_checked_manager",
+    "Contract",
+    "CONTRACTS",
+    "contract_for",
+    "audit_result",
+    "audited_heuristic",
+    "audit_pair_step",
+    "audit_instances",
+    "audit_suite",
+    "AuditReport",
+    "Violation",
+    "RULES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+_LAZY = {
+    "CheckedManager": "repro.analysis.checked",
+    "checking_enabled": "repro.analysis.checked",
+    "manager_class": "repro.analysis.checked",
+    "install_checked_manager": "repro.analysis.checked",
+    "Contract": "repro.analysis.contracts",
+    "CONTRACTS": "repro.analysis.contracts",
+    "contract_for": "repro.analysis.contracts",
+    "audit_result": "repro.analysis.contracts",
+    "audited_heuristic": "repro.analysis.contracts",
+    "audit_pair_step": "repro.analysis.contracts",
+    "audit_instances": "repro.analysis.contracts",
+    "audit_suite": "repro.analysis.contracts",
+    "AuditReport": "repro.analysis.contracts",
+    "Violation": "repro.analysis.lint",
+    "RULES": "repro.analysis.lint",
+    "lint_source": "repro.analysis.lint",
+    "lint_file": "repro.analysis.lint",
+    "lint_paths": "repro.analysis.lint",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        )
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` runs the lint pass standalone."""
+
+import sys
+
+from repro.analysis.lint import main
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""A Manager wrapper that re-validates invariants after mutating ops.
+
+:class:`CheckedManager` subclasses :class:`repro.bdd.manager.Manager`
+and re-runs :meth:`~repro.bdd.manager.Manager.validate` on the result of
+every ref-producing operation, raising
+:class:`~repro.analysis.errors.InvariantError` the moment a
+non-canonical node appears — instead of much later, when a corrupted
+unique table surfaces as a wrong equivalence verdict.
+
+Validation only fires when the outermost call of a (possibly recursive)
+operation returns, so the overhead per public call is one reachable-set
+traversal of the result, not one per recursion step.
+
+Environment control
+-------------------
+
+``REPRO_CHECK=1`` opts the whole library into checking:
+:func:`checking_enabled` gates the per-heuristic contract audits in
+:mod:`repro.core.registry` and the schedule-safety audits in
+:mod:`repro.core.schedule`, and :func:`manager_class` returns
+:class:`CheckedManager` so entry points can construct checked managers
+without code changes.  A directly constructed ``CheckedManager`` checks
+unconditionally unless ``REPRO_CHECK=0`` or ``check=False``.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Optional, Tuple, Type
+
+from repro.analysis.errors import InvariantError
+from repro.bdd.manager import Manager
+
+#: Environment variable switching the runtime audits on (``1``) or
+#: force-off (``0``).
+ENV_VAR = "REPRO_CHECK"
+
+
+def checking_enabled() -> bool:
+    """True iff ``REPRO_CHECK=1``: global runtime audits are requested."""
+    return os.environ.get(ENV_VAR) == "1"
+
+
+#: Ref-producing Manager operations wrapped with a post-validation.
+#: The Boolean connectives (``and_``, ``or_``, ...) all funnel through
+#: ``ite``; the structural builders are listed individually.
+CHECKED_METHODS: Tuple[str, ...] = (
+    "new_var",
+    "var",
+    "make_node",
+    "ite",
+    "cofactor",
+    "restrict_cube",
+    "exists",
+    "forall",
+    "and_exists",
+    "vector_compose",
+    "cube_ref",
+)
+
+
+class CheckedManager(Manager):
+    """Manager that audits structural invariants after every operation.
+
+    Parameters are those of :class:`~repro.bdd.manager.Manager` plus
+    ``check``: ``True``/``False`` force the audits on or off; the
+    default ``None`` enables them unless ``REPRO_CHECK=0``.
+    """
+
+    def __init__(self, *args, check: Optional[bool] = None, **kwargs):
+        if check is None:
+            check = os.environ.get(ENV_VAR, "1") != "0"
+        # Set the audit state before super().__init__, which already
+        # routes node creation through the wrapped methods.
+        self._check_active = bool(check)
+        self._check_depth = 0
+        self._checks_run = 0
+        super().__init__(*args, **kwargs)
+
+    @property
+    def checks_run(self) -> int:
+        """Number of post-operation validations performed so far."""
+        return self._checks_run
+
+    def _audit_result(self, ref: int) -> None:
+        self._checks_run += 1
+        self.validate(ref)
+
+
+def _checked(name: str):
+    original = getattr(Manager, name)
+
+    @functools.wraps(original)
+    def wrapper(self: CheckedManager, *args, **kwargs):
+        self._check_depth += 1
+        try:
+            result = original(self, *args, **kwargs)
+        finally:
+            self._check_depth -= 1
+        if self._check_active and self._check_depth == 0:
+            self._audit_result(result)
+        return result
+
+    wrapper.__doc__ = (original.__doc__ or "") + (
+        "\n\nChecked: the result is re-validated (see CheckedManager)."
+    )
+    return wrapper
+
+
+for _name in CHECKED_METHODS:
+    setattr(CheckedManager, _name, _checked(_name))
+del _name
+
+
+def manager_class() -> Type[Manager]:
+    """The manager class honoring ``REPRO_CHECK``.
+
+    Entry points that want opt-in checking construct their manager via
+    ``manager_class()(...)`` instead of naming :class:`Manager`.
+    """
+    if checking_enabled():
+        return CheckedManager
+    return Manager
+
+
+def install_checked_manager() -> None:
+    """Globally substitute :class:`CheckedManager` for :class:`Manager`.
+
+    Rebinds the ``Manager`` name in :mod:`repro.bdd.manager`,
+    :mod:`repro.bdd` and :mod:`repro` so code importing it *after* this
+    call constructs checked managers.  Used by the test-suite's
+    ``--repro-check`` option; not meant for library code.
+    """
+    import repro
+    import repro.bdd
+    import repro.bdd.manager
+
+    repro.bdd.manager.Manager = CheckedManager  # type: ignore[misc]
+    repro.bdd.Manager = CheckedManager  # type: ignore[misc]
+    repro.Manager = CheckedManager  # type: ignore[misc]

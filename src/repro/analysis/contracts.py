@@ -1,0 +1,303 @@
+"""Per-heuristic contract auditing (the paper's correctness guarantees).
+
+Every minimization heuristic in this library advertises a subset of
+machine-checkable contracts:
+
+``cover``
+    The result ``g`` is a completely specified cover of ``[f, c]``:
+    ``f·c ≤ g ≤ f + ¬c`` (Definition 2).  Every heuristic promises
+    this; it is the paper's entire soundness claim.
+``canonical``
+    ``g`` is a canonical ROBDD of its manager (checked with
+    :meth:`~repro.bdd.manager.Manager.validate`); implied for results
+    built through the manager, violated by refs imported from nowhere.
+``no_new_vars``
+    ``support(g) ⊆ support(f)`` — the guarantee of the ``*_nv``
+    variants (restrict, osm_nv, osm_bt), which existentially quantify
+    the splitting variable out of ``c`` whenever ``f`` does not depend
+    on it (§3.2).
+``never_grow``
+    ``|g| ≤ |f|`` — Proposition 6 shows no non-optimal criterion-based
+    algorithm can promise this *intrinsically*; the wrappers that
+    compare against ``f`` and return the smaller (``safe_minimize``,
+    ``robust``, ``f_orig``) do promise it.
+``cube bound`` (every heuristic)
+    When ``c`` is a cube, Theorem 7 makes ``constrain(f, c)`` a
+    minimum-size cover, so every heuristic's result must satisfy
+    ``|g| ≥ |constrain(f, c)|``; for the Table-2 sibling matchers the
+    bound is tight (they are all optimal on cube care sets) and
+    equality is enforced via ``cube_optimal``.
+
+:func:`audit_result` checks one result, raising
+:class:`~repro.analysis.errors.ContractError` with the failed contract
+named; :func:`audited_heuristic` wraps a heuristic so every call is
+audited (wired through :func:`repro.core.registry.get_heuristic` when
+``REPRO_CHECK=1``); :func:`audit_suite` replays recorded circuit-suite
+instances against every registered heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.errors import ContractError, InvariantError
+from repro.bdd.manager import Manager, ZERO
+
+Heuristic = Callable[[Manager, int, int], int]
+
+
+@dataclass(frozen=True)
+class Contract:
+    """The guarantees one heuristic advertises (see module docstring)."""
+
+    cover: bool = True
+    no_new_vars: bool = False
+    never_grow: bool = False
+    cube_optimal: bool = False
+
+
+#: Heuristic name -> advertised contract.  Names missing here get the
+#: default contract (cover + cube lower bound only).
+CONTRACTS: Dict[str, Contract] = {
+    # Table 2 sibling matchers: all optimal on cube care (Theorem 7
+    # discussion); the no-new-vars column is the *_nv/bt flag.
+    "constrain": Contract(cube_optimal=True),
+    "restrict": Contract(no_new_vars=True, cube_optimal=True),
+    "osm_td": Contract(cube_optimal=True),
+    "osm_nv": Contract(no_new_vars=True, cube_optimal=True),
+    "osm_cp": Contract(cube_optimal=True),
+    "osm_bt": Contract(no_new_vars=True, cube_optimal=True),
+    "tsm_td": Contract(cube_optimal=True),
+    "tsm_cp": Contract(cube_optimal=True),
+    # Level matching and the schedule: covers, nothing stronger.
+    "opt_lv": Contract(),
+    "opt_lv_osm": Contract(),
+    "opt_lv_b64": Contract(),
+    "sched": Contract(),
+    "sched_fast": Contract(),
+    # Trivial bounds and the Proposition-6-guarded combination.
+    "f_orig": Contract(no_new_vars=True, never_grow=True),
+    "f_and_c": Contract(),
+    "f_or_nc": Contract(),
+    "robust": Contract(never_grow=True),
+}
+
+DEFAULT_CONTRACT = Contract()
+
+
+def contract_for(name: str) -> Contract:
+    """The advertised contract of a heuristic name (default: cover)."""
+    return CONTRACTS.get(name, DEFAULT_CONTRACT)
+
+
+def _fail(name: str, contract_name: str, detail: str) -> None:
+    raise ContractError(
+        "heuristic %r violated the %s contract: %s"
+        % (name, contract_name, detail)
+    )
+
+
+def audit_result(
+    manager: Manager,
+    name: str,
+    f: int,
+    c: int,
+    g: int,
+    contract: Optional[Contract] = None,
+) -> None:
+    """Audit one heuristic result; raises ContractError on violation."""
+    if contract is None:
+        contract = contract_for(name)
+    try:
+        manager.validate(g)
+    except InvariantError as error:
+        _fail(name, "canonical-result", str(error))
+    if contract.cover:
+        disagreement = manager.and_(manager.xor(g, f), c)
+        if disagreement != ZERO:
+            _fail(
+                name,
+                "cover",
+                "g disagrees with f on %d care minterm(s) "
+                "(f.c <= g <= f + !c does not hold)"
+                % manager.sat_count(disagreement),
+            )
+    if contract.no_new_vars:
+        extra = manager.support(g) - manager.support(f)
+        if extra:
+            _fail(
+                name,
+                "no-new-vars",
+                "result depends on variable level(s) %s outside support(f)"
+                % sorted(extra),
+            )
+    if contract.never_grow:
+        result_size = manager.size(g)
+        original_size = manager.size(f)
+        if result_size > original_size:
+            _fail(
+                name,
+                "never-grow",
+                "|g| = %d exceeds |f| = %d" % (result_size, original_size),
+            )
+    if c != ZERO and manager.is_cube(c):
+        # Theorem 7: constrain is a minimum cover on cube care sets.
+        from repro.core.sibling import constrain
+
+        minimum = manager.size(constrain(manager, f, c))
+        result_size = manager.size(g)
+        if result_size < minimum:
+            _fail(
+                name,
+                "theorem-7-lower-bound",
+                "|g| = %d is below the cube-care minimum %d "
+                "(so g cannot be a cover)" % (result_size, minimum),
+            )
+        if contract.cube_optimal and result_size > minimum:
+            _fail(
+                name,
+                "cube-optimality",
+                "|g| = %d exceeds the Theorem 7 minimum %d on a cube "
+                "care set" % (result_size, minimum),
+            )
+
+
+def audited_heuristic(
+    name: str,
+    heuristic: Heuristic,
+    contract: Optional[Contract] = None,
+) -> Heuristic:
+    """Wrap a heuristic so every call is audited against its contract."""
+
+    def checked(manager: Manager, f: int, c: int) -> int:
+        g = heuristic(manager, f, c)
+        audit_result(manager, name, f, c, g, contract=contract)
+        return g
+
+    checked.__name__ = "audited_%s" % name
+    checked.__doc__ = "Contract-audited wrapper around %r." % name
+    return checked
+
+
+def audit_pair_step(
+    manager: Manager,
+    before: Tuple[int, int],
+    after: Tuple[int, int],
+    context: str,
+) -> None:
+    """Audit one safe schedule transformation (§3.4).
+
+    A windowed pass must return a pair ``(f', c')`` that *i-covers* its
+    input: every cover of the output pair covers the input pair, so no
+    don't-care freedom outside the window was committed incorrectly.
+    """
+    from repro.core.ispec import ISpec
+
+    old_f, old_c = before
+    new_f, new_c = after
+    manager.validate((new_f, new_c))
+    new_spec = ISpec(manager, new_f, new_c)
+    old_spec = ISpec(manager, old_f, old_c)
+    if not new_spec.i_covers(old_spec):
+        raise ContractError(
+            "schedule step %r is unsafe: the transformed pair does not "
+            "i-cover its input" % context
+        )
+
+
+@dataclass
+class AuditReport:
+    """Outcome of an :func:`audit_suite` run."""
+
+    instances: int = 0
+    checks: int = 0
+    failures: Optional[List[str]] = None
+
+    def record_failure(self, message: str) -> None:
+        if self.failures is None:
+            self.failures = []
+        self.failures.append(message)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _select_names(names: Optional[Iterable[str]]) -> List[str]:
+    """Resolve (and validate) a heuristic-name selection."""
+    from repro.core.registry import HEURISTICS
+
+    if names is None:
+        return sorted(HEURISTICS)
+    selected = list(names)
+    unknown = [name for name in selected if name not in HEURISTICS]
+    if unknown:
+        raise KeyError(
+            "unknown heuristic(s) %s; available: %s"
+            % (", ".join(sorted(unknown)), ", ".join(sorted(HEURISTICS)))
+        )
+    return selected
+
+
+def audit_instances(
+    manager: Manager,
+    instances: Iterable[Tuple[int, int]],
+    names: Optional[Iterable[str]] = None,
+    report: Optional[AuditReport] = None,
+) -> AuditReport:
+    """Audit registered heuristics over ``(f, c)`` instances.
+
+    Collects one failure message per (heuristic, instance) violation
+    instead of raising, so a full sweep reports everything at once.
+    """
+    from repro.core.registry import HEURISTICS
+
+    if report is None:
+        report = AuditReport()
+    selected = _select_names(names)
+    for f, c in instances:
+        report.instances += 1
+        for name in selected:
+            heuristic = HEURISTICS[name]
+            try:
+                g = heuristic(manager, f, c)
+                audit_result(manager, name, f, c, g)
+            except (ContractError, InvariantError) as error:
+                report.record_failure(str(error))
+            report.checks += 1
+    return report
+
+
+def audit_suite(
+    benchmarks: Optional[Iterable[str]] = None,
+    names: Optional[Iterable[str]] = None,
+    max_calls_per_benchmark: Optional[int] = 25,
+) -> AuditReport:
+    """Audit heuristics on instances recorded from the circuit suite.
+
+    Replays the FSM-equivalence traversal of each benchmark (the
+    paper's §4.1.1 instance source), keeps up to
+    ``max_calls_per_benchmark`` recorded ``[f, c]`` calls and audits
+    every selected heuristic on each.
+    """
+    from repro.circuits.suite import QUICK_SUITE
+    from repro.experiments.calls import collect_benchmark_calls
+
+    if benchmarks is None:
+        benchmarks = list(QUICK_SUITE)
+    if names is not None:
+        names = _select_names(names)  # fail fast, before any replay
+    report = AuditReport()
+    for benchmark in benchmarks:
+        record = collect_benchmark_calls(benchmark)
+        calls = record.calls
+        if max_calls_per_benchmark is not None:
+            calls = calls[:max_calls_per_benchmark]
+        audit_instances(
+            record.manager,
+            ((call.f, call.c) for call in calls),
+            names=names,
+            report=report,
+        )
+    return report

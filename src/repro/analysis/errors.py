@@ -1,0 +1,46 @@
+"""Exception types of the analysis layer.
+
+The library's correctness rests on two mechanically checkable contracts
+(paper Section 2): structural canonicity of every ROBDD under the
+manager's complement-edge normalization, and cover containment
+``f·c ≤ g ≤ f + ¬c`` for every heuristic result.  Violations of either
+are *bugs*, never recoverable conditions, so they get their own
+exception hierarchy — and, unlike a bare ``assert``, they are **not**
+stripped under ``python -O`` (lint rule L3 enforces this in library
+code).
+
+This module is import-light on purpose: :mod:`repro.bdd.manager` raises
+:class:`InvariantError`, so nothing here may import back into the BDD
+package.
+"""
+
+from __future__ import annotations
+
+
+class AnalysisError(Exception):
+    """Base class of every error raised by :mod:`repro.analysis`."""
+
+
+class InvariantError(AnalysisError, AssertionError):
+    """A structural invariant of the BDD representation was violated.
+
+    Raised by :meth:`repro.bdd.manager.Manager.validate` and by
+    :class:`repro.analysis.checked.CheckedManager` when a reachable node
+    breaks canonicity: non-descending edges, a complemented then-edge,
+    equal children, or a stale unique-table entry.
+
+    Subclasses :class:`AssertionError` for backward compatibility with
+    callers that treated ``validate`` failures as assertion failures,
+    but is raised unconditionally — ``python -O`` does not disable it.
+    """
+
+
+class ContractError(AnalysisError):
+    """A minimization heuristic broke one of its advertised contracts.
+
+    The contracts audited (see :mod:`repro.analysis.contracts`): cover
+    containment (Definition 2), the no-new-vars guarantee of the
+    ``*_nv`` variants, the never-grow guarantee of Proposition-6-safe
+    wrappers, the Theorem-7 lower bound on cube care sets, and the
+    i-covering safety of windowed schedule transformations (§3.4).
+    """

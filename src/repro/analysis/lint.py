@@ -1,0 +1,497 @@
+"""``repro-lint``: an AST lint pass specialized to this codebase.
+
+Generic linters cannot know that in this library a BDD *ref* is an
+``int`` whose constants are inverted w.r.t. Python truthiness
+(``ONE == 0`` is falsy, ``ZERO == 1`` is truthy), that the manager's
+node arrays are private, or that an uncached BDD recursion is an
+exponential time bomb.  The five rules here encode exactly those
+repository-specific contracts:
+
+``L1`` **ref-truthiness**
+    Boolean coercion of a BDD ref (``if ref:``, ``not ref``,
+    ``ref and ...``, ``bool(ref)``).  Since ``ONE == 0``, truthiness of
+    a ref inverts the intended test for the constants; always compare
+    against ``ONE``/``ZERO`` explicitly.
+``L2`` **encapsulation**
+    Access to the manager's node storage (``_high``, ``_low``,
+    ``_level``, ``_unique``, ``_ite_cache``) outside
+    ``bdd/manager.py``.  Every algorithm must go through the public
+    traversal API (``branches``, ``top_branches``, ``level``, ...), or
+    canonicity tweaks in the core would ripple through the whole tree.
+``L3`` **assert in library code**
+    A bare ``assert`` enforcing an invariant is stripped under
+    ``python -O``; raise :class:`repro.analysis.errors.InvariantError`
+    (or a specific exception) instead.
+``L4`` **uncached BDD recursion**
+    A self-recursive function that splits refs with ``branches`` /
+    ``top_branches`` but threads no memo cache (no ``cache``/``memo``/
+    ``seen``/``visited`` parameter or closure, no ``self.cache(...)``)
+    — the classic exponential-blowup bug on shared DAGs.  Generators
+    are exempt: cube/minterm enumeration is legitimately uncached.
+``L5`` **mutable default argument**
+    The standard Python footgun; it has bitten BDD caches passed as
+    defaults before.
+
+A line can opt out with ``# repro-lint: skip`` (all rules) or
+``# repro-lint: skip=L1,L4`` (specific rules).
+
+Run as ``python -m repro.cli lint [paths...]`` or standalone as
+``python -m repro.analysis.lint [paths...]``; with no paths the
+installed ``repro`` package tree is linted.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Rule code -> one-line description (kept in sync with docs/analysis.md).
+RULES: Dict[str, str] = {
+    "L1": "boolean coercion of a BDD ref (ONE == 0 is falsy)",
+    "L2": "access to Manager node storage outside bdd/manager.py",
+    "L3": "bare assert in library code (stripped under python -O)",
+    "L4": "self-recursive BDD traversal without a memo cache",
+    "L5": "mutable default argument",
+}
+
+#: Manager attributes that are private node storage (rule L2).
+PRIVATE_MANAGER_ATTRS = frozenset(
+    {"_high", "_low", "_level", "_unique", "_ite_cache"}
+)
+
+#: The file allowed to touch the private storage.
+MANAGER_FILE = ("bdd", "manager.py")
+
+#: Methods whose return value is a BDD ref (for rule L1 inference).
+REF_RETURNING_METHODS = frozenset(
+    {
+        "ite",
+        "and_",
+        "or_",
+        "xor",
+        "xnor",
+        "not_",
+        "implies",
+        "diff",
+        "and_many",
+        "or_many",
+        "make_node",
+        "cofactor",
+        "restrict_cube",
+        "exists",
+        "forall",
+        "and_exists",
+        "compose",
+        "vector_compose",
+        "rename",
+        "cube_ref",
+        "var",
+        "new_var",
+        "regular",
+        "onset",
+        "offset",
+        "dcset",
+        "upper",
+    }
+)
+
+#: Free functions whose return value is a BDD ref.
+REF_RETURNING_FUNCTIONS = frozenset(
+    {
+        "bdd_from_leaves",
+        "parse_expression",
+        "constrain",
+        "restrict",
+        "generic_td",
+        "opt_lv",
+        "scheduled_minimize",
+        "minimize",
+        "safe_minimize",
+        "minimize_interval",
+        "cubes_to_ref",
+    }
+)
+
+#: Parameter names conventionally holding refs in this codebase.
+REF_PARAMETER_NAMES = frozenset(
+    {"f", "g", "h", "c", "ref", "cover", "care", "onset", "lower", "upper"}
+)
+
+#: Identifier fragments that count as memoization evidence (rule L4).
+CACHE_NAME_FRAGMENTS = ("cache", "memo", "seen", "visited")
+
+_SKIP_ALL = re.compile(r"#\s*repro-lint:\s*skip\s*(?:$|[^=])")
+_SKIP_SOME = re.compile(r"#\s*repro-lint:\s*skip=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, formatted like a compiler diagnostic."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return "%s:%d:%d: %s %s" % (
+            self.path,
+            self.line,
+            self.col,
+            self.rule,
+            self.message,
+        )
+
+
+def _is_manager_file(path: str) -> bool:
+    parts = Path(path).parts
+    return len(parts) >= 2 and parts[-2:] == MANAGER_FILE
+
+
+def _suppressed(rule: str, line: int, source_lines: Sequence[str]) -> bool:
+    if not 1 <= line <= len(source_lines):
+        return False
+    text = source_lines[line - 1]
+    if _SKIP_ALL.search(text):
+        return True
+    match = _SKIP_SOME.search(text)
+    if match is not None:
+        codes = {code.strip() for code in match.group(1).split(",")}
+        return rule in codes
+    return False
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body excluding nested function/class bodies."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_ref_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in REF_RETURNING_METHODS
+    if isinstance(func, ast.Name):
+        return func.id in REF_RETURNING_FUNCTIONS
+    return False
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _collect_ref_names(scope: ast.AST) -> Set[str]:
+    """Names bound to BDD refs inside one function (or module) scope."""
+    refs: Set[str] = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            name = arg.arg
+            if name in REF_PARAMETER_NAMES or name.endswith("_ref"):
+                refs.add(name)
+    for node in _own_nodes(scope):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        value = node.value
+        if _is_ref_call(value):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    refs.add(target.id)
+        elif isinstance(value, ast.Call) and _call_name(value) in (
+            "branches",
+            "top_branches",
+        ):
+            # branches -> (then, else); top_branches -> (level, then, else).
+            skip = 1 if _call_name(value) == "top_branches" else 0
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    for position, element in enumerate(target.elts):
+                        if position >= skip and isinstance(element, ast.Name):
+                            refs.add(element.id)
+    return refs
+
+
+class _ScopeChecker:
+    """Applies rule L1 inside one function or module scope."""
+
+    def __init__(self, scope: ast.AST, violations: List[Violation], path: str):
+        self.refs = _collect_ref_names(scope)
+        self.violations = violations
+        self.path = path
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.violations.append(
+            Violation(
+                "L1",
+                self.path,
+                node.lineno,
+                node.col_offset,
+                "boolean coercion of BDD ref %s; ONE == 0 is falsy — "
+                "compare against ONE/ZERO instead" % what,
+            )
+        )
+
+    def _check_condition(self, test: ast.AST) -> None:
+        if isinstance(test, ast.Name) and test.id in self.refs:
+            self._flag(test, "%r" % test.id)
+        elif _is_ref_call(test):
+            self._flag(test, "returned by %s()" % _call_name(test))
+
+    def check(self, scope: ast.AST) -> None:
+        for node in _own_nodes(scope):
+            if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                self._check_condition(node.test)
+            elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+                self._check_condition(node.operand)
+            elif isinstance(node, ast.BoolOp):
+                for value in node.values:
+                    self._check_condition(value)
+            elif isinstance(node, ast.Assert):
+                self._check_condition(node.test)
+            elif isinstance(node, ast.comprehension):
+                for condition in node.ifs:
+                    self._check_condition(condition)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "bool"
+                and len(node.args) == 1
+            ):
+                self._check_condition(node.args[0])
+
+
+def _check_l4(
+    func: ast.FunctionDef, violations: List[Violation], path: str
+) -> None:
+    name = func.name
+    recursive = False
+    splits = False
+    cached = False
+    for node in _own_nodes(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return  # Generators enumerate; memoization does not apply.
+        if isinstance(node, ast.Call):
+            called = _call_name(node)
+            if called == name:
+                recursive = True
+            if called in ("branches", "top_branches"):
+                splits = True
+        if isinstance(node, ast.Name):
+            lowered = node.id.lower()
+            if any(part in lowered for part in CACHE_NAME_FRAGMENTS):
+                cached = True
+        if isinstance(node, ast.Attribute):
+            lowered = node.attr.lower()
+            if any(part in lowered for part in CACHE_NAME_FRAGMENTS):
+                cached = True
+    for arg in func.args.posonlyargs + func.args.args + func.args.kwonlyargs:
+        lowered = arg.arg.lower()
+        if any(part in lowered for part in CACHE_NAME_FRAGMENTS):
+            cached = True
+    if recursive and splits and not cached:
+        violations.append(
+            Violation(
+                "L4",
+                path,
+                func.lineno,
+                func.col_offset,
+                "recursive BDD traversal %r has no memo cache; "
+                "shared DAG nodes will be revisited exponentially often "
+                "— thread a cache dict or use self.cache(name)" % name,
+            )
+        )
+
+
+def _check_l5(
+    func: ast.FunctionDef, violations: List[Violation], path: str
+) -> None:
+    defaults = list(func.args.defaults) + [
+        default for default in func.args.kw_defaults if default is not None
+    ]
+    for default in defaults:
+        mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+            isinstance(default, ast.Call)
+            and isinstance(default.func, ast.Name)
+            and default.func.id in ("list", "dict", "set")
+        )
+        if mutable:
+            violations.append(
+                Violation(
+                    "L5",
+                    path,
+                    default.lineno,
+                    default.col_offset,
+                    "mutable default argument in %r; default to None and "
+                    "create the container inside the function" % func.name,
+                )
+            )
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Violation]:
+    """Lint one module's source text; returns violations in line order."""
+    tree = ast.parse(source, filename=path)
+    source_lines = source.splitlines()
+    violations: List[Violation] = []
+    in_manager_file = _is_manager_file(path)
+
+    # L2 / L3: simple whole-tree scans.
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in PRIVATE_MANAGER_ATTRS
+            and not in_manager_file
+        ):
+            violations.append(
+                Violation(
+                    "L2",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "access to Manager.%s outside bdd/manager.py; use the "
+                    "public traversal API (branches/top_branches/level)"
+                    % node.attr,
+                )
+            )
+        elif isinstance(node, ast.Assert):
+            violations.append(
+                Violation(
+                    "L3",
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "bare assert is stripped under python -O; raise "
+                    "repro.analysis.errors.InvariantError (or a specific "
+                    "exception) instead",
+                )
+            )
+
+    # L1: per-scope ref inference; L4/L5: per-function checks.
+    scopes: List[ast.AST] = [tree]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node)
+            _check_l4(node, violations, path)
+            _check_l5(node, violations, path)
+    for scope in scopes:
+        _ScopeChecker(scope, violations, path).check(scope)
+
+    violations = [
+        violation
+        for violation in violations
+        if not _suppressed(violation.rule, violation.line, source_lines)
+    ]
+    violations.sort(key=lambda violation: (violation.line, violation.col))
+    return violations
+
+
+def lint_file(path) -> List[Violation]:
+    """Lint one file on disk."""
+    text = Path(path).read_text()
+    return lint_source(text, str(path))
+
+
+def iter_python_files(paths: Iterable) -> Iterator[Path]:
+    """Expand files and directories into the .py files beneath them."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(entry.rglob("*.py"))
+        else:
+            yield entry
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package tree (the default lint target)."""
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def lint_paths(paths: Optional[Sequence] = None) -> List[Violation]:
+    """Lint files/directories; defaults to the ``repro`` package tree."""
+    if not paths:
+        paths = [default_lint_root()]
+    violations: List[Violation] = []
+    for python_file in iter_python_files(paths):
+        violations.extend(lint_file(python_file))
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point.
+
+    Exit status: 0 clean, 1 violations found, 2 a file could not be
+    read or parsed.
+    """
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description="codebase-specific lint pass"
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: the repro package)",
+    )
+    args = parser.parse_args(argv)
+    violations: List[Violation] = []
+    errors: List[str] = []
+    for python_file in iter_python_files(args.paths or [default_lint_root()]):
+        try:
+            violations.extend(lint_file(python_file))
+        except OSError as error:
+            errors.append(
+                "%s: cannot read: %s"
+                % (python_file, error.strerror or error)
+            )
+        except SyntaxError as error:
+            errors.append(
+                "%s:%s: syntax error: %s"
+                % (python_file, error.lineno or 0, error.msg)
+            )
+    for violation in violations:
+        print(violation.render())
+    for error_line in errors:
+        print(error_line, file=sys.stderr)
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    if violations:
+        summary = ", ".join(
+            "%s: %d" % (rule, counts[rule]) for rule in sorted(counts)
+        )
+        print("%d violation(s) (%s)" % (len(violations), summary))
+    if errors:
+        return 2
+    if violations:
+        return 1
+    print("repro-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -15,6 +15,7 @@ Two API layers are provided:
   operator overloading for ergonomic use in examples and applications.
 """
 
+from repro.analysis.errors import InvariantError
 from repro.bdd.manager import Manager, ONE, ZERO, TERMINAL_LEVEL
 from repro.bdd.function import Function
 from repro.bdd.parser import parse_expression
@@ -36,6 +37,7 @@ from repro.bdd.pretty import format_sop, format_ite, format_table
 __all__ = [
     "Manager",
     "Function",
+    "InvariantError",
     "ONE",
     "ZERO",
     "TERMINAL_LEVEL",

@@ -26,7 +26,9 @@ special cases.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.errors import InvariantError
 
 #: Ref of the constant TRUE function.
 ONE = 0
@@ -208,31 +210,44 @@ class Manager:
         for cache in self._op_caches.values():
             cache.clear()
 
-    def validate(self, ref: int) -> None:
-        """Assert structural invariants of a BDD (a debugging aid).
+    def validate(self, refs: Union[int, Iterable[int]]) -> None:
+        """Check structural invariants of one or several BDDs.
 
-        Checks, for every reachable node: the variable order is strict
-        along both edges, the then-edge is regular, children differ,
-        and the node is the unique-table representative of its key.
-        Raises ``AssertionError`` with a description on violation.
+        ``refs`` is a single ref or an iterable of refs (so
+        ``validate((f, c, g))`` audits a whole instance in one reachable
+        sweep).  Checks, for every reachable node: the variable order is
+        strict along both edges, the then-edge is regular, children
+        differ, and the node is the unique-table representative of its
+        key.  Raises :class:`repro.analysis.errors.InvariantError` with
+        a description on violation — unconditionally, unlike a bare
+        ``assert``, so the check also holds under ``python -O``.
         """
-        for index in self.nodes_reachable((ref,)):
+        if isinstance(refs, int):
+            refs = (refs,)
+        for index in self.nodes_reachable(refs):
             if index == 0:
                 continue
             level = self._level[index]
             high = self._high[index]
             low = self._low[index]
-            assert high != low, "node %d has equal children" % index
-            assert high & 1 == 0, "node %d has a complemented then-edge" % index
-            assert (
-                self._level[high >> 1] > level
-            ), "node %d: then-edge does not descend" % index
-            assert (
-                self._level[low >> 1] > level
-            ), "node %d: else-edge does not descend" % index
-            assert (
-                self._unique.get((level, high, low)) == index
-            ), "node %d is not its unique-table representative" % index
+            if high == low:
+                raise InvariantError("node %d has equal children" % index)
+            if high & 1:
+                raise InvariantError(
+                    "node %d has a complemented then-edge" % index
+                )
+            if self._level[high >> 1] <= level:
+                raise InvariantError(
+                    "node %d: then-edge does not descend" % index
+                )
+            if self._level[low >> 1] <= level:
+                raise InvariantError(
+                    "node %d: else-edge does not descend" % index
+                )
+            if self._unique.get((level, high, low)) != index:
+                raise InvariantError(
+                    "node %d is not its unique-table representative" % index
+                )
 
     def statistics(self) -> Dict[str, int]:
         """Bookkeeping counters: node, table and cache sizes."""

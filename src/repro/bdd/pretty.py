@@ -36,6 +36,7 @@ def format_sop(manager: Manager, ref: int) -> str:
 
 def format_ite(manager: Manager, ref: int, max_depth: int = 12) -> str:
     """Render the Shannon decomposition: ``ite(a, <then>, <else>)``."""
+    cache: Dict[tuple, str] = {}
 
     def walk(node: int, depth: int) -> str:
         if node == ONE:
@@ -44,12 +45,18 @@ def format_ite(manager: Manager, ref: int, max_depth: int = 12) -> str:
             return "0"
         if depth >= max_depth:
             return "..."
+        key = (node, depth)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
         level, then_ref, else_ref = manager.top_branches(node)
-        return "ite(%s, %s, %s)" % (
+        result = "ite(%s, %s, %s)" % (
             manager.name_of_level(level),
             walk(then_ref, depth + 1),
             walk(else_ref, depth + 1),
         )
+        cache[key] = result
+        return result
 
     return walk(ref, 0)
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.errors import InvariantError
 from repro.bdd.manager import Manager, ONE, ZERO
 
 
@@ -111,7 +112,8 @@ def exhaustive_order_search(
         size = shared_size(candidate_manager, candidate_refs)
         if best is None or size < best[0]:
             best = (size, candidate_manager, candidate_refs, permutation)
-    assert best is not None
+    if best is None:
+        raise InvariantError("permutation search produced no candidate")
     return best[1], best[2], best[3]
 
 

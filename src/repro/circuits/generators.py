@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from repro.analysis.errors import InvariantError
 from repro.bdd.function import Function
 from repro.fsm.machine import FsmSpec, LatchSpec, OutputSpec
 from repro.circuits.bitvec import (
@@ -434,7 +435,8 @@ def redundant_counter(
                     value = env[literal]
                 product = value if product is None else product & value
             result = product if result is None else result | product
-        assert result is not None
+        if result is None:
+            raise InvariantError("term list of a generated table is empty")
         return result
 
     def invariant(env: Env) -> Function:

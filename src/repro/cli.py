@@ -15,6 +15,14 @@ Subcommands
 ``blif``
     Parse a BLIF file, report machine shape, optionally compute the
     reachable state count.
+``lint``
+    Run ``repro-lint``, the codebase-specific AST lint pass (rules
+    L1–L5, see ``docs/analysis.md``), over the given paths (default:
+    the installed ``repro`` package).
+``audit``
+    Replay circuit-suite minimization instances against every
+    registered heuristic and check the advertised contracts (cover
+    containment, no-new-vars, never-grow, Theorem-7 cube bound).
 """
 
 from __future__ import annotations
@@ -165,6 +173,52 @@ def _cmd_blif(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    return lint_main(list(args.paths))
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis.contracts import audit_suite
+    from repro.circuits.suite import (
+        BENCHMARK_SUITE,
+        QUICK_SUITE,
+        benchmark_spec,
+    )
+
+    if args.benchmarks:
+        benchmarks = args.benchmarks
+    elif args.full:
+        benchmarks = list(BENCHMARK_SUITE)
+    else:
+        benchmarks = list(QUICK_SUITE)
+    names = args.heuristics or None
+    try:
+        for benchmark in benchmarks:  # fail fast on typos, before replay
+            benchmark_spec(benchmark)
+        report = audit_suite(
+            benchmarks=benchmarks,
+            names=names,
+            max_calls_per_benchmark=args.max_calls,
+        )
+    except KeyError as error:
+        message = error.args[0] if error.args else str(error)
+        print("error: %s" % message, file=sys.stderr)
+        return 2
+    print(
+        "audited %d instance(s), %d contract check(s)"
+        % (report.instances, report.checks)
+    )
+    if not report.ok:
+        for message in report.failures:
+            print("FAIL: %s" % message, file=sys.stderr)
+        print("%d violation(s)" % len(report.failures), file=sys.stderr)
+        return 1
+    print("all contracts hold")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -219,6 +273,43 @@ def build_parser() -> argparse.ArgumentParser:
     blif_parser.add_argument("path")
     blif_parser.add_argument("--reachable", action="store_true")
     blif_parser.set_defaults(handler=_cmd_blif)
+
+    lint_parser = commands.add_parser(
+        "lint", help="run the codebase-specific lint pass (rules L1-L5)"
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: the repro package tree)",
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
+
+    audit_parser = commands.add_parser(
+        "audit",
+        help="check heuristic contracts on circuit-suite instances",
+    )
+    audit_parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="benchmark names (default: the quick suite)",
+    )
+    audit_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="audit the full benchmark suite",
+    )
+    audit_parser.add_argument(
+        "--heuristics",
+        nargs="+",
+        help="restrict to these heuristic names (default: all registered)",
+    )
+    audit_parser.add_argument(
+        "--max-calls",
+        type=int,
+        default=25,
+        help="recorded calls audited per benchmark (default 25)",
+    )
+    audit_parser.set_defaults(handler=_cmd_audit)
     return parser
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from repro.analysis.errors import InvariantError
 from repro.bdd.manager import Manager, ONE, ZERO
 
 
@@ -114,7 +115,11 @@ def exact_minimize(
         if best_cost is None or candidate_cost < best_cost:
             best_ref = candidate
             best_cost = candidate_cost
-    assert best_ref is not None and best_cost is not None
+    if best_ref is None or best_cost is None:
+        raise InvariantError(
+            "cover enumeration was empty: every instance has at least "
+            "one cover"
+        )
     return best_ref, best_cost
 
 

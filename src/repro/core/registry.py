@@ -14,7 +14,7 @@ paper's proposed combination, evaluated here as an extension.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.bdd.manager import Manager, ONE, ZERO
 from repro.core.criteria import Criterion
@@ -130,15 +130,32 @@ PAPER_HEURISTICS: Tuple[str, ...] = (
 )
 
 
-def get_heuristic(name: str) -> Heuristic:
-    """Look up a heuristic by its paper name."""
+def get_heuristic(name: str, audited: Optional[bool] = None) -> Heuristic:
+    """Look up a heuristic by its paper name.
+
+    ``audited`` wraps the heuristic with the per-call contract checks of
+    :mod:`repro.analysis.contracts` (cover containment, no-new-vars,
+    never-grow, the Theorem-7 cube bound).  The default ``None`` defers
+    to the ``REPRO_CHECK`` environment switch, so setting
+    ``REPRO_CHECK=1`` audits every dispatched heuristic call
+    library-wide without code changes.
+    """
     try:
-        return HEURISTICS[name]
+        heuristic = HEURISTICS[name]
     except KeyError:
         raise KeyError(
             "unknown heuristic %r; available: %s"
             % (name, ", ".join(sorted(HEURISTICS)))
         ) from None
+    if audited is None:
+        from repro.analysis.checked import checking_enabled
+
+        audited = checking_enabled()
+    if audited:
+        from repro.analysis.contracts import audited_heuristic
+
+        return audited_heuristic(name, heuristic)
+    return heuristic
 
 
 def minimize(manager: Manager, f: int, c: int, method: str = "osm_bt") -> int:

@@ -17,6 +17,12 @@ then slides the window.  When fewer than ``stop_top_down`` levels
 remain, constrain assigns the rest of the don't cares locally and the
 result is returned.  Steps 3 and 4 are the expensive ones and can be
 disabled to trade quality for runtime, as the paper suggests.
+
+Runtime auditing: with ``REPRO_CHECK=1`` every windowed transformation
+is checked to be *safe* — the transformed pair must i-cover its input
+(no don't-care freedom outside the window is committed), cf.
+:func:`repro.analysis.contracts.audit_pair_step` — and the final result
+is checked to cover the original instance.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.analysis.checked import checking_enabled
 from repro.bdd.manager import Manager, ONE, ZERO
 from repro.core.criteria import Criterion
 from repro.core.sibling import constrain, sibling_pass
@@ -53,12 +60,21 @@ class Schedule:
             raise ValueError("stop_top_down must be non-negative")
 
 
+def _audited_step(manager, before, after, context):
+    """Audit one safe transformation (only called under REPRO_CHECK=1)."""
+    from repro.analysis.contracts import audit_pair_step
+
+    audit_pair_step(manager, before, after, context)
+    return after
+
+
 def scheduled_minimize(
     manager: Manager, f: int, c: int, schedule: Schedule = Schedule()
 ) -> int:
     """Minimize ``[f, c]`` with the windowed schedule; returns a cover."""
     if c == ZERO:
         return ONE
+    auditing = checking_enabled()
     current_f, current_c = f, c
     level = 0
     while True:
@@ -72,8 +88,14 @@ def scheduled_minimize(
         if remaining < schedule.stop_top_down or level > deepest:
             # Step 6: few levels left; matches made down here cannot
             # save many nodes, so assign the rest locally.
-            return constrain(manager, current_f, current_c)
+            result = constrain(manager, current_f, current_c)
+            if auditing:
+                from repro.analysis.contracts import audit_result
+
+                audit_result(manager, "sched", f, c, result)
+            return result
         lo, hi = level, level + schedule.window_size
+        before = (current_f, current_c)
         current_f, current_c = sibling_pass(
             manager,
             current_f,
@@ -84,6 +106,14 @@ def scheduled_minimize(
             lo=lo,
             hi=hi,
         )
+        if auditing:
+            _audited_step(
+                manager,
+                before,
+                (current_f, current_c),
+                "osm siblings [%d, %d)" % (lo, hi),
+            )
+        before = (current_f, current_c)
         current_f, current_c = sibling_pass(
             manager,
             current_f,
@@ -93,11 +123,19 @@ def scheduled_minimize(
             lo=lo,
             hi=hi,
         )
+        if auditing:
+            _audited_step(
+                manager,
+                before,
+                (current_f, current_c),
+                "tsm siblings [%d, %d)" % (lo, hi),
+            )
         if schedule.use_level_steps:
             top_boundary = max(lo, 1)
             bottom_boundary = min(hi, deepest + 1)
             for criterion in (Criterion.OSM, Criterion.TSM):
                 for boundary in range(top_boundary, bottom_boundary + 1):
+                    before = (current_f, current_c)
                     current_f, current_c = minimize_at_level(
                         manager,
                         current_f,
@@ -106,4 +144,11 @@ def scheduled_minimize(
                         criterion=criterion,
                         batch_size=schedule.batch_size,
                     )
+                    if auditing:
+                        _audited_step(
+                            manager,
+                            before,
+                            (current_f, current_c),
+                            "%s at level %d" % (criterion.name.lower(), boundary),
+                        )
         level += schedule.window_size

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.analysis.errors import InvariantError
 from repro.bdd.manager import Manager, ONE, ZERO
 from repro.fsm.machine import Fsm
 from repro.fsm.image import image_by_relation, transition_relation
@@ -79,7 +80,8 @@ def _state_cube_to_names(fsm: Fsm, cube: Dict[int, bool]) -> Dict[str, bool]:
 def _pick_state(fsm: Fsm, states: int) -> Dict[int, bool]:
     """A full assignment to the state variables inside ``states``."""
     cube = fsm.manager.pick_cube(states)
-    assert cube is not None
+    if cube is None:
+        raise InvariantError("pick_cube returned None on a non-empty state set")
     full = {}
     for level in fsm.current_levels:
         full[level] = cube.get(level, False)
@@ -117,9 +119,13 @@ def build_trace(fsm: Fsm, rings: List[int], target: int) -> Trace:
             },
         )
         candidates = manager.and_(landing, rings[ring_index])
-        assert candidates != ZERO, "ring %d cannot reach the state" % ring_index
+        if candidates == ZERO:
+            raise InvariantError(
+                "ring %d cannot reach the state" % ring_index
+            )
         choice = manager.pick_cube(candidates)
-        assert choice is not None
+        if choice is None:
+            raise InvariantError("no transition cube despite a non-empty ring")
         previous_state = {
             level: choice.get(level, False) for level in fsm.current_levels
         }
@@ -190,7 +196,8 @@ def equivalence_counterexample_trace(
     if result.holds:
         return None
     trace = result.trace
-    assert trace is not None
+    if trace is None:
+        raise InvariantError("failed invariant check carries no trace")
     # Find the distinguishing input at the violating state.
     final_state = trace.states[-1]
     assignment = {
@@ -201,7 +208,10 @@ def equivalence_counterexample_trace(
         product.outputs_equal ^ 1, assignment
     )
     witness = manager.pick_cube(disagreement)
-    assert witness is not None
+    if witness is None:
+        raise InvariantError(
+            "no distinguishing input at the violating state"
+        )
     trace.inputs.append(
         {
             name: bool(witness.get(level, False))

@@ -1,0 +1,35 @@
+"""Fixture: every form of BDD-ref boolean coercion rule L1 must flag."""
+
+
+def truthy_if(manager, f, c):
+    g = manager.and_(f, c)
+    if g:  # BUG: g == ONE == 0 is falsy
+        return g
+    return f
+
+
+def truthy_not(manager, f, c):
+    cover = manager.or_(f, c)
+    return not cover  # BUG
+
+
+def truthy_param(manager, f):
+    while f:  # BUG: parameter f is a ref by convention
+        f = manager.cofactor(f, 0, True)
+    return f
+
+
+def truthy_call(manager, f, c):
+    if manager.and_(f, c):  # BUG: direct call coercion
+        return 1
+    return 0
+
+
+def truthy_branches(manager, ref):
+    f_then, f_else = manager.branches(ref, 0)
+    return f_then and f_else  # BUG: both names came from branches()
+
+
+def truthy_bool(manager, f, c):
+    onset = manager.and_(f, c)
+    return bool(onset)  # BUG

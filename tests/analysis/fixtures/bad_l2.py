@@ -1,0 +1,18 @@
+"""Fixture: private Manager storage access rule L2 must flag."""
+
+
+def peek_children(manager, ref):
+    index = ref >> 1
+    return manager._high[index], manager._low[index]  # BUG x2
+
+
+def peek_level(manager, ref):
+    return manager._level[ref >> 1]  # BUG
+
+
+def poke_unique(manager):
+    manager._unique.clear()  # BUG
+
+
+def poke_cache(manager):
+    return len(manager._ite_cache)  # BUG

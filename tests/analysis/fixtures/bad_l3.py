@@ -1,0 +1,7 @@
+"""Fixture: bare asserts in library code rule L3 must flag."""
+
+
+def check_node(level, high, low):
+    assert high != low, "equal children"  # BUG: stripped under -O
+    assert high & 1 == 0  # BUG
+    return (level, high, low)

@@ -1,0 +1,20 @@
+"""Fixture: uncached self-recursive BDD traversal rule L4 must flag."""
+
+
+def count_paths(manager, ref):
+    def walk(node):  # BUG: recursive, splits nodes, no memo
+        if node == 0:
+            return 1
+        if node == 1:
+            return 0
+        level, then_ref, else_ref = manager.top_branches(node)
+        return walk(then_ref) + walk(else_ref)
+
+    return walk(ref)
+
+
+def depth(manager, node):  # BUG: module-level recursive traversal
+    if node in (0, 1):
+        return 0
+    _, then_ref, else_ref = manager.top_branches(node)
+    return 1 + max(depth(manager, then_ref), depth(manager, else_ref))

@@ -1,0 +1,15 @@
+"""Fixture: mutable default arguments rule L5 must flag."""
+
+
+def remember(value, seen=[]):  # BUG
+    seen.append(value)
+    return seen
+
+
+def tabulate(key, table={}, tags=set()):  # BUG x2
+    table[key] = tags
+    return table
+
+
+def build(items=list()):  # BUG
+    return items

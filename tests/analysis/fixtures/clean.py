@@ -1,0 +1,72 @@
+"""Fixture: idiomatic library code no lint rule may flag."""
+
+ONE = 0
+ZERO = 1
+
+
+def correct_constant_tests(manager, f, c):
+    g = manager.and_(f, c)
+    if g == ZERO:
+        return f
+    if g != ONE and manager.size(g) < manager.size(f):
+        return g
+    return f
+
+
+def correct_index_truthiness(manager, ref):
+    # Truthiness of the *node index* is fine: 0 is the terminal.
+    while ref >> 1:
+        _, then_ref, else_ref = manager.top_branches(ref)
+        ref = else_ref if then_ref == ZERO else then_ref
+    return ref == ONE
+
+
+def cached_traversal(manager, ref):
+    cache = {}
+
+    def walk(node):
+        if node in (ONE, ZERO):
+            return 1
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        _, then_ref, else_ref = manager.top_branches(node)
+        result = walk(then_ref) + walk(else_ref)
+        cache[node] = result
+        return result
+
+    return walk(ref)
+
+
+def generator_traversal(manager, ref):
+    # Enumerations are legitimately uncached (rule L4 exempts them).
+    def walk(node):
+        if node == ONE:
+            yield ()
+            return
+        if node == ZERO:
+            return
+        level, then_ref, else_ref = manager.top_branches(node)
+        yield from walk(then_ref)
+        yield from walk(else_ref)
+
+    yield from walk(ref)
+
+
+def immutable_defaults(value, limit=10, label=None, choices=(1, 2)):
+    if label is None:
+        label = str(value)
+    return value, limit, label, choices
+
+
+def guarded_invariant(high, low):
+    if high == low:
+        raise ValueError("equal children")
+    return high, low
+
+
+def suppressed_truthiness(manager, f, c):
+    g = manager.and_(f, c)
+    if g:  # repro-lint: skip=L1
+        return g
+    return f

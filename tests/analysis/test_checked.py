@@ -1,0 +1,138 @@
+"""CheckedManager and the hardened Manager.validate."""
+
+import pytest
+
+from repro.analysis.checked import (
+    CheckedManager,
+    checking_enabled,
+    manager_class,
+)
+from repro.analysis.errors import AnalysisError, ContractError, InvariantError
+from repro.bdd.manager import Manager, ONE, ZERO
+
+
+def _corrupt_equal_children(manager, ref):
+    """Make the top node of ``ref`` violate high != low."""
+    index = ref >> 1
+    manager._low[index] = manager._high[index]
+    manager.clear_caches()
+
+
+class TestExceptionHierarchy:
+    def test_invariant_error_is_assertion_error(self):
+        # Pre-existing callers catch AssertionError from validate().
+        assert issubclass(InvariantError, AssertionError)
+        assert issubclass(InvariantError, AnalysisError)
+        assert issubclass(ContractError, AnalysisError)
+
+    def test_reexported_from_bdd(self):
+        import repro.bdd
+
+        assert repro.bdd.InvariantError is InvariantError
+
+
+class TestValidate:
+    def test_single_ref(self, manager):
+        f = manager.and_(manager.var("x1"), manager.var("x2"))
+        manager.validate(f)
+
+    def test_multiple_roots(self, manager):
+        f = manager.xor(manager.var("x1"), manager.var("x2"))
+        c = manager.var("x3")
+        g = manager.or_(f, c)
+        manager.validate((f, c, g))
+        manager.validate([f, c])
+
+    def test_corruption_raises_invariant_error(self, manager):
+        f = manager.and_(manager.var("x1"), manager.var("x2"))
+        _corrupt_equal_children(manager, f)
+        with pytest.raises(InvariantError, match="equal children"):
+            manager.validate(f)
+
+    def test_corruption_seen_through_any_root(self, manager):
+        f = manager.and_(manager.var("x1"), manager.var("x2"))
+        c = manager.var("x3")
+        _corrupt_equal_children(manager, f)
+        with pytest.raises(InvariantError):
+            manager.validate((c, f))
+
+
+class TestCheckedManager:
+    def test_normal_operations_pass(self):
+        manager = CheckedManager(["a", "b", "c"], check=True)
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        g = manager.ite(f, manager.var("c"), manager.not_(f))
+        manager.validate((f, g))
+        assert manager.checks_run > 0
+
+    def test_one_check_per_public_call(self):
+        # The reentrancy guard validates only at the outermost return,
+        # not once per ite recursion step.
+        manager = CheckedManager(["a", "b", "c", "d"], check=True)
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        g = manager.or_(manager.var("c"), manager.var("d"))
+        before = manager.checks_run
+        manager.xor(f, g)
+        assert manager.checks_run == before + 1
+
+    def test_detects_corruption_on_next_operation(self):
+        manager = CheckedManager(["a", "b"], check=True)
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        _corrupt_equal_children(manager, f)
+        with pytest.raises(InvariantError):
+            manager.ite(f, ONE, ZERO)
+
+    def test_check_false_disables(self):
+        manager = CheckedManager(["a", "b"], check=False)
+        f = manager.and_(manager.var("a"), manager.var("b"))
+        assert manager.checks_run == 0
+        _corrupt_equal_children(manager, f)
+        # No audit fires; the corruption goes unnoticed here.
+        manager.ite(f, ONE, ZERO)
+
+    def test_env_zero_disables_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "0")
+        manager = CheckedManager(["a"])
+        manager.var("a")
+        assert manager.checks_run == 0
+
+    def test_results_match_plain_manager(self):
+        plain = Manager(["a", "b", "c"])
+        checked = CheckedManager(["a", "b", "c"], check=True)
+        for m in (plain, checked):
+            m.result = m.ite(
+                m.var("a"), m.xor(m.var("b"), m.var("c")), m.not_(m.var("b"))
+            )
+        assert plain.result == checked.result
+        assert plain.size(plain.result) == checked.size(checked.result)
+
+
+def test_repro_check_option_swaps_manager(request, manager):
+    # Under ``pytest --repro-check`` the conftest installs
+    # CheckedManager globally; otherwise the fixture stays plain.
+    if request.config.getoption("--repro-check"):
+        assert isinstance(manager, CheckedManager)
+        assert manager.checks_run > 0
+    else:
+        assert type(manager) is Manager
+
+
+class TestEnvironmentGating:
+    def test_checking_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        assert not checking_enabled()
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        assert checking_enabled()
+        monkeypatch.setenv("REPRO_CHECK", "0")
+        assert not checking_enabled()
+
+    def test_manager_class(self, monkeypatch):
+        # Compare against the checked module's own base-class binding:
+        # under --repro-check this module's ``Manager`` import already
+        # resolves to CheckedManager.
+        from repro.analysis import checked as checked_module
+
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        assert manager_class() is CheckedManager
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        assert manager_class() is checked_module.Manager

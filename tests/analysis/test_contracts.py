@@ -1,0 +1,175 @@
+"""Contract auditor: passes honest heuristics, catches mutants."""
+
+import pytest
+
+from repro.analysis.contracts import (
+    CONTRACTS,
+    Contract,
+    audit_instances,
+    audit_pair_step,
+    audit_result,
+    audit_suite,
+    audited_heuristic,
+    contract_for,
+)
+from repro.analysis.errors import ContractError
+from repro.bdd.manager import ONE, ZERO
+from repro.core.registry import HEURISTICS, get_heuristic
+
+
+def _instances(manager):
+    """Small (f, c) instances spanning cube and non-cube care sets."""
+    x1, x2, x3, x4 = (manager.var("x%d" % i) for i in range(1, 5))
+    return [
+        (manager.and_(x1, x2), x3),  # cube care
+        (manager.xor(x1, x2), manager.and_(x1, x3)),  # cube care
+        (manager.or_(manager.and_(x1, x2), x3), manager.xor(x2, x4)),
+        (manager.xor(manager.xor(x1, x2), x3), manager.or_(x1, x4)),
+        (x1, ONE),  # full care: g must equal f semantically
+        (manager.and_many([x1, x2, x3]), ZERO),  # no care at all
+    ]
+
+
+def test_every_registered_heuristic_has_a_contract():
+    assert set(CONTRACTS) == set(HEURISTICS)
+
+
+def test_contract_for_unknown_name_is_cover_only():
+    contract = contract_for("definitely_not_registered")
+    assert contract.cover
+    assert not (contract.no_new_vars or contract.never_grow or contract.cube_optimal)
+
+
+def test_all_heuristics_pass_on_instances(manager):
+    report = audit_instances(manager, _instances(manager))
+    assert report.ok, report.failures
+    assert report.instances == 6
+    assert report.checks == 6 * len(HEURISTICS)
+
+
+class TestMutants:
+    """Deliberately broken heuristics the auditor must catch."""
+
+    def test_non_cover_is_caught(self, manager):
+        def mutant(mgr, f, c):
+            return mgr.xor(f, c)  # flips f exactly on the care set
+
+        wrapped = audited_heuristic("mutant_xor", mutant)
+        f = manager.var("x1")
+        c = manager.var("x2")
+        with pytest.raises(ContractError, match="cover"):
+            wrapped(manager, f, c)
+
+    def test_new_variable_is_caught(self, manager):
+        # ite(x8, f.c, f + !c) is a genuine cover but drags x8 in.
+        def mutant(mgr, f, c):
+            onset = mgr.and_(f, c)
+            upper = mgr.or_(f, mgr.not_(c))
+            return mgr.ite(mgr.var("x8"), onset, upper)
+
+        wrapped = audited_heuristic(
+            "mutant_nv", mutant, contract=Contract(no_new_vars=True)
+        )
+        f = manager.var("x1")
+        c = manager.var("x2")
+        with pytest.raises(ContractError, match="no-new-vars"):
+            wrapped(manager, f, c)
+
+    def test_growth_is_caught(self, manager):
+        def mutant(mgr, f, c):
+            onset = mgr.and_(f, c)
+            upper = mgr.or_(f, mgr.not_(c))
+            return mgr.ite(mgr.var("x8"), onset, upper)
+
+        wrapped = audited_heuristic(
+            "mutant_grow", mutant, contract=Contract(never_grow=True)
+        )
+        f = manager.var("x1")
+        c = manager.var("x2")
+        with pytest.raises(ContractError, match="never-grow"):
+            wrapped(manager, f, c)
+
+    def test_cube_suboptimality_is_caught(self, manager):
+        # Returning f verbatim is a cover, but on cube care sets the
+        # Table-2 matchers promise the Theorem-7 minimum.
+        def mutant(mgr, f, c):
+            return f
+
+        wrapped = audited_heuristic(
+            "mutant_lazy", mutant, contract=Contract(cube_optimal=True)
+        )
+        f = manager.xor(manager.var("x1"), manager.var("x2"))
+        c = manager.var("x1")
+        with pytest.raises(ContractError, match="cube-optimality"):
+            wrapped(manager, f, c)
+
+    def test_below_theorem7_bound_is_caught(self, manager):
+        # |g| below |constrain(f, c)| proves g is no cover; check the
+        # bound in isolation by switching the cover check off.
+        def mutant(mgr, f, c):
+            return ONE
+
+        wrapped = audited_heuristic(
+            "mutant_one", mutant, contract=Contract(cover=False)
+        )
+        f = manager.and_(manager.var("x1"), manager.var("x2"))
+        c = manager.var("x1")
+        with pytest.raises(ContractError, match="theorem-7-lower-bound"):
+            wrapped(manager, f, c)
+
+    def test_audit_instances_reports_mutant(self, manager, monkeypatch):
+        def mutant(mgr, f, c):
+            return mgr.not_(f)
+
+        monkeypatch.setitem(HEURISTICS, "mutant_not", mutant)
+        report = audit_instances(
+            manager, _instances(manager), names=["mutant_not", "constrain"]
+        )
+        assert not report.ok
+        assert all("mutant_not" in failure for failure in report.failures)
+
+
+class TestPairStep:
+    def test_identity_step_is_safe(self, manager):
+        f = manager.xor(manager.var("x1"), manager.var("x2"))
+        c = manager.var("x3")
+        audit_pair_step(manager, (f, c), (f, c), "identity")
+
+    def test_care_set_shrink_is_unsafe(self, manager):
+        # Dropping care minterms lets later passes commit wrong values.
+        f = manager.xor(manager.var("x1"), manager.var("x2"))
+        c = manager.var("x3")
+        with pytest.raises(ContractError, match="i-cover"):
+            audit_pair_step(manager, (f, c), (f, ZERO), "drop care")
+
+
+class TestRegistryIntegration:
+    def test_audited_wrapper_dispatched_when_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        heuristic = get_heuristic("constrain")
+        assert heuristic.__name__ == "audited_constrain"
+        monkeypatch.delenv("REPRO_CHECK")
+        plain = get_heuristic("constrain")
+        assert getattr(plain, "__name__", None) != "audited_constrain"
+        assert plain is HEURISTICS["constrain"]
+
+    def test_explicit_audited_flag(self, manager):
+        heuristic = get_heuristic("osm_bt", audited=True)
+        f = manager.xor(manager.var("x1"), manager.var("x2"))
+        c = manager.var("x1")
+        g = heuristic(manager, f, c)
+        audit_result(manager, "osm_bt", f, c, g)
+
+
+def test_unknown_heuristic_name_fails_fast(manager):
+    with pytest.raises(KeyError, match="unknown heuristic"):
+        audit_instances(manager, [], names=["bogus"])
+    with pytest.raises(KeyError, match="unknown heuristic"):
+        audit_suite(benchmarks=["tlc"], names=["bogus"])
+
+
+def test_audit_suite_smoke():
+    report = audit_suite(benchmarks=["tlc"], max_calls_per_benchmark=3)
+    assert report.ok, report.failures
+    assert report.instances == 3
+    assert report.checks == 3 * len(HEURISTICS)

@@ -1,0 +1,134 @@
+"""repro-lint: every rule flags its fixture and spares clean code."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    Violation,
+    default_lint_root,
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> (expected rule, expected violation count)
+BAD_FIXTURES = {
+    "bad_l1.py": ("L1", 7),
+    "bad_l2.py": ("L2", 5),
+    "bad_l3.py": ("L3", 2),
+    "bad_l4.py": ("L4", 2),
+    "bad_l5.py": ("L5", 4),
+}
+
+
+@pytest.mark.parametrize("filename", sorted(BAD_FIXTURES))
+def test_bad_fixture_is_flagged(filename):
+    rule, count = BAD_FIXTURES[filename]
+    violations = lint_file(FIXTURES / filename)
+    assert violations, "expected %s violations in %s" % (rule, filename)
+    assert {violation.rule for violation in violations} == {rule}
+    assert len(violations) == count
+
+
+def test_clean_fixture_is_clean():
+    assert lint_file(FIXTURES / "clean.py") == []
+
+
+def test_every_rule_has_a_fixture():
+    covered = {BAD_FIXTURES[name][0] for name in BAD_FIXTURES}
+    assert covered == set(RULES)
+
+
+def test_l1_flags_direct_call_coercion():
+    violations = lint_source("def f(manager, a, b):\n    if manager.ite(a, b, 1):\n        return a\n")
+    assert [violation.rule for violation in violations] == ["L1"]
+    assert "ite" in violations[0].message
+
+
+def test_l1_ignores_explicit_comparison():
+    source = "def f(manager, g):\n    if g == 0:\n        return g\n"
+    assert lint_source(source) == []
+
+
+def test_l2_allowed_inside_manager_file():
+    source = "def f(self, i):\n    return self._high[i]\n"
+    assert lint_source(source, "src/repro/bdd/manager.py") == []
+    assert len(lint_source(source, "src/repro/core/sibling.py")) == 1
+
+
+def test_l4_exempts_generators():
+    source = (
+        "def walk(manager, node):\n"
+        "    a, b = manager.branches(node, 0)\n"
+        "    yield from walk(manager, a)\n"
+        "    yield from walk(manager, b)\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_suppression_comment():
+    flagged = "def f(g):\n    return not g\n"
+    assert len(lint_source(flagged)) == 1
+    suppressed = "def f(g):\n    return not g  # repro-lint: skip\n"
+    assert lint_source(suppressed) == []
+    wrong_code = "def f(g):\n    return not g  # repro-lint: skip=L4\n"
+    assert len(lint_source(wrong_code)) == 1
+
+
+def test_violation_render_format():
+    violation = Violation("L5", "pkg/mod.py", 12, 4, "mutable default")
+    assert violation.render() == "pkg/mod.py:12:4: L5 mutable default"
+
+
+def test_repro_package_is_lint_clean():
+    violations = lint_paths([default_lint_root()])
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_main_exit_codes(capsys):
+    assert main([str(FIXTURES / "clean.py")]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert main([str(FIXTURES / "bad_l3.py")]) == 1
+    out = capsys.readouterr().out
+    assert "L3" in out and "violation" in out
+
+
+def test_main_reports_unreadable_and_unparsable_files(tmp_path, capsys):
+    missing = tmp_path / "missing.py"
+    assert main([str(missing)]) == 2
+    assert "cannot read" in capsys.readouterr().err
+    broken = tmp_path / "broken.py"
+    broken.write_text("def broken(:\n")
+    assert main([str(broken)]) == 2
+    assert "syntax error" in capsys.readouterr().err
+
+
+def _run_cli(*args):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def test_cli_lint_clean_on_package():
+    result = _run_cli()
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_cli_lint_fails_on_fixture():
+    result = _run_cli(str(FIXTURES / "bad_l1.py"))
+    assert result.returncode == 1
+    assert "L1" in result.stdout

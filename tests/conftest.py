@@ -5,14 +5,37 @@ from __future__ import annotations
 import pytest
 from hypothesis import strategies as st
 
-from repro.bdd.manager import Manager
+import repro.bdd.manager as manager_module
 from repro.bdd.truthtable import bdd_from_leaves
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-check",
+        action="store_true",
+        default=False,
+        help=(
+            "swap repro.analysis.CheckedManager in for Manager so every "
+            "BDD operation re-validates structural invariants"
+        ),
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--repro-check"):
+        from repro.analysis.checked import install_checked_manager
+
+        install_checked_manager()
+
+
 @pytest.fixture
-def manager() -> Manager:
-    """A fresh manager with eight anonymous variables."""
-    return Manager(["x%d" % index for index in range(1, 9)])
+def manager() -> "manager_module.Manager":
+    """A fresh manager with eight anonymous variables.
+
+    Constructed through the module attribute so that ``--repro-check``
+    (which rebinds it to ``CheckedManager``) is honored.
+    """
+    return manager_module.Manager(["x%d" % index for index in range(1, 9)])
 
 
 def leaves_strategy(num_vars: int):
@@ -30,7 +53,7 @@ def instance_strategy(num_vars: int, nonzero_care: bool = False):
     return st.tuples(leaves_strategy(num_vars), care)
 
 
-def build_instance(manager: Manager, f_leaves, c_leaves):
+def build_instance(manager, f_leaves, c_leaves):
     """Materialize leaf lists into ``(f, c)`` refs."""
     return (
         bdd_from_leaves(manager, f_leaves),
