@@ -16,6 +16,11 @@ Subpackages
     Synthetic benchmark machines standing in for the paper's suite.
 ``repro.experiments``
     The measurement harness regenerating every table and figure.
+``repro.analysis``
+    Codebase-specific lint pass and runtime contract auditing.
+``repro.robust``
+    Resource budgets, guarded execution with graceful degradation,
+    checkpoint/resume for sweeps, deterministic fault injection.
 """
 
 from repro.bdd import Manager, Function

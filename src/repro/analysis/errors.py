@@ -44,3 +44,46 @@ class ContractError(AnalysisError):
     wrappers, the Theorem-7 lower bound on cube care sets, and the
     i-covering safety of windowed schedule transformations (§3.4).
     """
+
+
+class BudgetExceeded(Exception):
+    """A bounded BDD computation ran out of its resource budget.
+
+    Unlike :class:`AnalysisError` and its subclasses — which mark *bugs*
+    — a budget trip is an expected, recoverable condition: ``constrain``
+    can blow up quadratically, Proposition 4 exhibits unbounded growth
+    for the matching heuristics, and a deep BDD can exceed the
+    interpreter's recursion limit.  The fault-tolerance layer
+    (:mod:`repro.robust`) catches this hierarchy and degrades to a safe
+    cover instead of crashing.
+
+    Deliberately *not* an :class:`AnalysisError`: code that treats
+    analysis errors as fatal must never swallow a mere budget trip, and
+    code that retries budget trips must never retry a real invariant
+    violation.
+    """
+
+
+class NodeBudgetExceeded(BudgetExceeded):
+    """The governed computation created more BDD nodes than allowed."""
+
+
+class StepBudgetExceeded(BudgetExceeded):
+    """The governed computation took more ITE steps than allowed."""
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """The governed computation overran its wall-clock deadline."""
+
+
+class RecursionBudgetExceeded(BudgetExceeded):
+    """A recursive BDD operation exceeded the survivable recursion depth.
+
+    Raised by :class:`repro.bdd.manager.Manager` in place of a raw
+    :class:`RecursionError`: the manager retries once with a recursion
+    limit raised in proportion to the number of variables (recursion
+    depth of every manager operation is bounded by the variable count),
+    and only if the bounded retry still overflows — or the required
+    limit exceeds ``Manager.recursion_cap`` — does this typed,
+    recoverable error surface.
+    """

@@ -26,9 +26,10 @@ special cases.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+import sys
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.analysis.errors import InvariantError
+from repro.analysis.errors import InvariantError, RecursionBudgetExceeded
 
 #: Ref of the constant TRUE function.
 ONE = 0
@@ -37,6 +38,22 @@ ZERO = 1
 
 #: Sentinel level of the terminal node; larger than any variable level.
 TERMINAL_LEVEL = 1 << 30
+
+#: Step-hook event: a node was created in the unique table.
+EVENT_NODE = "node"
+#: Step-hook event: one ITE recursion step was taken.
+EVENT_ITE = "ite"
+#: Step-hook event: the computed tables were flushed (counters reset).
+EVENT_CLEAR = "clear"
+
+#: Default ceiling on how far the deep-recursion guard will raise the
+#: interpreter recursion limit.  Beyond ~20k Python frames the C stack
+#: itself is at risk on common 8 MB thread stacks, so past this point a
+#: typed :class:`RecursionBudgetExceeded` is preferred to a segfault.
+RECURSION_LIMIT_CAP = 20000
+
+#: Extra frames granted beyond the proven need (driver frames, hooks).
+_RECURSION_HEADROOM = 64
 
 
 class Manager:
@@ -50,6 +67,10 @@ class Manager:
     """
 
     def __init__(self, var_names: Optional[Sequence[str]] = None):
+        # The step hook must exist before the first node is created.
+        self._step_hook: Optional[Callable[[str], None]] = None
+        #: Ceiling for the deep-recursion guard (see :meth:`_retry_deep`).
+        self.recursion_cap: int = RECURSION_LIMIT_CAP
         # Node 0 is the terminal.  Its children are self-loops that are
         # never followed; the level is the sentinel.
         self._level: List[int] = [TERMINAL_LEVEL]
@@ -145,6 +166,12 @@ class Manager:
             self._high.append(high)
             self._low.append(low)
             self._unique[key] = index
+            # Node creation is a governed resource; the hook may raise a
+            # BudgetExceeded.  The node itself is complete and canonical
+            # at this point, so the table stays consistent either way.
+            hook = self._step_hook
+            if hook is not None:
+                hook(EVENT_NODE)
         return index << 1
 
     def level(self, ref: int) -> int:
@@ -205,10 +232,86 @@ class Manager:
         return cache
 
     def clear_caches(self) -> None:
-        """Flush every computed table (the unique table is kept)."""
+        """Flush every computed table (the unique table is kept).
+
+        An installed step hook is notified with :data:`EVENT_CLEAR` so a
+        resource governor can reset its counters in lockstep — the
+        paper's §4.1.1 fairness protocol flushes caches between
+        heuristics, and per-heuristic budgets must restart with them.
+        """
         self._ite_cache.clear()
         for cache in self._op_caches.values():
             cache.clear()
+        hook = self._step_hook
+        if hook is not None:
+            hook(EVENT_CLEAR)
+
+    # ------------------------------------------------------------------
+    # Resource governing
+    # ------------------------------------------------------------------
+    def install_step_hook(
+        self, hook: Optional[Callable[[str], None]]
+    ) -> Optional[Callable[[str], None]]:
+        """Install a step hook; returns the previously installed one.
+
+        The hook is called with :data:`EVENT_NODE` for every node
+        created in the unique table, :data:`EVENT_ITE` for every ITE
+        recursion step, and :data:`EVENT_CLEAR` when the computed tables
+        are flushed.  A hook may raise
+        :class:`repro.analysis.errors.BudgetExceeded` to abort the
+        in-flight operation; all manager state (unique table, caches)
+        remains consistent afterwards because results are only cached
+        once fully computed.
+
+        Pass ``None`` to uninstall.  The conventional pattern restores
+        the previous hook on exit::
+
+            previous = manager.install_step_hook(governor)
+            try:
+                ...
+            finally:
+                manager.install_step_hook(previous)
+        """
+        previous = self._step_hook
+        self._step_hook = hook
+        return previous
+
+    @property
+    def step_hook(self) -> Optional[Callable[[str], None]]:
+        """The currently installed step hook (None when ungoverned)."""
+        return self._step_hook
+
+    def _retry_deep(self, fn, args: tuple, operation: str):
+        """Re-run a recursive operation after a :class:`RecursionError`.
+
+        Every recursive manager operation descends at least one variable
+        level per call, so its depth is bounded by the variable count.
+        The retry raises the interpreter limit by exactly that bound
+        (plus headroom) and runs the operation again — the caches only
+        ever hold fully computed entries, so a partially completed first
+        attempt is safe to resume from.  If the required limit exceeds
+        :attr:`recursion_cap`, or the bounded retry still overflows, a
+        typed :class:`~repro.analysis.errors.RecursionBudgetExceeded`
+        is raised instead of the raw :class:`RecursionError`.
+        """
+        limit = sys.getrecursionlimit()
+        needed = limit + len(self._var_names) + _RECURSION_HEADROOM
+        if needed > self.recursion_cap:
+            raise RecursionBudgetExceeded(
+                "%s over %d variables needs recursion depth ~%d, beyond "
+                "the cap %d (raise Manager.recursion_cap to allow it)"
+                % (operation, len(self._var_names), needed, self.recursion_cap)
+            ) from None
+        sys.setrecursionlimit(needed)
+        try:
+            return fn(*args)
+        except RecursionError:
+            raise RecursionBudgetExceeded(
+                "%s still exceeded the raised recursion limit %d "
+                "(%d variables)" % (operation, needed, len(self._var_names))
+            ) from None
+        finally:
+            sys.setrecursionlimit(limit)
 
     def validate(self, refs: Union[int, Iterable[int]]) -> None:
         """Check structural invariants of one or several BDDs.
@@ -265,7 +368,22 @@ class Manager:
     # The ITE core
     # ------------------------------------------------------------------
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f·g + ¬f·h``, the universal binary operator."""
+        """If-then-else: ``f·g + ¬f·h``, the universal binary operator.
+
+        Deep-recursion safe: a :class:`RecursionError` from the
+        recursive core is retried once with a variable-count-bounded
+        recursion limit (see :meth:`_retry_deep`); a raw
+        ``RecursionError`` never escapes.
+        """
+        try:
+            return self._ite(f, g, h)
+        except RecursionError:
+            return self._retry_deep(self._ite, (f, g, h), "ite")
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        hook = self._step_hook
+        if hook is not None:
+            hook(EVENT_ITE)
         # Normalize so the condition is regular.
         if f & 1:
             f ^= 1
@@ -330,8 +448,8 @@ class Manager:
         h_then, h_else = self.branches(h, top)
         result = self.make_node(
             top,
-            self.ite(f_then, g_then, h_then),
-            self.ite(f_else, g_else, h_else),
+            self._ite(f_then, g_then, h_then),
+            self._ite(f_else, g_else, h_else),
         )
         self._ite_cache[key] = result
         return result ^ output_complement
@@ -395,7 +513,11 @@ class Manager:
     def cofactor(self, f: int, level: int, value: bool) -> int:
         """Cofactor of ``f`` by the literal at ``level`` set to ``value``."""
         cache = self.cache("cofactor")
-        return self._cofactor(f, level, 1 if value else 0, cache)
+        args = (f, level, 1 if value else 0, cache)
+        try:
+            return self._cofactor(*args)
+        except RecursionError:
+            return self._retry_deep(self._cofactor, args, "cofactor")
 
     def _cofactor(self, f: int, level: int, value: int, cache: dict) -> int:
         node_level = self._level[f >> 1]
@@ -429,7 +551,11 @@ class Manager:
         if not level_set:
             return f
         cache = self.cache("exists")
-        return self._quantify(f, level_set, cache, conjunctive=False)
+        args = (f, level_set, cache, False)
+        try:
+            return self._quantify(*args)
+        except RecursionError:
+            return self._retry_deep(self._quantify, args, "exists")
 
     def forall(self, f: int, levels: Iterable[int]) -> int:
         """Universal quantification over the given variable levels."""
@@ -437,7 +563,11 @@ class Manager:
         if not level_set:
             return f
         cache = self.cache("forall")
-        return self._quantify(f, level_set, cache, conjunctive=True)
+        args = (f, level_set, cache, True)
+        try:
+            return self._quantify(*args)
+        except RecursionError:
+            return self._retry_deep(self._quantify, args, "forall")
 
     def _quantify(
         self, f: int, levels: frozenset, cache: dict, conjunctive: bool
@@ -470,7 +600,11 @@ class Manager:
         """
         level_set = frozenset(levels)
         cache = self.cache("and_exists")
-        return self._and_exists(f, g, level_set, cache)
+        args = (f, g, level_set, cache)
+        try:
+            return self._and_exists(*args)
+        except RecursionError:
+            return self._retry_deep(self._and_exists, args, "and_exists")
 
     def _and_exists(self, f: int, g: int, levels: frozenset, cache: dict) -> int:
         if f == ZERO or g == ZERO:
@@ -524,7 +658,13 @@ class Manager:
             return f
         cache: dict = {}
         frozen = tuple(sorted(mapping.items()))
-        return self._vector_compose(f, dict(frozen), frozen, cache)
+        args = (f, dict(frozen), frozen, cache)
+        try:
+            return self._vector_compose(*args)
+        except RecursionError:
+            return self._retry_deep(
+                self._vector_compose, args, "vector_compose"
+            )
 
     def _vector_compose(
         self, f: int, mapping: Dict[int, int], key_tag: tuple, cache: dict
@@ -648,7 +788,10 @@ class Manager:
             cache[r] = result
             return result
 
-        result = count(ref)
+        try:
+            result = count(ref)
+        except RecursionError:
+            result = self._retry_deep(count, (ref,), "sat_count")
         del cache
         return result
 

@@ -23,6 +23,17 @@ Subcommands
     Replay circuit-suite minimization instances against every
     registered heuristic and check the advertised contracts (cover
     containment, no-new-vars, never-grow, Theorem-7 cube bound).
+``inject``
+    Fault-injection drill: run a heuristic on a manager that fails on
+    schedule (budget trip, recursion failure, cache corruption) and
+    report whether the guard degraded gracefully.
+
+Resource flags (``minimize`` and ``experiments``): ``--node-budget``,
+``--step-budget`` and ``--deadline`` bound each heuristic call; a call
+exceeding them degrades to the identity cover and is reported, never
+crashed on.  ``experiments --checkpoint FILE`` journals completed calls
+to JSONL; ``--resume`` continues an interrupted sweep from the journal
+(a malformed journal exits with status 2).
 """
 
 from __future__ import annotations
@@ -33,6 +44,41 @@ from typing import List, Optional
 
 from repro.bdd.manager import Manager
 from repro.bdd.parser import parse_expression
+
+
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--node-budget",
+        type=int,
+        help="max BDD nodes created per heuristic call",
+    )
+    parser.add_argument(
+        "--step-budget",
+        type=int,
+        help="max ITE recursion steps per heuristic call",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        help="wall-clock seconds allowed per heuristic call",
+    )
+
+
+def _budget_from_args(args: argparse.Namespace):
+    """Build a Budget from the CLI flags, or None when none given."""
+    if (
+        args.node_budget is None
+        and args.step_budget is None
+        and args.deadline is None
+    ):
+        return None
+    from repro.robust.governor import Budget
+
+    return Budget(
+        max_nodes=args.node_budget,
+        max_steps=args.step_budget,
+        deadline=args.deadline,
+    )
 
 
 def _cmd_minimize(args: argparse.Namespace) -> int:
@@ -58,13 +104,17 @@ def _cmd_minimize(args: argparse.Namespace) -> int:
         "cube lower bound = %d"
         % cube_lower_bound(manager, spec.f, spec.c, cube_limit=args.cube_limit)
     )
+    budget = _budget_from_args(args)
     if args.all:
         names = sorted(HEURISTICS)
     else:
         names = [args.method]
     for name in names:
-        cover = get_heuristic(name)(manager, spec.f, spec.c)
-        print("%-12s |g| = %d" % (name, manager.size(cover)))
+        heuristic = get_heuristic(name, budget=budget)
+        cover = heuristic(manager, spec.f, spec.c)
+        failure = getattr(heuristic, "last_failure", None)
+        note = "  (degraded: %s)" % failure if failure else ""
+        print("%-12s |g| = %d%s" % (name, manager.size(cover), note))
     return 0
 
 
@@ -80,12 +130,37 @@ def _run_experiments(args: argparse.Namespace) -> int:
     )
     from repro.experiments.buckets import Bucket
 
+    from repro.robust.checkpoint import CheckpointError
+
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
     names = list(QUICK_SUITE) if args.quick else None
-    results = run_experiment(names=names, cube_limit=args.cube_limit)
+    try:
+        results = run_experiment(
+            names=names,
+            cube_limit=args.cube_limit,
+            budget=_budget_from_args(args),
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except CheckpointError as error:
+        print("checkpoint error: %s" % error, file=sys.stderr)
+        return 2
     print(
         "%d calls measured (%d filtered as trivial)"
         % (results.total_calls, results.filtered_out)
     )
+    if results.resumed_calls:
+        print(
+            "%d call(s) replayed from checkpoint %s"
+            % (results.resumed_calls, args.checkpoint)
+        )
+    if results.failed_cells:
+        print(
+            "%d heuristic cell(s) failed under the resource budget "
+            "(recorded, not crashed)" % results.failed_cells
+        )
     print()
     print(
         render_table3(
@@ -219,6 +294,78 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inject(args: argparse.Namespace) -> int:
+    """Fault-injection drill: prove the degradation path by breaking it."""
+    import random
+
+    from repro.core.ispec import ISpec
+    from repro.core.registry import HEURISTICS
+    from repro.robust.faults import FaultPlan, FaultyManager
+    from repro.robust.guard import guard
+
+    if args.heuristic not in HEURISTICS:
+        print(
+            "unknown heuristic %r; available: %s"
+            % (args.heuristic, ", ".join(sorted(HEURISTICS))),
+            file=sys.stderr,
+        )
+        return 2
+    plan = FaultPlan(args.fault, args.at, repeat=args.repeat)
+    manager = FaultyManager(plan=plan, armed=False)
+    # Deterministic pseudo-random DNF instance: seeded, so every drill
+    # with the same flags replays the same fault at the same operation.
+    rng = random.Random(args.seed)
+    levels = [manager.new_var("x%d" % index) for index in range(args.vars)]
+
+    def random_dnf(cubes: int) -> int:
+        result = None
+        for _ in range(cubes):
+            chosen = rng.sample(levels, k=min(3, len(levels)))
+            cube = None
+            for literal in chosen:
+                literal = literal if rng.random() < 0.5 else literal ^ 1
+                cube = literal if cube is None else manager.and_(cube, literal)
+            result = cube if result is None else manager.or_(result, cube)
+        return result
+
+    f = random_dnf(args.vars)
+    c = random_dnf(args.vars)
+    spec = ISpec(manager, f, c)
+    setup_operations = manager.operations
+    manager.clear_caches()
+    manager.armed = True
+    guarded = guard(
+        HEURISTICS[args.heuristic],
+        name=args.heuristic,
+        flush_before_verify=True,
+    )
+    cover = guarded(manager, f, c)
+    manager.armed = False
+    manager.clear_caches()
+    print(
+        "fault plan: %s at operation %d%s (setup used %d operations)"
+        % (
+            plan.kind,
+            plan.at_operation,
+            " repeating" if plan.repeat else "",
+            setup_operations,
+        )
+    )
+    print("faults fired: %d" % manager.faults_fired)
+    if guarded.last_failure:
+        print("guard degraded: %s" % guarded.last_failure)
+    else:
+        print("heuristic completed despite the fault")
+    print(
+        "|f| = %d  |g| = %d  cover valid: %s"
+        % (manager.size(f), manager.size(cover), spec.is_cover(cover))
+    )
+    if not spec.is_cover(cover):
+        print("FAIL: guarded result is not a cover", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -245,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     minimize_parser.add_argument("--method", default="osm_bt")
     minimize_parser.add_argument("--all", action="store_true")
     minimize_parser.add_argument("--cube-limit", type=int, default=1000)
+    _add_budget_flags(minimize_parser)
     minimize_parser.set_defaults(handler=_cmd_minimize)
 
     experiments_parser = commands.add_parser(
@@ -253,6 +401,16 @@ def build_parser() -> argparse.ArgumentParser:
     experiments_parser.add_argument("--quick", action="store_true")
     experiments_parser.add_argument("--cube-limit", type=int, default=1000)
     experiments_parser.add_argument("--csv")
+    _add_budget_flags(experiments_parser)
+    experiments_parser.add_argument(
+        "--checkpoint",
+        help="JSONL journal of completed calls (written as the sweep runs)",
+    )
+    experiments_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip calls already recorded in --checkpoint",
+    )
     experiments_parser.set_defaults(handler=_run_experiments)
 
     equivalence_parser = commands.add_parser(
@@ -310,6 +468,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="recorded calls audited per benchmark (default 25)",
     )
     audit_parser.set_defaults(handler=_cmd_audit)
+
+    inject_parser = commands.add_parser(
+        "inject",
+        help="fault-injection drill against a guarded heuristic",
+    )
+    inject_parser.add_argument(
+        "--fault",
+        required=True,
+        choices=["budget", "recursion", "cache"],
+        help="failure to inject (see repro.robust.faults)",
+    )
+    inject_parser.add_argument(
+        "--at",
+        type=int,
+        default=100,
+        help="operation count the fault fires at (default 100)",
+    )
+    inject_parser.add_argument(
+        "--repeat",
+        action="store_true",
+        help="fire on every operation from --at on (retries fail too)",
+    )
+    inject_parser.add_argument(
+        "--heuristic",
+        default="osm_bt",
+        help="registered heuristic to drill (default osm_bt)",
+    )
+    inject_parser.add_argument(
+        "--vars",
+        type=int,
+        default=8,
+        help="variables in the synthetic instance (default 8)",
+    )
+    inject_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic synthetic instance",
+    )
+    inject_parser.set_defaults(handler=_cmd_inject)
     return parser
 
 

@@ -55,13 +55,15 @@ def _opt_lv_batched(manager: Manager, f: int, c: int) -> int:
 
 
 def _sched(manager: Manager, f: int, c: int) -> int:
-    return scheduled_minimize(manager, f, c, Schedule())
+    # degrade=True: under a resource budget the schedule hands back its
+    # best safe intermediate instead of losing the whole call.
+    return scheduled_minimize(manager, f, c, Schedule(), degrade=True)
 
 
 def _sched_fast(manager: Manager, f: int, c: int) -> int:
     """The schedule with the expensive level steps skipped (§3.4)."""
     return scheduled_minimize(
-        manager, f, c, Schedule(use_level_steps=False)
+        manager, f, c, Schedule(use_level_steps=False), degrade=True
     )
 
 
@@ -130,7 +132,12 @@ PAPER_HEURISTICS: Tuple[str, ...] = (
 )
 
 
-def get_heuristic(name: str, audited: Optional[bool] = None) -> Heuristic:
+def get_heuristic(
+    name: str,
+    audited: Optional[bool] = None,
+    guarded: Optional[bool] = None,
+    budget=None,
+) -> Heuristic:
     """Look up a heuristic by its paper name.
 
     ``audited`` wraps the heuristic with the per-call contract checks of
@@ -139,6 +146,16 @@ def get_heuristic(name: str, audited: Optional[bool] = None) -> Heuristic:
     to the ``REPRO_CHECK`` environment switch, so setting
     ``REPRO_CHECK=1`` audits every dispatched heuristic call
     library-wide without code changes.
+
+    ``guarded`` wraps the (possibly audited) heuristic with
+    :func:`repro.robust.guard.guard`, so budget trips, recursion
+    failures and contract violations degrade to the identity cover
+    ``g = f`` instead of raising.  The default ``None`` defers to the
+    ``REPRO_GUARD`` environment switch; passing a
+    :class:`~repro.robust.governor.Budget` implies guarding (an
+    enforced budget without a degradation path would just crash).
+    The guard wraps *outside* the audit, so an audit-detected contract
+    violation degrades rather than propagating.
     """
     try:
         heuristic = HEURISTICS[name]
@@ -154,7 +171,15 @@ def get_heuristic(name: str, audited: Optional[bool] = None) -> Heuristic:
     if audited:
         from repro.analysis.contracts import audited_heuristic
 
-        return audited_heuristic(name, heuristic)
+        heuristic = audited_heuristic(name, heuristic)
+    if guarded is None:
+        from repro.robust.guard import guarding_enabled
+
+        guarded = guarding_enabled() or budget is not None
+    if guarded:
+        from repro.robust.guard import guard
+
+        heuristic = guard(heuristic, name=name, budget=budget)
     return heuristic
 
 

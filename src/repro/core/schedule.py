@@ -31,10 +31,29 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.checked import checking_enabled
+from repro.analysis.errors import (
+    BudgetExceeded,
+    ContractError,
+    InvariantError,
+)
 from repro.bdd.manager import Manager, ONE, ZERO
 from repro.core.criteria import Criterion
 from repro.core.sibling import constrain, sibling_pass
 from repro.core.levels import minimize_at_level
+
+#: Failures the schedule can degrade through: every intermediate
+#: ``(current_f, current_c)`` pair i-covers the input instance, so when
+#: a step blows a budget or trips an audit the *last completed* pair's
+#: ``current_f`` is still a valid cover of the original ``[f, c]`` —
+#: the schedule can hand back its best safe intermediate instead of
+#: losing the whole call.  (Imported from ``analysis.errors``, not
+#: ``repro.robust``, to keep the core free of robust imports.)
+DEGRADABLE_ERRORS = (
+    BudgetExceeded,
+    ContractError,
+    InvariantError,
+    RecursionError,
+)
 
 
 @dataclass(frozen=True)
@@ -69,11 +88,44 @@ def _audited_step(manager, before, after, context):
 
 
 def scheduled_minimize(
-    manager: Manager, f: int, c: int, schedule: Schedule = Schedule()
+    manager: Manager,
+    f: int,
+    c: int,
+    schedule: Schedule = Schedule(),
+    degrade: bool = False,
 ) -> int:
-    """Minimize ``[f, c]`` with the windowed schedule; returns a cover."""
+    """Minimize ``[f, c]`` with the windowed schedule; returns a cover.
+
+    With ``degrade=True`` a failure from :data:`DEGRADABLE_ERRORS` ends
+    the schedule early and the best *safe* intermediate is returned:
+    the ``current_f`` of the last fully completed (and, under
+    ``REPRO_CHECK=1``, audited) window step, or ``f`` itself if that
+    intermediate is no smaller.  Both are covers of ``[f, c]`` by the
+    i-covering invariant, so degradation never trades away correctness.
+    """
     if c == ZERO:
         return ONE
+    state = [f, c]
+    try:
+        return _scheduled_loop(manager, f, c, schedule, state)
+    except DEGRADABLE_ERRORS:
+        if not degrade:
+            raise
+        best = state[0]
+        if manager.size(best) < manager.size(f):
+            return best
+        return f
+
+
+def _scheduled_loop(
+    manager: Manager, f: int, c: int, schedule: Schedule, state: list
+) -> int:
+    """The schedule proper; ``state`` tracks the last safe pair.
+
+    ``state[0], state[1]`` are updated only after a window step has
+    both completed and passed its audit, so whatever they hold when an
+    exception escapes is a pair that i-covers the input instance.
+    """
     auditing = checking_enabled()
     current_f, current_c = f, c
     level = 0
@@ -113,6 +165,7 @@ def scheduled_minimize(
                 (current_f, current_c),
                 "osm siblings [%d, %d)" % (lo, hi),
             )
+        state[0], state[1] = current_f, current_c
         before = (current_f, current_c)
         current_f, current_c = sibling_pass(
             manager,
@@ -130,6 +183,7 @@ def scheduled_minimize(
                 (current_f, current_c),
                 "tsm siblings [%d, %d)" % (lo, hi),
             )
+        state[0], state[1] = current_f, current_c
         if schedule.use_level_steps:
             top_boundary = max(lo, 1)
             bottom_boundary = min(hi, deepest + 1)
@@ -151,4 +205,5 @@ def scheduled_minimize(
                             (current_f, current_c),
                             "%s at level %d" % (criterion.name.lower(), boundary),
                         )
+                    state[0], state[1] = current_f, current_c
         level += schedule.window_size

@@ -30,7 +30,12 @@ DEFAULT_MINIMIZERS = ("f_orig", "constrain", "restrict", "osm_bt", "robust")
 
 @dataclass(frozen=True)
 class ApplicationRun:
-    """One (benchmark, minimizer) traversal measurement."""
+    """One (benchmark, minimizer) traversal measurement.
+
+    ``degraded_calls`` counts frontier minimizations that fell back to
+    the identity cover under the guard (budget trips etc.) — the
+    traversal still completes exactly, just without that compression.
+    """
 
     benchmark: str
     minimizer: str
@@ -38,20 +43,35 @@ class ApplicationRun:
     iterations: int
     seconds: float
     nodes_allocated: int
+    degraded_calls: int = 0
 
 
 def measure_application_impact(
     names: Sequence[str],
     minimizers: Sequence[str] = DEFAULT_MINIMIZERS,
+    budget=None,
 ) -> List[ApplicationRun]:
-    """Self-equivalence traversal cost per (benchmark, minimizer)."""
+    """Self-equivalence traversal cost per (benchmark, minimizer).
+
+    Every frontier minimizer runs guarded: a budget trip or recursion
+    failure inside one minimization degrades that call to the exact
+    (unminimized) frontier instead of killing the whole traversal.
+    ``budget`` optionally bounds each minimization call (see
+    :class:`repro.robust.governor.Budget`).
+    """
+    from repro.robust.guard import guard
+
     runs: List[ApplicationRun] = []
     for name in names:
         for minimizer_name in minimizers:
             spec = benchmark_spec(name)
             manager = Manager()
             product = compile_product(manager, spec, spec)
-            minimizer = HEURISTICS[minimizer_name]
+            minimizer = guard(
+                HEURISTICS[minimizer_name],
+                name=minimizer_name,
+                budget=budget,
+            )
             started = time.perf_counter()
             result = check_equivalence(product, minimize=minimizer)
             elapsed = time.perf_counter() - started
@@ -63,6 +83,7 @@ def measure_application_impact(
                     iterations=result.iterations,
                     seconds=elapsed,
                     nodes_allocated=manager.num_nodes,
+                    degraded_calls=minimizer.failures,
                 )
             )
     return runs
@@ -78,10 +99,13 @@ def render_application_impact(runs: Sequence[ApplicationRun]) -> str:
         if run.benchmark not in benchmarks:
             benchmarks.append(run.benchmark)
     by_key: Dict = {(run.benchmark, run.minimizer): run for run in runs}
+    show_degraded = any(run.degraded_calls for run in runs)
     headers = ["Benchmark"]
     for minimizer in minimizers:
         headers.append("%s nodes" % minimizer)
         headers.append("%s s" % minimizer)
+        if show_degraded:
+            headers.append("%s deg" % minimizer)
     rows = []
     for benchmark in benchmarks:
         row = [benchmark]
@@ -89,6 +113,8 @@ def render_application_impact(runs: Sequence[ApplicationRun]) -> str:
             run = by_key[(benchmark, minimizer)]
             row.append(str(run.nodes_allocated))
             row.append("%.3f" % run.seconds)
+            if show_degraded:
+                row.append(str(run.degraded_calls))
         rows.append(row)
     return render_table(
         headers, rows, title="Application impact (traversal cost)"

@@ -50,10 +50,12 @@ def figure3_curves(
             if total == 0:
                 series.append((threshold, 0.0))
                 continue
+            # A failed cell (size None) is never "within x% of min".
             within = sum(
                 1
                 for result in calls
-                if result.sizes[name] <= allowed * result.min_size
+                if result.sizes.get(name) is not None
+                and result.sizes[name] <= allowed * result.min_size
             )
             series.append((threshold, 100.0 * within / total))
         curves[name] = series

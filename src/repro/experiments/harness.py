@@ -5,6 +5,14 @@ the results of earlier computations. ... we invoke the BDD garbage
 collector before each heuristic is called to flush the caches of
 computations from earlier heuristics" (§4.1.1).  ``run_heuristics``
 does exactly that via :meth:`Manager.clear_caches`.
+
+Robustness: each heuristic measurement is isolated.  A budget trip,
+recursion failure or contract violation on one cell records
+``sizes[name] = None`` with the reason in ``failures[name]`` and the
+sweep moves on — one pathological instance never loses a run.  With a
+``checkpoint``, every completed :class:`CallResult` is journalled to
+JSONL the moment it is measured, and ``resume=True`` skips the calls
+already on disk (see :mod:`repro.robust.checkpoint`).
 """
 
 from __future__ import annotations
@@ -13,6 +21,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.errors import (
+    BudgetExceeded,
+    ContractError,
+    InvariantError,
+)
 from repro.bdd.manager import Manager
 from repro.core.ispec import ISpec
 from repro.core.lower_bound import cube_lower_bound
@@ -24,19 +37,35 @@ from repro.experiments.calls import (
     collect_suite_calls,
 )
 
+#: Failures recorded per-cell instead of aborting the sweep.  Anything
+#: else is a genuine programming error and still propagates.
+RECOVERABLE_ERRORS = (
+    BudgetExceeded,
+    ContractError,
+    InvariantError,
+    RecursionError,
+)
+
 
 @dataclass
 class CallResult:
-    """Per-call measurements across all heuristics."""
+    """Per-call measurements across all heuristics.
+
+    ``sizes[name]`` is ``None`` when that heuristic failed on this
+    call; the reason is in ``failures[name]``.  ``min_size`` aggregates
+    over the *measured* heuristics only, falling back to ``f_size``
+    (the identity cover is always available) if every one failed.
+    """
 
     benchmark: str
     iteration: int
     f_size: int
     onset_fraction: float
-    sizes: Dict[str, int]
+    sizes: Dict[str, Optional[int]]
     runtimes: Dict[str, float]
     min_size: int
     lower_bound: Optional[int] = None
+    failures: Dict[str, str] = field(default_factory=dict)
 
     @property
     def bucket(self) -> Bucket:
@@ -51,12 +80,103 @@ class ExperimentResults:
     results: List[CallResult] = field(default_factory=list)
     total_calls: int = 0
     filtered_out: int = 0
+    resumed_calls: int = 0
 
     def in_bucket(self, bucket: Optional[Bucket]) -> List[CallResult]:
         """Results restricted to one bucket (None = all calls)."""
         if bucket is None:
             return self.results
         return [result for result in self.results if result.bucket is bucket]
+
+    @property
+    def failed_cells(self) -> int:
+        """Total (call, heuristic) cells that recorded a failure."""
+        return sum(len(result.failures) for result in self.results)
+
+
+def _describe_failure(error: BaseException) -> str:
+    if isinstance(error, RecursionError):
+        return "RecursionError: interpreter recursion limit exceeded"
+    text = str(error)
+    name = type(error).__name__
+    return "%s: %s" % (name, text) if text else name
+
+
+def _measure_call(
+    manager: Manager,
+    call: MinimizationCall,
+    heuristics: Sequence[str],
+    budget,
+    verify_covers: bool,
+    compute_lower_bound: bool,
+    cube_limit: int,
+) -> CallResult:
+    """Measure one recorded call across all heuristics, isolated."""
+    from repro.robust.governor import governed
+
+    sizes: Dict[str, Optional[int]] = {}
+    runtimes: Dict[str, float] = {}
+    failures: Dict[str, str] = {}
+    spec = ISpec(manager, call.f, call.c)
+    for name in heuristics:
+        heuristic = HEURISTICS[name]
+        manager.clear_caches()
+        started = time.perf_counter()
+        try:
+            with governed(manager, budget):
+                cover = heuristic(manager, call.f, call.c)
+        except RECOVERABLE_ERRORS as error:
+            runtimes[name] = time.perf_counter() - started
+            sizes[name] = None
+            failures[name] = _describe_failure(error)
+            continue
+        runtimes[name] = time.perf_counter() - started
+        # Verification runs outside the governed region: the budget
+        # bounds the heuristic, not the paranoia check on its output.
+        if verify_covers and not spec.is_cover(cover):
+            sizes[name] = None
+            failures[name] = "non-cover: %s returned g with g outside " \
+                "[f*c, f+!c] on %s call %d" % (
+                    name, call.benchmark, call.iteration,
+                )
+            continue
+        sizes[name] = manager.size(cover)
+    lower = None
+    if compute_lower_bound:
+        manager.clear_caches()
+        lower = cube_lower_bound(
+            manager, call.f, call.c, cube_limit=cube_limit
+        )
+    measured = [size for size in sizes.values() if size is not None]
+    return CallResult(
+        benchmark=call.benchmark,
+        iteration=call.iteration,
+        f_size=call.f_size,
+        onset_fraction=call.onset_fraction,
+        sizes=sizes,
+        runtimes=runtimes,
+        min_size=min(measured) if measured else call.f_size,
+        lower_bound=lower,
+        failures=failures,
+    )
+
+
+def _open_checkpoint(checkpoint, resume: bool):
+    """Normalize the checkpoint arguments into (journal, completed)."""
+    if checkpoint is None:
+        if resume:
+            raise ValueError("resume=True requires a checkpoint path")
+        return None, {}
+    from repro.robust.checkpoint import Checkpoint
+
+    journal = checkpoint if isinstance(checkpoint, Checkpoint) else (
+        Checkpoint(checkpoint)
+    )
+    if resume:
+        journal.trim_partial()
+        return journal, journal.load()
+    journal.truncate()
+    return journal, {}
 
 
 def run_heuristics(
@@ -65,52 +185,47 @@ def run_heuristics(
     compute_lower_bound: bool = True,
     cube_limit: int = 1000,
     verify_covers: bool = True,
+    budget=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ExperimentResults:
     """Measure every heuristic on every recorded call.
 
     With ``verify_covers`` each result is checked to actually cover its
     instance — a paranoia bit that has caught real bugs and costs two
-    BDD operations per measurement.
+    BDD operations per measurement; a non-cover records a failed cell.
+    ``budget`` (a :class:`repro.robust.governor.Budget`) bounds each
+    individual heuristic call.  ``checkpoint`` (a path or
+    :class:`repro.robust.checkpoint.Checkpoint`) journals completed
+    calls; with ``resume=True`` already-journalled calls are replayed
+    from disk instead of re-measured.
     """
+    journal, completed = _open_checkpoint(checkpoint, resume)
     results = ExperimentResults(heuristics=tuple(heuristics))
     for record in benchmark_calls:
         manager = record.manager
         results.filtered_out += record.filtered_out
-        for call in record.calls:
+        for ordinal, call in enumerate(record.calls):
             results.total_calls += 1
-            sizes: Dict[str, int] = {}
-            runtimes: Dict[str, float] = {}
-            spec = ISpec(manager, call.f, call.c)
-            for name in heuristics:
-                heuristic = HEURISTICS[name]
-                manager.clear_caches()
-                started = time.perf_counter()
-                cover = heuristic(manager, call.f, call.c)
-                runtimes[name] = time.perf_counter() - started
-                if verify_covers and not spec.is_cover(cover):
-                    raise AssertionError(
-                        "%s returned a non-cover on %s call %d"
-                        % (name, call.benchmark, call.iteration)
-                    )
-                sizes[name] = manager.size(cover)
-            lower = None
-            if compute_lower_bound:
-                manager.clear_caches()
-                lower = cube_lower_bound(
-                    manager, call.f, call.c, cube_limit=cube_limit
-                )
-            results.results.append(
-                CallResult(
-                    benchmark=call.benchmark,
-                    iteration=call.iteration,
-                    f_size=call.f_size,
-                    onset_fraction=call.onset_fraction,
-                    sizes=sizes,
-                    runtimes=runtimes,
-                    min_size=min(sizes.values()),
-                    lower_bound=lower,
-                )
+            # Keyed by position, not iteration: frontier and image
+            # calls inside one fixpoint step share an iteration number.
+            key = (call.benchmark, ordinal)
+            if key in completed:
+                results.results.append(completed[key])
+                results.resumed_calls += 1
+                continue
+            result = _measure_call(
+                manager,
+                call,
+                heuristics,
+                budget,
+                verify_covers,
+                compute_lower_bound,
+                cube_limit,
             )
+            if journal is not None:
+                journal.append(result)
+            results.results.append(result)
     return results
 
 
@@ -120,8 +235,14 @@ def run_experiment(
     compute_lower_bound: bool = True,
     cube_limit: int = 1000,
     max_iterations: Optional[int] = None,
+    budget=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ExperimentResults:
     """Collect calls over a suite and measure: the whole §4 pipeline."""
+    # Validate the journal before the expensive call collection, so a
+    # malformed checkpoint fails fast (the CLI maps it to exit 2).
+    _open_checkpoint(checkpoint, resume)
     benchmark_calls = collect_suite_calls(
         names, max_iterations=max_iterations
     )
@@ -130,4 +251,7 @@ def run_experiment(
         heuristics=heuristics,
         compute_lower_bound=compute_lower_bound,
         cube_limit=cube_limit,
+        budget=budget,
+        checkpoint=checkpoint,
+        resume=resume,
     )

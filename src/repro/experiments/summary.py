@@ -52,11 +52,19 @@ def per_benchmark_summaries(
     summaries = []
     for name in order:
         calls = grouped[name]
+        # Heuristics with failed cells on this benchmark are excluded
+        # from "best" — their partial totals are not comparable.
         totals = {
             heuristic: sum(result.sizes[heuristic] for result in calls)
             for heuristic in results.heuristics
+            if all(result.sizes.get(heuristic) is not None for result in calls)
         }
-        best = min(totals, key=lambda heuristic: (totals[heuristic], heuristic))
+        if totals:
+            best = min(
+                totals, key=lambda heuristic: (totals[heuristic], heuristic)
+            )
+        else:
+            best = "-"
         summaries.append(
             BenchmarkSummary(
                 name=name,
@@ -126,7 +134,8 @@ def win_counts(results: ExperimentResults) -> Dict[str, int]:
     counts = {name: 0 for name in results.heuristics}
     for result in results.results:
         for name in results.heuristics:
-            if result.sizes[name] == result.min_size:
+            size = result.sizes.get(name)
+            if size is not None and size == result.min_size:
                 counts[name] += 1
     return counts
 
@@ -155,8 +164,14 @@ def export_csv(results: ExperimentResults, stream=None) -> str:
             result.min_size,
             result.lower_bound if result.lower_bound is not None else "",
         ]
-        row += [result.sizes[name] for name in results.heuristics]
-        row += ["%.6f" % result.runtimes[name] for name in results.heuristics]
+        row += [
+            "" if result.sizes.get(name) is None else result.sizes[name]
+            for name in results.heuristics
+        ]
+        row += [
+            "%.6f" % result.runtimes.get(name, 0.0)
+            for name in results.heuristics
+        ]
         writer.writerow(row)
     text = buffer.getvalue()
     if stream is not None:

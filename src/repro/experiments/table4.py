@@ -26,10 +26,11 @@ PAPER_SUBSET: Tuple[str, ...] = (
 )
 
 
-def _size_of(result, name: str) -> int:
+def _size_of(result, name: str) -> Optional[int]:
+    """The heuristic's size on one call, or None for a failed cell."""
     if name == "min":
         return result.min_size
-    return result.sizes[name]
+    return result.sizes.get(name)
 
 
 def table4_matrix(
@@ -52,11 +53,14 @@ def table4_matrix(
             if total == 0:
                 matrix[(row_name, col_name)] = 0.0
                 continue
-            wins = sum(
-                1
-                for result in calls
-                if _size_of(result, row_name) < _size_of(result, col_name)
-            )
+            # A win needs both sides measured: a cell where either
+            # heuristic failed says nothing about their relative merit.
+            wins = 0
+            for result in calls:
+                mine = _size_of(result, row_name)
+                theirs = _size_of(result, col_name)
+                if mine is not None and theirs is not None and mine < theirs:
+                    wins += 1
             matrix[(row_name, col_name)] = 100.0 * wins / total
     return matrix
 

@@ -57,10 +57,16 @@ def reachable_states(
     ``minimize`` receives ``(manager, U, U + ¬R)`` for each non-empty
     new frontier ``U`` and must return a cover (``U ⊆ S ⊆ R``); it
     defaults to the constrain operator, matching the SIS behaviour the
-    paper instruments.
+    paper instruments.  A caller-supplied minimizer runs guarded: on a
+    budget trip or contract violation the frontier degrades to the
+    exact new-state set and the traversal stays exact.
     """
     if minimize is None:
         minimize = constrain
+    else:
+        from repro.robust.guard import guard
+
+        minimize = guard(minimize)
     manager = fsm.manager
     reached = fsm.init_cube
     frontier = fsm.init_cube
@@ -122,10 +128,14 @@ def check_equivalence(
     At every frontier, verify the outputs agree for all inputs; on
     failure return a counterexample product state.  The ``minimize``
     hook sees the same ``[U, U + ¬R]`` instances as in
-    :func:`reachable_states`.
+    :func:`reachable_states`, and likewise runs guarded.
     """
     if minimize is None:
         minimize = constrain
+    else:
+        from repro.robust.guard import guard
+
+        minimize = guard(minimize)
     machine = product.machine
     manager = machine.manager
     outputs_agree = manager.forall(

@@ -146,27 +146,56 @@ def check_invariant(
     invariant: int,
     image=image_by_relation,
     max_iterations: Optional[int] = None,
+    minimize=None,
 ) -> InvariantResult:
     """Does ``invariant`` (a predicate over state vars) hold on R?
 
     On failure, returns a concrete :class:`Trace` from reset to a
     violating state.  The onion rings are kept un-minimized so traces
-    stay exact; frontier minimization only accelerates the *search*,
-    not the ring bookkeeping.
+    stay exact; ``minimize`` (a heuristic of the registry signature)
+    only shrinks the frontier the *image* is taken of — any cover of
+    ``[fresh, fresh + ¬reached]`` explores a superset of the fresh
+    states, so the reached set stays exact.  The minimizer runs guarded
+    (budget trips and contract violations degrade to the exact
+    frontier), and if the over-approximated frontiers ever break ring
+    adjacency during trace reconstruction, the check silently re-runs
+    exactly — minimization can cost time here, never answers.
     """
     manager = fsm.manager
+    if minimize is not None:
+        from repro.robust.guard import guard
+
+        minimize = guard(minimize)
     rings = [fsm.init_cube]
     reached = fsm.init_cube
     iterations = 0
     while True:
         violating = manager.diff(rings[-1], invariant)
         if violating != ZERO:
-            trace = build_trace(fsm, rings, violating)
+            try:
+                trace = build_trace(fsm, rings, violating)
+            except InvariantError:
+                if minimize is None:
+                    raise
+                # A minimized frontier let a ring state slip in that its
+                # predecessor ring cannot reach in one step.  The
+                # violation itself is real (rings only contain reachable
+                # states); rebuild the trace from exact rings.
+                return check_invariant(
+                    fsm,
+                    invariant,
+                    image=image,
+                    max_iterations=max_iterations,
+                )
             return InvariantResult(False, iterations, reached, trace)
         if max_iterations is not None and iterations >= max_iterations:
             return InvariantResult(True, iterations, reached, None)
         iterations += 1
-        successors = image(fsm, rings[-1])
+        frontier = rings[-1]
+        if minimize is not None:
+            care = manager.or_(frontier, reached ^ 1)
+            frontier = minimize(manager, frontier, care)
+        successors = image(fsm, frontier)
         fresh = manager.diff(successors, reached)
         if fresh == ZERO:
             return InvariantResult(True, iterations, reached, None)
@@ -177,6 +206,7 @@ def check_invariant(
 def equivalence_counterexample_trace(
     product: ProductMachine,
     max_iterations: Optional[int] = None,
+    minimize=None,
 ) -> Optional[Trace]:
     """A concrete distinguishing run for two inequivalent machines.
 
@@ -191,7 +221,10 @@ def equivalence_counterexample_trace(
         product.outputs_equal, machine.input_levels
     )
     result = check_invariant(
-        machine, outputs_agree, max_iterations=max_iterations
+        machine,
+        outputs_agree,
+        max_iterations=max_iterations,
+        minimize=minimize,
     )
     if result.holds:
         return None

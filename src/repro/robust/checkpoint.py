@@ -1,0 +1,227 @@
+"""JSONL checkpoint journal for experiment sweeps.
+
+``run_heuristics`` appends one JSON object per completed
+:class:`~repro.experiments.harness.CallResult` to the journal the
+moment it is measured, so a sweep killed at call *k* keeps calls
+``0..k-1`` on disk.  Re-running with ``resume=True`` loads the journal
+and skips every already-measured call — replayed results are bitwise
+identical (sizes, failures, runtimes all come from the journal, not
+from re-measurement), so an interrupted-then-resumed sweep reports the
+same numbers as an uninterrupted one.
+
+File format
+-----------
+
+One JSON object per line::
+
+    {"version": 1, "benchmark": "tlc", "iteration": 3, "f_size": 17,
+     "onset_fraction": 0.03125, "sizes": {"constrain": 9, "osm_bt": null},
+     "runtimes": {"constrain": 0.0012, "osm_bt": 0.4},
+     "min_size": 9, "lower_bound": 7,
+     "failures": {"osm_bt": "NodeBudgetExceeded: ..."}}
+
+``null`` sizes mark heuristics that failed on that call; the reason is
+in ``failures``.  The journal key is ``(benchmark, ordinal)`` where
+the ordinal is the record's position within its benchmark's call
+sequence — ``iteration`` alone is NOT unique (the frontier call and
+the image calls recorded inside one fixpoint step share an iteration
+number).  Call collection is deterministic and records are appended
+in measurement order, so per-benchmark line order reproduces the
+ordinal exactly across runs.
+
+Any malformed line raises :class:`CheckpointError` naming the line
+number; the CLI turns that into a clean exit status 2.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple
+
+#: Journal schema version; bumped on incompatible format changes.
+CHECKPOINT_VERSION = 1
+
+#: Fields every journal record must carry.
+REQUIRED_FIELDS = (
+    "benchmark",
+    "iteration",
+    "f_size",
+    "onset_fraction",
+    "sizes",
+    "runtimes",
+    "min_size",
+)
+
+
+class CheckpointError(Exception):
+    """A checkpoint journal is malformed or incompatible."""
+
+
+#: Journal key type: (benchmark, per-benchmark call ordinal).
+Key = Tuple[str, int]
+
+
+def result_to_record(result) -> dict:
+    """Serialize a :class:`CallResult` to a journal record (a dict)."""
+    return {
+        "version": CHECKPOINT_VERSION,
+        "benchmark": result.benchmark,
+        "iteration": result.iteration,
+        "f_size": result.f_size,
+        "onset_fraction": result.onset_fraction,
+        "sizes": result.sizes,
+        "runtimes": result.runtimes,
+        "min_size": result.min_size,
+        "lower_bound": result.lower_bound,
+        "failures": result.failures,
+    }
+
+
+def record_to_result(record: dict):
+    """Deserialize one journal record back into a ``CallResult``.
+
+    Raises :class:`CheckpointError` on schema violations.
+    """
+    from repro.experiments.harness import CallResult
+
+    if not isinstance(record, dict):
+        raise CheckpointError(
+            "journal record is %s, expected a JSON object"
+            % type(record).__name__
+        )
+    version = record.get("version", CHECKPOINT_VERSION)
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            "journal version %r is not the supported version %d"
+            % (version, CHECKPOINT_VERSION)
+        )
+    missing = [field for field in REQUIRED_FIELDS if field not in record]
+    if missing:
+        raise CheckpointError(
+            "journal record is missing field(s): %s" % ", ".join(missing)
+        )
+    sizes = record["sizes"]
+    runtimes = record["runtimes"]
+    failures = record.get("failures") or {}
+    if not isinstance(sizes, dict) or not isinstance(runtimes, dict):
+        raise CheckpointError("'sizes' and 'runtimes' must be JSON objects")
+    if not isinstance(failures, dict):
+        raise CheckpointError("'failures' must be a JSON object")
+    for name, size in sizes.items():
+        if size is not None and not isinstance(size, int):
+            raise CheckpointError(
+                "size of %r is %r, expected an integer or null" % (name, size)
+            )
+    try:
+        return CallResult(
+            benchmark=str(record["benchmark"]),
+            iteration=int(record["iteration"]),
+            f_size=int(record["f_size"]),
+            onset_fraction=float(record["onset_fraction"]),
+            sizes=dict(sizes),
+            runtimes={name: float(value) for name, value in runtimes.items()},
+            min_size=int(record["min_size"]),
+            lower_bound=(
+                None
+                if record.get("lower_bound") is None
+                else int(record["lower_bound"])
+            ),
+            failures={str(k): str(v) for k, v in failures.items()},
+        )
+    except (TypeError, ValueError) as error:
+        raise CheckpointError(
+            "journal record has ill-typed fields: %s" % error
+        ) from None
+
+
+class Checkpoint:
+    """One JSONL journal file of completed call measurements."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def has_journal(self) -> bool:
+        """True iff the journal file exists on disk."""
+        return self.path.is_file()
+
+    def load(self) -> Dict[Key, "object"]:
+        """Parse the journal into ``{(benchmark, ordinal): CallResult}``.
+
+        The ordinal is the record's position among its benchmark's
+        records, counted in line order — ``iteration`` is not unique
+        (frontier and image calls share iteration numbers), but the
+        sweep both measures and journals calls in a deterministic
+        order, so line order IS call order.  A missing file is an empty
+        journal (resuming a sweep that never started is a plain fresh
+        start).  A malformed line raises :class:`CheckpointError` with
+        its line number.
+        """
+        completed: Dict[Key, object] = {}
+        ordinals: Dict[str, int] = {}
+        if not self.path.is_file():
+            return completed
+        with open(self.path, "r") as handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise CheckpointError(
+                        "%s:%d: not valid JSON: %s"
+                        % (self.path, line_number, error.msg)
+                    ) from None
+                try:
+                    result = record_to_result(record)
+                except CheckpointError as error:
+                    raise CheckpointError(
+                        "%s:%d: %s" % (self.path, line_number, error)
+                    ) from None
+                ordinal = ordinals.get(result.benchmark, 0)
+                ordinals[result.benchmark] = ordinal + 1
+                completed[(result.benchmark, ordinal)] = result
+        return completed
+
+    def append(self, result) -> None:
+        """Durably append one completed result to the journal.
+
+        Open-write-close per record: a kill between calls loses nothing,
+        and a kill mid-write loses at most the final partial line, which
+        :meth:`load` would reject — callers resuming after a crash
+        should :meth:`trim_partial` first.
+        """
+        record = result_to_record(result)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            handle.flush()
+
+    def trim_partial(self) -> bool:
+        """Drop a trailing partial line left by a mid-write kill.
+
+        Returns True if anything was trimmed.  Only the *final* line is
+        ever considered: earlier malformed lines are real corruption and
+        still raise from :meth:`load`.
+        """
+        if not self.path.is_file():
+            return False
+        text = self.path.read_text()
+        if not text or text.endswith("\n"):
+            return False
+        kept, _, partial = text.rpartition("\n")
+        try:
+            json.loads(partial)
+        except json.JSONDecodeError:
+            self.path.write_text(kept + "\n" if kept else "")
+            return True
+        return False
+
+    def truncate(self) -> None:
+        """Start the journal over (fresh, non-resumed sweep)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+
+    def __repr__(self) -> str:
+        return "Checkpoint(%r)" % str(self.path)

@@ -1,0 +1,210 @@
+"""Guarded heuristic execution with graceful degradation.
+
+:func:`guard` wraps any heuristic of the registry signature
+``heuristic(manager, f, c) -> ref`` so that it *cannot* take down its
+caller: on budget exhaustion, recursion failure, invariant violation or
+a broken cover contract, the wrapper returns the identity cover
+``g = f`` — always correct by Definition 2 (``f·c ≤ f ≤ f + ¬c``) —
+and records the failure reason instead of raising.
+
+Degradation policy
+------------------
+
+* :class:`~repro.analysis.errors.BudgetExceeded` (including the typed
+  recursion-depth overruns) and raw :class:`RecursionError` are
+  *transient*: with a bigger budget the heuristic might succeed, so
+  the guard optionally retries on a ladder of escalating budgets
+  before falling back.
+* :class:`~repro.analysis.errors.InvariantError` and
+  :class:`~repro.analysis.errors.ContractError` are *deterministic*
+  bugs: retrying cannot help, so the guard degrades immediately.
+* Any other exception is a programming error and propagates — the
+  guard must never mask genuine crashes as degradations.
+
+``REPRO_GUARD=1`` opts the whole library in:
+:func:`repro.core.registry.get_heuristic` then returns guarded
+wrappers without code changes, mirroring ``REPRO_CHECK`` for the
+contract audits.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.analysis.errors import BudgetExceeded, ContractError, InvariantError
+from repro.bdd.manager import Manager
+from repro.robust.governor import Budget, governed
+
+#: Environment variable globally enabling guarded heuristic dispatch.
+ENV_VAR = "REPRO_GUARD"
+
+#: Exception types a guarded execution recovers from.  Everything else
+#: propagates: the guard degrades on *resource* and *contract* failures
+#: only, never on genuine programming errors.
+RECOVERABLE_ERRORS: Tuple[type, ...] = (
+    BudgetExceeded,
+    RecursionError,
+    InvariantError,
+    ContractError,
+)
+
+#: Budget-scale ladder used when ``escalate=True`` and none is given.
+DEFAULT_LADDER: Tuple[float, ...] = (1.0, 4.0, 16.0)
+
+
+def guarding_enabled() -> bool:
+    """True iff ``REPRO_GUARD=1``: guard every dispatched heuristic."""
+    return os.environ.get(ENV_VAR) == "1"
+
+
+def describe_error(error: BaseException) -> str:
+    """One-line failure reason, e.g. ``NodeBudgetExceeded: ...``."""
+    text = str(error)
+    name = type(error).__name__
+    return "%s: %s" % (name, text) if text else name
+
+
+class GuardedHeuristic:
+    """A heuristic wrapper that degrades instead of raising.
+
+    Callable with the registry signature ``(manager, f, c) -> ref``.
+    After each call, :attr:`last_failure` holds the failure reason (or
+    ``None`` on clean success) and :attr:`failures` counts degradations
+    over the wrapper's lifetime.
+
+    Parameters
+    ----------
+    heuristic:
+        The wrapped callable.
+    name:
+        Display name for failure reports (defaults to ``__name__``).
+    budget:
+        Optional :class:`~repro.robust.governor.Budget` enforced around
+        every attempt.
+    ladder:
+        Scale factors applied to ``budget`` on successive attempts
+        (default: a single attempt at scale 1).  Ignored without a
+        budget — an unbudgeted recursion failure is deterministic, so
+        there is nothing to escalate.
+    verify:
+        Check the result covers ``[f, c]`` (two BDD operations); a
+        non-cover degrades like any contract violation.  On by default:
+        a guard that can return wrong answers is not a guard.
+    flush_before_verify:
+        Flush the computed tables before the cover check, so the check
+        cannot be fooled by a corrupted cache (used by fault drills).
+    on_failure:
+        Optional callback ``(name, reason) -> None`` invoked on every
+        degradation.
+    """
+
+    def __init__(
+        self,
+        heuristic: Callable[[Manager, int, int], int],
+        name: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        ladder: Optional[Sequence[float]] = None,
+        verify: bool = True,
+        flush_before_verify: bool = False,
+        on_failure: Optional[Callable[[str, str], None]] = None,
+    ):
+        self.heuristic = heuristic
+        self.name = name or getattr(heuristic, "__name__", "heuristic")
+        self.__name__ = "guarded:%s" % self.name
+        self.__doc__ = getattr(heuristic, "__doc__", None)
+        self.budget = budget
+        if ladder is None:
+            ladder = (1.0,)
+        if not ladder:
+            raise ValueError("ladder must contain at least one scale factor")
+        self.ladder: Tuple[float, ...] = tuple(ladder)
+        self.verify = verify
+        self.flush_before_verify = flush_before_verify
+        self.on_failure = on_failure
+        self.calls = 0
+        self.failures = 0
+        self.last_failure: Optional[str] = None
+
+    def __call__(self, manager: Manager, f: int, c: int) -> int:
+        self.calls += 1
+        self.last_failure = None
+        reason = "no attempt made"
+        # Without a budget, escalation is meaningless: run once.
+        factors = self.ladder if self.budget is not None else (1.0,)
+        for factor in factors:
+            attempt_budget = (
+                self.budget.scaled(factor)
+                if self.budget is not None
+                else None
+            )
+            try:
+                with governed(manager, attempt_budget):
+                    cover = self.heuristic(manager, f, c)
+                self._verify_cover(manager, f, c, cover)
+            except (InvariantError, ContractError) as error:
+                # Deterministic failure: a bigger budget cannot help.
+                reason = describe_error(error)
+                break
+            except BudgetExceeded as error:
+                reason = describe_error(error)
+            except RecursionError:
+                reason = (
+                    "RecursionError: interpreter recursion limit exceeded"
+                )
+            else:
+                return cover
+        self.failures += 1
+        self.last_failure = reason
+        if self.on_failure is not None:
+            self.on_failure(self.name, reason)
+        return f
+
+    def _verify_cover(
+        self, manager: Manager, f: int, c: int, cover: int
+    ) -> None:
+        if not self.verify:
+            return
+        if self.flush_before_verify:
+            manager.clear_caches()
+        from repro.core.ispec import ISpec
+
+        if not ISpec(manager, f, c).is_cover(cover):
+            raise ContractError(
+                "guarded heuristic %r returned a non-cover" % self.name
+            )
+
+    def __repr__(self) -> str:
+        budget = self.budget.describe() if self.budget else "unlimited"
+        return "GuardedHeuristic(%s, budget=%s)" % (self.name, budget)
+
+
+def guard(
+    heuristic: Callable[[Manager, int, int], int],
+    name: Optional[str] = None,
+    budget: Optional[Budget] = None,
+    escalate: bool = False,
+    ladder: Optional[Sequence[float]] = None,
+    verify: bool = True,
+    flush_before_verify: bool = False,
+    on_failure: Optional[Callable[[str, str], None]] = None,
+) -> GuardedHeuristic:
+    """Wrap ``heuristic`` for graceful degradation (see module docs).
+
+    ``escalate=True`` retries budget trips on :data:`DEFAULT_LADDER`
+    unless an explicit ``ladder`` is given.  Idempotent on an already
+    guarded heuristic with no overrides requested.
+    """
+    if isinstance(heuristic, GuardedHeuristic) and budget is None:
+        return heuristic
+    if ladder is None and escalate:
+        ladder = DEFAULT_LADDER
+    return GuardedHeuristic(
+        heuristic,
+        name=name,
+        budget=budget,
+        ladder=ladder,
+        verify=verify,
+        flush_before_verify=flush_before_verify,
+        on_failure=on_failure,
+    )

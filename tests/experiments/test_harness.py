@@ -81,14 +81,20 @@ class TestHarness:
         HEURISTICS["_broken"] = lambda manager, f, c: manager.and_(f, 1) ^ 1
         try:
             calls = collect_suite_calls(["tlc"])
-            with pytest.raises(AssertionError):
-                run_heuristics(
-                    calls,
-                    heuristics=("_broken",),
-                    compute_lower_bound=False,
-                )
+            res = run_heuristics(
+                calls,
+                heuristics=("_broken",),
+                compute_lower_bound=False,
+            )
         finally:
             del HEURISTICS["_broken"]
+        # A non-cover is recorded as a failed cell, never a crash and
+        # never a silent bogus size.
+        assert res.results
+        for result in res.results:
+            assert result.sizes["_broken"] is None
+            assert "non-cover" in result.failures["_broken"]
+            assert result.min_size == result.f_size
 
 
 class TestTable3:

@@ -1,0 +1,147 @@
+"""Tests for the JSONL checkpoint journal and the CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.experiments.harness import CallResult
+from repro.robust.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    record_to_result,
+    result_to_record,
+)
+
+
+def _result(benchmark="tlc", iteration=1):
+    return CallResult(
+        benchmark=benchmark,
+        iteration=iteration,
+        f_size=17,
+        onset_fraction=0.25,
+        sizes={"constrain": 9, "osm_bt": None},
+        runtimes={"constrain": 0.001, "osm_bt": 0.5},
+        min_size=9,
+        lower_bound=7,
+        failures={"osm_bt": "NodeBudgetExceeded: boom"},
+    )
+
+
+class TestRecordRoundtrip:
+    def test_roundtrip(self):
+        original = _result()
+        record = result_to_record(original)
+        assert record["version"] == CHECKPOINT_VERSION
+        replayed = record_to_result(json.loads(json.dumps(record)))
+        assert replayed == original
+
+    def test_version_mismatch(self):
+        record = result_to_record(_result())
+        record["version"] = 999
+        with pytest.raises(CheckpointError):
+            record_to_result(record)
+
+    def test_missing_field(self):
+        record = result_to_record(_result())
+        del record["sizes"]
+        with pytest.raises(CheckpointError):
+            record_to_result(record)
+
+    def test_non_dict_record(self):
+        with pytest.raises(CheckpointError):
+            record_to_result([1, 2, 3])
+
+    def test_ill_typed_size(self):
+        record = result_to_record(_result())
+        record["sizes"] = {"constrain": "nine"}
+        with pytest.raises(CheckpointError):
+            record_to_result(record)
+
+
+class TestCheckpoint:
+    def test_append_and_load(self, tmp_path):
+        journal = Checkpoint(tmp_path / "run.jsonl")
+        first = _result(iteration=1)
+        second = _result(benchmark="s344", iteration=2)
+        journal.append(first)
+        journal.append(second)
+        completed = journal.load()
+        # Keys are per-benchmark ordinals in line order, not iteration
+        # numbers (iterations are not unique across call kinds).
+        assert completed[("tlc", 0)] == first
+        assert completed[("s344", 0)] == second
+        assert len(completed) == 2
+
+    def test_load_keys_collide_free_within_iteration(self, tmp_path):
+        # Frontier and image calls share an iteration number; the
+        # ordinal keying must keep both records.
+        journal = Checkpoint(tmp_path / "shared.jsonl")
+        journal.append(_result(iteration=3))
+        journal.append(_result(iteration=3))
+        completed = journal.load()
+        assert set(completed) == {("tlc", 0), ("tlc", 1)}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = Checkpoint(tmp_path / "never-written.jsonl")
+        assert not journal.has_journal()
+        assert journal.load() == {}
+
+    def test_malformed_line_names_its_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        journal = Checkpoint(path)
+        journal.append(_result())
+        with open(path, "a") as handle:
+            handle.write("{this is not json}\n")
+        with pytest.raises(CheckpointError) as info:
+            journal.load()
+        assert ":2:" in str(info.value)
+
+    def test_trim_partial_drops_only_a_torn_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        journal = Checkpoint(path)
+        journal.append(_result(iteration=1))
+        with open(path, "a") as handle:
+            handle.write('{"version": 1, "benchm')  # killed mid-write
+        assert journal.trim_partial()
+        assert len(journal.load()) == 1
+        # Idempotent: a clean journal is left alone.
+        assert not journal.trim_partial()
+
+    def test_trim_partial_keeps_earlier_corruption(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text("not json at all\n")
+        journal = Checkpoint(path)
+        assert not journal.trim_partial()  # line is complete: not a tear
+        with pytest.raises(CheckpointError):
+            journal.load()
+
+    def test_truncate(self, tmp_path):
+        journal = Checkpoint(tmp_path / "fresh.jsonl")
+        journal.append(_result())
+        journal.truncate()
+        assert journal.load() == {}
+
+
+class TestCliExitCodes:
+    def test_resume_without_checkpoint_is_usage_error(self):
+        from repro.cli import main
+
+        assert main(["experiments", "--quick", "--resume"]) == 2
+
+    def test_malformed_checkpoint_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "broken.jsonl"
+        path.write_text("definitely not json\n")
+        code = main(
+            [
+                "experiments",
+                "--quick",
+                "--checkpoint",
+                str(path),
+                "--resume",
+            ]
+        )
+        assert code == 2
+        assert "checkpoint error" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""Satellite: BDDs deeper than the interpreter recursion limit.
+
+The recursive manager operations descend one variable level per call,
+so a chain BDD over more variables than ``sys.getrecursionlimit()``
+overflows a naive implementation.  The manager must either complete
+(by retrying with a variable-count-bounded limit) or raise the typed
+:class:`~repro.analysis.errors.RecursionBudgetExceeded` — a raw
+:class:`RecursionError` must never escape.
+"""
+
+import sys
+
+import pytest
+
+from repro.analysis.errors import BudgetExceeded, RecursionBudgetExceeded
+from repro.bdd.manager import Manager, ONE, ZERO
+
+
+def _deep_manager(extra: int = 500):
+    """A manager with more variables than the recursion limit."""
+    depth = sys.getrecursionlimit() + extra
+    manager = Manager()
+    manager.ensure_vars(depth)
+    return manager, depth
+
+
+def _conjunction_chain(manager: Manager, depth: int) -> int:
+    """AND of all variables, built iteratively (no recursion)."""
+    acc = ONE
+    for level in range(depth - 1, -1, -1):
+        acc = manager.make_node(level, acc, ZERO)
+    return acc
+
+
+def _disjunction_chain(manager: Manager, depth: int) -> int:
+    """OR of all variables, built iteratively."""
+    acc = ZERO
+    for level in range(depth - 1, -1, -1):
+        acc = manager.make_node(level, ONE, acc)
+    return acc
+
+
+def _parity_chain(manager: Manager, depth: int) -> int:
+    """XOR of all variables, built iteratively.
+
+    Parity has no constant cofactor at any level, so an ITE against it
+    cannot take a terminal shortcut: the recursion genuinely descends
+    one frame per variable, which is what these tests need to provoke.
+    """
+    acc = ZERO
+    for level in range(depth - 1, -1, -1):
+        acc = manager.make_node(level, acc ^ 1, acc)
+    return acc
+
+
+class TestDeepBdds:
+    def test_deep_ite_completes(self):
+        manager, depth = _deep_manager()
+        all_vars = _conjunction_chain(manager, depth)
+        parity = _parity_chain(manager, depth)
+        try:
+            result = manager.and_(all_vars, parity)
+        except RecursionError:  # pragma: no cover - the regression
+            pytest.fail("raw RecursionError escaped from Manager.and_")
+        # The only satisfying point of AND-of-all is all-ones, where
+        # the parity of ``depth`` variables is ``depth % 2``.
+        assert result == (all_vars if depth % 2 else ZERO)
+        # The interpreter limit was restored after the bounded retry.
+        assert sys.getrecursionlimit() < depth
+
+    def test_deep_cofactor_completes(self):
+        manager, depth = _deep_manager()
+        all_vars = _conjunction_chain(manager, depth)
+        positive = manager.cofactor(all_vars, 0, True)
+        negative = manager.cofactor(all_vars, 0, False)
+        assert negative == ZERO
+        assert manager.level(positive) == 1
+
+    def test_deep_quantification_completes(self):
+        manager, depth = _deep_manager()
+        all_vars = _conjunction_chain(manager, depth)
+        quantified = manager.exists(all_vars, [0])
+        assert manager.level(quantified) == 1
+
+    def test_deep_sat_count_completes(self):
+        manager, depth = _deep_manager()
+        any_var = _disjunction_chain(manager, depth)
+        count = manager.sat_count(any_var, depth)
+        assert count == (1 << depth) - 1
+
+    def test_low_cap_raises_typed_error(self):
+        manager, depth = _deep_manager()
+        # Forbid the retry from raising the limit far enough.
+        manager.recursion_cap = sys.getrecursionlimit() + 10
+        all_vars = _conjunction_chain(manager, depth)
+        parity = _parity_chain(manager, depth)
+        with pytest.raises(RecursionBudgetExceeded):
+            manager.and_(all_vars, parity)
+        # The typed error is a recoverable budget event, not a crash.
+        assert issubclass(RecursionBudgetExceeded, BudgetExceeded)
+
+    def test_limit_restored_after_typed_failure(self):
+        limit = sys.getrecursionlimit()
+        manager, depth = _deep_manager()
+        manager.recursion_cap = limit + 10
+        all_vars = _conjunction_chain(manager, depth)
+        parity = _parity_chain(manager, depth)
+        with pytest.raises(RecursionBudgetExceeded):
+            manager.and_(all_vars, parity)
+        assert sys.getrecursionlimit() == limit
+
+    def test_shallow_operations_unaffected(self):
+        manager = Manager(var_names=["a", "b"])
+        conj = manager.and_(manager.var(0), manager.var(1))
+        assert manager.size(conj) == 3

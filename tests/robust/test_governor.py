@@ -1,0 +1,193 @@
+"""Tests for the resource governor (budgets and the step hook)."""
+
+import pytest
+
+from repro.analysis.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    NodeBudgetExceeded,
+    StepBudgetExceeded,
+)
+from repro.bdd.manager import (
+    EVENT_CLEAR,
+    EVENT_ITE,
+    EVENT_NODE,
+    Manager,
+    ONE,
+    ZERO,
+)
+from repro.robust.governor import (
+    Budget,
+    DEADLINE_CHECK_INTERVAL,
+    Governor,
+    governed,
+)
+
+
+class TestBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(max_nodes=0)
+        with pytest.raises(ValueError):
+            Budget(max_steps=-1)
+        with pytest.raises(ValueError):
+            Budget(deadline=0.0)
+
+    def test_unlimited(self):
+        assert Budget().unlimited
+        assert not Budget(max_nodes=1).unlimited
+        assert not Budget(deadline=1.0).unlimited
+
+    def test_scaled(self):
+        budget = Budget(max_nodes=10, max_steps=3, deadline=2.0)
+        bigger = budget.scaled(4.0)
+        assert bigger.max_nodes == 40
+        assert bigger.max_steps == 12
+        assert bigger.deadline == pytest.approx(8.0)
+        # ceil: scaling never rounds a bound down to zero.
+        assert Budget(max_nodes=1).scaled(1.5).max_nodes == 2
+        # None bounds stay None.
+        assert Budget(max_nodes=5).scaled(2.0).max_steps is None
+        with pytest.raises(ValueError):
+            budget.scaled(0.0)
+
+    def test_describe(self):
+        assert Budget().describe() == "unlimited"
+        text = Budget(max_nodes=5, deadline=1.5).describe()
+        assert "nodes<=5" in text
+        assert "deadline<=1.5s" in text
+
+
+class TestGovernor:
+    def test_node_budget_trips(self):
+        manager = Manager(var_names=["a", "b", "c", "d", "e", "f"])
+        variables = [manager.var(level) for level in range(6)]
+        with pytest.raises(NodeBudgetExceeded):
+            with governed(manager, Budget(max_nodes=2)):
+                parity = variables[0]
+                for variable in variables[1:]:
+                    parity = manager.xor(parity, variable)
+
+    def test_step_budget_trips(self):
+        manager = Manager(var_names=["a", "b", "c", "d"])
+        variables = [manager.var(level) for level in range(4)]
+        with pytest.raises(StepBudgetExceeded):
+            with governed(manager, Budget(max_steps=2)):
+                manager.and_many(variables)
+
+    def test_typed_hierarchy(self):
+        # Both budget trips are recoverable BudgetExceeded events.
+        assert issubclass(NodeBudgetExceeded, BudgetExceeded)
+        assert issubclass(StepBudgetExceeded, BudgetExceeded)
+        assert issubclass(DeadlineExceeded, BudgetExceeded)
+
+    def test_under_budget_computes_normally(self):
+        manager = Manager(var_names=["a", "b"])
+        a, b = manager.var(0), manager.var(1)
+        with governed(manager, Budget(max_nodes=100, max_steps=100)) as gov:
+            conj = manager.and_(a, b)
+        assert manager.eval(conj, {0: True, 1: True})
+        assert gov.nodes_created <= 100
+        assert gov.ite_steps >= 1
+
+    def test_deadline_with_fake_clock(self):
+        times = {"now": 0.0}
+        governor = Governor(Budget(deadline=1.0), clock=lambda: times["now"])
+        # Within the deadline nothing trips, however many events fire.
+        for _ in range(3 * DEADLINE_CHECK_INTERVAL):
+            governor(EVENT_ITE)
+        times["now"] = 2.0
+        with pytest.raises(DeadlineExceeded):
+            for _ in range(DEADLINE_CHECK_INTERVAL):
+                governor(EVENT_ITE)
+
+    def test_deadline_checked_every_interval(self):
+        calls = {"count": 0}
+
+        def clock():
+            calls["count"] += 1
+            return 0.0
+
+        governor = Governor(Budget(deadline=5.0), clock=clock)
+        start_calls = calls["count"]
+        for _ in range(DEADLINE_CHECK_INTERVAL):
+            governor(EVENT_NODE)
+        assert calls["count"] == start_calls + 1
+
+    def test_clear_event_resets_counters(self):
+        governor = Governor(Budget(max_nodes=100))
+        governor(EVENT_NODE)
+        governor(EVENT_ITE)
+        assert governor.nodes_created == 1
+        assert governor.ite_steps == 1
+        governor(EVENT_CLEAR)
+        assert governor.nodes_created == 0
+        assert governor.ite_steps == 0
+        assert governor.resets == 1
+
+
+class TestClearCaches:
+    """Satellite: clear_caches empties every op cache AND resets the
+    governor counters with them (the §4.1.1 fairness protocol)."""
+
+    def test_all_caches_emptied_and_counters_reset(self):
+        manager = Manager(var_names=["a", "b", "c"])
+        a, b, c = (manager.var(level) for level in range(3))
+        with governed(manager, Budget(max_nodes=10_000)) as governor:
+            # Populate the ITE cache and a couple of named op caches.
+            manager.and_(a, manager.or_(b, c))
+            manager.exists(manager.and_(a, b), [0])
+            manager.cache("test_scratch")["key"] = ONE
+            stats = manager.statistics()
+            assert stats["ite_cache"] > 0
+            assert stats["cache_test_scratch"] == 1
+            assert governor.nodes_created > 0 or governor.ite_steps > 0
+
+            manager.clear_caches()
+
+            stats = manager.statistics()
+            for name, value in stats.items():
+                if name == "ite_cache" or name.startswith("cache_"):
+                    assert value == 0, "%s not flushed" % name
+            assert governor.nodes_created == 0
+            assert governor.ite_steps == 0
+            assert governor.resets == 1
+        # Budgets restart after the flush: the same work fits again.
+        with governed(manager, Budget(max_steps=10_000)) as governor:
+            manager.and_(a, b)
+            manager.clear_caches()
+            manager.and_(a, c)
+        assert governor.resets == 1
+
+
+class TestGoverned:
+    def test_yields_none_without_budget(self):
+        manager = Manager(var_names=["a"])
+        with governed(manager, None) as governor:
+            assert governor is None
+            assert manager.step_hook is None
+        with governed(manager, Budget()) as governor:
+            assert governor is None
+
+    def test_restores_previous_hook(self):
+        manager = Manager(var_names=["a", "b"])
+        events = []
+        hook = events.append
+        manager.install_step_hook(hook)
+        with governed(manager, Budget(max_nodes=100)) as governor:
+            assert manager.step_hook is governor
+        assert manager.step_hook is hook
+        manager.and_(manager.var(0), manager.var(1))
+        assert EVENT_ITE in events
+
+    def test_restores_hook_after_trip(self):
+        manager = Manager(var_names=["a", "b", "c", "d"])
+        variables = [manager.var(level) for level in range(4)]
+        with pytest.raises(BudgetExceeded):
+            with governed(manager, Budget(max_steps=1)):
+                manager.and_many(variables)
+        assert manager.step_hook is None
+        # The manager is fully usable after an aborted operation.
+        conj = manager.and_many(variables)
+        assert manager.eval(conj, {level: True for level in range(4)})
+        manager.validate(conj)

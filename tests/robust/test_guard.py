@@ -1,0 +1,203 @@
+"""Tests for guarded heuristic execution and graceful degradation."""
+
+import pytest
+
+from repro.analysis.errors import (
+    ContractError,
+    InvariantError,
+    NodeBudgetExceeded,
+)
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.core.ispec import ISpec
+from repro.core.registry import HEURISTICS
+from repro.core.sibling import constrain
+from repro.robust.governor import Budget
+from repro.robust.guard import (
+    DEFAULT_LADDER,
+    GuardedHeuristic,
+    guard,
+    guarding_enabled,
+)
+
+
+def _instance():
+    """A small non-trivial [f, c] instance."""
+    manager = Manager(var_names=["a", "b", "c", "d"])
+    a, b, c, d = (manager.var(level) for level in range(4))
+    f = manager.or_(manager.and_(a, b), manager.and_(c, d))
+    care = manager.or_(a, b)
+    return manager, f, care
+
+
+class TestDegradation:
+    def test_budget_trip_degrades_to_identity(self):
+        manager, f, c = _instance()
+        guarded = guard(
+            HEURISTICS["osm_bt"], name="osm_bt", budget=Budget(max_steps=1)
+        )
+        cover = guarded(manager, f, c)
+        assert cover == f
+        assert guarded.failures == 1
+        assert "StepBudgetExceeded" in guarded.last_failure
+
+    def test_identity_fallback_is_a_cover(self):
+        manager, f, c = _instance()
+        guarded = guard(
+            HEURISTICS["constrain"], budget=Budget(max_steps=1)
+        )
+        cover = guarded(manager, f, c)
+        assert ISpec(manager, f, c).is_cover(cover)
+
+    def test_success_passes_through(self):
+        manager, f, c = _instance()
+        guarded = guard(HEURISTICS["osm_bt"], name="osm_bt")
+        cover = guarded(manager, f, c)
+        assert ISpec(manager, f, c).is_cover(cover)
+        assert guarded.failures == 0
+        assert guarded.last_failure is None
+        assert guarded.calls == 1
+
+    def test_non_cover_result_degrades(self):
+        manager, f, c = _instance()
+        guarded = guard(lambda mgr, ff, cc: ZERO, name="broken")
+        cover = guarded(manager, f, c)
+        assert cover == f
+        assert "non-cover" in guarded.last_failure
+
+    def test_verify_false_trusts_the_heuristic(self):
+        manager, f, c = _instance()
+        guarded = guard(lambda mgr, ff, cc: ZERO, verify=False)
+        assert guarded(manager, f, c) == ZERO
+
+    def test_programming_errors_propagate(self):
+        manager, f, c = _instance()
+
+        def crashes(mgr, ff, cc):
+            raise ValueError("a genuine bug")
+
+        guarded = guard(crashes)
+        with pytest.raises(ValueError):
+            guarded(manager, f, c)
+
+    def test_on_failure_callback(self):
+        manager, f, c = _instance()
+        seen = []
+        guarded = guard(
+            HEURISTICS["osm_bt"],
+            name="osm_bt",
+            budget=Budget(max_steps=1),
+            on_failure=lambda name, reason: seen.append((name, reason)),
+        )
+        guarded(manager, f, c)
+        assert len(seen) == 1
+        assert seen[0][0] == "osm_bt"
+        assert "StepBudgetExceeded" in seen[0][1]
+
+    def test_recursion_error_degrades(self):
+        manager, f, c = _instance()
+
+        def overflows(mgr, ff, cc):
+            raise RecursionError
+
+        guarded = guard(overflows)
+        assert guarded(manager, f, c) == f
+        assert "RecursionError" in guarded.last_failure
+
+
+class TestLadder:
+    def test_escalation_succeeds_at_higher_rung(self):
+        manager, f, c = _instance()
+        attempts = []
+
+        def needs_room(mgr, ff, cc):
+            budget = mgr.step_hook.budget
+            attempts.append(budget.max_nodes)
+            if budget.max_nodes < 10:
+                raise NodeBudgetExceeded("needs at least 10")
+            return constrain(mgr, ff, cc)
+
+        guarded = guard(
+            needs_room, budget=Budget(max_nodes=1), escalate=True
+        )
+        cover = guarded(manager, f, c)
+        # Rungs 1 and 4 fail, rung 16 succeeds: no degradation recorded.
+        assert attempts == [1, 4, 16]
+        assert guarded.failures == 0
+        assert ISpec(manager, f, c).is_cover(cover)
+
+    def test_exhausted_ladder_degrades(self):
+        manager, f, c = _instance()
+        guarded = guard(
+            HEURISTICS["osm_bt"],
+            budget=Budget(max_steps=1),
+            escalate=True,
+        )
+        # Even 16x a one-step budget is nowhere near enough here.
+        assert guarded(manager, f, c) == f
+        assert guarded.failures == 1
+
+    def test_deterministic_failures_skip_the_ladder(self):
+        manager, f, c = _instance()
+        attempts = []
+
+        def always_wrong(mgr, ff, cc):
+            attempts.append(1)
+            raise InvariantError("deterministic bug")
+
+        guarded = guard(
+            always_wrong, budget=Budget(max_nodes=1), escalate=True
+        )
+        assert guarded(manager, f, c) == f
+        assert len(attempts) == 1  # no retries: a bug stays a bug
+        assert "InvariantError" in guarded.last_failure
+
+    def test_ladder_requires_entries(self):
+        with pytest.raises(ValueError):
+            GuardedHeuristic(constrain, ladder=())
+
+
+class TestGuardFactory:
+    def test_idempotent_without_overrides(self):
+        guarded = guard(HEURISTICS["osm_bt"])
+        assert guard(guarded) is guarded
+
+    def test_rewrap_with_budget(self):
+        guarded = guard(HEURISTICS["osm_bt"])
+        rewrapped = guard(guarded, budget=Budget(max_nodes=5))
+        assert rewrapped is not guarded
+        assert rewrapped.budget.max_nodes == 5
+
+    def test_escalate_uses_default_ladder(self):
+        guarded = guard(
+            HEURISTICS["osm_bt"], budget=Budget(max_nodes=1), escalate=True
+        )
+        assert guarded.ladder == DEFAULT_LADDER
+
+    def test_name_and_repr(self):
+        guarded = guard(HEURISTICS["osm_bt"], name="osm_bt")
+        assert guarded.__name__ == "guarded:osm_bt"
+        assert "osm_bt" in repr(guarded)
+
+    def test_env_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GUARD", raising=False)
+        assert not guarding_enabled()
+        monkeypatch.setenv("REPRO_GUARD", "1")
+        assert guarding_enabled()
+
+    def test_registry_dispatch_guards_under_env(self, monkeypatch):
+        from repro.core.registry import get_heuristic
+
+        monkeypatch.setenv("REPRO_GUARD", "1")
+        heuristic = get_heuristic("osm_bt")
+        assert isinstance(heuristic, GuardedHeuristic)
+        monkeypatch.delenv("REPRO_GUARD")
+        assert not isinstance(get_heuristic("osm_bt"), GuardedHeuristic)
+
+    def test_registry_budget_implies_guarding(self):
+        from repro.core.registry import get_heuristic
+
+        heuristic = get_heuristic("osm_bt", budget=Budget(max_steps=1))
+        assert isinstance(heuristic, GuardedHeuristic)
+        manager, f, c = _instance()
+        assert heuristic(manager, f, c) == f
+        assert heuristic.failures == 1

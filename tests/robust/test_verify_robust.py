@@ -1,0 +1,114 @@
+"""Tests for guarded frontier minimization in invariant checking."""
+
+import pytest
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.core.registry import HEURISTICS
+from repro.fsm.machine import FsmSpec, LatchSpec, OutputSpec, compile_fsm
+from repro.fsm.product import compile_product
+from repro.fsm.reachability import check_equivalence
+from repro.fsm.verify import (
+    check_invariant,
+    equivalence_counterexample_trace,
+)
+from repro.circuits.generators import counter, traffic_light_controller
+
+
+def _tlc():
+    manager = Manager()
+    fsm = compile_fsm(manager, traffic_light_controller())
+    both_green = manager.and_(
+        fsm.output_fns["highway_go"], fsm.output_fns["farm_go"]
+    )
+    return manager, fsm, both_green ^ 1
+
+
+class TestMinimizedInvariantCheck:
+    def test_holding_invariant_same_verdict(self):
+        manager, fsm, invariant = _tlc()
+        exact = check_invariant(fsm, invariant)
+        minimized = check_invariant(
+            fsm, invariant, minimize=HEURISTICS["osm_bt"]
+        )
+        assert minimized.holds == exact.holds is True
+        # Rings are kept exact, so the fixpoint iteration count and the
+        # reached set are identical with and without minimization.
+        assert minimized.iterations == exact.iterations
+        assert minimized.reached == exact.reached
+
+    def test_violation_still_yields_exact_trace(self):
+        manager = Manager()
+        fsm = compile_fsm(manager, counter(2))
+        q0 = manager.var(fsm.current_levels[0])
+        q1 = manager.var(fsm.current_levels[1])
+        at_three = manager.and_(q0, q1)
+        exact = check_invariant(fsm, at_three ^ 1)
+        minimized = check_invariant(
+            fsm, at_three ^ 1, minimize=HEURISTICS["constrain"]
+        )
+        assert not minimized.holds
+        assert len(minimized.trace) == len(exact.trace) == 3
+        assert minimized.trace.states[-1] == {"q0": True, "q1": True}
+
+    def test_broken_minimizer_degrades_to_exact(self):
+        manager, fsm, invariant = _tlc()
+        exact = check_invariant(fsm, invariant)
+        degraded = check_invariant(
+            fsm, invariant, minimize=lambda mgr, f, c: ZERO
+        )
+        assert degraded.holds == exact.holds
+        assert degraded.reached == exact.reached
+
+    def test_crashing_minimizer_propagates(self):
+        manager, fsm, invariant = _tlc()
+
+        def crashes(mgr, f, c):
+            raise ValueError("genuine bug")
+
+        with pytest.raises(ValueError):
+            check_invariant(fsm, invariant, minimize=crashes)
+
+
+class TestMinimizedEquivalence:
+    def test_self_equivalence_with_minimizer(self):
+        manager = Manager()
+        spec = traffic_light_controller()
+        product = compile_product(manager, spec, spec)
+        result = check_equivalence(product, minimize=HEURISTICS["osm_bt"])
+        assert result.equivalent
+
+    def test_counterexample_trace_with_minimizer(self):
+        left = FsmSpec(
+            "late",
+            ("en",),
+            (LatchSpec("q0", "q0 ^ en"), LatchSpec("q1", "q1 ^ (q0 & en)")),
+            (OutputSpec("o", "q1"),),
+        )
+        right = FsmSpec(
+            "early",
+            ("en",),
+            (LatchSpec("q0", "q0 ^ en"), LatchSpec("q1", "q1 ^ q0")),
+            (OutputSpec("o", "q1"),),
+        )
+        manager = Manager()
+        product = compile_product(manager, left, right)
+        trace = equivalence_counterexample_trace(
+            product, minimize=HEURISTICS["osm_bt"]
+        )
+        assert trace is not None
+        # The minimized search finds a distinguishing run of the same
+        # length as the exact one (rings, and hence BFS depth, are
+        # exact either way).
+        exact = equivalence_counterexample_trace(product)
+        assert len(trace.inputs) == len(exact.inputs)
+
+    def test_equivalent_machines_no_trace(self):
+        manager = Manager()
+        spec = traffic_light_controller()
+        product = compile_product(manager, spec, spec)
+        assert (
+            equivalence_counterexample_trace(
+                product, minimize=HEURISTICS["constrain"]
+            )
+            is None
+        )
