@@ -1,0 +1,121 @@
+"""Serial vs pooled sweep wall-clock: the --parallel speedup record.
+
+A standalone script (no pytest benches): it runs the same heuristic
+sweep twice — once serially in-process, once sharded across a
+``repro.serve`` worker pool — and writes the wall-clock comparison to
+``BENCH_parallel_sweep.json`` next to this file.  The pooled numbers
+include the full isolation overhead (wire encoding, pipe transport,
+child-side verification), so the speedup honestly reports what
+``repro-bdd experiments --parallel N`` buys, not an idealized bound.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_sweep.py --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.core.registry import PAPER_HEURISTICS
+from repro.experiments.calls import collect_suite_calls
+from repro.experiments.harness import run_heuristics
+
+#: Benchmarks kept small enough that CI pays seconds, not minutes.
+DEFAULT_BENCHMARKS = ("tlc", "minmax5", "s344")
+
+
+def _sweep(names, heuristics, parallel):
+    calls = collect_suite_calls(list(names))
+    started = time.perf_counter()
+    results = run_heuristics(
+        calls,
+        heuristics=heuristics,
+        compute_lower_bound=False,
+        parallel=parallel,
+    )
+    elapsed = time.perf_counter() - started
+    return results, elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="pool workers for the parallel pass (default 2)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=list(DEFAULT_BENCHMARKS),
+        help="benchmarks to sweep (default: %s)"
+        % ", ".join(DEFAULT_BENCHMARKS),
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "BENCH_parallel_sweep.json",
+        ),
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+
+    heuristics = tuple(PAPER_HEURISTICS)
+    serial_results, serial_seconds = _sweep(
+        args.benchmarks, heuristics, parallel=None
+    )
+    pooled_results, pooled_seconds = _sweep(
+        args.benchmarks, heuristics, parallel=args.workers
+    )
+
+    # Sanity: the pooled sweep measured the same cells and produced
+    # the same sizes (modulo None cells, which the contract allows).
+    assert serial_results.total_calls == pooled_results.total_calls
+    agreeing = 0
+    for left, right in zip(serial_results.results, pooled_results.results):
+        for name in heuristics:
+            if None in (left.sizes[name], right.sizes[name]):
+                continue
+            assert left.sizes[name] == right.sizes[name], (
+                "pooled sweep diverged on %s/%s" % (left.benchmark, name)
+            )
+            agreeing += 1
+
+    record = {
+        "benchmarks": list(args.benchmarks),
+        "heuristics": list(heuristics),
+        "cells": serial_results.total_calls * len(heuristics),
+        "agreeing_cells": agreeing,
+        "workers": args.workers,
+        "serial_seconds": round(serial_seconds, 4),
+        "pooled_seconds": round(pooled_seconds, 4),
+        "speedup": round(serial_seconds / pooled_seconds, 4),
+        "pooled_failed_cells": pooled_results.failed_cells,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        "serial %.2fs vs pooled %.2fs with %d worker(s) "
+        "(speedup %.2fx, %d/%d cells agree) -> %s"
+        % (
+            serial_seconds,
+            pooled_seconds,
+            args.workers,
+            record["speedup"],
+            agreeing,
+            record["cells"],
+            args.output,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

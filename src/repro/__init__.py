@@ -21,6 +21,10 @@ Subpackages
 ``repro.robust``
     Resource budgets, guarded execution with graceful degradation,
     checkpoint/resume for sweeps, deterministic fault injection.
+``repro.serve``
+    Process-isolated minimization: a worker pool with SIGKILL
+    watchdogs and memory rlimits, per-heuristic circuit breakers, and
+    the durable BDD wire format of ``repro.bdd.wire``.
 """
 
 from repro.bdd import Manager, Function

@@ -30,6 +30,16 @@ from repro.bdd.reorder import (
     sift,
     exhaustive_order_search,
     compact,
+    is_equiv,
+)
+from repro.bdd.wire import (
+    WireError,
+    WIRE_VERSION,
+    serialize,
+    deserialize,
+    serialize_instance,
+    deserialize_instance,
+    payload_summary,
 )
 from repro.bdd.isop import isop, isop_of_ispec, cube_count
 from repro.bdd.pretty import format_sop, format_ite, format_table
@@ -50,6 +60,14 @@ __all__ = [
     "sift",
     "exhaustive_order_search",
     "compact",
+    "is_equiv",
+    "WireError",
+    "WIRE_VERSION",
+    "serialize",
+    "deserialize",
+    "serialize_instance",
+    "deserialize_instance",
+    "payload_summary",
     "isop",
     "isop_of_ispec",
     "cube_count",

@@ -57,6 +57,24 @@ def transfer(
     return [walk(ref) for ref in refs]
 
 
+def is_equiv(
+    source: Manager, f: int, target: Manager, g: int
+) -> bool:
+    """Semantic equality of functions owned by *different* managers.
+
+    Transfers ``f`` into ``target`` by variable name and compares refs
+    (canonicity makes equality an integer comparison).  The target
+    manager must declare every variable in ``f``'s support — the wire
+    round-trip tests use this to check a deserialized BDD against its
+    original.  Within one manager plain ``==`` on refs is equivalent
+    and free.
+    """
+    if source is target:
+        return f == g
+    (transferred,) = transfer(source, target, [f])
+    return transferred == g
+
+
 def reorder(
     manager: Manager, refs: Sequence[int], order: Sequence[str]
 ) -> Tuple[Manager, List[int]]:

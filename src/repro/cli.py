@@ -27,13 +27,21 @@ Subcommands
     Fault-injection drill: run a heuristic on a manager that fails on
     schedule (budget trip, recursion failure, cache corruption) and
     report whether the guard degraded gracefully.
+``serve``
+    Process-isolated minimization service: JSON-lines requests on
+    stdin, one JSON result per line on stdout, every heuristic call
+    running in a worker process under an OS-level watchdog with
+    per-heuristic circuit breakers (see ``docs/serving.md``).
 
 Resource flags (``minimize`` and ``experiments``): ``--node-budget``,
 ``--step-budget`` and ``--deadline`` bound each heuristic call; a call
 exceeding them degrades to the identity cover and is reported, never
 crashed on.  ``experiments --checkpoint FILE`` journals completed calls
 to JSONL; ``--resume`` continues an interrupted sweep from the journal
-(a malformed journal exits with status 2).
+(a malformed journal exits with status 2).  ``experiments --parallel N``
+shards heuristic cells across an ``N``-worker pool; ``minimize
+--isolate`` runs each heuristic in a worker process, so even a hung
+heuristic is SIGKILLed and degraded instead of hanging the CLI.
 """
 
 from __future__ import annotations
@@ -109,6 +117,33 @@ def _cmd_minimize(args: argparse.Namespace) -> int:
         names = sorted(HEURISTICS)
     else:
         names = [args.method]
+    if args.isolate:
+        from repro.serve.pool import DEFAULT_DEADLINE, MinimizationPool
+        from repro.serve.service import MinimizationService
+
+        pool = MinimizationPool(
+            workers=1,
+            deadline=(
+                args.deadline if args.deadline else DEFAULT_DEADLINE
+            ),
+            node_budget=args.node_budget,
+            step_budget=args.step_budget,
+        )
+        with MinimizationService(pool, own_pool=True) as service:
+            for name in names:
+                result = service.minimize(
+                    manager, spec.f, spec.c, method=name
+                )
+                note = (
+                    "  (degraded: %s)" % result.reason
+                    if result.reason
+                    else ""
+                )
+                print(
+                    "%-12s |g| = %d%s"
+                    % (name, manager.size(result.cover), note)
+                )
+        return 0
     for name in names:
         heuristic = get_heuristic(name, budget=budget)
         cover = heuristic(manager, spec.f, spec.c)
@@ -143,6 +178,8 @@ def _run_experiments(args: argparse.Namespace) -> int:
             budget=_budget_from_args(args),
             checkpoint=args.checkpoint,
             resume=args.resume,
+            parallel=args.parallel,
+            serve_memory_limit=args.memory_limit,
         )
     except CheckpointError as error:
         print("checkpoint error: %s" % error, file=sys.stderr)
@@ -366,6 +403,90 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """JSON-lines minimization service over stdin/stdout."""
+    import json
+
+    from repro.core.ispec import parse_instance
+    from repro.serve.breaker import RetryPolicy
+    from repro.serve.pool import MinimizationPool
+    from repro.serve.service import MinimizationService
+
+    pool = MinimizationPool(
+        workers=args.workers,
+        deadline=args.deadline,
+        memory_limit=args.memory_limit,
+    )
+    served = 0
+    stream = open(args.input) if args.input else sys.stdin
+    with MinimizationService(
+        pool,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        own_pool=True,
+    ) as service:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            manager = Manager()
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+                if "instance" in request:
+                    spec = parse_instance(manager, request["instance"])
+                    f, c = spec.f, spec.c
+                elif "f" in request:
+                    f = parse_expression(manager, request["f"])
+                    c = parse_expression(manager, request.get("care", "1"))
+                else:
+                    raise ValueError(
+                        'request needs "instance" or "f" (+ optional '
+                        '"care")'
+                    )
+            except Exception as error:  # noqa: BLE001 — a service loop
+                # must answer malformed requests, never die on them.
+                print(
+                    json.dumps(
+                        {
+                            "ok": False,
+                            "error": "bad request: %s" % error,
+                        }
+                    ),
+                    flush=True,
+                )
+                continue
+            result = service.minimize(
+                manager, f, c, method=request.get("method", "osm_bt")
+            )
+            reply = {
+                "method": result.method,
+                "ok": result.ok,
+                "f_size": manager.size(f),
+                "size": manager.size(result.cover),
+                "runtime": round(result.runtime, 6),
+            }
+            if result.reason:
+                reply["reason"] = result.reason
+            print(json.dumps(reply), flush=True)
+            served += 1
+    if stream is not sys.stdin:
+        stream.close()
+    stats = service.statistics()
+    print(
+        "served %d request(s): %d failure(s), %d short-circuit(s), "
+        "%d worker kill(s)"
+        % (
+            served,
+            stats["failures"],
+            stats["short_circuits"],
+            stats["kills"],
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -392,6 +513,12 @@ def build_parser() -> argparse.ArgumentParser:
     minimize_parser.add_argument("--method", default="osm_bt")
     minimize_parser.add_argument("--all", action="store_true")
     minimize_parser.add_argument("--cube-limit", type=int, default=1000)
+    minimize_parser.add_argument(
+        "--isolate",
+        action="store_true",
+        help="run each heuristic in a worker process under the "
+        "--deadline watchdog (SIGKILL on overrun, degrade to g = f)",
+    )
     _add_budget_flags(minimize_parser)
     minimize_parser.set_defaults(handler=_cmd_minimize)
 
@@ -410,6 +537,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip calls already recorded in --checkpoint",
+    )
+    experiments_parser.add_argument(
+        "--parallel",
+        type=int,
+        metavar="N",
+        help="shard heuristic cells across N pool workers, each under "
+        "an OS-level watchdog and per-heuristic circuit breaker",
+    )
+    experiments_parser.add_argument(
+        "--memory-limit",
+        type=int,
+        metavar="BYTES",
+        help="address-space rlimit per pool worker (with --parallel)",
     )
     experiments_parser.set_defaults(handler=_run_experiments)
 
@@ -508,6 +648,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the deterministic synthetic instance",
     )
     inject_parser.set_defaults(handler=_cmd_inject)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="process-isolated minimization service (JSON lines)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="pool worker processes (default 2)",
+    )
+    serve_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=10.0,
+        help="wall-clock seconds per request before SIGKILL (default 10)",
+    )
+    serve_parser.add_argument(
+        "--memory-limit",
+        type=int,
+        metavar="BYTES",
+        help="address-space rlimit per worker process",
+    )
+    serve_parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries for transient failures, with 2x deadline "
+        "backoff per attempt (default 1)",
+    )
+    serve_parser.add_argument(
+        "--input",
+        help="read requests from this file instead of stdin",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
     return parser
 
 

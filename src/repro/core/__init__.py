@@ -36,7 +36,9 @@ from repro.core.registry import (
     get_heuristic,
     minimize,
     minimize_interval,
+    register_heuristic,
     safe_minimize,
+    unregister_heuristic,
 )
 
 __all__ = [
@@ -58,4 +60,6 @@ __all__ = [
     "minimize",
     "minimize_interval",
     "safe_minimize",
+    "register_heuristic",
+    "unregister_heuristic",
 ]

@@ -132,6 +132,52 @@ PAPER_HEURISTICS: Tuple[str, ...] = (
 )
 
 
+def register_heuristic(
+    name: str, heuristic: Heuristic, replace: bool = False
+) -> None:
+    """Register a custom heuristic under ``name``.
+
+    Registered heuristics are dispatchable everywhere a paper name is:
+    :func:`get_heuristic`, :func:`minimize`, the experiment harness,
+    and — important for :mod:`repro.serve` — inside pool workers, which
+    resolve heuristics by name in the child process.  With the pool's
+    default ``fork`` start method, anything registered *before the pool
+    starts* is inherited by every worker; under ``spawn`` only
+    importable module-level registrations are visible.
+
+    Raises :class:`ValueError` if ``name`` is taken and ``replace`` is
+    false — silently shadowing a paper heuristic would corrupt every
+    table.
+    """
+    if not callable(heuristic):
+        raise ValueError("heuristic %r is not callable" % (heuristic,))
+    if name in HEURISTICS and not replace:
+        raise ValueError(
+            "heuristic %r is already registered; pass replace=True to "
+            "overwrite it" % name
+        )
+    HEURISTICS[name] = heuristic
+
+
+def unregister_heuristic(name: str) -> Heuristic:
+    """Remove a registered heuristic; returns the removed callable.
+
+    Refuses to remove the paper's own heuristics — tests that register
+    throwaway heuristics use this to clean up after themselves.
+    """
+    if name in PAPER_HEURISTICS or name not in HEURISTICS:
+        raise KeyError(
+            "cannot unregister %r: %s"
+            % (
+                name,
+                "it is a paper heuristic"
+                if name in PAPER_HEURISTICS
+                else "it is not registered",
+            )
+        )
+    return HEURISTICS.pop(name)
+
+
 def get_heuristic(
     name: str,
     audited: Optional[bool] = None,

@@ -161,6 +161,77 @@ def _measure_call(
     )
 
 
+def _measure_call_pooled(
+    manager: Manager,
+    call: MinimizationCall,
+    heuristics: Sequence[str],
+    pool,
+    board,
+    compute_lower_bound: bool,
+    cube_limit: int,
+) -> CallResult:
+    """Measure one call with every heuristic run in a pool worker.
+
+    Each heuristic's circuit breaker gates its cell: a denied cell is
+    short-circuited to ``sizes[name] = None`` with a ``CircuitOpen``
+    reason and never touches the pool.  Breaker bookkeeping happens in
+    the caller's heuristic order, so the same call sequence always
+    drives the breakers through the same states — pooled sweeps stay
+    deterministic modulo wall-clock-dependent kills.
+    """
+    sizes: Dict[str, Optional[int]] = {}
+    runtimes: Dict[str, float] = {}
+    failures: Dict[str, str] = {}
+    allowed: List[str] = []
+    for name in heuristics:
+        breaker = board.breaker(name)
+        if breaker.allow():
+            allowed.append(name)
+        else:
+            sizes[name] = None
+            runtimes[name] = 0.0
+            failures[name] = "CircuitOpen: %s" % breaker.describe()
+    replies = (
+        pool.run_batch(
+            manager, [(name, call.f, call.c) for name in allowed]
+        )
+        if allowed
+        else []
+    )
+    by_name = dict(zip(allowed, replies))
+    for name in heuristics:
+        reply = by_name.get(name)
+        if reply is None:
+            continue
+        runtimes[name] = reply.runtime
+        breaker = board.breaker(name)
+        if reply.ok:
+            breaker.record_success()
+            sizes[name] = manager.size(reply.cover)
+        else:
+            breaker.record_failure()
+            sizes[name] = None
+            failures[name] = reply.reason
+    lower = None
+    if compute_lower_bound:
+        manager.clear_caches()
+        lower = cube_lower_bound(
+            manager, call.f, call.c, cube_limit=cube_limit
+        )
+    measured = [size for size in sizes.values() if size is not None]
+    return CallResult(
+        benchmark=call.benchmark,
+        iteration=call.iteration,
+        f_size=call.f_size,
+        onset_fraction=call.onset_fraction,
+        sizes=sizes,
+        runtimes=runtimes,
+        min_size=min(measured) if measured else call.f_size,
+        lower_bound=lower,
+        failures=failures,
+    )
+
+
 def _open_checkpoint(checkpoint, resume: bool):
     """Normalize the checkpoint arguments into (journal, completed)."""
     if checkpoint is None:
@@ -188,6 +259,9 @@ def run_heuristics(
     budget=None,
     checkpoint=None,
     resume: bool = False,
+    parallel: Optional[int] = None,
+    serve_deadline: Optional[float] = None,
+    serve_memory_limit: Optional[int] = None,
 ) -> ExperimentResults:
     """Measure every heuristic on every recorded call.
 
@@ -199,33 +273,82 @@ def run_heuristics(
     :class:`repro.robust.checkpoint.Checkpoint`) journals completed
     calls; with ``resume=True`` already-journalled calls are replayed
     from disk instead of re-measured.
+
+    ``parallel=N`` shards each call's heuristic cells across a
+    :class:`repro.serve.pool.MinimizationPool` of ``N`` workers: every
+    heuristic runs in a child process under an OS-level watchdog
+    (``serve_deadline`` seconds, SIGKILL on overrun) and an optional
+    ``serve_memory_limit`` address-space cap, gated by a per-heuristic
+    circuit breaker.  A killed, crashed or breaker-denied cell records
+    ``sizes[name] = None`` with the reason — exactly the serial failure
+    contract, so serial and pooled sweeps agree modulo ``None`` cells.
+    ``budget``'s node/step limits are enforced inside the workers; its
+    ``deadline`` seeds the watchdog when ``serve_deadline`` is unset.
     """
     journal, completed = _open_checkpoint(checkpoint, resume)
-    results = ExperimentResults(heuristics=tuple(heuristics))
-    for record in benchmark_calls:
-        manager = record.manager
-        results.filtered_out += record.filtered_out
-        for ordinal, call in enumerate(record.calls):
-            results.total_calls += 1
-            # Keyed by position, not iteration: frontier and image
-            # calls inside one fixpoint step share an iteration number.
-            key = (call.benchmark, ordinal)
-            if key in completed:
-                results.results.append(completed[key])
-                results.resumed_calls += 1
-                continue
-            result = _measure_call(
-                manager,
-                call,
-                heuristics,
-                budget,
-                verify_covers,
-                compute_lower_bound,
-                cube_limit,
+    pool = None
+    board = None
+    if parallel is not None:
+        if parallel < 1:
+            raise ValueError(
+                "parallel must be >= 1, got %d" % parallel
             )
-            if journal is not None:
-                journal.append(result)
-            results.results.append(result)
+        from repro.serve.breaker import BreakerBoard
+        from repro.serve.pool import DEFAULT_DEADLINE, MinimizationPool
+
+        deadline = serve_deadline
+        if deadline is None and budget is not None:
+            deadline = budget.deadline
+        pool = MinimizationPool(
+            workers=parallel,
+            deadline=DEFAULT_DEADLINE if deadline is None else deadline,
+            memory_limit=serve_memory_limit,
+            node_budget=budget.max_nodes if budget is not None else None,
+            step_budget=budget.max_steps if budget is not None else None,
+            verify=verify_covers,
+        )
+        board = BreakerBoard()
+    results = ExperimentResults(heuristics=tuple(heuristics))
+    try:
+        for record in benchmark_calls:
+            manager = record.manager
+            results.filtered_out += record.filtered_out
+            for ordinal, call in enumerate(record.calls):
+                results.total_calls += 1
+                # Keyed by position, not iteration: frontier and image
+                # calls inside one fixpoint step share an iteration
+                # number.
+                key = (call.benchmark, ordinal)
+                if key in completed:
+                    results.results.append(completed[key])
+                    results.resumed_calls += 1
+                    continue
+                if pool is not None:
+                    result = _measure_call_pooled(
+                        manager,
+                        call,
+                        heuristics,
+                        pool,
+                        board,
+                        compute_lower_bound,
+                        cube_limit,
+                    )
+                else:
+                    result = _measure_call(
+                        manager,
+                        call,
+                        heuristics,
+                        budget,
+                        verify_covers,
+                        compute_lower_bound,
+                        cube_limit,
+                    )
+                if journal is not None:
+                    journal.append(result)
+                results.results.append(result)
+    finally:
+        if pool is not None:
+            pool.close()
     return results
 
 
@@ -238,6 +361,9 @@ def run_experiment(
     budget=None,
     checkpoint=None,
     resume: bool = False,
+    parallel: Optional[int] = None,
+    serve_deadline: Optional[float] = None,
+    serve_memory_limit: Optional[int] = None,
 ) -> ExperimentResults:
     """Collect calls over a suite and measure: the whole §4 pipeline."""
     # Validate the journal before the expensive call collection, so a
@@ -254,4 +380,7 @@ def run_experiment(
         budget=budget,
         checkpoint=checkpoint,
         resume=resume,
+        parallel=parallel,
+        serve_deadline=serve_deadline,
+        serve_memory_limit=serve_memory_limit,
     )

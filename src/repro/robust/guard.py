@@ -124,33 +124,46 @@ class GuardedHeuristic:
         self.on_failure = on_failure
         self.calls = 0
         self.failures = 0
+        #: Total ladder rungs executed over the wrapper's lifetime.
+        self.attempts = 0
+        #: Ladder rungs executed by the most recent call.
+        self.last_attempts = 0
         self.last_failure: Optional[str] = None
 
     def __call__(self, manager: Manager, f: int, c: int) -> int:
         self.calls += 1
         self.last_failure = None
+        self.last_attempts = 0
         reason = "no attempt made"
         # Without a budget, escalation is meaningless: run once.
         factors = self.ladder if self.budget is not None else (1.0,)
-        for factor in factors:
+        for rung, factor in enumerate(factors):
             attempt_budget = (
                 self.budget.scaled(factor)
                 if self.budget is not None
                 else None
             )
+            self.attempts += 1
+            self.last_attempts = rung + 1
             try:
                 with governed(manager, attempt_budget):
                     cover = self.heuristic(manager, f, c)
                 self._verify_cover(manager, f, c, cover)
             except (InvariantError, ContractError) as error:
                 # Deterministic failure: a bigger budget cannot help.
-                reason = describe_error(error)
+                reason = self._annotate(
+                    describe_error(error), rung, attempt_budget
+                )
                 break
             except BudgetExceeded as error:
-                reason = describe_error(error)
+                reason = self._annotate(
+                    describe_error(error), rung, attempt_budget
+                )
             except RecursionError:
-                reason = (
-                    "RecursionError: interpreter recursion limit exceeded"
+                reason = self._annotate(
+                    "RecursionError: interpreter recursion limit exceeded",
+                    rung,
+                    attempt_budget,
                 )
             else:
                 return cover
@@ -159,6 +172,23 @@ class GuardedHeuristic:
         if self.on_failure is not None:
             self.on_failure(self.name, reason)
         return f
+
+    def _annotate(
+        self, reason: str, rung: int, attempt_budget: Optional[Budget]
+    ) -> str:
+        """Tag a failure reason with the ladder rung and budget it hit.
+
+        Without a budget there is exactly one unbudgeted attempt and
+        nothing to disambiguate, so the reason passes through bare.
+        """
+        if attempt_budget is None:
+            return reason
+        return "%s [rung %d/%d: %s]" % (
+            reason,
+            rung + 1,
+            len(self.ladder),
+            attempt_budget.describe(),
+        )
 
     def _verify_cover(
         self, manager: Manager, f: int, c: int, cover: int
@@ -185,7 +215,7 @@ def guard(
     budget: Optional[Budget] = None,
     escalate: bool = False,
     ladder: Optional[Sequence[float]] = None,
-    verify: bool = True,
+    verify: Optional[bool] = None,
     flush_before_verify: bool = False,
     on_failure: Optional[Callable[[str, str], None]] = None,
 ) -> GuardedHeuristic:
@@ -193,9 +223,33 @@ def guard(
 
     ``escalate=True`` retries budget trips on :data:`DEFAULT_LADDER`
     unless an explicit ``ladder`` is given.  Idempotent on an already
-    guarded heuristic with no overrides requested.
+    guarded heuristic when no override disagrees with its existing
+    configuration; a *conflicting* override without a ``budget`` raises
+    :class:`ValueError` — the alternative, silently returning the
+    wrapper unchanged, would leave the caller believing its settings
+    took effect.  Passing a ``budget`` always builds a fresh wrapper.
     """
     if isinstance(heuristic, GuardedHeuristic) and budget is None:
+        conflicts = []
+        if escalate and tuple(DEFAULT_LADDER) != heuristic.ladder:
+            conflicts.append("escalate")
+        if ladder is not None and tuple(ladder) != heuristic.ladder:
+            conflicts.append("ladder")
+        if verify is not None and verify != heuristic.verify:
+            conflicts.append("verify")
+        if flush_before_verify and not heuristic.flush_before_verify:
+            conflicts.append("flush_before_verify")
+        if on_failure is not None and on_failure is not heuristic.on_failure:
+            conflicts.append("on_failure")
+        if name is not None and name != heuristic.name:
+            conflicts.append("name")
+        if conflicts:
+            raise ValueError(
+                "guard() cannot re-configure %r without a budget: "
+                "conflicting override(s): %s.  Pass a budget to build a "
+                "fresh wrapper, or guard the raw heuristic instead."
+                % (heuristic, ", ".join(conflicts))
+            )
         return heuristic
     if ladder is None and escalate:
         ladder = DEFAULT_LADDER
@@ -204,7 +258,7 @@ def guard(
         name=name,
         budget=budget,
         ladder=ladder,
-        verify=verify,
+        verify=True if verify is None else verify,
         flush_before_verify=flush_before_verify,
         on_failure=on_failure,
     )

@@ -1,0 +1,595 @@
+"""A process-isolated worker pool for minimization requests.
+
+The guard/governor layer of :mod:`repro.robust` degrades *cooperatively*:
+budgets are enforced through the manager's step hook, so a heuristic
+stuck inside one enormous ``apply`` (or burning memory faster than the
+hook fires) still owns the interpreter.  This pool closes that gap by
+running every request in a **child process** under two OS-level fences:
+
+* a **wall-clock watchdog** in the parent — a worker that has not
+  answered by its deadline is ``SIGKILL``-ed (no cooperation required)
+  and transparently replaced by a fresh worker;
+* an optional **address-space cap** (``resource.setrlimit``) applied at
+  worker start, so a memory hog dies with ``MemoryError`` (or an
+  OOM kill) inside its own process instead of taking down the sweep.
+
+Requests and results cross the process boundary in the durable wire
+format of :mod:`repro.bdd.wire`; the child rebuilds the instance in a
+fresh manager, runs the registry heuristic, verifies the cover, and
+ships the result back.  On *any* failure — timeout, OOM, crash, budget
+trip, contract violation — the request degrades to the identity cover
+``g = f`` (always correct per Definition 2) with the reason recorded,
+following the same reason-recording protocol as
+:class:`repro.robust.guard.GuardedHeuristic` (``failures``,
+``last_failure``, ``on_failure``).
+
+Failures are classified for the circuit breaker / retry layer
+(:mod:`repro.serve.breaker`), mirroring the guard's split:
+
+* **transient** — deadline kills, memory kills, worker crashes, budget
+  trips: a retry (with a bigger deadline) might succeed;
+* **deterministic** — contract violations, invariant violations,
+  unknown heuristics, malformed payloads: retrying cannot help.
+
+Custom heuristics must be resolvable *in the child*.  With the default
+``fork`` start method, anything registered via
+:func:`repro.core.registry.register_heuristic` before the pool starts
+is inherited automatically; under ``spawn`` only importable registry
+entries are visible.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.errors import (
+    BudgetExceeded,
+    ContractError,
+    InvariantError,
+)
+from repro.bdd.manager import Manager
+from repro.bdd.wire import (
+    WireError,
+    deserialize,
+    deserialize_instance,
+    serialize,
+    serialize_instance,
+)
+
+#: Default wall-clock deadline (seconds) per request.
+DEFAULT_DEADLINE = 10.0
+
+#: Extra seconds past the deadline before the watchdog SIGKILLs: gives
+#: the child's cooperative deadline governor a chance to degrade
+#: cleanly (cheap) before the OS-level kill (loses the warm worker).
+DEFAULT_KILL_GRACE = 0.25
+
+#: Failure classifications carried by :class:`ServeResult`.
+TRANSIENT = "transient"
+DETERMINISTIC = "deterministic"
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one isolated minimization request.
+
+    ``cover`` is always a valid cover of the request's ``[f, c]`` in
+    the *caller's* manager: the heuristic's result on success, the
+    identity ``f`` on degradation.  ``reason`` is ``None`` exactly when
+    the heuristic succeeded.
+    """
+
+    method: str
+    cover: int
+    reason: Optional[str] = None
+    kind: str = TRANSIENT
+    killed: bool = False
+    short_circuited: bool = False
+    runtime: float = 0.0
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True iff the heuristic itself produced the cover."""
+        return self.reason is None
+
+    @property
+    def degraded(self) -> bool:
+        """True iff the request fell back to the identity cover."""
+        return self.reason is not None
+
+    @property
+    def transient(self) -> bool:
+        """True iff a retry (bigger deadline) could plausibly succeed."""
+        return self.kind == TRANSIENT
+
+
+def _apply_memory_limit(limit_bytes: Optional[int]) -> None:
+    """Cap the worker's address space; silently a no-op off-POSIX."""
+    if limit_bytes is None:
+        return
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return
+    _, hard = resource.getrlimit(resource.RLIMIT_AS)
+    soft = limit_bytes
+    if hard != resource.RLIM_INFINITY:
+        soft = min(soft, hard)
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (soft, hard))
+    except (ValueError, OSError):  # pragma: no cover - platform quirks
+        pass
+
+
+def _execute_request(request: dict) -> dict:
+    """Run one request inside the worker; never raises.
+
+    Returns a reply dict: ``status`` is ``"ok"`` (with a wire-encoded
+    cover in ``payload``) or ``"failed"`` (with ``reason`` and a
+    transient/deterministic ``kind``).
+    """
+    from repro.core.ispec import ISpec
+    from repro.core.registry import HEURISTICS
+    from repro.robust.governor import Budget, governed
+    from repro.robust.guard import describe_error
+
+    method = request["method"]
+    started = time.perf_counter()
+
+    def failed(reason: str, kind: str) -> dict:
+        return {
+            "status": "failed",
+            "reason": reason,
+            "kind": kind,
+            "runtime": time.perf_counter() - started,
+        }
+
+    try:
+        manager, f, c = deserialize_instance(request["payload"])
+    except WireError as error:
+        return failed("WireError: %s" % error, DETERMINISTIC)
+    heuristic = HEURISTICS.get(method)
+    if heuristic is None:
+        return failed(
+            "UnknownHeuristic: %r is not registered in this worker"
+            % method,
+            DETERMINISTIC,
+        )
+    budget = Budget(
+        max_nodes=request.get("node_budget"),
+        max_steps=request.get("step_budget"),
+        deadline=request.get("deadline"),
+    )
+    try:
+        with governed(manager, None if budget.unlimited else budget):
+            cover = heuristic(manager, f, c)
+        if not ISpec(manager, f, c).is_cover(cover):
+            return failed(
+                "ContractError: %s returned a non-cover" % method,
+                DETERMINISTIC,
+            )
+        payload = serialize(manager, (cover,))
+    except BudgetExceeded as error:
+        return failed(describe_error(error), TRANSIENT)
+    except RecursionError:
+        return failed(
+            "RecursionError: interpreter recursion limit exceeded",
+            TRANSIENT,
+        )
+    except MemoryError:
+        return failed(
+            "MemoryError: worker memory cap exceeded", TRANSIENT
+        )
+    except (InvariantError, ContractError) as error:
+        return failed(describe_error(error), DETERMINISTIC)
+    except Exception as error:  # noqa: BLE001 - the boundary must hold
+        # A programming error cannot propagate across the process
+        # boundary as an exception; it is reported fail-fast instead
+        # (deterministic: retrying the same bug cannot help).
+        return failed(
+            "WorkerError: %s" % describe_error(error), DETERMINISTIC
+        )
+    return {
+        "status": "ok",
+        "payload": payload,
+        "runtime": time.perf_counter() - started,
+    }
+
+
+def _worker_main(conn, memory_limit: Optional[int]) -> None:
+    """Worker process entry: serve requests until the sentinel."""
+    _apply_memory_limit(memory_limit)
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        if request is None:
+            break
+        reply = _execute_request(request)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover - races
+            break
+    conn.close()
+
+
+class _Worker:
+    """One child process plus its duplex pipe."""
+
+    def __init__(self, context, memory_limit: Optional[int]):
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main,
+            args=(child_conn, memory_limit),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def kill(self) -> None:
+        """SIGKILL the worker — no cooperation, no cleanup, no mercy."""
+        self.process.kill()
+        self.process.join()
+        self.conn.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown: sentinel, short join, then kill."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+        self.conn.close()
+
+
+@dataclass
+class _InFlight:
+    """Bookkeeping for one dispatched request.
+
+    ``fallback`` is the request's ``f`` ref (the identity cover used on
+    degradation) and ``care`` its ``c`` ref, both in the caller's
+    manager — kept so the parent can re-verify returned covers.
+    """
+
+    index: int
+    method: str
+    fallback: int
+    care: int
+    kill_at: float
+    started: float
+
+
+class MinimizationPool:
+    """A fixed-size pool of process-isolated minimization workers.
+
+    Parameters
+    ----------
+    workers:
+        Number of child processes kept warm.
+    deadline:
+        Default wall-clock seconds per request.  The child runs under a
+        cooperative deadline governor at this value; the parent's
+        watchdog SIGKILLs ``kill_grace`` seconds later if the child has
+        not answered.
+    memory_limit:
+        Optional address-space cap in bytes applied at worker start.
+    node_budget / step_budget:
+        Optional per-request governor bounds enforced inside the child.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (inherits the parent's registry, including
+        test-registered heuristics) and ``spawn`` elsewhere.
+    verify:
+        Re-check returned covers in the parent (two BDD operations) —
+        the child already verifies, but the parent does not have to
+        trust a worker that may have corrupted itself.
+    on_failure:
+        Optional ``(method, reason)`` callback invoked on every
+        degradation — the same protocol as
+        :class:`repro.robust.guard.GuardedHeuristic`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        deadline: float = DEFAULT_DEADLINE,
+        memory_limit: Optional[int] = None,
+        node_budget: Optional[int] = None,
+        step_budget: Optional[int] = None,
+        start_method: Optional[str] = None,
+        kill_grace: float = DEFAULT_KILL_GRACE,
+        verify: bool = True,
+        on_failure: Optional[Callable[[str, str], None]] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %d" % workers)
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if kill_grace < 0:
+            raise ValueError("kill_grace must be >= 0")
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self._context = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.num_workers = workers
+        self.deadline = deadline
+        self.kill_grace = kill_grace
+        self.memory_limit = memory_limit
+        self.node_budget = node_budget
+        self.step_budget = step_budget
+        self.verify = verify
+        self.on_failure = on_failure
+        # Reason-recording protocol (mirrors GuardedHeuristic).
+        self.requests = 0
+        self.failures = 0
+        self.last_failure: Optional[str] = None
+        # Pool health counters.
+        self.kills = 0
+        self.crashes = 0
+        self.worker_restarts = 0
+        self._closed = False
+        self._workers: List[_Worker] = [
+            _Worker(self._context, memory_limit) for _ in range(workers)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut every worker down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+
+    def __enter__(self) -> "MinimizationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """PIDs of the live workers (useful to observe recycling)."""
+        return [worker.pid for worker in self._workers]
+
+    def statistics(self) -> Dict[str, int]:
+        """Health counters: requests, failures, kills, restarts."""
+        return {
+            "workers": len(self._workers),
+            "requests": self.requests,
+            "failures": self.failures,
+            "kills": self.kills,
+            "crashes": self.crashes,
+            "worker_restarts": self.worker_restarts,
+        }
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def minimize(
+        self,
+        manager: Manager,
+        f: int,
+        c: int,
+        method: str = "osm_bt",
+        deadline: Optional[float] = None,
+    ) -> ServeResult:
+        """Run one heuristic on ``[f, c]`` in a worker; never raises.
+
+        Returns a :class:`ServeResult` whose ``cover`` is a ref in
+        ``manager`` — the heuristic's verified result, or ``f`` with a
+        recorded reason on any failure.
+        """
+        return self.run_batch(
+            manager, [(method, f, c)], deadline=deadline
+        )[0]
+
+    def run_batch(
+        self,
+        manager: Manager,
+        requests: Sequence[Tuple[str, int, int]],
+        deadline: Optional[float] = None,
+    ) -> List[ServeResult]:
+        """Shard ``(method, f, c)`` requests across the worker pool.
+
+        Up to ``workers`` requests run concurrently; each is
+        independently watchdogged, and a killed request degrades alone
+        — the rest of the batch is untouched.  Results are returned
+        index-aligned with the input.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        per_request = self.deadline if deadline is None else deadline
+        if per_request <= 0:
+            raise ValueError("deadline must be positive")
+        results: List[Optional[ServeResult]] = [None] * len(requests)
+        pending = deque()
+        for index, (method, f, c) in enumerate(requests):
+            self.requests += 1
+            pending.append(
+                (index, method, f, c, serialize_instance(manager, f, c))
+            )
+        inflight: Dict[_Worker, _InFlight] = {}
+        while pending or inflight:
+            self._dispatch(pending, inflight, per_request)
+            self._collect(manager, results, inflight, per_request)
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _dispatch(self, pending, inflight, per_request: float) -> None:
+        for slot, worker in enumerate(self._workers):
+            if not pending:
+                return
+            if worker in inflight:
+                continue
+            index, method, fallback, care, payload = pending.popleft()
+            request = {
+                "method": method,
+                "payload": payload,
+                "deadline": per_request,
+                "node_budget": self.node_budget,
+                "step_budget": self.step_budget,
+            }
+            started = time.monotonic()
+            try:
+                worker.conn.send(request)
+            except (BrokenPipeError, OSError):
+                # The worker died between requests; replace it and
+                # retry the request on the fresh one.
+                self._workers[slot] = self._respawn(worker)
+                pending.appendleft((index, method, fallback, care, payload))
+                continue
+            inflight[worker] = _InFlight(
+                index=index,
+                method=method,
+                fallback=fallback,
+                care=care,
+                kill_at=started + per_request + self.kill_grace,
+                started=started,
+            )
+
+    def _collect(self, manager, results, inflight, per_request) -> None:
+        if not inflight:
+            return
+        now = time.monotonic()
+        wait_for = max(
+            0.0, min(job.kill_at for job in inflight.values()) - now
+        )
+        ready = multiprocessing.connection.wait(
+            [worker.conn for worker in inflight], timeout=wait_for
+        )
+        ready_set = set(ready)
+        finished: List[_Worker] = []
+        for worker, job in inflight.items():
+            if worker.conn in ready_set:
+                self._finish(manager, results, worker, job)
+                finished.append(worker)
+            elif time.monotonic() >= job.kill_at:
+                self._kill_overdue(results, worker, job, per_request)
+                finished.append(worker)
+        for worker in finished:
+            del inflight[worker]
+
+    def _finish(self, manager, results, worker: _Worker, job) -> None:
+        try:
+            reply = worker.conn.recv()
+        except (EOFError, OSError):
+            # The worker died mid-request: OOM kill, segfault, or an
+            # explicit exit.  Classified transient (a fresh worker may
+            # well succeed) and the worker is replaced.
+            exitcode = worker.process.exitcode
+            self.crashes += 1
+            self._replace(worker)
+            results[job.index] = self._degraded(
+                job,
+                "WorkerCrash: worker died mid-request (exit code %s)"
+                % exitcode,
+                TRANSIENT,
+                killed=False,
+            )
+            return
+        runtime = reply.get("runtime", time.monotonic() - job.started)
+        if reply["status"] != "ok":
+            results[job.index] = self._degraded(
+                job, reply["reason"], reply["kind"], killed=False,
+                runtime=runtime,
+            )
+            return
+        try:
+            _, roots = deserialize(reply["payload"], manager=manager)
+            cover = roots[0]
+        except (WireError, IndexError) as error:
+            results[job.index] = self._degraded(
+                job,
+                "WireError: undecodable result payload: %s" % error,
+                DETERMINISTIC,
+                killed=False,
+                runtime=runtime,
+            )
+            return
+        if self.verify and not self._covers(manager, job, cover):
+            results[job.index] = self._degraded(
+                job,
+                "ContractError: worker returned a non-cover for %s"
+                % job.method,
+                DETERMINISTIC,
+                killed=False,
+                runtime=runtime,
+            )
+            return
+        results[job.index] = ServeResult(
+            method=job.method, cover=cover, runtime=runtime
+        )
+
+    def _covers(self, manager, job, cover: int) -> bool:
+        from repro.core.ispec import ISpec
+
+        return ISpec(manager, job.fallback, job.care).is_cover(cover)
+
+    def _kill_overdue(self, results, worker, job, per_request) -> None:
+        self.kills += 1
+        self._replace(worker)
+        results[job.index] = self._degraded(
+            job,
+            "DeadlineExceeded: worker exceeded the %.3fs wall-clock "
+            "deadline and was killed (SIGKILL)" % per_request,
+            TRANSIENT,
+            killed=True,
+            runtime=per_request,
+        )
+
+    def _replace(self, dead: _Worker) -> None:
+        dead.kill()
+        self.worker_restarts += 1
+        for slot, worker in enumerate(self._workers):
+            if worker is dead:
+                self._workers[slot] = _Worker(
+                    self._context, self.memory_limit
+                )
+                return
+
+    def _respawn(self, dead: _Worker) -> _Worker:
+        dead.kill()
+        self.crashes += 1
+        self.worker_restarts += 1
+        return _Worker(self._context, self.memory_limit)
+
+    def _degraded(
+        self,
+        job,
+        reason: str,
+        kind: str,
+        killed: bool,
+        runtime: float = 0.0,
+    ) -> ServeResult:
+        self.failures += 1
+        self.last_failure = reason
+        if self.on_failure is not None:
+            self.on_failure(job.method, reason)
+        return ServeResult(
+            method=job.method,
+            cover=job.fallback,
+            reason=reason,
+            kind=kind,
+            killed=killed,
+            runtime=runtime,
+        )

@@ -1,0 +1,172 @@
+"""The minimization service: pool + circuit breakers + bounded retry.
+
+:class:`MinimizationService` is the front door of the serve layer.  One
+request flows::
+
+    minimize(manager, f, c, method)
+      │
+      ├─ breaker check ── open? ──────────► short-circuit: identity
+      │                                     cover + "CircuitOpen" reason
+      ▼
+      pool.minimize (wire-encode → child process → watchdog/rlimit)
+      │
+      ├─ success ────────────────────────► record_success, return cover
+      ├─ transient failure (kill/OOM/
+      │  crash/budget) ──────────────────► retry with backoff, up to
+      │                                    RetryPolicy.max_attempts
+      └─ deterministic failure (contract
+         violation, unknown heuristic) ──► fail fast, no retry
+      │
+      ▼ (attempts exhausted or fail-fast)
+      record_failure on the breaker, return identity cover + reason
+
+Every returned cover is valid for ``[f, c]`` (Definition 2): either the
+heuristic's verified result or the identity ``f``.  The service never
+raises on a request — the same contract as
+:class:`repro.robust.guard.GuardedHeuristic`, lifted to process
+isolation — and follows the same reason-recording protocol
+(``failures``, ``last_failure``, ``on_failure``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.bdd.manager import Manager
+from repro.serve.breaker import (
+    BreakerBoard,
+    CircuitBreaker,
+    DEFAULT_COOLDOWN,
+    DEFAULT_FAILURE_THRESHOLD,
+    RetryPolicy,
+)
+from repro.serve.pool import MinimizationPool, ServeResult, TRANSIENT
+
+
+class MinimizationService:
+    """Process-isolated minimization with per-heuristic circuit breaking.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`~repro.serve.pool.MinimizationPool` requests run
+        on.  The service does not own it unless ``own_pool=True`` (then
+        :meth:`close` shuts it down too).
+    failure_threshold / cooldown:
+        Per-heuristic breaker settings (see
+        :mod:`repro.serve.breaker`); both measured in requests.
+    retry:
+        A :class:`~repro.serve.breaker.RetryPolicy` for transient
+        failures; defaults to two attempts with 2x deadline backoff.
+    on_failure:
+        Optional ``(method, reason)`` callback on every degradation,
+        including short-circuits.
+    """
+
+    def __init__(
+        self,
+        pool: MinimizationPool,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        cooldown: int = DEFAULT_COOLDOWN,
+        retry: Optional[RetryPolicy] = None,
+        on_failure: Optional[Callable[[str, str], None]] = None,
+        own_pool: bool = False,
+    ):
+        self.pool = pool
+        self.board = BreakerBoard(
+            failure_threshold=failure_threshold, cooldown=cooldown
+        )
+        self.retry = RetryPolicy() if retry is None else retry
+        self.on_failure = on_failure
+        self.own_pool = own_pool
+        # Reason-recording protocol (mirrors GuardedHeuristic).
+        self.requests = 0
+        self.failures = 0
+        self.short_circuits = 0
+        self.last_failure: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down (and close the pool when it is owned)."""
+        if self.own_pool:
+            self.pool.close()
+
+    def __enter__(self) -> "MinimizationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def breaker(self, method: str) -> CircuitBreaker:
+        """The circuit breaker guarding ``method``."""
+        return self.board.breaker(method)
+
+    def statistics(self) -> Dict[str, object]:
+        """Service counters plus pool health and breaker states."""
+        stats: Dict[str, object] = {
+            "requests": self.requests,
+            "failures": self.failures,
+            "short_circuits": self.short_circuits,
+            "breakers": self.board.states(),
+        }
+        stats.update(self.pool.statistics())
+        return stats
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def minimize(
+        self,
+        manager: Manager,
+        f: int,
+        c: int,
+        method: str = "osm_bt",
+        deadline: Optional[float] = None,
+    ) -> ServeResult:
+        """One isolated, breaker-guarded, retried minimization request.
+
+        Never raises; the returned :class:`ServeResult`'s ``cover`` is
+        always a valid cover of ``[f, c]`` in ``manager``.
+        """
+        self.requests += 1
+        breaker = self.board.breaker(method)
+        if not breaker.allow():
+            reason = "CircuitOpen: %s" % breaker.describe()
+            self.short_circuits += 1
+            self._record(method, reason)
+            return ServeResult(
+                method=method,
+                cover=f,
+                reason=reason,
+                kind=TRANSIENT,
+                short_circuited=True,
+                attempts=0,
+            )
+        base = self.pool.deadline if deadline is None else deadline
+        result: Optional[ServeResult] = None
+        for attempt in range(self.retry.max_attempts):
+            result = self.pool.minimize(
+                manager,
+                f,
+                c,
+                method=method,
+                deadline=self.retry.deadline_for(base, attempt),
+            )
+            result.attempts = attempt + 1
+            if result.ok:
+                breaker.record_success()
+                return result
+            if not result.transient:
+                # Deterministic failure: retrying cannot help.
+                break
+        breaker.record_failure()
+        self._record(method, result.reason)
+        return result
+
+    def _record(self, method: str, reason: str) -> None:
+        self.failures += 1
+        self.last_failure = reason
+        if self.on_failure is not None:
+            self.on_failure(method, reason)

@@ -1,0 +1,220 @@
+"""Tests for the durable BDD wire format (repro.bdd.wire)."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.reorder import is_equiv
+from repro.bdd.wire import (
+    MAX_WIRE_ITEMS,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    WireError,
+    deserialize,
+    deserialize_instance,
+    payload_summary,
+    serialize,
+    serialize_instance,
+)
+from tests.conftest import build_instance, instance_strategy
+
+
+def _sample_instance():
+    manager = Manager(["a", "b", "c", "d"])
+    a, b, c, d = (manager.var(level) for level in range(4))
+    f = manager.or_(manager.and_(a, b), manager.and_(c, d))
+    care = manager.or_(a, b)
+    return manager, f, care
+
+
+class TestRoundTrip:
+    def test_single_function(self):
+        manager, f, _ = _sample_instance()
+        target, roots = deserialize(serialize(manager, (f,)))
+        assert len(roots) == 1
+        assert is_equiv(manager, f, target, roots[0])
+        assert target.size(roots[0]) == manager.size(f)
+
+    def test_instance_round_trip(self):
+        manager, f, care = _sample_instance()
+        payload = serialize_instance(manager, f, care)
+        target, f2, c2 = deserialize_instance(payload)
+        assert is_equiv(manager, f, target, f2)
+        assert is_equiv(manager, care, target, c2)
+
+    def test_constants(self):
+        manager, _, _ = _sample_instance()
+        target, roots = deserialize(serialize(manager, (ONE, ZERO)))
+        assert roots == [ONE, ZERO]
+
+    def test_shared_dag_preserves_node_count(self):
+        manager, f, care = _sample_instance()
+        payload = serialize(manager, (f, care))
+        target, roots = deserialize(payload)
+        assert target.size_multi(roots) == manager.size_multi([f, care])
+
+    def test_into_existing_manager(self):
+        manager, f, care = _sample_instance()
+        payload = serialize_instance(manager, f, care)
+        target, f2, c2 = deserialize_instance(payload, manager=manager)
+        assert target is manager
+        assert (f2, c2) == (f, care)
+
+    def test_extends_shorter_manager(self):
+        manager, f, care = _sample_instance()
+        payload = serialize_instance(manager, f, care)
+        short = Manager(["a", "b"])
+        target, f2, c2 = deserialize_instance(payload, manager=short)
+        assert target is short
+        assert short.var_names == ("a", "b", "c", "d")
+        assert is_equiv(manager, f, short, f2)
+        assert is_equiv(manager, care, short, c2)
+
+    def test_variable_universe_mismatch_rejected(self):
+        manager, f, care = _sample_instance()
+        payload = serialize_instance(manager, f, care)
+        other = Manager(["a", "x", "c", "d"])
+        with pytest.raises(WireError, match="universe mismatch"):
+            deserialize_instance(payload, manager=other)
+
+    def test_deterministic_across_creation_histories(self):
+        # Build the same two functions with very different manager
+        # histories; the payloads must be byte-identical.
+        manager, f, care = _sample_instance()
+        other = Manager(["a", "b", "c", "d"])
+        a, b, c, d = (other.var(level) for level in range(4))
+        # Touch the unique table in a different order first.
+        junk = other.and_(d, other.or_(a, c))
+        other.xor(junk, b)
+        g = other.or_(other.and_(a, b), other.and_(c, d))
+        care2 = other.or_(a, b)
+        assert serialize_instance(manager, f, care) == serialize_instance(
+            other, g, care2
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(instance=instance_strategy(4))
+    def test_property_round_trip(self, instance):
+        manager = Manager(["x%d" % index for index in range(4)])
+        f, c = build_instance(manager, *instance)
+        target, f2, c2 = deserialize_instance(
+            serialize_instance(manager, f, c)
+        )
+        assert is_equiv(manager, f, target, f2)
+        assert is_equiv(manager, c, target, c2)
+        assert target.size_multi([f2, c2]) == manager.size_multi([f, c])
+
+
+class TestSuiteRoundTrip:
+    def test_full_circuit_suite(self):
+        # Every recorded minimization instance of the paper's suite
+        # survives a round trip into a fresh manager: semantically
+        # equal per is_equiv, with identical node counts.
+        from repro.experiments.calls import collect_suite_calls
+
+        total = 0
+        for record in collect_suite_calls():
+            manager = record.manager
+            for call in record.calls:
+                payload = serialize_instance(manager, call.f, call.c)
+                target, f2, c2 = deserialize_instance(payload)
+                assert is_equiv(manager, call.f, target, f2)
+                assert is_equiv(manager, call.c, target, c2)
+                assert target.size_multi([f2, c2]) == manager.size_multi(
+                    [call.f, call.c]
+                )
+                total += 1
+        assert total > 0
+
+
+class TestRejection:
+    def test_every_truncation_rejected(self):
+        manager, f, care = _sample_instance()
+        payload = serialize_instance(manager, f, care)
+        for length in range(len(payload)):
+            with pytest.raises(WireError):
+                deserialize(payload[:length])
+
+    def test_fuzzed_bit_flips_rejected(self):
+        import random
+
+        manager, f, care = _sample_instance()
+        payload = serialize_instance(manager, f, care)
+        rng = random.Random(20260807)
+        for _ in range(200):
+            corrupted = bytearray(payload)
+            position = rng.randrange(len(corrupted))
+            corrupted[position] ^= 1 << rng.randrange(8)
+            with pytest.raises(WireError):
+                deserialize(bytes(corrupted))
+
+    def test_trailing_garbage_rejected(self):
+        manager, f, care = _sample_instance()
+        payload = serialize_instance(manager, f, care)
+        with pytest.raises(WireError, match="trailing"):
+            deserialize(payload + b"\x00")
+
+    def test_bad_magic(self):
+        with pytest.raises(WireError, match="magic"):
+            deserialize(b"NOPE" + b"\x00" * 16)
+
+    def test_unknown_version(self):
+        manager, f, care = _sample_instance()
+        payload = bytearray(serialize_instance(manager, f, care))
+        payload[4] = WIRE_VERSION + 1
+        with pytest.raises(WireError, match="version"):
+            deserialize(bytes(payload))
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(WireError, match="bytes"):
+            deserialize("not bytes")
+
+    def test_oversized_count_rejected(self):
+        # A corrupted count field must fail cleanly, not allocate.
+        data = WIRE_MAGIC + struct.pack(
+            "<BBI", WIRE_VERSION, 0, MAX_WIRE_ITEMS + 1
+        )
+        with pytest.raises(WireError, match="count"):
+            deserialize(data + b"\x00" * 8)
+
+    def test_root_out_of_range(self):
+        manager = Manager(["a"])
+        payload = serialize(manager, (manager.var(0),))
+        # Patch the root wire-ref (second-to-last u32) out of range and
+        # re-seal the checksum so only the structural check can fire.
+        import zlib
+
+        body = bytearray(payload[:-4])
+        struct.pack_into("<I", body, len(body) - 4, 99 << 1)
+        sealed = bytes(body) + struct.pack(
+            "<I", zlib.crc32(bytes(body)) & 0xFFFFFFFF
+        )
+        with pytest.raises(WireError, match="root"):
+            deserialize(sealed)
+
+    def test_instance_needs_two_roots(self):
+        manager, f, _ = _sample_instance()
+        with pytest.raises(WireError, match="exactly 2 roots"):
+            deserialize_instance(serialize(manager, (f,)))
+
+    def test_serialize_rejects_foreign_ref(self):
+        manager = Manager(["a"])
+        with pytest.raises(WireError, match="not a ref"):
+            serialize(manager, (9999,))
+
+
+class TestSummary:
+    def test_payload_summary(self):
+        manager, f, care = _sample_instance()
+        payload = serialize_instance(manager, f, care)
+        summary = payload_summary(payload)
+        assert summary["version"] == WIRE_VERSION
+        assert summary["num_vars"] == 4
+        assert summary["num_roots"] == 2
+        assert summary["num_nodes"] == manager.size_multi([f, care])
+        assert summary["num_bytes"] == len(payload)

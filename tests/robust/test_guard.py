@@ -201,3 +201,83 @@ class TestGuardFactory:
         manager, f, c = _instance()
         assert heuristic(manager, f, c) == f
         assert heuristic.failures == 1
+
+
+class TestAttemptAccounting:
+    def test_attempts_count_ladder_rungs(self):
+        manager, f, c = _instance()
+        guarded = guard(
+            HEURISTICS["osm_bt"],
+            budget=Budget(max_steps=1),
+            escalate=True,
+        )
+        guarded(manager, f, c)
+        assert guarded.last_attempts == len(DEFAULT_LADDER)
+        assert guarded.attempts == len(DEFAULT_LADDER)
+        guarded(manager, f, c)
+        assert guarded.attempts == 2 * len(DEFAULT_LADDER)
+
+    def test_success_uses_one_attempt(self):
+        manager, f, c = _instance()
+        guarded = guard(HEURISTICS["osm_bt"])
+        guarded(manager, f, c)
+        assert guarded.attempts == 1
+        assert guarded.last_attempts == 1
+
+    def test_reason_names_the_failing_rung_and_budget(self):
+        manager, f, c = _instance()
+        guarded = guard(
+            HEURISTICS["osm_bt"],
+            budget=Budget(max_steps=1),
+            ladder=(1.0, 4.0),
+        )
+        guarded(manager, f, c)
+        assert "StepBudgetExceeded" in guarded.last_failure
+        assert "[rung 2/2" in guarded.last_failure
+        assert "steps<=4" in guarded.last_failure
+
+    def test_unbudgeted_reason_stays_bare(self):
+        manager, f, c = _instance()
+        guarded = guard(lambda mgr, ff, cc: ZERO, name="broken")
+        guarded(manager, f, c)
+        assert "rung" not in guarded.last_failure
+
+
+class TestGuardConflicts:
+    def test_conflicting_verify_raises(self):
+        guarded = guard(HEURISTICS["osm_bt"])
+        with pytest.raises(ValueError, match="verify"):
+            guard(guarded, verify=False)
+
+    def test_conflicting_escalate_raises(self):
+        guarded = guard(HEURISTICS["osm_bt"])
+        with pytest.raises(ValueError, match="escalate"):
+            guard(guarded, escalate=True)
+
+    def test_conflicting_ladder_raises(self):
+        guarded = guard(HEURISTICS["osm_bt"])
+        with pytest.raises(ValueError, match="ladder"):
+            guard(guarded, ladder=(1.0, 2.0))
+
+    def test_conflicting_name_raises(self):
+        guarded = guard(HEURISTICS["osm_bt"], name="osm_bt")
+        with pytest.raises(ValueError, match="name"):
+            guard(guarded, name="other")
+
+    def test_conflicting_on_failure_raises(self):
+        guarded = guard(HEURISTICS["osm_bt"])
+        with pytest.raises(ValueError, match="on_failure"):
+            guard(guarded, on_failure=lambda name, reason: None)
+
+    def test_matching_overrides_stay_idempotent(self):
+        guarded = guard(HEURISTICS["osm_bt"], name="osm_bt")
+        assert guard(guarded, name="osm_bt") is guarded
+        assert guard(guarded, verify=True) is guarded
+
+    def test_budget_override_always_rewraps(self):
+        guarded = guard(HEURISTICS["osm_bt"])
+        rewrapped = guard(
+            guarded, budget=Budget(max_nodes=5), verify=False
+        )
+        assert rewrapped is not guarded
+        assert rewrapped.verify is False

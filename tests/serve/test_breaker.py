@@ -1,0 +1,140 @@
+"""Unit tests for the circuit breaker and retry policy (pure, no pool)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker("h")
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_at_threshold(self):
+        breaker = CircuitBreaker("h", failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker("h", failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_short_circuits_for_cooldown_requests(self):
+        breaker = CircuitBreaker("h", failure_threshold=1, cooldown=3)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert [breaker.allow() for _ in range(3)] == [False] * 3
+        assert breaker.short_circuits == 3
+        # Cooldown exhausted: the next request is the half-open probe.
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker("h", failure_threshold=1, cooldown=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.allow()  # probe
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_full_cooldown(self):
+        breaker = CircuitBreaker("h", failure_threshold=1, cooldown=2)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.allow()  # probe
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.allow()
+
+    def test_sequence_is_deterministic(self):
+        # Same request sequence, same decisions — no wall clock anywhere.
+        def drive():
+            breaker = CircuitBreaker("h", failure_threshold=2, cooldown=2)
+            trace = []
+            for outcome in [False, False, None, None, True, False, False]:
+                allowed = breaker.allow()
+                trace.append((allowed, breaker.state))
+                if not allowed or outcome is None:
+                    continue
+                if outcome:
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
+            return trace
+
+        assert drive() == drive()
+
+    def test_describe_mentions_state(self):
+        breaker = CircuitBreaker("osm_bt", failure_threshold=1)
+        assert "closed" in breaker.describe()
+        breaker.record_failure()
+        assert "open" in breaker.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("h", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("h", cooldown=0)
+
+
+class TestRetryPolicy:
+    def test_deadline_scaling(self):
+        policy = RetryPolicy(max_attempts=3, backoff=2.0)
+        assert policy.deadline_for(1.5, 0) == 1.5
+        assert policy.deadline_for(1.5, 1) == 3.0
+        assert policy.deadline_for(1.5, 2) == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().deadline_for(1.0, -1)
+
+
+class TestBreakerBoard:
+    def test_per_method_isolation(self):
+        board = BreakerBoard(failure_threshold=1)
+        board.breaker("bad").record_failure()
+        assert board.breaker("bad").state == OPEN
+        assert board.breaker("good").state == CLOSED
+        assert board.breaker("good").allow()
+
+    def test_breaker_identity_is_stable(self):
+        board = BreakerBoard()
+        assert board.breaker("h") is board.breaker("h")
+
+    def test_get_does_not_create(self):
+        board = BreakerBoard()
+        assert board.get("h") is None
+        board.breaker("h")
+        assert board.get("h") is not None
+
+    def test_states_snapshot(self):
+        board = BreakerBoard(failure_threshold=1)
+        board.breaker("a")
+        board.breaker("b").record_failure()
+        assert board.states() == {"a": CLOSED, "b": OPEN}

@@ -1,0 +1,241 @@
+"""Tests for the process-isolated worker pool (watchdog, recycling)."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.bdd.manager import Manager, ZERO
+from repro.core.ispec import ISpec
+from repro.core.registry import (
+    HEURISTICS,
+    register_heuristic,
+    unregister_heuristic,
+)
+from repro.serve.pool import (
+    DETERMINISTIC,
+    TRANSIENT,
+    MinimizationPool,
+    ServeResult,
+)
+
+# The pool tests register throwaway heuristics from inside the test
+# process and rely on fork inheritance to make them visible in workers.
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="pool tests require the fork start method",
+)
+
+#: Short deadlines keep the kill drills fast while staying far above
+#: scheduler jitter.
+FAST = dict(deadline=0.4, kill_grace=0.15)
+
+
+def _instance():
+    manager = Manager(["a", "b", "c", "d"])
+    a, b, c, d = (manager.var(level) for level in range(4))
+    f = manager.or_(manager.and_(a, b), manager.and_(c, d))
+    care = manager.or_(a, b)
+    return manager, f, care
+
+
+def _hang_forever(manager, f, c):
+    while True:
+        pass
+
+
+def _crash_hard(manager, f, c):
+    os._exit(17)
+
+
+def _non_cover(manager, f, c):
+    return ZERO
+
+
+@pytest.fixture
+def registered():
+    """Register the pathological heuristics, clean up afterwards."""
+    names = {
+        "test_hang": _hang_forever,
+        "test_crash": _crash_hard,
+        "test_non_cover": _non_cover,
+    }
+    for name, heuristic in names.items():
+        register_heuristic(name, heuristic, replace=True)
+    yield names
+    for name in names:
+        unregister_heuristic(name)
+
+
+class TestHealthyPath:
+    def test_matches_in_process_result(self):
+        manager, f, c = _instance()
+        with MinimizationPool(workers=2) as pool:
+            result = pool.minimize(manager, f, c, method="osm_bt")
+        assert result.ok and not result.degraded
+        direct = HEURISTICS["osm_bt"](manager, f, c)
+        assert manager.size(result.cover) == manager.size(direct)
+        assert ISpec(manager, f, c).is_cover(result.cover)
+
+    def test_batch_results_are_index_aligned(self, registered):
+        manager, f, c = _instance()
+        methods = ["osm_bt", "test_hang", "constrain", "f_orig"]
+        with MinimizationPool(workers=2, **FAST) as pool:
+            replies = pool.run_batch(
+                manager, [(m, f, c) for m in methods]
+            )
+        assert [reply.method for reply in replies] == methods
+        assert [reply.ok for reply in replies] == [True, False, True, True]
+        # The hung cell degraded alone; its neighbors are untouched.
+        assert replies[1].cover == f and replies[1].killed
+
+    def test_statistics_shape(self):
+        manager, f, c = _instance()
+        with MinimizationPool(workers=1) as pool:
+            pool.minimize(manager, f, c)
+            stats = pool.statistics()
+        assert stats["requests"] == 1
+        assert stats["failures"] == 0
+        assert stats["workers"] == 1
+
+
+class TestWatchdog:
+    def test_hung_heuristic_is_killed_and_degraded(self, registered):
+        # The acceptance drill: a `while True: pass` heuristic must be
+        # killed within the deadline (+grace), degrade to the verified
+        # identity cover with a recorded reason, recycle the worker,
+        # and leave the pool healthy for the next request.
+        manager, f, c = _instance()
+        failures = []
+        with MinimizationPool(
+            workers=1, on_failure=lambda m, r: failures.append((m, r)),
+            **FAST
+        ) as pool:
+            pids_before = pool.worker_pids()
+            started = time.monotonic()
+            result = pool.minimize(manager, f, c, method="test_hang")
+            elapsed = time.monotonic() - started
+            assert elapsed < FAST["deadline"] + FAST["kill_grace"] + 2.0
+            assert result.degraded and result.killed
+            assert result.kind == TRANSIENT
+            assert "DeadlineExceeded" in result.reason
+            assert result.cover == f
+            assert ISpec(manager, f, c).is_cover(result.cover)
+            assert pool.kills == 1 and pool.worker_restarts == 1
+            assert pool.worker_pids() != pids_before
+            assert failures == [("test_hang", result.reason)]
+            # The recycled worker serves the next request normally.
+            healthy = pool.minimize(manager, f, c, method="osm_bt")
+            assert healthy.ok
+
+    def test_per_request_deadline_override(self, registered):
+        manager, f, c = _instance()
+        with MinimizationPool(workers=1, deadline=30.0) as pool:
+            started = time.monotonic()
+            result = pool.minimize(
+                manager, f, c, method="test_hang", deadline=0.3
+            )
+            assert time.monotonic() - started < 5.0
+        assert result.killed
+
+
+class TestCrashes:
+    def test_worker_crash_degrades_and_respawns(self, registered):
+        manager, f, c = _instance()
+        with MinimizationPool(workers=1, **FAST) as pool:
+            result = pool.minimize(manager, f, c, method="test_crash")
+            assert result.degraded and not result.killed
+            assert result.kind == TRANSIENT
+            assert "WorkerCrash" in result.reason
+            assert result.cover == f
+            assert pool.crashes == 1
+            healthy = pool.minimize(manager, f, c, method="osm_bt")
+            assert healthy.ok
+
+    @pytest.mark.skipif(
+        not os.path.exists("/proc/self/statm"),
+        reason="needs /proc to size the address-space cap",
+    )
+    def test_memory_hog_dies_inside_its_cap(self):
+        resource = pytest.importorskip("resource")
+        del resource
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[0])
+        limit = pages * os.sysconf("SC_PAGE_SIZE") + (512 << 20)
+
+        def hog(manager, f, c):
+            block = bytearray(1 << 33)  # 8 GiB, far past the cap
+            return f if block else f
+
+        register_heuristic("test_hog", hog, replace=True)
+        try:
+            manager, f, c = _instance()
+            with MinimizationPool(
+                workers=1, memory_limit=limit, deadline=10.0
+            ) as pool:
+                result = pool.minimize(manager, f, c, method="test_hog")
+            assert result.degraded
+            assert result.kind == TRANSIENT
+            # Either the allocation failed cleanly in-process or the
+            # kernel killed the worker — both stay inside the fence.
+            assert (
+                "MemoryError" in result.reason
+                or "WorkerCrash" in result.reason
+            )
+            assert result.cover == f
+        finally:
+            unregister_heuristic("test_hog")
+
+
+class TestFailureClassification:
+    def test_unknown_heuristic_is_deterministic(self):
+        manager, f, c = _instance()
+        with MinimizationPool(workers=1) as pool:
+            result = pool.minimize(manager, f, c, method="no_such")
+        assert result.kind == DETERMINISTIC and not result.transient
+        assert "UnknownHeuristic" in result.reason
+
+    def test_non_cover_is_deterministic(self, registered):
+        manager, f, c = _instance()
+        with MinimizationPool(workers=1) as pool:
+            result = pool.minimize(manager, f, c, method="test_non_cover")
+        assert result.kind == DETERMINISTIC
+        assert "non-cover" in result.reason
+        assert result.cover == f
+
+    def test_budget_trip_is_transient(self):
+        manager, f, c = _instance()
+        with MinimizationPool(workers=1, step_budget=1) as pool:
+            result = pool.minimize(manager, f, c, method="osm_bt")
+        assert result.degraded and result.kind == TRANSIENT
+        assert "StepBudgetExceeded" in result.reason
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_final(self):
+        manager, f, c = _instance()
+        pool = MinimizationPool(workers=1)
+        pool.minimize(manager, f, c)
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.minimize(manager, f, c)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MinimizationPool(workers=0)
+        with pytest.raises(ValueError):
+            MinimizationPool(workers=1, deadline=0.0)
+        with pytest.raises(ValueError):
+            MinimizationPool(workers=1, kill_grace=-1.0)
+
+    def test_serve_result_flags(self):
+        result = ServeResult(method="osm_bt", cover=0)
+        assert result.ok and not result.degraded and result.transient
+        failed = ServeResult(
+            method="osm_bt", cover=0, reason="x", kind=DETERMINISTIC
+        )
+        assert failed.degraded and not failed.transient

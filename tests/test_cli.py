@@ -82,3 +82,59 @@ class TestParser:
             ["experiments", "--quick", "--csv", "out.csv"]
         )
         assert args.quick and args.csv == "out.csv"
+
+
+class TestServeCommands:
+    def test_minimize_isolate(self, capsys):
+        code = main(
+            ["minimize", "d1 01", "--isolate", "--deadline", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "osm_bt" in out
+        assert "|g| = 2" in out
+
+    def test_serve_json_lines(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"instance": "d1 01", "method": "osm_bt"}\n'
+            '{"f": "a & b | c", "care": "a | b"}\n'
+            "not json\n"
+            '{"instance": "d1 01", "method": "no_such"}\n'
+        )
+        code = main(
+            [
+                "serve",
+                "--workers",
+                "1",
+                "--deadline",
+                "10",
+                "--input",
+                str(requests),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        import json
+
+        lines = [
+            json.loads(line)
+            for line in captured.out.strip().splitlines()
+        ]
+        assert len(lines) == 4
+        assert lines[0]["ok"] and lines[0]["method"] == "osm_bt"
+        assert lines[1]["ok"]
+        assert not lines[2]["ok"] and "bad request" in lines[2]["error"]
+        assert not lines[3]["ok"]
+        assert "UnknownHeuristic" in lines[3]["reason"]
+        assert "served 3 request(s)" in captured.err
+
+    def test_parallel_flags_parse(self):
+        args = build_parser().parse_args(
+            ["experiments", "--parallel", "2", "--memory-limit", "1000"]
+        )
+        assert args.parallel == 2 and args.memory_limit == 1000
+        args = build_parser().parse_args(["minimize", "x", "--isolate"])
+        assert args.isolate
+        args = build_parser().parse_args(["serve", "--workers", "3"])
+        assert args.workers == 3
