@@ -25,6 +25,9 @@ Subpackages
     Process-isolated minimization: a worker pool with SIGKILL
     watchdogs and memory rlimits, per-heuristic circuit breakers, and
     the durable BDD wire format of ``repro.bdd.wire``.
+``repro.obs``
+    Observability: opt-in metrics registry, Chrome-trace-event span
+    tracing, and composing step-hook dispatch across all layers.
 """
 
 from repro.bdd import Manager, Function

@@ -30,7 +30,8 @@ import os
 from typing import Optional, Tuple, Type
 
 from repro.analysis.errors import InvariantError
-from repro.bdd.manager import Manager
+from repro.bdd.manager import EVENT_NODE, Manager, TERMINAL_LEVEL
+from repro.obs.hooks import attach_hook
 
 #: Environment variable switching the runtime audits on (``1``) or
 #: force-off (``0``).
@@ -60,6 +61,53 @@ CHECKED_METHODS: Tuple[str, ...] = (
 )
 
 
+class NodeAuditHook:
+    """Step hook validating each node the moment the table creates it.
+
+    Complements the per-operation result audits: where those traverse
+    the finished result, this hook checks the *newest* node's local
+    invariants (then-edge regular, children distinct, strictly
+    descending levels) in O(1) at creation time, catching a corrupt
+    node even when the enclosing operation later aborts on a budget
+    and never returns a result to audit.
+
+    Attached through the composing dispatcher
+    (:func:`repro.obs.hooks.attach_hook`), so it coexists with the
+    :mod:`robust` governor and the :mod:`repro.obs` tracer on the same
+    manager — attachment order puts it after any earlier hooks, and a
+    governor that vetoes the node creation (raising ``BudgetExceeded``
+    first in dispatch order) simply suppresses the audit of that node.
+    """
+
+    def __init__(self, manager: Manager):
+        self._manager = manager
+        self.nodes_audited = 0
+
+    def __call__(self, event: str) -> None:
+        if event != EVENT_NODE:
+            return
+        manager = self._manager
+        ref = (manager.num_nodes - 1) << 1
+        level, then_f, else_f = manager.top_branches(ref)
+        self.nodes_audited += 1
+        if then_f == else_f:
+            raise InvariantError(
+                "created node %d has equal children" % (ref >> 1)
+            )
+        if then_f & 1:
+            raise InvariantError(
+                "created node %d has a complemented then-edge" % (ref >> 1)
+            )
+        if level >= TERMINAL_LEVEL:
+            raise InvariantError(
+                "created node %d sits at the terminal level" % (ref >> 1)
+            )
+        if manager.level(then_f) <= level or manager.level(else_f) <= level:
+            raise InvariantError(
+                "created node %d has a non-descending edge" % (ref >> 1)
+            )
+
+
 class CheckedManager(Manager):
     """Manager that audits structural invariants after every operation.
 
@@ -77,6 +125,11 @@ class CheckedManager(Manager):
         self._check_depth = 0
         self._checks_run = 0
         super().__init__(*args, **kwargs)
+        #: Per-node-creation auditor, composed with any other hooks
+        #: (governor, tracer) via the repro.obs dispatcher.
+        self.node_audit = NodeAuditHook(self)
+        if self._check_active:
+            attach_hook(self, self.node_audit)
 
     @property
     def checks_run(self) -> int:

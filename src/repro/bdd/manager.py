@@ -56,6 +56,39 @@ RECURSION_LIMIT_CAP = 20000
 _RECURSION_HEADROOM = 64
 
 
+class _CountingCache(dict):
+    """A computed-table dict that counts lookup hits and misses.
+
+    Installed by :meth:`Manager.attach_metrics` in place of the plain
+    dicts :meth:`Manager.cache` normally hands out.  Only the ``get``
+    path counts (library code probes caches exclusively through
+    ``cache.get(key)``); a stored value is never ``None``, so the
+    default sentinel cleanly separates hit from miss.  ``clear`` resets
+    the counters so the per-cache numbers restart with each cache
+    flush, in lockstep with the §4.1.1 fairness protocol.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key, default=None):
+        value = dict.get(self, key, default)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        dict.clear(self)
+        self.hits = 0
+        self.misses = 0
+
+
 class Manager:
     """Owns BDD nodes and implements the operator core.
 
@@ -71,6 +104,17 @@ class Manager:
         self._step_hook: Optional[Callable[[str], None]] = None
         #: Ceiling for the deep-recursion guard (see :meth:`_retry_deep`).
         self.recursion_cap: int = RECURSION_LIMIT_CAP
+        # Cumulative operation counters (reported by statistics()).
+        # Plain int increments on the hot paths; cheap enough to stay
+        # always-on, unlike the opt-in per-cache counters below.
+        self._ite_calls: int = 0
+        self._ite_hits: int = 0
+        self._ite_misses: int = 0
+        self._nodes_created: int = 0
+        self._peak_nodes: int = 1
+        # Attached repro.obs.metrics registry (None = not collecting).
+        self._metrics = None
+        self._metrics_baseline: Optional[Dict[str, int]] = None
         # Node 0 is the terminal.  Its children are self-loops that are
         # never followed; the level is the sentinel.
         self._level: List[int] = [TERMINAL_LEVEL]
@@ -166,6 +210,9 @@ class Manager:
             self._high.append(high)
             self._low.append(low)
             self._unique[key] = index
+            self._nodes_created += 1
+            if index >= self._peak_nodes:
+                self._peak_nodes = index + 1
             # Node creation is a governed resource; the hook may raise a
             # BudgetExceeded.  The node itself is complete and canonical
             # at this point, so the table stays consistent either way.
@@ -227,7 +274,7 @@ class Manager:
         """
         cache = self._op_caches.get(name)
         if cache is None:
-            cache = {}
+            cache = _CountingCache() if self._metrics is not None else {}
             self._op_caches[name] = cache
         return cache
 
@@ -353,16 +400,107 @@ class Manager:
                 )
 
     def statistics(self) -> Dict[str, int]:
-        """Bookkeeping counters: node, table and cache sizes."""
+        """Bookkeeping counters: sizes plus cumulative operation counts.
+
+        The first four keys (``num_vars``/``num_nodes``/``unique_table``
+        /``ite_cache``) and the per-cache ``cache_<name>`` sizes are the
+        original point-in-time readings and keep their exact meaning.
+        The cumulative counters (``ite_calls``, ``ite_cache_hits``,
+        ``ite_cache_misses``, ``nodes_created``, ``peak_nodes``) count
+        since manager creation and survive :meth:`clear_caches` — per-
+        heuristic deltas are taken with
+        :func:`repro.obs.metrics.diff_statistics`.  When a metrics
+        registry is attached, each named cache additionally reports
+        ``cache_<name>_hits``/``_misses`` (reset on flush).
+        """
         stats = {
             "num_vars": len(self._var_names),
             "num_nodes": len(self._level),
             "unique_table": len(self._unique),
             "ite_cache": len(self._ite_cache),
+            "ite_calls": self._ite_calls,
+            "ite_cache_hits": self._ite_hits,
+            "ite_cache_misses": self._ite_misses,
+            "nodes_created": self._nodes_created,
+            "peak_nodes": self._peak_nodes,
         }
         for name, cache in sorted(self._op_caches.items()):
             stats["cache_" + name] = len(cache)
+            if isinstance(cache, _CountingCache):
+                stats["cache_" + name + "_hits"] = cache.hits
+                stats["cache_" + name + "_misses"] = cache.misses
         return stats
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self):
+        """The attached metrics registry, or ``None`` (not collecting)."""
+        return self._metrics
+
+    def attach_metrics(self, registry=None):
+        """Start collecting per-cache hit/miss counts into ``registry``.
+
+        ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`
+        (the process-global active one by default).  Existing named
+        caches are upgraded in place to counting caches, and
+        :meth:`detach_metrics` later folds the statistics delta
+        accumulated while attached into the registry under
+        ``manager.*`` names.  Returns the registry.  Attaching twice
+        raises — the baseline snapshot would silently be lost.
+        """
+        if self._metrics is not None:
+            raise ValueError(
+                "a metrics registry is already attached; detach it first"
+            )
+        if registry is None:
+            from repro.obs import metrics as _obs_metrics
+
+            registry = _obs_metrics.active()
+            if registry is None:
+                registry = _obs_metrics.MetricsRegistry()
+        self._metrics = registry
+        for name, cache in self._op_caches.items():
+            if not isinstance(cache, _CountingCache):
+                counting = _CountingCache()
+                counting.update(cache)
+                self._op_caches[name] = counting
+        self._metrics_baseline = self.statistics()
+        return registry
+
+    def detach_metrics(self):
+        """Stop collecting; publish the delta and return the registry.
+
+        The difference between the current :meth:`statistics` and the
+        snapshot taken at attach time is folded into the registry:
+        cumulative counters as ``manager.<key>`` counter increments,
+        sizes and peaks as high-watermark gauges.  Counting caches are
+        downgraded back to plain dicts (contents kept), so a detached
+        manager is indistinguishable from one never attached.
+        """
+        registry = self._metrics
+        if registry is None:
+            return None
+        from repro.obs import metrics as _obs_metrics
+
+        delta = _obs_metrics.diff_statistics(
+            self._metrics_baseline or {}, self.statistics()
+        )
+        for name, value in delta.items():
+            if (
+                name in _obs_metrics.CUMULATIVE_STATISTICS
+                or name.endswith(("_hits", "_misses"))
+            ):
+                registry.inc("manager." + name, value)
+            else:
+                registry.max_gauge("manager." + name, value)
+        self._metrics = None
+        self._metrics_baseline = None
+        for name, cache in self._op_caches.items():
+            if isinstance(cache, _CountingCache):
+                self._op_caches[name] = dict(cache)
+        return registry
 
     # ------------------------------------------------------------------
     # The ITE core
@@ -381,6 +519,7 @@ class Manager:
             return self._retry_deep(self._ite, (f, g, h), "ite")
 
     def _ite(self, f: int, g: int, h: int) -> int:
+        self._ite_calls += 1
         hook = self._step_hook
         if hook is not None:
             hook(EVENT_ITE)
@@ -438,7 +577,9 @@ class Manager:
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self._ite_hits += 1
             return cached ^ output_complement
+        self._ite_misses += 1
         level_f = self._level[f >> 1]
         level_g = self._level[g >> 1]
         level_h = self._level[h >> 1]

@@ -32,6 +32,16 @@ Subcommands
     stdin, one JSON result per line on stdout, every heuristic call
     running in a worker process under an OS-level watchdog with
     per-heuristic circuit breakers (see ``docs/serving.md``).
+``metrics``
+    Run a capped Table-2-style sweep with observability enabled and
+    print the BDD-engine counters (ITE calls, cache hits/misses,
+    nodes created) per heuristic plus every collected metric (see
+    ``docs/observability.md``).
+
+Observability flags (``minimize`` and ``experiments``): ``--metrics``
+collects and prints engine/heuristic counters for the run;
+``--trace FILE`` writes a Chrome trace-event JSON of the run, viewable
+in Perfetto or ``chrome://tracing``.
 
 Resource flags (``minimize`` and ``experiments``): ``--node-budget``,
 ``--step-budget`` and ``--deadline`` bound each heuristic call; a call
@@ -89,6 +99,61 @@ def _budget_from_args(args: argparse.Namespace):
     )
 
 
+def _print_registry(registry) -> None:
+    """Dump a metrics registry in stable, greppable text form."""
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    if counters:
+        print("\ncounters:")
+        for name in sorted(counters):
+            print("  %-44s %d" % (name, counters[name]))
+    gauges = snapshot["gauges"]
+    if gauges:
+        print("gauges:")
+        for name in sorted(gauges):
+            print("  %-44s %g" % (name, gauges[name]))
+    histograms = snapshot["histograms"]
+    if histograms:
+        print("histograms (count / total / min / max):")
+        for name in sorted(histograms):
+            summary = histograms[name]
+            print(
+                "  %-44s %d / %g / %g / %g"
+                % (
+                    name,
+                    summary["count"],
+                    summary["total"],
+                    summary["min"],
+                    summary["max"],
+                )
+            )
+
+
+def _obs_stack(args: argparse.Namespace, manager: Optional[Manager] = None):
+    """ExitStack with --metrics / --trace scopes entered, plus registry.
+
+    Returns ``(stack, registry)``; the registry is ``None`` unless
+    ``--metrics`` was given.  With a ``manager`` its engine counters
+    are attached too, so ``manager.*`` deltas land in the registry when
+    the stack unwinds.
+    """
+    import contextlib
+
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    stack = contextlib.ExitStack()
+    registry = None
+    if getattr(args, "metrics", False):
+        registry = stack.enter_context(obs_metrics.collecting())
+        if manager is not None:
+            manager.attach_metrics(registry)
+            stack.callback(manager.detach_metrics)
+    if getattr(args, "trace", None):
+        stack.enter_context(obs_trace.tracing(args.trace))
+    return stack, registry
+
+
 def _cmd_minimize(args: argparse.Namespace) -> int:
     manager = Manager()
     if args.expression:
@@ -117,39 +182,45 @@ def _cmd_minimize(args: argparse.Namespace) -> int:
         names = sorted(HEURISTICS)
     else:
         names = [args.method]
-    if args.isolate:
-        from repro.serve.pool import DEFAULT_DEADLINE, MinimizationPool
-        from repro.serve.service import MinimizationService
+    stack, registry = _obs_stack(args, manager)
+    with stack:
+        if args.isolate:
+            from repro.serve.pool import DEFAULT_DEADLINE, MinimizationPool
+            from repro.serve.service import MinimizationService
 
-        pool = MinimizationPool(
-            workers=1,
-            deadline=(
-                args.deadline if args.deadline else DEFAULT_DEADLINE
-            ),
-            node_budget=args.node_budget,
-            step_budget=args.step_budget,
-        )
-        with MinimizationService(pool, own_pool=True) as service:
+            pool = MinimizationPool(
+                workers=1,
+                deadline=(
+                    args.deadline if args.deadline else DEFAULT_DEADLINE
+                ),
+                node_budget=args.node_budget,
+                step_budget=args.step_budget,
+            )
+            with MinimizationService(pool, own_pool=True) as service:
+                for name in names:
+                    result = service.minimize(
+                        manager, spec.f, spec.c, method=name
+                    )
+                    note = (
+                        "  (degraded: %s)" % result.reason
+                        if result.reason
+                        else ""
+                    )
+                    print(
+                        "%-12s |g| = %d%s"
+                        % (name, manager.size(result.cover), note)
+                    )
+        else:
             for name in names:
-                result = service.minimize(
-                    manager, spec.f, spec.c, method=name
-                )
-                note = (
-                    "  (degraded: %s)" % result.reason
-                    if result.reason
-                    else ""
-                )
-                print(
-                    "%-12s |g| = %d%s"
-                    % (name, manager.size(result.cover), note)
-                )
-        return 0
-    for name in names:
-        heuristic = get_heuristic(name, budget=budget)
-        cover = heuristic(manager, spec.f, spec.c)
-        failure = getattr(heuristic, "last_failure", None)
-        note = "  (degraded: %s)" % failure if failure else ""
-        print("%-12s |g| = %d%s" % (name, manager.size(cover), note))
+                heuristic = get_heuristic(name, budget=budget)
+                cover = heuristic(manager, spec.f, spec.c)
+                failure = getattr(heuristic, "last_failure", None)
+                note = "  (degraded: %s)" % failure if failure else ""
+                print("%-12s |g| = %d%s" % (name, manager.size(cover), note))
+    if args.trace:
+        print("trace written to %s" % args.trace)
+    if registry is not None:
+        _print_registry(registry)
     return 0
 
 
@@ -164,6 +235,7 @@ def _run_experiments(args: argparse.Namespace) -> int:
         export_csv,
     )
     from repro.experiments.buckets import Bucket
+    from repro.experiments.summary import render_stats
 
     from repro.robust.checkpoint import CheckpointError
 
@@ -171,16 +243,18 @@ def _run_experiments(args: argparse.Namespace) -> int:
         print("--resume requires --checkpoint", file=sys.stderr)
         return 2
     names = list(QUICK_SUITE) if args.quick else None
+    stack, registry = _obs_stack(args)
     try:
-        results = run_experiment(
-            names=names,
-            cube_limit=args.cube_limit,
-            budget=_budget_from_args(args),
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-            parallel=args.parallel,
-            serve_memory_limit=args.memory_limit,
-        )
+        with stack:
+            results = run_experiment(
+                names=names,
+                cube_limit=args.cube_limit,
+                budget=_budget_from_args(args),
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                parallel=args.parallel,
+                serve_memory_limit=args.memory_limit,
+            )
     except CheckpointError as error:
         print("checkpoint error: %s" % error, file=sys.stderr)
         return 2
@@ -210,10 +284,17 @@ def _run_experiments(args: argparse.Namespace) -> int:
     print(render_figure3(results))
     print()
     print(render_per_benchmark(results))
+    if args.metrics:
+        print()
+        print(render_stats(results))
     if args.csv:
         with open(args.csv, "w") as handle:
             export_csv(results, stream=handle)
         print("raw measurements written to %s" % args.csv)
+    if args.trace:
+        print("trace written to %s" % args.trace)
+    if registry is not None:
+        _print_registry(registry)
     return 0
 
 
@@ -487,6 +568,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Capped sweep with observability fully on; print every counter."""
+    from repro.circuits.suite import QUICK_SUITE
+    from repro.experiments import run_experiment
+    from repro.experiments.summary import aggregate_stats, render_stats
+    from repro.core.registry import PAPER_HEURISTICS
+    from repro.obs import metrics as obs_metrics
+
+    names = args.benchmarks or list(QUICK_SUITE)
+    heuristics = tuple(args.heuristics) if args.heuristics else (
+        PAPER_HEURISTICS
+    )
+    with obs_metrics.collecting() as registry:
+        results = run_experiment(
+            names=names,
+            heuristics=heuristics,
+            compute_lower_bound=False,
+            max_iterations=args.max_iterations,
+        )
+    print(
+        "%d calls measured over %s (max %d iterations each)"
+        % (results.total_calls, ", ".join(names), args.max_iterations)
+    )
+    print()
+    print(render_stats(results))
+    totals = aggregate_stats(results)
+    print()
+    print(
+        "total ite calls: %d"
+        % sum(cell.get("ite_calls", 0) for cell in totals.values())
+    )
+    print(
+        "total ite cache hits: %d"
+        % sum(cell.get("ite_cache_hits", 0) for cell in totals.values())
+    )
+    _print_registry(registry)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -520,6 +640,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline watchdog (SIGKILL on overrun, degrade to g = f)",
     )
     _add_budget_flags(minimize_parser)
+    minimize_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print engine and heuristic counters",
+    )
+    minimize_parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON of the run (view in "
+        "Perfetto or chrome://tracing)",
+    )
     minimize_parser.set_defaults(handler=_cmd_minimize)
 
     experiments_parser = commands.add_parser(
@@ -550,6 +681,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="BYTES",
         help="address-space rlimit per pool worker (with --parallel)",
+    )
+    experiments_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect metrics for the sweep and print per-heuristic "
+        "BDD-engine counters",
+    )
+    experiments_parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON of the sweep (view in "
+        "Perfetto or chrome://tracing)",
     )
     experiments_parser.set_defaults(handler=_run_experiments)
 
@@ -683,6 +826,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="read requests from this file instead of stdin",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    metrics_parser = commands.add_parser(
+        "metrics",
+        help="run a capped sweep with observability on, print counters",
+    )
+    metrics_parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="benchmark names (default: the quick suite)",
+    )
+    metrics_parser.add_argument(
+        "--heuristics",
+        nargs="+",
+        help="restrict to these heuristic names (default: the paper's "
+        "twelve)",
+    )
+    metrics_parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=4,
+        help="fixpoint iterations recorded per benchmark (default 4)",
+    )
+    metrics_parser.set_defaults(handler=_cmd_metrics)
     return parser
 
 

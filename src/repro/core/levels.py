@@ -36,6 +36,8 @@ from repro.core.matching_graph import (
     PATH_FREE,
     Path,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 Pair = Tuple[int, int]
 
@@ -136,6 +138,7 @@ def _solve_fmm(
     replacement: Dict[Pair, Pair] = {}
     if len(pairs) < 2:
         return replacement
+    mreg = obs_metrics.active()
     if criterion is Criterion.TSM:
         graph = UndirectedMatchingGraph(manager, pairs)
         path_list: Optional[List[Path]] = None
@@ -147,6 +150,9 @@ def _solve_fmm(
         for clique in cliques:
             if len(clique) < 2:
                 continue
+            if mreg is not None:
+                mreg.inc("levels.cliques_merged")
+                mreg.observe("levels.clique_size", len(clique))
             member_pairs = [pairs[index] for index in clique]
             merged_c = manager.or_many(c for _, c in member_pairs)
             merged_f = manager.or_many(
@@ -159,6 +165,8 @@ def _solve_fmm(
         mapping = graph.representative_map()
         for vertex, sink in mapping.items():
             if vertex != sink:
+                if mreg is not None:
+                    mreg.inc("levels.dmg_redirections")
                 replacement[pairs[vertex]] = pairs[sink]
     return replacement
 
@@ -180,33 +188,41 @@ def minimize_at_level(
     together (the paper's first set-limiting method); successive batches
     follow depth-first order, so nearby subfunctions stay grouped.
     """
-    pairs, paths = gather_at_level(
-        manager, f, c, boundary, only_boundary_rooted=only_boundary_rooted
-    )
-    if len(pairs) < 2:
-        return f, c
-    replacement: Dict[Pair, Pair] = {}
-    if batch_size is None:
-        batches = [pairs]
-    else:
-        batches = [
-            pairs[start : start + batch_size]
-            for start in range(0, len(pairs), batch_size)
-        ]
-    for batch in batches:
-        replacement.update(
-            _solve_fmm(
-                manager,
-                batch,
-                paths,
-                criterion,
-                order_by_degree,
-                use_distance_weights,
-            )
+    with obs_trace.span(
+        "levels.minimize_at_level",
+        boundary=boundary,
+        criterion=criterion.name,
+    ):
+        pairs, paths = gather_at_level(
+            manager, f, c, boundary, only_boundary_rooted=only_boundary_rooted
         )
-    if not replacement:
-        return f, c
-    return rebuild_with_replacements(manager, f, c, boundary, replacement)
+        mreg = obs_metrics.active()
+        if mreg is not None:
+            mreg.inc("levels.pairs_gathered", len(pairs))
+        if len(pairs) < 2:
+            return f, c
+        replacement: Dict[Pair, Pair] = {}
+        if batch_size is None:
+            batches = [pairs]
+        else:
+            batches = [
+                pairs[start : start + batch_size]
+                for start in range(0, len(pairs), batch_size)
+            ]
+        for batch in batches:
+            replacement.update(
+                _solve_fmm(
+                    manager,
+                    batch,
+                    paths,
+                    criterion,
+                    order_by_degree,
+                    use_distance_weights,
+                )
+            )
+        if not replacement:
+            return f, c
+        return rebuild_with_replacements(manager, f, c, boundary, replacement)
 
 
 def opt_lv(

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bdd.manager import Manager
 from repro.core.criteria import Criterion, matches
+from repro.obs import trace as obs_trace
 
 #: Path entry meaning "this variable does not appear on the path".
 PATH_FREE = 2
@@ -99,23 +100,26 @@ class DirectedMatchingGraph:
         direct edge to it, so scanning the successor set for a sink
         always succeeds.
         """
-        sink_set = set(self.sinks())
-        mapping: Dict[int, int] = {}
-        for vertex in range(len(self.functions)):
-            if vertex in sink_set:
-                mapping[vertex] = vertex
-                continue
-            chosen = None
-            for successor in self.successors[vertex]:
-                if successor in sink_set:
-                    chosen = successor
-                    break
-            if chosen is None:
-                # Distinct i-specs + transitivity make the DMG acyclic,
-                # so this cannot happen; guard for safety.
-                raise RuntimeError("DMG vertex with no edge to a sink")
-            mapping[vertex] = chosen
-        return mapping
+        with obs_trace.span(
+            "dmg.dfs_to_sinks", vertices=len(self.functions)
+        ):
+            sink_set = set(self.sinks())
+            mapping: Dict[int, int] = {}
+            for vertex in range(len(self.functions)):
+                if vertex in sink_set:
+                    mapping[vertex] = vertex
+                    continue
+                chosen = None
+                for successor in self.successors[vertex]:
+                    if successor in sink_set:
+                        chosen = successor
+                        break
+                if chosen is None:
+                    # Distinct i-specs + transitivity make the DMG
+                    # acyclic, so this cannot happen; guard for safety.
+                    raise RuntimeError("DMG vertex with no edge to a sink")
+                mapping[vertex] = chosen
+            return mapping
 
 
 class UndirectedMatchingGraph:
@@ -160,16 +164,18 @@ class UndirectedMatchingGraph:
             order = list(range(count))
         covered = [False] * count
         cliques: List[List[int]] = []
-        for seed in order:
-            if covered[seed]:
-                continue
-            clique = [seed]
-            covered[seed] = True
-            while True:
-                added = self._grow_step(clique, covered, paths)
-                if not added:
-                    break
-            cliques.append(clique)
+        with obs_trace.span("umg.clique_cover", vertices=count):
+            for seed in order:
+                if covered[seed]:
+                    continue
+                clique = [seed]
+                covered[seed] = True
+                with obs_trace.span("umg.clique_round", seed=seed):
+                    while True:
+                        added = self._grow_step(clique, covered, paths)
+                        if not added:
+                            break
+                cliques.append(clique)
         return cliques
 
     def _grow_step(

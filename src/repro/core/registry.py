@@ -21,6 +21,8 @@ from repro.core.criteria import Criterion
 from repro.core.sibling import TABLE2_HEURISTICS, generic_td
 from repro.core.levels import opt_lv
 from repro.core.schedule import Schedule, scheduled_minimize
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 Heuristic = Callable[[Manager, int, int], int]
 
@@ -178,6 +180,33 @@ def unregister_heuristic(name: str) -> Heuristic:
     return HEURISTICS.pop(name)
 
 
+def observed_heuristic(name: str, heuristic: Heuristic) -> Heuristic:
+    """Wrap a heuristic with per-call metrics and a trace span.
+
+    Records a call counter and input/output size histograms under
+    ``heuristic.<name>.*`` in the active metrics registry, and opens a
+    ``heuristic.<name>`` span on the active tracer.  The sizes cost one
+    reachable-set sweep each, which is why :func:`get_heuristic` only
+    applies this wrapper while observability is actually on.
+    """
+
+    def observed(manager: Manager, f: int, c: int) -> int:
+        with obs_trace.span("heuristic." + name):
+            cover = heuristic(manager, f, c)
+        mreg = obs_metrics.active()
+        if mreg is not None:
+            mreg.inc("heuristic.%s.calls" % name)
+            mreg.observe("heuristic.%s.input_size" % name, manager.size(f))
+            mreg.observe(
+                "heuristic.%s.output_size" % name, manager.size(cover)
+            )
+        return cover
+
+    observed.__name__ = "observed:" + name
+    observed.__wrapped__ = heuristic
+    return observed
+
+
 def get_heuristic(
     name: str,
     audited: Optional[bool] = None,
@@ -226,6 +255,12 @@ def get_heuristic(
         from repro.robust.guard import guard
 
         heuristic = guard(heuristic, name=name, budget=budget)
+    # Observability wraps outermost — and only while a registry or a
+    # tracer is actually active, so the un-observed dispatch path still
+    # returns the raw registry callable (identity matters to callers
+    # that compare against HEURISTICS entries).
+    if obs_metrics.enabled() or obs_trace.active() is not None:
+        heuristic = observed_heuristic(name, heuristic)
     return heuristic
 
 

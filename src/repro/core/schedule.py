@@ -40,6 +40,8 @@ from repro.bdd.manager import Manager, ONE, ZERO
 from repro.core.criteria import Criterion
 from repro.core.sibling import constrain, sibling_pass
 from repro.core.levels import minimize_at_level
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 #: Failures the schedule can degrade through: every intermediate
 #: ``(current_f, current_c)`` pair i-covers the input instance, so when
@@ -107,7 +109,12 @@ def scheduled_minimize(
         return ONE
     state = [f, c]
     try:
-        return _scheduled_loop(manager, f, c, schedule, state)
+        with obs_trace.span(
+            "schedule.minimize",
+            window_size=schedule.window_size,
+            stop_top_down=schedule.stop_top_down,
+        ):
+            return _scheduled_loop(manager, f, c, schedule, state)
     except DEGRADABLE_ERRORS:
         if not degrade:
             raise
@@ -127,6 +134,7 @@ def _scheduled_loop(
     exception escapes is a pair that i-covers the input instance.
     """
     auditing = checking_enabled()
+    mreg = obs_metrics.active()
     current_f, current_c = f, c
     level = 0
     while True:
@@ -140,70 +148,75 @@ def _scheduled_loop(
         if remaining < schedule.stop_top_down or level > deepest:
             # Step 6: few levels left; matches made down here cannot
             # save many nodes, so assign the rest locally.
-            result = constrain(manager, current_f, current_c)
+            with obs_trace.span("schedule.constrain_tail", level=level):
+                result = constrain(manager, current_f, current_c)
             if auditing:
                 from repro.analysis.contracts import audit_result
 
                 audit_result(manager, "sched", f, c, result)
             return result
         lo, hi = level, level + schedule.window_size
-        before = (current_f, current_c)
-        current_f, current_c = sibling_pass(
-            manager,
-            current_f,
-            current_c,
-            Criterion.OSM,
-            match_complement=schedule.sibling_match_complement,
-            no_new_vars=schedule.sibling_no_new_vars,
-            lo=lo,
-            hi=hi,
-        )
-        if auditing:
-            _audited_step(
+        if mreg is not None:
+            mreg.inc("schedule.windows")
+        with obs_trace.span("schedule.window", lo=lo, hi=hi):
+            before = (current_f, current_c)
+            current_f, current_c = sibling_pass(
                 manager,
-                before,
-                (current_f, current_c),
-                "osm siblings [%d, %d)" % (lo, hi),
+                current_f,
+                current_c,
+                Criterion.OSM,
+                match_complement=schedule.sibling_match_complement,
+                no_new_vars=schedule.sibling_no_new_vars,
+                lo=lo,
+                hi=hi,
             )
-        state[0], state[1] = current_f, current_c
-        before = (current_f, current_c)
-        current_f, current_c = sibling_pass(
-            manager,
-            current_f,
-            current_c,
-            Criterion.TSM,
-            match_complement=schedule.sibling_match_complement,
-            lo=lo,
-            hi=hi,
-        )
-        if auditing:
-            _audited_step(
+            if auditing:
+                _audited_step(
+                    manager,
+                    before,
+                    (current_f, current_c),
+                    "osm siblings [%d, %d)" % (lo, hi),
+                )
+            state[0], state[1] = current_f, current_c
+            before = (current_f, current_c)
+            current_f, current_c = sibling_pass(
                 manager,
-                before,
-                (current_f, current_c),
-                "tsm siblings [%d, %d)" % (lo, hi),
+                current_f,
+                current_c,
+                Criterion.TSM,
+                match_complement=schedule.sibling_match_complement,
+                lo=lo,
+                hi=hi,
             )
-        state[0], state[1] = current_f, current_c
-        if schedule.use_level_steps:
-            top_boundary = max(lo, 1)
-            bottom_boundary = min(hi, deepest + 1)
-            for criterion in (Criterion.OSM, Criterion.TSM):
-                for boundary in range(top_boundary, bottom_boundary + 1):
-                    before = (current_f, current_c)
-                    current_f, current_c = minimize_at_level(
-                        manager,
-                        current_f,
-                        current_c,
-                        boundary,
-                        criterion=criterion,
-                        batch_size=schedule.batch_size,
-                    )
-                    if auditing:
-                        _audited_step(
+            if auditing:
+                _audited_step(
+                    manager,
+                    before,
+                    (current_f, current_c),
+                    "tsm siblings [%d, %d)" % (lo, hi),
+                )
+            state[0], state[1] = current_f, current_c
+            if schedule.use_level_steps:
+                top_boundary = max(lo, 1)
+                bottom_boundary = min(hi, deepest + 1)
+                for criterion in (Criterion.OSM, Criterion.TSM):
+                    for boundary in range(top_boundary, bottom_boundary + 1):
+                        before = (current_f, current_c)
+                        current_f, current_c = minimize_at_level(
                             manager,
-                            before,
-                            (current_f, current_c),
-                            "%s at level %d" % (criterion.name.lower(), boundary),
+                            current_f,
+                            current_c,
+                            boundary,
+                            criterion=criterion,
+                            batch_size=schedule.batch_size,
                         )
-                    state[0], state[1] = current_f, current_c
+                        if auditing:
+                            _audited_step(
+                                manager,
+                                before,
+                                (current_f, current_c),
+                                "%s at level %d"
+                                % (criterion.name.lower(), boundary),
+                            )
+                        state[0], state[1] = current_f, current_c
         level += schedule.window_size

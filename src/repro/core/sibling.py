@@ -37,6 +37,8 @@ from typing import Dict, Optional, Tuple
 
 from repro.bdd.manager import Manager, ONE, ZERO, TERMINAL_LEVEL
 from repro.core.criteria import Criterion, try_match
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 @dataclass(frozen=True)
@@ -92,9 +94,13 @@ def generic_td(
     if c == ZERO:
         return ONE
     cache: Dict[Tuple[int, int], int] = {}
-    return _generic_td(
-        manager, f, c, criterion, match_complement, no_new_vars, cache
-    )
+    # One registry/tracer fetch per top-level call; the recursion sees
+    # a bound local (None when observability is off).
+    mreg = obs_metrics.active()
+    with obs_trace.span("sibling.generic_td", criterion=criterion.name):
+        return _generic_td(
+            manager, f, c, criterion, match_complement, no_new_vars, cache, mreg
+        )
 
 
 def _generic_td(
@@ -105,6 +111,7 @@ def _generic_td(
     match_complement: bool,
     no_new_vars: bool,
     cache: Dict[Tuple[int, int], int],
+    mreg=None,
 ) -> int:
     # Line 1 of Figure 2: terminal cases return f itself.
     if c == ONE or manager.is_constant(f):
@@ -122,6 +129,8 @@ def _generic_td(
     if no_new_vars and f_level > top:
         # Line 2: f is independent of the splitting variable; quantify
         # it out of c instead, so f's support never grows.
+        if mreg is not None:
+            mreg.inc("sibling.new_vars_avoided")
         result = _generic_td(
             manager,
             f,
@@ -130,11 +139,18 @@ def _generic_td(
             match_complement,
             no_new_vars,
             cache,
+            mreg,
         )
     else:
+        if mreg is not None and f_level > top:
+            # Splitting on a variable f does not depend on: the result
+            # may gain it (the Table 2 "new vars" phenomenon).
+            mreg.inc("sibling.new_vars_introduced")
         match = try_match(criterion, manager, f_then, c_then, f_else, c_else)
         if match is not None:
             # Line 3: direct sibling match eliminates parent and variable.
+            if mreg is not None:
+                mreg.inc("sibling.matches_accepted")
             result = _generic_td(
                 manager,
                 match[0],
@@ -143,6 +159,7 @@ def _generic_td(
                 match_complement,
                 no_new_vars,
                 cache,
+                mreg,
             )
         else:
             complement_match = None
@@ -159,6 +176,8 @@ def _generic_td(
             if complement_match is not None:
                 # Line 4: then-branch matches the complement of the
                 # else-branch; the parent stays, one recursion suffices.
+                if mreg is not None:
+                    mreg.inc("sibling.complement_matches")
                 temp = _generic_td(
                     manager,
                     complement_match[0],
@@ -167,10 +186,13 @@ def _generic_td(
                     match_complement,
                     no_new_vars,
                     cache,
+                    mreg,
                 )
                 result = manager.make_node(top, temp, temp ^ 1)
             else:
                 # Line 5: no match; recurse on both children.
+                if mreg is not None:
+                    mreg.inc("sibling.matches_rejected")
                 temp_then = _generic_td(
                     manager,
                     f_then,
@@ -179,6 +201,7 @@ def _generic_td(
                     match_complement,
                     no_new_vars,
                     cache,
+                    mreg,
                 )
                 temp_else = _generic_td(
                     manager,
@@ -188,6 +211,7 @@ def _generic_td(
                     match_complement,
                     no_new_vars,
                     cache,
+                    mreg,
                 )
                 result = manager.make_node(top, temp_then, temp_else)
     cache[key] = result
@@ -293,6 +317,7 @@ def sibling_pass(
     notion of "safe" scheduling).
     """
     cache: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    mreg = obs_metrics.active()
 
     def walk(f_ref: int, c_ref: int) -> Tuple[int, int]:
         if c_ref == ONE or c_ref == ZERO or manager.is_constant(f_ref):
@@ -322,11 +347,15 @@ def sibling_pass(
             cache[key] = result
             return result
         if no_new_vars and f_level > top:
+            if mreg is not None:
+                mreg.inc("sibling.new_vars_avoided")
             result = walk(f_ref, manager.or_(c_then, c_else))
             cache[key] = result
             return result
         match = try_match(criterion, manager, f_then, c_then, f_else, c_else)
         if match is not None:
+            if mreg is not None:
+                mreg.inc("sibling.matches_accepted")
             result = walk(match[0], match[1])
             cache[key] = result
             return result
@@ -342,6 +371,8 @@ def sibling_pass(
                 complemented=True,
             )
         if complement_match is not None:
+            if mreg is not None:
+                mreg.inc("sibling.complement_matches")
             branch_f, branch_c = walk(complement_match[0], complement_match[1])
             result = (
                 manager.make_node(top, branch_f, branch_f ^ 1),
@@ -349,6 +380,8 @@ def sibling_pass(
             )
             cache[key] = result
             return result
+        if mreg is not None:
+            mreg.inc("sibling.matches_rejected")
         new_then = walk(f_then, c_then)
         new_else = walk(f_else, c_else)
         result = (
@@ -358,4 +391,5 @@ def sibling_pass(
         cache[key] = result
         return result
 
-    return walk(f, c)
+    with obs_trace.span("sibling.pass", criterion=criterion.name, lo=lo, hi=hi):
+        return walk(f, c)

@@ -36,6 +36,7 @@ from repro.experiments.calls import (
     MinimizationCall,
     collect_suite_calls,
 )
+from repro.obs.metrics import diff_statistics
 
 #: Failures recorded per-cell instead of aborting the sweep.  Anything
 #: else is a genuine programming error and still propagates.
@@ -66,6 +67,12 @@ class CallResult:
     min_size: int
     lower_bound: Optional[int] = None
     failures: Dict[str, str] = field(default_factory=dict)
+    #: Per-heuristic ``Manager.statistics()`` deltas for this cell —
+    #: recorded for failed cells too, so a journal explains *why* a
+    #: cell fell back (e.g. ite_calls hit the budget).  Serial sweeps
+    #: record the delta across the measured call; pooled sweeps record
+    #: the worker's absolute numbers (its manager is fresh per request).
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def bucket(self) -> Bucket:
@@ -117,20 +124,29 @@ def _measure_call(
     sizes: Dict[str, Optional[int]] = {}
     runtimes: Dict[str, float] = {}
     failures: Dict[str, str] = {}
+    stats: Dict[str, Dict[str, int]] = {}
     spec = ISpec(manager, call.f, call.c)
     for name in heuristics:
         heuristic = HEURISTICS[name]
         manager.clear_caches()
+        stats_before = manager.statistics()
         started = time.perf_counter()
         try:
             with governed(manager, budget):
                 cover = heuristic(manager, call.f, call.c)
         except RECOVERABLE_ERRORS as error:
             runtimes[name] = time.perf_counter() - started
+            # The snapshot is recorded on the failure path too — a
+            # journalled cell that fell back to the identity cover
+            # still says how much work it burned before tripping.
+            stats[name] = diff_statistics(
+                stats_before, manager.statistics()
+            )
             sizes[name] = None
             failures[name] = _describe_failure(error)
             continue
         runtimes[name] = time.perf_counter() - started
+        stats[name] = diff_statistics(stats_before, manager.statistics())
         # Verification runs outside the governed region: the budget
         # bounds the heuristic, not the paranoia check on its output.
         if verify_covers and not spec.is_cover(cover):
@@ -158,6 +174,7 @@ def _measure_call(
         min_size=min(measured) if measured else call.f_size,
         lower_bound=lower,
         failures=failures,
+        stats=stats,
     )
 
 
@@ -182,6 +199,7 @@ def _measure_call_pooled(
     sizes: Dict[str, Optional[int]] = {}
     runtimes: Dict[str, float] = {}
     failures: Dict[str, str] = {}
+    stats: Dict[str, Dict[str, int]] = {}
     allowed: List[str] = []
     for name in heuristics:
         breaker = board.breaker(name)
@@ -204,6 +222,10 @@ def _measure_call_pooled(
         if reply is None:
             continue
         runtimes[name] = reply.runtime
+        if reply.stats is not None:
+            # Worker managers are fresh per request, so these are the
+            # cell's absolute numbers; killed/crashed cells ship none.
+            stats[name] = reply.stats
         breaker = board.breaker(name)
         if reply.ok:
             breaker.record_success()
@@ -229,6 +251,7 @@ def _measure_call_pooled(
         min_size=min(measured) if measured else call.f_size,
         lower_bound=lower,
         failures=failures,
+        stats=stats,
     )
 
 

@@ -140,6 +140,46 @@ def win_counts(results: ExperimentResults) -> Dict[str, int]:
     return counts
 
 
+def aggregate_stats(
+    results: ExperimentResults,
+) -> Dict[str, Dict[str, int]]:
+    """Fold every cell's statistics snapshot into per-heuristic totals.
+
+    Cumulative counters (ite calls, cache hits/misses, nodes created)
+    are summed across cells; point-in-time values (sizes, peaks) keep
+    their maximum — the same convention
+    :class:`repro.serve.service.MinimizationService` uses for worker
+    snapshots.  Heuristics without any recorded snapshot are absent.
+    """
+    from repro.obs.metrics import merge_counts
+
+    totals: Dict[str, Dict[str, int]] = {}
+    for result in results.results:
+        for name, snapshot in result.stats.items():
+            merge_counts(totals.setdefault(name, {}), snapshot)
+    return totals
+
+
+def render_stats(results: ExperimentResults) -> str:
+    """Text table of the aggregated per-heuristic BDD-engine counters."""
+    totals = aggregate_stats(results)
+    if not totals:
+        return "No statistics snapshots recorded."
+    keys = ("ite_calls", "ite_cache_hits", "ite_cache_misses",
+            "nodes_created", "peak_nodes")
+    rows = [
+        [name] + [str(totals[name].get(key, 0)) for key in keys]
+        for name in results.heuristics
+        if name in totals
+    ]
+    return render_table(
+        ["Heuristic", "ITE calls", "Cache hits", "Cache misses",
+         "Nodes created", "Peak nodes"],
+        rows,
+        title="BDD engine counters per heuristic",
+    )
+
+
 def export_csv(results: ExperimentResults, stream=None) -> str:
     """Dump one row per call (sizes and runtimes) as CSV text.
 

@@ -1,0 +1,126 @@
+"""Composing step-hook dispatch for :class:`~repro.bdd.manager.Manager`.
+
+The manager's step-hook slot is single-valued: ``install_step_hook``
+replaces whatever was there.  That was fine when the only client was
+the :mod:`robust` governor, but with tracing and ``CheckedManager``
+node auditing also wanting per-step callbacks, a silent replacement
+becomes a footgun — installing an auditor would quietly disarm the
+governor that enforces resource budgets.
+
+:func:`attach_hook` / :func:`detach_hook` fix this by upgrading the
+slot to a :class:`StepHookDispatcher` the moment a second hook
+arrives.  The dispatcher preserves attachment order (governors abort
+via exceptions, so hooks attached first veto first) and refuses to
+attach the same hook twice — double-attachment means double-counting,
+which for a budget governor silently halves every limit.
+
+The single-hook fast path keeps the raw callable in the slot: with one
+hook attached there is no dispatcher in the loop at all, so governed
+minimization without tracing pays nothing for this machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+StepHook = Callable[[str], None]
+
+
+class StepHookDispatcher:
+    """Fans one manager step event out to several hooks, in order.
+
+    Exceptions propagate immediately: a budget governor raising
+    ``BudgetExceeded`` aborts the step exactly as it would when
+    installed alone, and hooks attached after it do not observe the
+    aborted event.
+    """
+
+    __slots__ = ("hooks",)
+
+    def __init__(self, hooks: Optional[List[StepHook]] = None) -> None:
+        self.hooks: List[StepHook] = list(hooks) if hooks else []
+
+    def __call__(self, event: str) -> None:
+        for hook in self.hooks:
+            hook(event)
+
+    def add(self, hook: StepHook) -> None:
+        """Append ``hook``; raises ``ValueError`` if already attached."""
+        if any(existing is hook for existing in self.hooks):
+            raise ValueError(
+                "hook %r is already attached; detach it first "
+                "(re-attachment would double-count every event)" % (hook,)
+            )
+        self.hooks.append(hook)
+
+    def remove(self, hook: StepHook) -> bool:
+        """Remove ``hook`` if present; returns whether it was found."""
+        for index, existing in enumerate(self.hooks):
+            if existing is hook:
+                del self.hooks[index]
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.hooks)
+
+    def __repr__(self) -> str:
+        return "StepHookDispatcher(%d hooks)" % len(self.hooks)
+
+
+def attach_hook(manager, hook: StepHook) -> StepHook:
+    """Attach ``hook`` to ``manager`` alongside any existing hooks.
+
+    * Empty slot: the hook is installed directly (no dispatcher).
+    * One plain hook installed: the slot is upgraded to a dispatcher
+      holding the existing hook first, then ``hook``.
+    * Dispatcher installed: ``hook`` is appended.
+
+    Raises ``ValueError`` if ``hook`` is already attached (directly or
+    inside a dispatcher).  Returns ``hook`` so call sites can keep the
+    handle they need for :func:`detach_hook`.
+    """
+    current = manager.step_hook
+    if current is None:
+        manager.install_step_hook(hook)
+    elif isinstance(current, StepHookDispatcher):
+        current.add(hook)
+    elif current is hook:
+        raise ValueError(
+            "hook %r is already installed; detach it first "
+            "(re-attachment would double-count every event)" % (hook,)
+        )
+    else:
+        manager.install_step_hook(StepHookDispatcher([current, hook]))
+    return hook
+
+
+def detach_hook(manager, hook: StepHook) -> bool:
+    """Detach ``hook`` from ``manager``; returns whether it was attached.
+
+    Collapses the slot back down: a dispatcher left holding one hook is
+    replaced by that hook directly, and an empty dispatcher clears the
+    slot — so attach/detach pairs leave the manager exactly as found.
+    """
+    current = manager.step_hook
+    if current is hook:
+        manager.install_step_hook(None)
+        return True
+    if isinstance(current, StepHookDispatcher):
+        found = current.remove(hook)
+        if len(current.hooks) == 1:
+            manager.install_step_hook(current.hooks[0])
+        elif not current.hooks:
+            manager.install_step_hook(None)
+        return found
+    return False
+
+
+def attached_hooks(manager) -> List[StepHook]:
+    """The hooks currently attached to ``manager``, in dispatch order."""
+    current = manager.step_hook
+    if current is None:
+        return []
+    if isinstance(current, StepHookDispatcher):
+        return list(current.hooks)
+    return [current]

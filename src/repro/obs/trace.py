@@ -1,0 +1,227 @@
+"""Hierarchical spans in Chrome trace-event format.
+
+A :class:`Tracer` records *spans* — named, nested intervals of work —
+and writes them as Chrome trace-event JSON ("X" complete events with
+microsecond ``ts``/``dur``), the format Perfetto and ``chrome://tracing``
+load directly.  One event is written per line inside a valid JSON
+array, so the file is both a legal ``.json`` trace and greppable as
+JSONL-with-brackets.
+
+Like :mod:`repro.obs.metrics`, tracing is opt-in and process-global:
+:func:`activate` installs a tracer, instrumented code calls the
+module-level :func:`span` helper, and when no tracer is active that
+helper returns a shared no-op context manager — the disabled path is
+one ``is None`` test plus a ``with`` on a pre-built null context.
+
+Span sites in the library cover the units the paper reasons about:
+schedule windows (§4.1.2), sibling-matching passes, the DMG
+DFS-to-sinks representative computation, and UMG clique-cover rounds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Synthetic thread id used for all spans (the library is single-
+#: threaded per manager; worker processes get distinct pids).
+TRACE_TID = 1
+
+
+class _NullSpan:
+    """Shared no-op context manager for the tracing-disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects nested spans as Chrome trace "complete" events.
+
+    Spans are recorded at exit (Chrome "X" events carry start + dur),
+    so the emitted list is ordered by *completion*; Perfetto rebuilds
+    nesting from the timestamps.  Parent/child structure is also made
+    explicit in each event's ``args.depth`` so tests (and humans
+    reading the raw JSON) can check nesting without a timeline viewer.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+        self._origin = time.perf_counter()
+        self._depth = 0
+        self._pid = os.getpid()
+
+    @contextmanager
+    def span(self, name: str, **args: object) -> Iterator[None]:
+        """Time a block as a span named ``name`` with optional args."""
+        start = time.perf_counter()
+        depth = self._depth
+        self._depth = depth + 1
+        try:
+            yield
+        finally:
+            self._depth = depth
+            end = time.perf_counter()
+            event: Dict[str, object] = {
+                "name": name,
+                "ph": "X",
+                "ts": round((start - self._origin) * 1e6, 3),
+                "dur": round((end - start) * 1e6, 3),
+                "pid": self._pid,
+                "tid": TRACE_TID,
+                "cat": "repro",
+            }
+            event_args: Dict[str, object] = {"depth": depth}
+            event_args.update(args)
+            event["args"] = event_args
+            self.events.append(event)
+
+    def instant(self, name: str, **args: object) -> None:
+        """Record a zero-duration marker event (Chrome "i" phase)."""
+        now = time.perf_counter()
+        self.events.append(
+            {
+                "name": name,
+                "ph": "i",
+                "ts": round((now - self._origin) * 1e6, 3),
+                "pid": self._pid,
+                "tid": TRACE_TID,
+                "cat": "repro",
+                "s": "t",
+                "args": dict(args, depth=self._depth),
+            }
+        )
+
+    def write(self, path: str) -> int:
+        """Write the trace as a JSON array, one event per line.
+
+        Returns the number of events written.  The output parses as a
+        single JSON array (what Perfetto expects) while keeping each
+        event on its own line for diffing and grepping.
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("[\n")
+            last = len(self.events) - 1
+            for index, event in enumerate(self.events):
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write(",\n" if index != last else "\n")
+            handle.write("]\n")
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return "Tracer(%d events)" % len(self.events)
+
+
+#: The process-global active tracer (None = tracing disabled).
+_ACTIVE: Optional[Tracer] = None
+
+
+def active() -> Optional[Tracer]:
+    """The active tracer, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+def activate(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (a fresh one by default) as the active tracer."""
+    global _ACTIVE
+    if tracer is None:
+        tracer = Tracer()
+    _ACTIVE = tracer
+    return tracer
+
+
+def deactivate() -> Optional[Tracer]:
+    """Stop tracing; returns the previously active tracer."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    return previous
+
+
+def span(name: str, **args: object):
+    """Span on the active tracer, or a shared no-op when disabled.
+
+    This is the helper instrumentation sites use::
+
+        with trace.span("schedule.window", lo=lo, hi=hi):
+            ...
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **args)
+
+
+@contextmanager
+def tracing(path: Optional[str] = None) -> Iterator[Tracer]:
+    """Scope tracing to one ``with`` block, optionally writing a file.
+
+    Activates a fresh tracer, yields it, restores the previous tracer
+    on exit, and — when ``path`` is given — writes the Chrome trace
+    there even if the block raised (a partial trace of a failed run is
+    exactly when you want one).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    tracer = Tracer()
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+        if path is not None:
+            tracer.write(path)
+
+
+def validate_events(events: List[Dict[str, object]]) -> None:
+    """Raise ``ValueError`` unless ``events`` are schema-valid spans.
+
+    Checks the fields Perfetto requires ("X" events need name/ts/dur,
+    "i" events need name/ts) and that the recorded ``args.depth``
+    nesting is consistent: every span at depth ``d > 0`` lies strictly
+    inside some span at depth ``d - 1``.  Used by the test suite's
+    round-trip check and handy for ad-hoc trace debugging.
+    """
+    spans = []
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("X", "i"):
+            raise ValueError("unknown event phase: %r" % (phase,))
+        for field in ("name", "ts", "pid", "tid"):
+            if field not in event:
+                raise ValueError(
+                    "event missing %r: %r" % (field, event)
+                )
+        if phase == "X":
+            if "dur" not in event:
+                raise ValueError("complete event missing dur: %r" % event)
+            spans.append(event)
+    for event in spans:
+        depth = event["args"]["depth"]
+        if depth == 0:
+            continue
+        start = event["ts"]
+        end = start + event["dur"]
+        enclosed = any(
+            parent["args"]["depth"] == depth - 1
+            and parent["ts"] <= start
+            and start + 0.0 <= end <= parent["ts"] + parent["dur"]
+            for parent in spans
+            if parent is not event
+        )
+        if not enclosed:
+            raise ValueError(
+                "span %r at depth %d has no enclosing parent"
+                % (event["name"], depth)
+            )

@@ -21,7 +21,9 @@ One JSON object per line::
      "failures": {"osm_bt": "NodeBudgetExceeded: ..."}}
 
 ``null`` sizes mark heuristics that failed on that call; the reason is
-in ``failures``.  The journal key is ``(benchmark, ordinal)`` where
+in ``failures``.  An optional ``stats`` object maps each heuristic to
+its per-cell :meth:`Manager.statistics` delta (absent in journals
+written before the field existed — loading tolerates that).  The journal key is ``(benchmark, ordinal)`` where
 the ordinal is the record's position within its benchmark's call
 sequence — ``iteration`` alone is NOT unique (the frontier call and
 the image calls recorded inside one fixpoint step share an iteration
@@ -75,6 +77,7 @@ def result_to_record(result) -> dict:
         "min_size": result.min_size,
         "lower_bound": result.lower_bound,
         "failures": result.failures,
+        "stats": result.stats,
     }
 
 
@@ -104,10 +107,15 @@ def record_to_result(record: dict):
     sizes = record["sizes"]
     runtimes = record["runtimes"]
     failures = record.get("failures") or {}
+    # Optional since the field post-dates version 1 journals; absent or
+    # null means "no snapshots recorded", not a schema violation.
+    stats = record.get("stats") or {}
     if not isinstance(sizes, dict) or not isinstance(runtimes, dict):
         raise CheckpointError("'sizes' and 'runtimes' must be JSON objects")
     if not isinstance(failures, dict):
         raise CheckpointError("'failures' must be a JSON object")
+    if not isinstance(stats, dict):
+        raise CheckpointError("'stats' must be a JSON object")
     for name, size in sizes.items():
         if size is not None and not isinstance(size, int):
             raise CheckpointError(
@@ -128,8 +136,15 @@ def record_to_result(record: dict):
                 else int(record["lower_bound"])
             ),
             failures={str(k): str(v) for k, v in failures.items()},
+            stats={
+                str(name): {
+                    str(key): int(value)
+                    for key, value in counters.items()
+                }
+                for name, counters in stats.items()
+            },
         )
-    except (TypeError, ValueError) as error:
+    except (AttributeError, TypeError, ValueError) as error:
         raise CheckpointError(
             "journal record has ill-typed fields: %s" % error
         ) from None

@@ -35,6 +35,7 @@ from repro.analysis.errors import (
     StepBudgetExceeded,
 )
 from repro.bdd.manager import EVENT_CLEAR, EVENT_ITE, EVENT_NODE, Manager
+from repro.obs.hooks import attach_hook, detach_hook
 
 #: Hook events between wall-clock reads: the deadline check costs a
 #: ``time.monotonic`` call, so it piggybacks on every 64th counted event
@@ -178,20 +179,24 @@ class Governor:
 def governed(
     manager: Manager, budget: Optional[Budget]
 ) -> Iterator[Optional[Governor]]:
-    """Install a :class:`Governor` on ``manager`` for one ``with`` block.
+    """Attach a :class:`Governor` to ``manager`` for one ``with`` block.
 
     Yields the governor (or ``None`` when ``budget`` is ``None`` or
-    unlimited, in which case no hook is installed and the block runs at
-    full speed).  The previously installed hook is restored on exit, so
-    governed regions nest; note that an inner governor *replaces* the
-    outer one for the duration of the inner block.
+    unlimited, in which case no hook is attached and the block runs at
+    full speed).  The governor is attached through the composing
+    dispatcher (:func:`repro.obs.hooks.attach_hook`), so it coexists
+    with any other step hooks — a tracer, a ``CheckedManager`` node
+    auditor, or an *outer* governor, which keeps counting and can still
+    trip its own (larger) budget while an inner governed region runs.
+    On exit the governor is detached, restoring the hook configuration
+    exactly as it was.
     """
     if budget is None or budget.unlimited:
         yield None
         return
     governor = Governor(budget)
-    previous = manager.install_step_hook(governor)
+    attach_hook(manager, governor)
     try:
         yield governor
     finally:
-        manager.install_step_hook(previous)
+        detach_hook(manager, governor)

@@ -60,6 +60,7 @@ from repro.bdd.wire import (
     serialize,
     serialize_instance,
 )
+from repro.obs import metrics as obs_metrics
 
 #: Default wall-clock deadline (seconds) per request.
 DEFAULT_DEADLINE = 10.0
@@ -92,6 +93,12 @@ class ServeResult:
     short_circuited: bool = False
     runtime: float = 0.0
     attempts: int = 1
+    #: The worker manager's ``statistics()`` snapshot, shipped back
+    #: across the process boundary (None when the worker never got far
+    #: enough to have a manager — watchdog kills, crashes, undecodable
+    #: requests).  Worker managers are fresh per request, so these are
+    #: absolute per-request numbers, not deltas.
+    stats: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -141,14 +148,21 @@ def _execute_request(request: dict) -> dict:
 
     method = request["method"]
     started = time.perf_counter()
+    manager = None
 
     def failed(reason: str, kind: str) -> dict:
-        return {
+        reply = {
             "status": "failed",
             "reason": reason,
             "kind": kind,
             "runtime": time.perf_counter() - started,
         }
+        if manager is not None:
+            # Even a failed cell ships its counters home: the journals
+            # can then explain *why* the cell degraded (e.g. nodes
+            # created right up against the budget).
+            reply["stats"] = manager.statistics()
+        return reply
 
     try:
         manager, f, c = deserialize_instance(request["payload"])
@@ -199,6 +213,7 @@ def _execute_request(request: dict) -> dict:
         "status": "ok",
         "payload": payload,
         "runtime": time.perf_counter() - started,
+        "stats": manager.statistics(),
     }
 
 
@@ -508,10 +523,14 @@ class MinimizationPool:
             )
             return
         runtime = reply.get("runtime", time.monotonic() - job.started)
+        stats = reply.get("stats")
+        mreg = obs_metrics.active()
+        if mreg is not None:
+            mreg.observe("serve.request_latency", runtime)
         if reply["status"] != "ok":
             results[job.index] = self._degraded(
                 job, reply["reason"], reply["kind"], killed=False,
-                runtime=runtime,
+                runtime=runtime, stats=stats,
             )
             return
         try:
@@ -524,6 +543,7 @@ class MinimizationPool:
                 DETERMINISTIC,
                 killed=False,
                 runtime=runtime,
+                stats=stats,
             )
             return
         if self.verify and not self._covers(manager, job, cover):
@@ -534,10 +554,11 @@ class MinimizationPool:
                 DETERMINISTIC,
                 killed=False,
                 runtime=runtime,
+                stats=stats,
             )
             return
         results[job.index] = ServeResult(
-            method=job.method, cover=cover, runtime=runtime
+            method=job.method, cover=cover, runtime=runtime, stats=stats
         )
 
     def _covers(self, manager, job, cover: int) -> bool:
@@ -547,6 +568,9 @@ class MinimizationPool:
 
     def _kill_overdue(self, results, worker, job, per_request) -> None:
         self.kills += 1
+        mreg = obs_metrics.active()
+        if mreg is not None:
+            mreg.inc("serve.watchdog_kills")
         self._replace(worker)
         results[job.index] = self._degraded(
             job,
@@ -580,6 +604,7 @@ class MinimizationPool:
         kind: str,
         killed: bool,
         runtime: float = 0.0,
+        stats: Optional[Dict[str, int]] = None,
     ) -> ServeResult:
         self.failures += 1
         self.last_failure = reason
@@ -592,4 +617,5 @@ class MinimizationPool:
             kind=kind,
             killed=killed,
             runtime=runtime,
+            stats=stats,
         )

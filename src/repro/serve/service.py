@@ -33,6 +33,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.bdd.manager import Manager
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.serve.breaker import (
     BreakerBoard,
     CircuitBreaker,
@@ -84,6 +86,10 @@ class MinimizationService:
         self.failures = 0
         self.short_circuits = 0
         self.last_failure: Optional[str] = None
+        #: Aggregated worker-side Manager.statistics() across every
+        #: request that shipped a snapshot back (cumulative counters
+        #: summed, sizes/peaks kept as maxima).
+        self.worker_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -110,6 +116,7 @@ class MinimizationService:
             "failures": self.failures,
             "short_circuits": self.short_circuits,
             "breakers": self.board.states(),
+            "worker_stats": dict(self.worker_stats),
         }
         stats.update(self.pool.statistics())
         return stats
@@ -131,10 +138,19 @@ class MinimizationService:
         always a valid cover of ``[f, c]`` in ``manager``.
         """
         self.requests += 1
+        mreg = obs_metrics.active()
         breaker = self.board.breaker(method)
-        if not breaker.allow():
+        state_before = breaker.state
+        allowed = breaker.allow()
+        if mreg is not None and breaker.state != state_before:
+            mreg.inc(
+                "serve.breaker.%s_to_%s" % (state_before, breaker.state)
+            )
+        if not allowed:
             reason = "CircuitOpen: %s" % breaker.describe()
             self.short_circuits += 1
+            if mreg is not None:
+                mreg.inc("serve.short_circuits")
             self._record(method, reason)
             return ServeResult(
                 method=method,
@@ -146,24 +162,38 @@ class MinimizationService:
             )
         base = self.pool.deadline if deadline is None else deadline
         result: Optional[ServeResult] = None
-        for attempt in range(self.retry.max_attempts):
-            result = self.pool.minimize(
-                manager,
-                f,
-                c,
-                method=method,
-                deadline=self.retry.deadline_for(base, attempt),
-            )
-            result.attempts = attempt + 1
-            if result.ok:
-                breaker.record_success()
-                return result
-            if not result.transient:
-                # Deterministic failure: retrying cannot help.
-                break
+        with obs_trace.span("serve.request", method=method):
+            for attempt in range(self.retry.max_attempts):
+                if mreg is not None and attempt > 0:
+                    mreg.inc("serve.retries")
+                result = self.pool.minimize(
+                    manager,
+                    f,
+                    c,
+                    method=method,
+                    deadline=self.retry.deadline_for(base, attempt),
+                )
+                result.attempts = attempt + 1
+                self._absorb_stats(result)
+                if result.ok:
+                    breaker.record_success()
+                    return result
+                if not result.transient:
+                    # Deterministic failure: retrying cannot help.
+                    break
+        state_before = breaker.state
         breaker.record_failure()
+        if mreg is not None and breaker.state != state_before:
+            mreg.inc(
+                "serve.breaker.%s_to_%s" % (state_before, breaker.state)
+            )
         self._record(method, result.reason)
         return result
+
+    def _absorb_stats(self, result: ServeResult) -> None:
+        """Fold a result's worker-side statistics into the aggregate."""
+        if result.stats:
+            obs_metrics.merge_counts(self.worker_stats, result.stats)
 
     def _record(self, method: str, reason: str) -> None:
         self.failures += 1

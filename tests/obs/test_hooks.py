@@ -1,0 +1,117 @@
+"""Tests for composing step-hook dispatch."""
+
+import pytest
+
+from repro.bdd.manager import EVENT_ITE, Manager
+from repro.obs.hooks import (
+    StepHookDispatcher,
+    attach_hook,
+    attached_hooks,
+    detach_hook,
+)
+
+
+class Recorder:
+    def __init__(self, log, tag):
+        self.log = log
+        self.tag = tag
+
+    def __call__(self, event):
+        self.log.append((self.tag, event))
+
+
+class TestDispatcher:
+    def test_calls_in_attach_order(self):
+        log = []
+        dispatcher = StepHookDispatcher(
+            [Recorder(log, "a"), Recorder(log, "b")]
+        )
+        dispatcher("node")
+        assert log == [("a", "node"), ("b", "node")]
+
+    def test_duplicate_add_raises(self):
+        hook = Recorder([], "a")
+        dispatcher = StepHookDispatcher([hook])
+        with pytest.raises(ValueError):
+            dispatcher.add(hook)
+
+
+class TestAttachDetach:
+    def test_single_hook_installed_raw(self):
+        """One hook stays directly in the slot: no dispatch overhead."""
+        manager = Manager()
+        hook = Recorder([], "a")
+        attach_hook(manager, hook)
+        assert manager.step_hook is hook
+        detach_hook(manager, hook)
+        assert manager.step_hook is None
+
+    def test_second_hook_upgrades_to_dispatcher(self):
+        manager = Manager()
+        first = Recorder([], "a")
+        second = Recorder([], "b")
+        attach_hook(manager, first)
+        attach_hook(manager, second)
+        assert isinstance(manager.step_hook, StepHookDispatcher)
+        assert attached_hooks(manager) == [first, second]
+        detach_hook(manager, second)
+        # Collapses back to the raw hook.
+        assert manager.step_hook is first
+
+    def test_same_hook_twice_raises(self):
+        manager = Manager()
+        hook = Recorder([], "a")
+        attach_hook(manager, hook)
+        with pytest.raises(ValueError):
+            attach_hook(manager, hook)
+
+    def test_three_hooks_ordered_delivery(self):
+        """Tracer + governor + auditor style stacking, in order."""
+        manager = Manager()
+        log = []
+        hooks = [Recorder(log, tag) for tag in ("tracer", "gov", "audit")]
+        for hook in hooks:
+            attach_hook(manager, hook)
+        x = manager.new_var("x")
+        y = manager.new_var("y")
+        log.clear()
+        manager.and_(x, y)
+        ite_events = [entry for entry in log if entry[1] == EVENT_ITE]
+        assert ite_events
+        # Every ITE step reaches all three hooks, in attach order.
+        tags = [entry[0] for entry in log[:3]]
+        assert tags == ["tracer", "gov", "audit"]
+        for hook in hooks:
+            detach_hook(manager, hook)
+        assert manager.step_hook is None
+
+
+class TestRealComposition:
+    def test_governor_composes_with_checked_manager(self):
+        """The robust governor and the CheckedManager audit coexist."""
+        from repro.analysis.checked import CheckedManager
+        from repro.robust.governor import Budget, governed
+
+        manager = CheckedManager(check=True)
+        x = manager.new_var("x")
+        y = manager.new_var("y")
+        audited_before = manager.node_audit.nodes_audited
+        with governed(manager, Budget(max_steps=10_000)) as governor:
+            manager.and_(x, manager.or_(y, x ^ 1))
+        assert governor.ite_steps > 0
+        assert manager.node_audit.nodes_audited >= audited_before
+        # The audit hook is still installed after the governed block.
+        assert manager.node_audit in attached_hooks(manager)
+
+    def test_governor_composes_with_tracer_hook(self):
+        from repro.robust.governor import Budget, governed
+
+        manager = Manager()
+        events = []
+        attach_hook(manager, lambda event: events.append(event))
+        with governed(manager, Budget(max_steps=10_000)) as governor:
+            x = manager.new_var("x")
+            y = manager.new_var("y")
+            manager.and_(x, y)
+        assert governor.ite_steps > 0
+        assert EVENT_ITE in events

@@ -1,0 +1,60 @@
+"""Observability must never change results: on/off parity checks."""
+
+from repro.bdd.manager import Manager
+from repro.bdd.parser import parse_expression
+from repro.bdd.wire import serialize
+from repro.core.registry import HEURISTICS, get_heuristic
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+EXPRESSIONS = [
+    ("(a & b) | (~a & c)", "a | b"),
+    ("(a & b) | (c & d) | (e & ~a)", "(a | b | c) & (d | e)"),
+    ("a ^ b ^ c", "a | ~b"),
+]
+
+METHODS = ("constrain", "restrict", "osm_bt", "tsm_cp", "opt_lv", "sched")
+
+
+def _run(method: str, observed: bool):
+    """Minimize every instance; return the wire bytes of (f, c, g)."""
+    blobs = []
+    for f_text, c_text in EXPRESSIONS:
+        manager = Manager()
+        f = parse_expression(manager, f_text)
+        c = parse_expression(manager, c_text)
+        if observed:
+            registry = obs_metrics.enable(obs_metrics.MetricsRegistry())
+            tracer = obs_trace.activate()
+            manager.attach_metrics(registry)
+            try:
+                cover = HEURISTICS[method](manager, f, c)
+            finally:
+                manager.detach_metrics()
+                obs_trace.deactivate()
+                obs_metrics.disable()
+            assert tracer.events or registry.snapshot()
+        else:
+            cover = HEURISTICS[method](manager, f, c)
+        blobs.append(serialize(manager, [f, c, cover]))
+    return blobs
+
+
+class TestParity:
+    def test_results_identical_with_observability_on(self):
+        for method in METHODS:
+            assert _run(method, observed=False) == _run(
+                method, observed=True
+            ), "observability changed the result of %s" % method
+
+    def test_dispatch_identity_preserved_when_off(self):
+        """With obs off, dispatch returns the raw registry callable."""
+        assert obs_metrics.active() is None
+        assert obs_trace.active() is None
+        assert get_heuristic("constrain") is HEURISTICS["constrain"]
+
+    def test_dispatch_wrapped_when_on(self):
+        with obs_metrics.collecting():
+            wrapped = get_heuristic("constrain")
+        assert wrapped is not HEURISTICS["constrain"]
+        assert wrapped.__wrapped__ is HEURISTICS["constrain"]

@@ -169,16 +169,35 @@ class TestGoverned:
         with governed(manager, Budget()) as governor:
             assert governor is None
 
-    def test_restores_previous_hook(self):
+    def test_composes_with_previous_hook(self):
+        # governed() attaches through the composing dispatcher: a
+        # previously installed hook keeps firing inside the governed
+        # block, and the slot is restored exactly on exit.
         manager = Manager(var_names=["a", "b"])
         events = []
         hook = events.append
         manager.install_step_hook(hook)
         with governed(manager, Budget(max_nodes=100)) as governor:
-            assert manager.step_hook is governor
+            from repro.obs.hooks import attached_hooks
+
+            assert attached_hooks(manager) == [hook, governor]
+            manager.and_(manager.var(0), manager.var(1))
+            assert EVENT_ITE in events  # prior hook still observes
+            assert governor.ite_steps >= 1  # and so does the governor
         assert manager.step_hook is hook
-        manager.and_(manager.var(0), manager.var(1))
+        events.clear()
+        manager.xor(manager.var(0), manager.var(1))
         assert EVENT_ITE in events
+
+    def test_nested_governors_both_count(self):
+        manager = Manager(var_names=["a", "b", "c"])
+        a, b, c = (manager.var(level) for level in range(3))
+        with governed(manager, Budget(max_steps=10_000)) as outer:
+            with governed(manager, Budget(max_steps=10_000)) as inner:
+                manager.and_(a, manager.or_(b, c))
+            assert inner.ite_steps >= 1
+            assert outer.ite_steps >= inner.ite_steps
+        assert manager.step_hook is None
 
     def test_restores_hook_after_trip(self):
         manager = Manager(var_names=["a", "b", "c", "d"])

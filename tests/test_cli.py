@@ -138,3 +138,67 @@ class TestServeCommands:
         assert args.isolate
         args = build_parser().parse_args(["serve", "--workers", "3"])
         assert args.workers == 3
+
+
+class TestObservability:
+    def test_minimize_metrics_and_trace(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "minimize",
+                "d1 01",
+                "--method",
+                "sched",
+                "--metrics",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "manager.ite_calls" in out
+        assert "trace written to" in out
+        from repro.obs.trace import validate_events
+
+        events = json.loads(trace_path.read_text())
+        validate_events(events)
+        assert any(e["name"] == "heuristic.sched" for e in events)
+
+    def test_metrics_subcommand(self, capsys):
+        code = main(
+            [
+                "metrics",
+                "tlc",
+                "--heuristics",
+                "constrain",
+                "osm_bt",
+                "--max-iterations",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BDD engine counters per heuristic" in out
+        assert "total ite calls:" in out
+        # The acceptance bar: a sweep shows non-zero engine activity.
+        total_line = next(
+            line for line in out.splitlines()
+            if line.startswith("total ite calls:")
+        )
+        assert int(total_line.split(":")[1]) > 0
+        hits_line = next(
+            line for line in out.splitlines()
+            if line.startswith("total ite cache hits:")
+        )
+        assert int(hits_line.split(":")[1]) > 0
+
+    def test_observability_flags_parse(self):
+        args = build_parser().parse_args(
+            ["experiments", "--metrics", "--trace", "out.json"]
+        )
+        assert args.metrics and args.trace == "out.json"
+        args = build_parser().parse_args(["metrics", "--max-iterations", "3"])
+        assert args.max_iterations == 3
