@@ -1,0 +1,364 @@
+"""Kernel and collector baseline: the first recorded perf trajectory.
+
+Four measurements, written to ``BENCH_kernel.json`` next to this file:
+
+``ite_throughput``
+    ITE kernel steps per second on a cache-cold random-function
+    workload, for the shipped iterative kernel and for
+    ``RecursiveKernelManager`` — a benchmark-local subclass carrying
+    the old recursive ``ite`` (with the same counters), kept here as
+    the reference the iterative kernel must not regress against.
+
+``deep_chain``
+    Wall-clock seconds to push a multi-thousand-variable chain BDD
+    through ``ite`` under the **default** interpreter recursion limit.
+    The recursive kernel records its ``RecursionError`` instead of a
+    time — that failure is the point of the rewrite.
+
+``gc_sweep``
+    A capped Table-2 sweep (quick suite) run twice through
+    ``run_heuristics``: once with the §4.1.1 flush points as real
+    mark-and-sweep collections (``gc=True``) and once cache-flush-only
+    (``gc=False``).  Records the peak unique-table length per mode —
+    the collector must run strictly flatter.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py          # full
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick  # CI gate
+
+``--quick`` shrinks the workloads and exits non-zero if the iterative
+kernel falls below ``--min-ratio`` (default 0.9) of the recursive
+throughput — the perf-smoke CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.truthtable import bdd_from_leaves
+
+
+class RecursiveKernelManager(Manager):
+    """The pre-rewrite recursive ITE kernel, preserved as a baseline.
+
+    Forbidden in ``src/`` (the iterative kernels exist precisely to
+    kill recursion-limit coupling) but kept here so every future run
+    re-measures the rewrite's speedup instead of trusting a number in
+    a commit message.  Counter updates match the shipped kernel's, so
+    the comparison isolates the call-stack-versus-explicit-stack cost.
+    """
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        self._ite_calls += 1
+        hook = self._step_hook
+        if hook is not None:
+            hook("ite")
+        if f & 1:
+            f ^= 1
+            g, h = h, g
+        if f == ONE:
+            return g
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        if g == ZERO and h == ONE:
+            return f ^ 1
+        if g == f:
+            g = ONE
+        elif g == (f ^ 1):
+            g = ZERO
+        if h == f:
+            h = ZERO
+        elif h == (f ^ 1):
+            h = ONE
+        if g == ONE and h == ZERO:
+            return f
+        if g == ZERO and h == ONE:
+            return f ^ 1
+        if g == h:
+            return g
+        if g == ONE:
+            if h > f:
+                f, h = h, f
+        elif g == ZERO:
+            if (h ^ 1) > f:
+                f, h = h ^ 1, f ^ 1
+        elif h == ONE:
+            if (g ^ 1) > f:
+                f, g = g ^ 1, f ^ 1
+        elif h == ZERO:
+            if g > f:
+                f, g = g, f
+        elif g == (h ^ 1):
+            if g > f:
+                f, g = g, f
+                h = g ^ 1
+        output_complement = 0
+        if g & 1:
+            g ^= 1
+            h ^= 1
+            output_complement = 1
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            self._ite_hits += 1
+            return cached ^ output_complement
+        self._ite_misses += 1
+        level_f = self._level[f >> 1]
+        level_g = self._level[g >> 1]
+        level_h = self._level[h >> 1]
+        top = min(level_f, level_g, level_h)
+        f_then, f_else = self.branches(f, top)
+        g_then, g_else = self.branches(g, top)
+        h_then, h_else = self.branches(h, top)
+        result = self.make_node(
+            top,
+            self.ite(f_then, g_then, h_then),
+            self.ite(f_else, g_else, h_else),
+        )
+        self._ite_cache[key] = result
+        return result ^ output_complement
+
+
+def _median(values):
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+# ----------------------------------------------------------------------
+# ite throughput
+# ----------------------------------------------------------------------
+def _random_instances(manager_cls, num_vars, count, seed=7):
+    rng = random.Random(seed)
+    manager = manager_cls()
+    pairs = []
+    for _ in range(count):
+        f = bdd_from_leaves(
+            manager, [rng.random() < 0.5 for _ in range(1 << num_vars)]
+        )
+        g = bdd_from_leaves(
+            manager, [rng.random() < 0.5 for _ in range(1 << num_vars)]
+        )
+        pairs.append((f, g))
+    return manager, pairs
+
+
+def measure_ite_throughput(manager_cls, num_vars, rounds):
+    """Median cache-cold ITE steps/second over ``rounds`` passes."""
+    manager, pairs = _random_instances(manager_cls, num_vars, count=6)
+    rates = []
+    for _ in range(rounds):
+        manager.clear_caches()
+        steps_before = manager.statistics()["ite_calls"]
+        started = time.perf_counter()
+        for f, g in pairs:
+            manager.ite(f, g, f ^ 1)
+            manager.xor(f, g)
+        elapsed = time.perf_counter() - started
+        steps = manager.statistics()["ite_calls"] - steps_before
+        rates.append(steps / elapsed)
+    return _median(rates)
+
+
+# ----------------------------------------------------------------------
+# deep chain
+# ----------------------------------------------------------------------
+def _chain(manager, depth):
+    conj = ONE
+    parity = ZERO
+    for level in range(depth - 1, -1, -1):
+        conj = manager.make_node(level, conj, ZERO)
+        parity = manager.make_node(level, parity ^ 1, parity)
+    return conj, parity
+
+
+def measure_deep_chain(manager_cls, depth):
+    """Seconds to AND a depth-``depth`` chain against parity, or the
+    error name if the kernel cannot cross that many levels."""
+    manager = manager_cls()
+    manager.ensure_vars(depth)
+    conj, parity = _chain(manager, depth)
+    started = time.perf_counter()
+    try:
+        result = manager.and_(conj, parity)
+    except RecursionError:
+        return None, "RecursionError"
+    elapsed = time.perf_counter() - started
+    expected = conj if depth % 2 else ZERO
+    assert result == expected, "deep-chain ite returned a wrong function"
+    return elapsed, None
+
+
+# ----------------------------------------------------------------------
+# gc sweep
+# ----------------------------------------------------------------------
+def measure_gc_sweep(max_iterations, benchmarks=None):
+    """Peak unique-table length of a capped Table-2 sweep, per gc mode."""
+    from repro.circuits.suite import QUICK_SUITE
+    from repro.experiments.calls import collect_suite_calls
+    from repro.experiments.harness import run_heuristics
+
+    names = list(benchmarks or QUICK_SUITE)
+    out = {}
+    for mode in (True, False):
+        records = collect_suite_calls(
+            names, max_iterations=max_iterations
+        )
+        started = time.perf_counter()
+        run_heuristics(
+            records, compute_lower_bound=False, gc=mode
+        )
+        elapsed = time.perf_counter() - started
+        # num_nodes is the table-length watermark: with gc the free
+        # list is recycled and the table stays near the live size;
+        # without it every heuristic's scratch stays resident.
+        peak = max(record.manager.num_nodes for record in records)
+        gc_runs = sum(
+            record.manager.statistics()["gc_runs"] for record in records
+        )
+        reclaimed = sum(
+            record.manager.statistics()["nodes_reclaimed"]
+            for record in records
+        )
+        out["with_gc" if mode else "without_gc"] = {
+            "peak_num_nodes": peak,
+            "sweep_seconds": round(elapsed, 3),
+            "gc_runs": gc_runs,
+            "nodes_reclaimed": reclaimed,
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads + enforce the throughput gate (CI)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="timing rounds for the throughput workload",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.9,
+        help="minimum iterative/recursive throughput ratio (default 0.9)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "BENCH_kernel.json",
+        ),
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+    rounds = args.rounds or (9 if args.quick else 25)
+    num_vars = 10 if args.quick else 12
+    depth = 5_000 if args.quick else 20_000
+    max_iterations = 1 if args.quick else 2
+    benchmarks = ["s344", "tlc"] if args.quick else None
+
+    # Interleave the two kernels round-robin at the workload level so
+    # load spikes hit both sides.
+    iterative = measure_ite_throughput(Manager, num_vars, rounds)
+    recursive = measure_ite_throughput(
+        RecursiveKernelManager, num_vars, rounds
+    )
+    ratio = iterative / recursive
+    print(
+        "ite throughput: iterative %.0f steps/s, recursive %.0f steps/s "
+        "(ratio %.2fx)" % (iterative, recursive, ratio)
+    )
+
+    iter_chain, iter_err = measure_deep_chain(Manager, depth)
+    rec_chain, rec_err = measure_deep_chain(RecursiveKernelManager, depth)
+    print(
+        "deep chain (%d vars, limit %d): iterative %s, recursive %s"
+        % (
+            depth,
+            sys.getrecursionlimit(),
+            "%.3fs" % iter_chain if iter_err is None else iter_err,
+            "%.3fs" % rec_chain if rec_err is None else rec_err,
+        )
+    )
+
+    sweep = measure_gc_sweep(max_iterations, benchmarks)
+    print(
+        "gc sweep peak num_nodes: %d with gc (%d collections, %d nodes "
+        "reclaimed), %d without"
+        % (
+            sweep["with_gc"]["peak_num_nodes"],
+            sweep["with_gc"]["gc_runs"],
+            sweep["with_gc"]["nodes_reclaimed"],
+            sweep["without_gc"]["peak_num_nodes"],
+        )
+    )
+
+    record = {
+        "ite_throughput": {
+            "iterative_steps_per_sec": round(iterative),
+            "recursive_steps_per_sec": round(recursive),
+            "ratio": round(ratio, 3),
+            "num_vars": num_vars,
+            "rounds": rounds,
+        },
+        "deep_chain": {
+            "depth": depth,
+            "recursion_limit": sys.getrecursionlimit(),
+            "iterative_seconds": (
+                None if iter_err else round(iter_chain, 3)
+            ),
+            "iterative_error": iter_err,
+            "recursive_seconds": (
+                None if rec_err else round(rec_chain, 3)
+            ),
+            "recursive_error": rec_err,
+        },
+        "gc_sweep": sweep,
+        "quick": args.quick,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("record written to %s" % args.output)
+
+    failed = []
+    if iter_err is not None:
+        failed.append(
+            "iterative kernel failed the deep chain: %s" % iter_err
+        )
+    if ratio < args.min_ratio:
+        failed.append(
+            "iterative ite throughput is %.2fx the recursive baseline "
+            "(gate: >= %.2fx)" % (ratio, args.min_ratio)
+        )
+    gc_peak = sweep["with_gc"]["peak_num_nodes"]
+    raw_peak = sweep["without_gc"]["peak_num_nodes"]
+    if gc_peak >= raw_peak:
+        failed.append(
+            "gc sweep peak %d is not strictly below the no-gc peak %d"
+            % (gc_peak, raw_peak)
+        )
+    for message in failed:
+        print("FAIL: %s" % message, file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,94 +37,148 @@ from repro.core.sibling import constrain, restrict
 class BaselineManager(Manager):
     """The Manager with the cumulative counter increments stripped.
 
-    ``_make_raw`` and ``_ite`` are copies of the instrumented versions
-    minus the ``_nodes_created`` / ``_peak_nodes`` / ``_ite_calls`` /
-    ``_ite_hits`` / ``_ite_misses`` updates — nothing else differs, so
-    the timing delta is the counters' cost and only that.
+    ``_make_raw`` and ``ite`` are copies of the instrumented iterative
+    versions minus the ``_nodes_created`` / ``_peak_nodes`` /
+    ``_last_created`` / ``_ite_calls`` / ``_ite_hits`` /
+    ``_ite_misses`` updates — nothing else differs, so the timing
+    delta is the counters' cost and only that.
     """
 
     def _make_raw(self, level: int, high: int, low: int) -> int:
         key = (level, high, low)
         index = self._unique.get(key)
         if index is None:
-            index = len(self._level)
-            self._level.append(level)
-            self._high.append(high)
-            self._low.append(low)
+            free = self._free
+            if free:
+                index = free.pop()
+                self._level[index] = level
+                self._high[index] = high
+                self._low[index] = low
+            else:
+                index = len(self._level)
+                self._level.append(level)
+                self._high.append(high)
+                self._low.append(low)
             self._unique[key] = index
             hook = self._step_hook
             if hook is not None:
                 hook(EVENT_NODE)
         return index << 1
 
-    def _ite(self, f: int, g: int, h: int) -> int:
-        hook = self._step_hook
-        if hook is not None:
-            hook(EVENT_ITE)
-        if f & 1:
-            f ^= 1
-            g, h = h, g
-        if f == ONE:
-            return g
-        if g == h:
-            return g
-        if g == ONE and h == ZERO:
-            return f
-        if g == ZERO and h == ONE:
-            return f ^ 1
-        if g == f:
-            g = ONE
-        elif g == (f ^ 1):
-            g = ZERO
-        if h == f:
-            h = ZERO
-        elif h == (f ^ 1):
-            h = ONE
-        if g == ONE and h == ZERO:
-            return f
-        if g == ZERO and h == ONE:
-            return f ^ 1
-        if g == h:
-            return g
-        if g == ONE:
-            if h > f:
-                f, h = h, f
-        elif g == ZERO:
-            if (h ^ 1) > f:
-                f, h = h ^ 1, f ^ 1
-        elif h == ONE:
-            if (g ^ 1) > f:
-                f, g = g ^ 1, f ^ 1
-        elif h == ZERO:
-            if g > f:
-                f, g = g, f
-        elif g == (h ^ 1):
-            if g > f:
-                f, g = g, f
-                h = g ^ 1
-        output_complement = 0
-        if g & 1:
-            g ^= 1
-            h ^= 1
-            output_complement = 1
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached ^ output_complement
-        level_f = self._level[f >> 1]
-        level_g = self._level[g >> 1]
-        level_h = self._level[h >> 1]
-        top = min(level_f, level_g, level_h)
-        f_then, f_else = self.branches(f, top)
-        g_then, g_else = self.branches(g, top)
-        h_then, h_else = self.branches(h, top)
-        result = self.make_node(
-            top,
-            self._ite(f_then, g_then, h_then),
-            self._ite(f_else, g_else, h_else),
-        )
-        self._ite_cache[key] = result
-        return result ^ output_complement
+    def ite(self, f: int, g: int, h: int) -> int:
+        level_list = self._level
+        high_list = self._high
+        low_list = self._low
+        ite_cache = self._ite_cache
+        ite_cache_get = ite_cache.get
+        make_node = self.make_node
+        tasks = []
+        push = tasks.append
+        pop = tasks.pop
+        then_results = []
+        then_push = then_results.append
+        then_pop = then_results.pop
+        while True:
+            hook = self._step_hook
+            if hook is not None:
+                hook(EVENT_ITE)
+            if f & 1:
+                f ^= 1
+                g, h = h, g
+            if f == ONE:
+                result = g
+            elif g == h:
+                result = g
+            elif g == ONE and h == ZERO:
+                result = f
+            elif g == ZERO and h == ONE:
+                result = f ^ 1
+            else:
+                if g == f:
+                    g = ONE
+                elif g == (f ^ 1):
+                    g = ZERO
+                if h == f:
+                    h = ZERO
+                elif h == (f ^ 1):
+                    h = ONE
+                if g == ONE and h == ZERO:
+                    result = f
+                elif g == ZERO and h == ONE:
+                    result = f ^ 1
+                elif g == h:
+                    result = g
+                else:
+                    if g == ONE:
+                        if h > f:
+                            f, h = h, f
+                    elif g == ZERO:
+                        if (h ^ 1) > f:
+                            f, h = h ^ 1, f ^ 1
+                    elif h == ONE:
+                        if (g ^ 1) > f:
+                            f, g = g ^ 1, f ^ 1
+                    elif h == ZERO:
+                        if g > f:
+                            f, g = g, f
+                    elif g == (h ^ 1):
+                        if g > f:
+                            f, g = g, f
+                            h = g ^ 1
+                    output_complement = g & 1
+                    if output_complement:
+                        g ^= 1
+                        h ^= 1
+                    key = (f, g, h)
+                    cached = ite_cache_get(key)
+                    if cached is not None:
+                        result = cached ^ output_complement
+                    else:
+                        f_index = f >> 1
+                        g_index = g >> 1
+                        h_index = h >> 1
+                        top = level_list[f_index]
+                        level_g = level_list[g_index]
+                        if level_g < top:
+                            top = level_g
+                        level_h = level_list[h_index]
+                        if level_h < top:
+                            top = level_h
+                        if level_list[f_index] != top:
+                            f_then = f_else = f
+                        else:
+                            complement = f & 1
+                            f_then = high_list[f_index] ^ complement
+                            f_else = low_list[f_index] ^ complement
+                        if level_list[g_index] != top:
+                            g_then = g_else = g
+                        else:
+                            complement = g & 1
+                            g_then = high_list[g_index] ^ complement
+                            g_else = low_list[g_index] ^ complement
+                        if level_list[h_index] != top:
+                            h_then = h_else = h
+                        else:
+                            complement = h & 1
+                            h_then = high_list[h_index] ^ complement
+                            h_else = low_list[h_index] ^ complement
+                        push((True, top, key, output_complement))
+                        push((False, f_else, g_else, h_else))
+                        f, g, h = f_then, g_then, h_then
+                        continue
+            while True:
+                if not tasks:
+                    return result
+                frame = pop()
+                if frame[0]:
+                    _, top, key, output_complement = frame
+                    node = make_node(top, then_pop(), result)
+                    ite_cache[key] = node
+                    result = node ^ output_complement
+                else:
+                    then_push(result)
+                    _, f, g, h = frame
+                    break
 
 
 def _random_pair(manager_cls, num_vars=10, seed=3):

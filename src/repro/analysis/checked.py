@@ -87,7 +87,9 @@ class NodeAuditHook:
         if event != EVENT_NODE:
             return
         manager = self._manager
-        ref = (manager.num_nodes - 1) << 1
+        # Not num_nodes - 1: free-list recycling means the newest node
+        # may sit in the middle of the table.
+        ref = manager.last_created_ref
         level, then_f, else_f = manager.top_branches(ref)
         self.nodes_audited += 1
         if then_f == else_f:
@@ -139,6 +141,26 @@ class CheckedManager(Manager):
     def _audit_result(self, ref: int) -> None:
         self._checks_run += 1
         self.validate(ref)
+
+    def gc(self, roots=(), compact: bool = False):
+        """Collect, then re-validate every surviving root.
+
+        A sweep rebuilds the unique table (and, compacting, every node
+        index), so the audit re-walks the roots and protected refs and
+        checks the table is still canonical — the moment-of-corruption
+        guarantee the per-operation audits give, extended to the
+        collector.  Not routed through ``_checked``: ``gc`` returns a
+        remap, not a ref.
+        """
+        root_refs = tuple(roots)
+        remap = super().gc(root_refs, compact=compact)
+        if self._check_active:
+            if remap is not None:
+                root_refs = tuple(remap(ref) for ref in root_refs)
+            self._checks_run += 1
+            # protected_refs() is already remapped by the collector.
+            self.validate(root_refs + self.protected_refs())
+        return remap
 
 
 def _checked(name: str):

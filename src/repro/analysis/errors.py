@@ -77,13 +77,13 @@ class DeadlineExceeded(BudgetExceeded):
 
 
 class RecursionBudgetExceeded(BudgetExceeded):
-    """A recursive BDD operation exceeded the survivable recursion depth.
+    """A bounded traversal exceeded its depth/step allowance.
 
-    Raised by :class:`repro.bdd.manager.Manager` in place of a raw
-    :class:`RecursionError`: the manager retries once with a recursion
-    limit raised in proportion to the number of variables (recursion
-    depth of every manager operation is bounded by the variable count),
-    and only if the bounded retry still overflows — or the required
-    limit exceeds ``Manager.recursion_cap`` — does this typed,
-    recoverable error surface.
+    Historical note: the manager's operator kernels were once recursive
+    and raised this in place of a raw :class:`RecursionError` when a
+    limit-raising retry still overflowed.  The kernels are iterative
+    now (depth is heap-bounded), so the manager never raises it — the
+    class survives as a typed, recoverable budget signal for callers
+    that impose their own depth or step bounds, and so existing
+    handlers written against the old contract keep compiling.
     """

@@ -169,6 +169,31 @@ class Function:
         }
         return self._wrap(self.manager.vector_compose(self.ref, mapping))
 
+    # -- memory management -------------------------------------------------
+    def protect(self) -> "Function":
+        """Pin this function's ref as a gc root; returns ``self``.
+
+        Protection is reference-counted in the manager: pair every
+        :meth:`protect` with an eventual :meth:`unprotect`.
+        """
+        self.manager.protect(self.ref)
+        return self
+
+    def unprotect(self) -> "Function":
+        """Drop one protection added by :meth:`protect`; returns ``self``."""
+        self.manager.unprotect(self.ref)
+        return self
+
+    def remapped(self, remap) -> "Function":
+        """This function under a compacting-gc ref remap.
+
+        After ``manager.gc(..., compact=True)`` returns a
+        :class:`~repro.bdd.manager.Remap`, wrappers held across the
+        collection must be translated; stale wrappers raise
+        :class:`~repro.analysis.errors.InvariantError` on use.
+        """
+        return self._wrap(remap(self.ref))
+
     def cubes(self, limit: Optional[int] = None) -> Iterator[Dict[str, bool]]:
         """Iterate cubes as ``{var_name: value}`` dictionaries."""
         for cube in self.manager.cubes(self.ref, limit=limit):

@@ -22,14 +22,33 @@ A fixed variable ordering is used: level 0 is the topmost variable.  The
 terminal node sits at ``TERMINAL_LEVEL``, a sentinel larger than any
 variable level, which lets ``min`` pick the splitting variable without
 special cases.
+
+Kernels and memory management
+-----------------------------
+
+Every operator (``ite``, ``cofactor``, ``exists``/``forall``,
+``and_exists``, ``vector_compose``, ``sat_count``, ``cubes``) runs as an
+**iterative explicit-stack kernel**: pending work lives in a task list
+of apply/reduce frames and child results in a result slot, so operation
+depth is heap-bounded and independent of the interpreter recursion
+limit.  Computed tables are probed before a frame is expanded, exactly
+as the recursive formulation probed them before descending.
+
+Dead nodes are reclaimed by :meth:`Manager.gc`, a mark-and-sweep
+collector: live nodes are marked from caller-supplied roots plus the
+refs pinned with :meth:`Manager.protect`, dead indices go onto a free
+list that ``_make_raw`` recycles, and with ``compact=True`` the parallel
+lists are rebuilt dense (the returned :class:`Remap` translates old refs
+of surviving nodes to their new values).  Unprotected refs not passed as
+roots are invalidated by a sweep — holders must re-derive or protect.
 """
 
 from __future__ import annotations
 
-import sys
+from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.analysis.errors import InvariantError, RecursionBudgetExceeded
+from repro.analysis.errors import InvariantError
 
 #: Ref of the constant TRUE function.
 ONE = 0
@@ -46,36 +65,41 @@ EVENT_ITE = "ite"
 #: Step-hook event: the computed tables were flushed (counters reset).
 EVENT_CLEAR = "clear"
 
-#: Default ceiling on how far the deep-recursion guard will raise the
-#: interpreter recursion limit.  Beyond ~20k Python frames the C stack
-#: itself is at risk on common 8 MB thread stacks, so past this point a
-#: typed :class:`RecursionBudgetExceeded` is preferred to a segfault.
-RECURSION_LIMIT_CAP = 20000
-
-#: Extra frames granted beyond the proven need (driver frames, hooks).
-_RECURSION_HEADROOM = 64
+#: Kernel frame tags: an ``_APPLY`` frame evaluates one (sub)call, the
+#: later tags combine already-computed child results.  Plain ints so
+#: frame dispatch is an integer compare on the hot path.
+_APPLY = 0
+_REDUCE = 1
+_AFTER_THEN = 2
+_COMBINE = 3
 
 
 class _CountingCache(dict):
-    """A computed-table dict that counts lookup hits and misses.
+    """A computed-table dict with opt-in hit/miss counting.
 
-    Installed by :meth:`Manager.attach_metrics` in place of the plain
-    dicts :meth:`Manager.cache` normally hands out.  Only the ``get``
-    path counts (library code probes caches exclusively through
-    ``cache.get(key)``); a stored value is never ``None``, so the
-    default sentinel cleanly separates hit from miss.  ``clear`` resets
-    the counters so the per-cache numbers restart with each cache
+    :meth:`Manager.cache` always hands these out, so the object a caller
+    holds stays valid across :meth:`Manager.attach_metrics` /
+    :meth:`Manager.detach_metrics`: attaching installs the counting
+    ``get`` *on the instance* (an instance attribute shadows the C-speed
+    ``dict.get`` for normal attribute lookups) and detaching removes it
+    again.  An unattached manager therefore probes caches at native dict
+    speed, and no stale handle can desynchronize from the live cache —
+    the earlier swap-the-object upgrade silently dropped writes made
+    through handles fetched before ``attach_metrics``.
+
+    Only the ``get`` path counts (library code probes caches exclusively
+    through ``cache.get(key)``); a stored value is never ``None``, so
+    the default sentinel cleanly separates hit from miss.  ``clear``
+    resets the counters so the per-cache numbers restart with each cache
     flush, in lockstep with the §4.1.1 fairness protocol.
     """
-
-    __slots__ = ("hits", "misses")
 
     def __init__(self) -> None:
         super().__init__()
         self.hits = 0
         self.misses = 0
 
-    def get(self, key, default=None):
+    def counting_get(self, key, default=None):
         value = dict.get(self, key, default)
         if value is None:
             self.misses += 1
@@ -83,10 +107,57 @@ class _CountingCache(dict):
             self.hits += 1
         return value
 
+    def start_counting(self) -> None:
+        """Zero the counters and route ``get`` through the counting path."""
+        self.hits = 0
+        self.misses = 0
+        self.get = self.counting_get
+
+    def stop_counting(self) -> None:
+        """Restore native ``dict.get`` (contents and identity are kept)."""
+        self.__dict__.pop("get", None)
+
+    @property
+    def counting(self) -> bool:
+        """True iff lookups are currently being counted."""
+        return "get" in self.__dict__
+
     def clear(self) -> None:
         dict.clear(self)
         self.hits = 0
         self.misses = 0
+
+
+class Remap:
+    """Old→new ref translation returned by a compacting :meth:`Manager.gc`.
+
+    Calling the remap translates a pre-compaction ref of a *surviving*
+    node into its post-compaction ref.  Refs of reclaimed nodes raise
+    :class:`~repro.analysis.errors.InvariantError` — translating a dead
+    ref is always a caller bug (the node's slot may already hold a
+    different node).
+    """
+
+    __slots__ = ("_index_map",)
+
+    def __init__(self, index_map: Dict[int, int]):
+        self._index_map = index_map
+
+    def __call__(self, ref: int) -> int:
+        try:
+            return (self._index_map[ref >> 1] << 1) | (ref & 1)
+        except KeyError:
+            raise InvariantError(
+                "ref %d was reclaimed by the compacting gc; only nodes "
+                "reachable from the gc roots or protected refs survive"
+                % ref
+            ) from None
+
+    def __contains__(self, ref: int) -> bool:
+        return (ref >> 1) in self._index_map
+
+    def __len__(self) -> int:
+        return len(self._index_map)
 
 
 class Manager:
@@ -102,8 +173,6 @@ class Manager:
     def __init__(self, var_names: Optional[Sequence[str]] = None):
         # The step hook must exist before the first node is created.
         self._step_hook: Optional[Callable[[str], None]] = None
-        #: Ceiling for the deep-recursion guard (see :meth:`_retry_deep`).
-        self.recursion_cap: int = RECURSION_LIMIT_CAP
         # Cumulative operation counters (reported by statistics()).
         # Plain int increments on the hot paths; cheap enough to stay
         # always-on, unlike the opt-in per-cache counters below.
@@ -112,6 +181,14 @@ class Manager:
         self._ite_misses: int = 0
         self._nodes_created: int = 0
         self._peak_nodes: int = 1
+        # Garbage-collection state: refcounted pinned refs, the free
+        # list of swept slot indices, and the cumulative gc counters.
+        self._protected: Dict[int, int] = {}
+        self._free: List[int] = []
+        self._gc_runs: int = 0
+        self._nodes_reclaimed: int = 0
+        # Index of the most recently created node (for audit hooks).
+        self._last_created: int = 0
         # Attached repro.obs.metrics registry (None = not collecting).
         self._metrics = None
         self._metrics_baseline: Optional[Dict[str, int]] = None
@@ -205,14 +282,24 @@ class Manager:
         key = (level, high, low)
         index = self._unique.get(key)
         if index is None:
-            index = len(self._level)
-            self._level.append(level)
-            self._high.append(high)
-            self._low.append(low)
+            free = self._free
+            if free:
+                # Recycle a slot swept by gc() instead of growing the
+                # parallel lists — long sweeps run in flat memory.
+                index = free.pop()
+                self._level[index] = level
+                self._high[index] = high
+                self._low[index] = low
+            else:
+                index = len(self._level)
+                self._level.append(level)
+                self._high.append(high)
+                self._low.append(low)
+                if index >= self._peak_nodes:
+                    self._peak_nodes = index + 1
             self._unique[key] = index
             self._nodes_created += 1
-            if index >= self._peak_nodes:
-                self._peak_nodes = index + 1
+            self._last_created = index
             # Node creation is a governed resource; the hook may raise a
             # BudgetExceeded.  The node itself is complete and canonical
             # at this point, so the table stays consistent either way.
@@ -220,6 +307,16 @@ class Manager:
             if hook is not None:
                 hook(EVENT_NODE)
         return index << 1
+
+    @property
+    def last_created_ref(self) -> int:
+        """Regular ref of the most recently created node.
+
+        Free-list recycling means the newest node is *not* necessarily
+        the one at the highest index; audit hooks reacting to
+        :data:`EVENT_NODE` must use this instead of ``num_nodes - 1``.
+        """
+        return self._last_created << 1
 
     def level(self, ref: int) -> int:
         """Level of the node a ref points to (terminal: TERMINAL_LEVEL)."""
@@ -259,7 +356,10 @@ class Manager:
 
     @property
     def num_nodes(self) -> int:
-        """Total nodes ever created (including the terminal)."""
+        """Size of the node table, including the terminal and any swept
+        slots awaiting reuse on the free list.  Grows monotonically
+        except under a compacting :meth:`gc`, which rebuilds the table
+        dense."""
         return len(self._level)
 
     # ------------------------------------------------------------------
@@ -274,7 +374,9 @@ class Manager:
         """
         cache = self._op_caches.get(name)
         if cache is None:
-            cache = _CountingCache() if self._metrics is not None else {}
+            cache = _CountingCache()
+            if self._metrics is not None:
+                cache.start_counting()
             self._op_caches[name] = cache
         return cache
 
@@ -285,6 +387,8 @@ class Manager:
         resource governor can reset its counters in lockstep — the
         paper's §4.1.1 fairness protocol flushes caches between
         heuristics, and per-heuristic budgets must restart with them.
+        :meth:`gc` calls this before sweeping, since every computed
+        table may hold refs to nodes about to be reclaimed.
         """
         self._ite_cache.clear()
         for cache in self._op_caches.values():
@@ -328,37 +432,126 @@ class Manager:
         """The currently installed step hook (None when ungoverned)."""
         return self._step_hook
 
-    def _retry_deep(self, fn, args: tuple, operation: str):
-        """Re-run a recursive operation after a :class:`RecursionError`.
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def protect(self, ref: int) -> int:
+        """Pin ``ref`` across :meth:`gc` sweeps; returns ``ref``.
 
-        Every recursive manager operation descends at least one variable
-        level per call, so its depth is bounded by the variable count.
-        The retry raises the interpreter limit by exactly that bound
-        (plus headroom) and runs the operation again — the caches only
-        ever hold fully computed entries, so a partially completed first
-        attempt is safe to resume from.  If the required limit exceeds
-        :attr:`recursion_cap`, or the bounded retry still overflows, a
-        typed :class:`~repro.analysis.errors.RecursionBudgetExceeded`
-        is raised instead of the raw :class:`RecursionError`.
+        Protection is refcounted: each ``protect`` needs a matching
+        :meth:`unprotect`.  Protected refs are implicit gc roots, and a
+        compacting collection remaps them in place.
         """
-        limit = sys.getrecursionlimit()
-        needed = limit + len(self._var_names) + _RECURSION_HEADROOM
-        if needed > self.recursion_cap:
-            raise RecursionBudgetExceeded(
-                "%s over %d variables needs recursion depth ~%d, beyond "
-                "the cap %d (raise Manager.recursion_cap to allow it)"
-                % (operation, len(self._var_names), needed, self.recursion_cap)
-            ) from None
-        sys.setrecursionlimit(needed)
+        self._protected[ref] = self._protected.get(ref, 0) + 1
+        return ref
+
+    def unprotect(self, ref: int) -> None:
+        """Drop one protection of ``ref`` (see :meth:`protect`).
+
+        Raises :class:`ValueError` if ``ref`` is not currently
+        protected — an unbalanced unprotect is always a caller bug.
+        """
+        count = self._protected.get(ref)
+        if count is None:
+            raise ValueError("ref %d is not protected" % ref)
+        if count == 1:
+            del self._protected[ref]
+        else:
+            self._protected[ref] = count - 1
+
+    def protected_refs(self) -> Tuple[int, ...]:
+        """The currently protected refs (once each, whatever the count)."""
+        return tuple(self._protected)
+
+    @contextmanager
+    def protecting(self, *refs: int) -> Iterator[None]:
+        """Protect ``refs`` for the duration of a ``with`` block.
+
+        Not compaction-safe: a compacting :meth:`gc` inside the block
+        remaps the protected table, so the exit unprotect would miss.
+        Use explicit :meth:`protect`/:meth:`unprotect` around
+        ``gc(compact=True)`` instead.
+        """
+        for ref in refs:
+            self.protect(ref)
         try:
-            return fn(*args)
-        except RecursionError:
-            raise RecursionBudgetExceeded(
-                "%s still exceeded the raised recursion limit %d "
-                "(%d variables)" % (operation, needed, len(self._var_names))
-            ) from None
+            yield
         finally:
-            sys.setrecursionlimit(limit)
+            for ref in refs:
+                self.unprotect(ref)
+
+    def gc(
+        self, roots: Iterable[int] = (), compact: bool = False
+    ) -> Optional[Remap]:
+        """Mark-and-sweep collection of nodes unreachable from the roots.
+
+        Marks every node reachable from ``roots`` and the
+        :meth:`protect`-ed refs, flushes all computed tables (they may
+        hold dead refs; the step hook sees :data:`EVENT_CLEAR`, so a
+        governor's budget restarts — gc points are the §4.1.1 fairness
+        flush points), and sweeps dead nodes out of the unique table
+        onto a free list that ``_make_raw`` recycles.  Refs to swept
+        nodes are invalidated; refs to surviving nodes stay canonical.
+
+        With ``compact=True`` the parallel node lists are additionally
+        rebuilt dense (memory is actually released) and **every**
+        outstanding ref is invalidated; the returned :class:`Remap`
+        translates old refs of surviving nodes, and the protected table
+        is remapped automatically.  Returns ``None`` when not
+        compacting.  Must not be called from inside a running operation
+        (e.g. from a step hook).
+        """
+        from repro.obs import trace as obs_trace
+
+        root_refs = tuple(roots) + tuple(self._protected)
+        with obs_trace.span(
+            "manager.gc", roots=len(root_refs), compact=compact
+        ):
+            marked = self.nodes_reachable(root_refs)
+            marked.add(0)
+            self.clear_caches()
+            if compact:
+                remap, reclaimed = self._compact(marked)
+            else:
+                remap = None
+                reclaimed = 0
+                free = self._free
+                for key, index in list(self._unique.items()):
+                    if index not in marked:
+                        del self._unique[key]
+                        free.append(index)
+                        reclaimed += 1
+            self._gc_runs += 1
+            self._nodes_reclaimed += reclaimed
+        return remap
+
+    def _compact(self, marked: Set[int]) -> Tuple[Remap, int]:
+        """Rebuild the parallel lists dense over ``marked`` indices."""
+        old_count = len(self._level)
+        order = sorted(marked)
+        index_map = {old: new for new, old in enumerate(order)}
+        old_level, old_high, old_low = self._level, self._high, self._low
+        new_level: List[int] = []
+        new_high: List[int] = []
+        new_low: List[int] = []
+        for old_index in order:
+            new_level.append(old_level[old_index])
+            high = old_high[old_index]
+            low = old_low[old_index]
+            new_high.append((index_map[high >> 1] << 1) | (high & 1))
+            new_low.append((index_map[low >> 1] << 1) | (low & 1))
+        self._level, self._high, self._low = new_level, new_high, new_low
+        self._unique = {
+            (new_level[i], new_high[i], new_low[i]): i
+            for i in range(1, len(order))
+        }
+        self._free = []
+        self._last_created = 0
+        remap = Remap(index_map)
+        self._protected = {
+            remap(ref): count for ref, count in self._protected.items()
+        }
+        return remap, old_count - len(order)
 
     def validate(self, refs: Union[int, Iterable[int]]) -> None:
         """Check structural invariants of one or several BDDs.
@@ -406,11 +599,14 @@ class Manager:
         /``ite_cache``) and the per-cache ``cache_<name>`` sizes are the
         original point-in-time readings and keep their exact meaning.
         The cumulative counters (``ite_calls``, ``ite_cache_hits``,
-        ``ite_cache_misses``, ``nodes_created``, ``peak_nodes``) count
-        since manager creation and survive :meth:`clear_caches` — per-
-        heuristic deltas are taken with
-        :func:`repro.obs.metrics.diff_statistics`.  When a metrics
-        registry is attached, each named cache additionally reports
+        ``ite_cache_misses``, ``nodes_created``, ``peak_nodes``,
+        ``gc_runs``, ``nodes_reclaimed``) count since manager creation
+        and survive :meth:`clear_caches` — per-heuristic deltas are
+        taken with :func:`repro.obs.metrics.diff_statistics`.
+        ``live_nodes`` counts allocated nodes (terminal included) and
+        ``free_list`` the swept slots awaiting reuse; their sum is
+        ``num_nodes`` between collections.  When a metrics registry is
+        attached, each named cache additionally reports
         ``cache_<name>_hits``/``_misses`` (reset on flush).
         """
         stats = {
@@ -423,10 +619,15 @@ class Manager:
             "ite_cache_misses": self._ite_misses,
             "nodes_created": self._nodes_created,
             "peak_nodes": self._peak_nodes,
+            "live_nodes": len(self._unique) + 1,
+            "free_list": len(self._free),
+            "gc_runs": self._gc_runs,
+            "nodes_reclaimed": self._nodes_reclaimed,
         }
+        counting = self._metrics is not None
         for name, cache in sorted(self._op_caches.items()):
             stats["cache_" + name] = len(cache)
-            if isinstance(cache, _CountingCache):
+            if counting and isinstance(cache, _CountingCache):
                 stats["cache_" + name + "_hits"] = cache.hits
                 stats["cache_" + name + "_misses"] = cache.misses
         return stats
@@ -443,8 +644,9 @@ class Manager:
         """Start collecting per-cache hit/miss counts into ``registry``.
 
         ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`
-        (the process-global active one by default).  Existing named
-        caches are upgraded in place to counting caches, and
+        (the process-global active one by default).  Counting starts on
+        every existing named cache *in place* — handles fetched via
+        :meth:`cache` before the attach stay the live objects — and
         :meth:`detach_metrics` later folds the statistics delta
         accumulated while attached into the registry under
         ``manager.*`` names.  Returns the registry.  Attaching twice
@@ -463,9 +665,13 @@ class Manager:
         self._metrics = registry
         for name, cache in self._op_caches.items():
             if not isinstance(cache, _CountingCache):
+                # Defensive: a foreign plain dict (subclass injection)
+                # is upgraded by copy, the legacy path.
                 counting = _CountingCache()
                 counting.update(cache)
                 self._op_caches[name] = counting
+                cache = counting
+            cache.start_counting()
         self._metrics_baseline = self.statistics()
         return registry
 
@@ -475,8 +681,8 @@ class Manager:
         The difference between the current :meth:`statistics` and the
         snapshot taken at attach time is folded into the registry:
         cumulative counters as ``manager.<key>`` counter increments,
-        sizes and peaks as high-watermark gauges.  Counting caches are
-        downgraded back to plain dicts (contents kept), so a detached
+        sizes and peaks as high-watermark gauges.  Cache counting stops
+        in place (contents and object identity kept), so a detached
         manager is indistinguishable from one never attached.
         """
         registry = self._metrics
@@ -497,9 +703,9 @@ class Manager:
                 registry.max_gauge("manager." + name, value)
         self._metrics = None
         self._metrics_baseline = None
-        for name, cache in self._op_caches.items():
+        for cache in self._op_caches.values():
             if isinstance(cache, _CountingCache):
-                self._op_caches[name] = dict(cache)
+                cache.stop_counting()
         return registry
 
     # ------------------------------------------------------------------
@@ -508,92 +714,156 @@ class Manager:
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``f·g + ¬f·h``, the universal binary operator.
 
-        Deep-recursion safe: a :class:`RecursionError` from the
-        recursive core is retried once with a variable-count-bounded
-        recursion limit (see :meth:`_retry_deep`); a raw
-        ``RecursionError`` never escapes.
+        Runs as an iterative explicit-stack kernel.  The triple under
+        evaluation lives in locals ("registers"): it is normalized,
+        probed against the computed table, and on a miss the kernel
+        pushes a reduce frame plus the else-cofactor triple, then
+        continues straight into the then-cofactor without touching the
+        stack.  A finished result unwinds the stack: popping an apply
+        frame resumes the pending else-triple, popping a reduce frame
+        builds and caches the node.  Triples are evaluated in exactly
+        the recursive post-order, so step-hook event sequences (and
+        therefore budget trips and fault-injection schedules) are
+        unchanged — but depth is heap-bounded, independent of the
+        interpreter recursion limit.
         """
+        level_list = self._level
+        high_list = self._high
+        low_list = self._low
+        ite_cache = self._ite_cache
+        ite_cache_get = ite_cache.get
+        make_node = self.make_node
+        # Frames: (True, top, key, oc) reduce | (False, f, g, h) apply.
+        tasks: List[tuple] = []
+        push = tasks.append
+        pop = tasks.pop
+        # Completed then-results awaiting their sibling else-results.
+        then_results: List[int] = []
+        then_push = then_results.append
+        then_pop = then_results.pop
+        calls = hits = misses = 0
         try:
-            return self._ite(f, g, h)
-        except RecursionError:
-            return self._retry_deep(self._ite, (f, g, h), "ite")
-
-    def _ite(self, f: int, g: int, h: int) -> int:
-        self._ite_calls += 1
-        hook = self._step_hook
-        if hook is not None:
-            hook(EVENT_ITE)
-        # Normalize so the condition is regular.
-        if f & 1:
-            f ^= 1
-            g, h = h, g
-        # Terminal cases.
-        if f == ONE:
-            return g
-        if g == h:
-            return g
-        if g == ONE and h == ZERO:
-            return f
-        if g == ZERO and h == ONE:
-            return f ^ 1
-        # Absorb the condition into equal/complement branches.
-        if g == f:
-            g = ONE
-        elif g == (f ^ 1):
-            g = ZERO
-        if h == f:
-            h = ZERO
-        elif h == (f ^ 1):
-            h = ONE
-        if g == ONE and h == ZERO:
-            return f
-        if g == ZERO and h == ONE:
-            return f ^ 1
-        if g == h:
-            return g
-        # Canonicalize commutable triples so the cache hits more often.
-        if g == ONE:
-            if h > f:
-                f, h = h, f
-        elif g == ZERO:
-            if (h ^ 1) > f:
-                f, h = h ^ 1, f ^ 1
-        elif h == ONE:
-            if (g ^ 1) > f:
-                f, g = g ^ 1, f ^ 1
-        elif h == ZERO:
-            if g > f:
-                f, g = g, f
-        elif g == (h ^ 1):
-            if g > f:
-                f, g = g, f
-                h = g ^ 1
-        # Normalize so the then-branch is regular (complement the output).
-        output_complement = 0
-        if g & 1:
-            g ^= 1
-            h ^= 1
-            output_complement = 1
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            self._ite_hits += 1
-            return cached ^ output_complement
-        self._ite_misses += 1
-        level_f = self._level[f >> 1]
-        level_g = self._level[g >> 1]
-        level_h = self._level[h >> 1]
-        top = min(level_f, level_g, level_h)
-        f_then, f_else = self.branches(f, top)
-        g_then, g_else = self.branches(g, top)
-        h_then, h_else = self.branches(h, top)
-        result = self.make_node(
-            top,
-            self._ite(f_then, g_then, h_then),
-            self._ite(f_else, g_else, h_else),
-        )
-        self._ite_cache[key] = result
-        return result ^ output_complement
+            while True:
+                calls += 1
+                # Read per step: hooks may be (de)installed mid-kernel.
+                hook = self._step_hook
+                if hook is not None:
+                    hook(EVENT_ITE)
+                # Normalize so the condition is regular.
+                if f & 1:
+                    f ^= 1
+                    g, h = h, g
+                # Terminal cases.
+                if f == ONE:
+                    result = g
+                elif g == h:
+                    result = g
+                elif g == ONE and h == ZERO:
+                    result = f
+                elif g == ZERO and h == ONE:
+                    result = f ^ 1
+                else:
+                    # Absorb the condition into equal/complement
+                    # branches.
+                    if g == f:
+                        g = ONE
+                    elif g == (f ^ 1):
+                        g = ZERO
+                    if h == f:
+                        h = ZERO
+                    elif h == (f ^ 1):
+                        h = ONE
+                    if g == ONE and h == ZERO:
+                        result = f
+                    elif g == ZERO and h == ONE:
+                        result = f ^ 1
+                    elif g == h:
+                        result = g
+                    else:
+                        # Canonicalize commutable triples for more
+                        # cache hits.
+                        if g == ONE:
+                            if h > f:
+                                f, h = h, f
+                        elif g == ZERO:
+                            if (h ^ 1) > f:
+                                f, h = h ^ 1, f ^ 1
+                        elif h == ONE:
+                            if (g ^ 1) > f:
+                                f, g = g ^ 1, f ^ 1
+                        elif h == ZERO:
+                            if g > f:
+                                f, g = g, f
+                        elif g == (h ^ 1):
+                            if g > f:
+                                f, g = g, f
+                                h = g ^ 1
+                        # Normalize so the then-branch is regular
+                        # (complement the output).
+                        output_complement = g & 1
+                        if output_complement:
+                            g ^= 1
+                            h ^= 1
+                        key = (f, g, h)
+                        cached = ite_cache_get(key)
+                        if cached is not None:
+                            hits += 1
+                            result = cached ^ output_complement
+                        else:
+                            misses += 1
+                            f_index = f >> 1
+                            g_index = g >> 1
+                            h_index = h >> 1
+                            top = level_list[f_index]
+                            level_g = level_list[g_index]
+                            if level_g < top:
+                                top = level_g
+                            level_h = level_list[h_index]
+                            if level_h < top:
+                                top = level_h
+                            if level_list[f_index] != top:
+                                f_then = f_else = f
+                            else:
+                                complement = f & 1
+                                f_then = high_list[f_index] ^ complement
+                                f_else = low_list[f_index] ^ complement
+                            if level_list[g_index] != top:
+                                g_then = g_else = g
+                            else:
+                                complement = g & 1
+                                g_then = high_list[g_index] ^ complement
+                                g_else = low_list[g_index] ^ complement
+                            if level_list[h_index] != top:
+                                h_then = h_else = h
+                            else:
+                                complement = h & 1
+                                h_then = high_list[h_index] ^ complement
+                                h_else = low_list[h_index] ^ complement
+                            push((True, top, key, output_complement))
+                            push((False, f_else, g_else, h_else))
+                            f, g, h = f_then, g_then, h_then
+                            continue
+                # ``result`` is complete: unwind reduce frames, then
+                # resume the innermost pending else-triple (if any).
+                while True:
+                    if not tasks:
+                        return result
+                    frame = pop()
+                    if frame[0]:
+                        _, top, key, output_complement = frame
+                        node = make_node(top, then_pop(), result)
+                        ite_cache[key] = node
+                        result = node ^ output_complement
+                    else:
+                        then_push(result)
+                        _, f, g, h = frame
+                        break
+        finally:
+            # Counters survive a mid-kernel budget abort: a journalled
+            # cell that fell back still reports the work it burned.
+            self._ite_calls += calls
+            self._ite_hits += hits
+            self._ite_misses += misses
 
     # ------------------------------------------------------------------
     # Boolean connectives
@@ -627,22 +897,52 @@ class Manager:
         return self.ite(f, g ^ 1, ZERO)
 
     def and_many(self, refs: Iterable[int]) -> int:
-        """Conjunction of a collection of refs."""
-        result = ONE
-        for ref in refs:
-            result = self.and_(result, ref)
-            if result == ZERO:
-                break
-        return result
+        """Conjunction of a collection of refs.
+
+        Combined as a balanced pairwise reduction tree rather than a
+        left fold: a fold drags one ever-growing accumulator through
+        every AND, so intermediate BDDs peak near the final size times
+        the term count, while the balanced tree conjoins functions of
+        similar (small) size first — the standard BDD-package idiom for
+        n-ary operations.  Short-circuits on an annihilating ZERO.
+        """
+        items = list(refs)
+        if not items:
+            return ONE
+        and_ = self.and_
+        while len(items) > 1:
+            paired: List[int] = []
+            for i in range(0, len(items) - 1, 2):
+                combined = and_(items[i], items[i + 1])
+                if combined == ZERO:
+                    return ZERO
+                paired.append(combined)
+            if len(items) & 1:
+                paired.append(items[-1])
+            items = paired
+        return items[0]
 
     def or_many(self, refs: Iterable[int]) -> int:
-        """Disjunction of a collection of refs."""
-        result = ZERO
-        for ref in refs:
-            result = self.or_(result, ref)
-            if result == ONE:
-                break
-        return result
+        """Disjunction of a collection of refs.
+
+        Balanced pairwise reduction; see :meth:`and_many`.
+        Short-circuits on an annihilating ONE.
+        """
+        items = list(refs)
+        if not items:
+            return ZERO
+        or_ = self.or_
+        while len(items) > 1:
+            paired: List[int] = []
+            for i in range(0, len(items) - 1, 2):
+                combined = or_(items[i], items[i + 1])
+                if combined == ONE:
+                    return ONE
+                paired.append(combined)
+            if len(items) & 1:
+                paired.append(items[-1])
+            items = paired
+        return items[0]
 
     def leq(self, f: int, g: int) -> bool:
         """Containment test: ``f ≤ g`` (f implies g)."""
@@ -652,33 +952,51 @@ class Manager:
     # Cofactors and quantification
     # ------------------------------------------------------------------
     def cofactor(self, f: int, level: int, value: bool) -> int:
-        """Cofactor of ``f`` by the literal at ``level`` set to ``value``."""
-        cache = self.cache("cofactor")
-        args = (f, level, 1 if value else 0, cache)
-        try:
-            return self._cofactor(*args)
-        except RecursionError:
-            return self._retry_deep(self._cofactor, args, "cofactor")
+        """Cofactor of ``f`` by the literal at ``level`` set to ``value``.
 
-    def _cofactor(self, f: int, level: int, value: int, cache: dict) -> int:
-        node_level = self._level[f >> 1]
-        if node_level > level:
-            return f
-        key = (f, level, value)
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-        then_f, else_f = self.top_branches(f)[1:]
-        if node_level == level:
-            result = then_f if value else else_f
-        else:
-            result = self.make_node(
-                node_level,
-                self._cofactor(then_f, level, value, cache),
-                self._cofactor(else_f, level, value, cache),
-            )
-        cache[key] = result
-        return result
+        Iterative explicit-stack kernel (heap-bounded depth).
+        """
+        cache = self.cache("cofactor")
+        value = 1 if value else 0
+        level_list = self._level
+        high_list = self._high
+        low_list = self._low
+        make_node = self.make_node
+        tasks: List[tuple] = [(_APPLY, f)]
+        results: List[int] = []
+        while tasks:
+            task = tasks.pop()
+            if task[0] == _REDUCE:
+                _, node_level, key = task
+                else_r = results.pop()
+                then_r = results.pop()
+                result = make_node(node_level, then_r, else_r)
+                cache[key] = result
+                results.append(result)
+                continue
+            f = task[1]
+            index = f >> 1
+            node_level = level_list[index]
+            if node_level > level:
+                results.append(f)
+                continue
+            key = (f, level, value)
+            cached = cache.get(key)
+            if cached is not None:
+                results.append(cached)
+                continue
+            complement = f & 1
+            then_f = high_list[index] ^ complement
+            else_f = low_list[index] ^ complement
+            if node_level == level:
+                result = then_f if value else else_f
+                cache[key] = result
+                results.append(result)
+                continue
+            tasks.append((_REDUCE, node_level, key))
+            tasks.append((_APPLY, else_f))
+            tasks.append((_APPLY, then_f))
+        return results[-1]
 
     def restrict_cube(self, f: int, cube: Dict[int, bool]) -> int:
         """Cofactor ``f`` by a cube given as ``{level: value}``."""
@@ -691,47 +1009,63 @@ class Manager:
         level_set = frozenset(levels)
         if not level_set:
             return f
-        cache = self.cache("exists")
-        args = (f, level_set, cache, False)
-        try:
-            return self._quantify(*args)
-        except RecursionError:
-            return self._retry_deep(self._quantify, args, "exists")
+        return self._quantify(f, level_set, self.cache("exists"), False)
 
     def forall(self, f: int, levels: Iterable[int]) -> int:
         """Universal quantification over the given variable levels."""
         level_set = frozenset(levels)
         if not level_set:
             return f
-        cache = self.cache("forall")
-        args = (f, level_set, cache, True)
-        try:
-            return self._quantify(*args)
-        except RecursionError:
-            return self._retry_deep(self._quantify, args, "forall")
+        return self._quantify(f, level_set, self.cache("forall"), True)
 
     def _quantify(
         self, f: int, levels: frozenset, cache: dict, conjunctive: bool
     ) -> int:
-        node_level = self._level[f >> 1]
-        if node_level == TERMINAL_LEVEL or node_level > max(levels):
-            return f
-        key = (f, levels)
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-        then_f, else_f = self.top_branches(f)[1:]
-        then_r = self._quantify(then_f, levels, cache, conjunctive)
-        else_r = self._quantify(else_f, levels, cache, conjunctive)
-        if node_level in levels:
-            if conjunctive:
-                result = self.and_(then_r, else_r)
-            else:
-                result = self.or_(then_r, else_r)
-        else:
-            result = self.make_node(node_level, then_r, else_r)
-        cache[key] = result
-        return result
+        """Iterative quantification kernel shared by exists/forall.
+
+        The combine step calls :meth:`and_`/:meth:`or_`, itself the
+        heap-bounded ITE kernel, so the whole operation runs under the
+        default interpreter recursion limit at any depth.
+        """
+        deepest = max(levels)
+        combine = self.and_ if conjunctive else self.or_
+        level_list = self._level
+        high_list = self._high
+        low_list = self._low
+        make_node = self.make_node
+        tasks: List[tuple] = [(_APPLY, f)]
+        results: List[int] = []
+        while tasks:
+            task = tasks.pop()
+            if task[0] == _REDUCE:
+                _, node_level, key = task
+                else_r = results.pop()
+                then_r = results.pop()
+                if node_level in levels:
+                    result = combine(then_r, else_r)
+                else:
+                    result = make_node(node_level, then_r, else_r)
+                cache[key] = result
+                results.append(result)
+                continue
+            f = task[1]
+            index = f >> 1
+            node_level = level_list[index]
+            # The terminal sits at TERMINAL_LEVEL > deepest, so this
+            # also covers the constant case.
+            if node_level > deepest:
+                results.append(f)
+                continue
+            key = (f, levels)
+            cached = cache.get(key)
+            if cached is not None:
+                results.append(cached)
+                continue
+            complement = f & 1
+            tasks.append((_REDUCE, node_level, key))
+            tasks.append((_APPLY, low_list[index] ^ complement))
+            tasks.append((_APPLY, high_list[index] ^ complement))
+        return results[-1]
 
     def and_exists(self, f: int, g: int, levels: Iterable[int]) -> int:
         """Relational product ``∃ levels. f · g`` without the full AND.
@@ -740,47 +1074,92 @@ class Manager:
         with the conjunction so intermediate BDDs stay small.
         """
         level_set = frozenset(levels)
-        cache = self.cache("and_exists")
-        args = (f, g, level_set, cache)
-        try:
-            return self._and_exists(*args)
-        except RecursionError:
-            return self._retry_deep(self._and_exists, args, "and_exists")
+        return self._and_exists(f, g, level_set, self.cache("and_exists"))
 
     def _and_exists(self, f: int, g: int, levels: frozenset, cache: dict) -> int:
-        if f == ZERO or g == ZERO:
-            return ZERO
-        if f == ONE and g == ONE:
-            return ONE
-        if f == ONE:
-            return self.exists(g, levels) if levels else g
-        if g == ONE:
-            return self.exists(f, levels) if levels else f
-        if f == (g ^ 1):
-            return ZERO
-        if f == g:
-            return self.exists(f, levels)
-        if f > g:
-            f, g = g, f
-        key = (f, g, levels)
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-        top = min(self._level[f >> 1], self._level[g >> 1])
-        f_then, f_else = self.branches(f, top)
-        g_then, g_else = self.branches(g, top)
-        then_r = self._and_exists(f_then, g_then, levels, cache)
-        if top in levels:
-            if then_r == ONE:
-                result = ONE
-            else:
-                else_r = self._and_exists(f_else, g_else, levels, cache)
-                result = self.or_(then_r, else_r)
-        else:
-            else_r = self._and_exists(f_else, g_else, levels, cache)
-            result = self.make_node(top, then_r, else_r)
-        cache[key] = result
-        return result
+        """Iterative relational-product kernel.
+
+        Three frame kinds: ``_APPLY`` expands a pair, ``_AFTER_THEN``
+        inspects the then-result first — preserving the recursive
+        version's short-circuit that skips the else-branch entirely
+        when an existentially quantified level already produced ONE —
+        and ``_COMBINE`` merges both child results.
+        """
+        level_list = self._level
+        high_list = self._high
+        low_list = self._low
+        make_node = self.make_node
+        tasks: List[tuple] = [(_APPLY, f, g)]
+        results: List[int] = []
+        while tasks:
+            task = tasks.pop()
+            tag = task[0]
+            if tag == _APPLY:
+                _, f, g = task
+                if f == ZERO or g == ZERO:
+                    results.append(ZERO)
+                    continue
+                if f == ONE and g == ONE:
+                    results.append(ONE)
+                    continue
+                if f == ONE:
+                    results.append(self.exists(g, levels) if levels else g)
+                    continue
+                if g == ONE:
+                    results.append(self.exists(f, levels) if levels else f)
+                    continue
+                if f == (g ^ 1):
+                    results.append(ZERO)
+                    continue
+                if f == g:
+                    results.append(self.exists(f, levels))
+                    continue
+                if f > g:
+                    f, g = g, f
+                key = (f, g, levels)
+                cached = cache.get(key)
+                if cached is not None:
+                    results.append(cached)
+                    continue
+                f_index = f >> 1
+                g_index = g >> 1
+                top = level_list[f_index]
+                level_g = level_list[g_index]
+                if level_g < top:
+                    top = level_g
+                if level_list[f_index] != top:
+                    f_then = f_else = f
+                else:
+                    complement = f & 1
+                    f_then = high_list[f_index] ^ complement
+                    f_else = low_list[f_index] ^ complement
+                if level_list[g_index] != top:
+                    g_then = g_else = g
+                else:
+                    complement = g & 1
+                    g_then = high_list[g_index] ^ complement
+                    g_else = low_list[g_index] ^ complement
+                tasks.append((_AFTER_THEN, f_else, g_else, top, key))
+                tasks.append((_APPLY, f_then, g_then))
+            elif tag == _AFTER_THEN:
+                _, f_else, g_else, top, key = task
+                then_r = results.pop()
+                if top in levels and then_r == ONE:
+                    cache[key] = ONE
+                    results.append(ONE)
+                    continue
+                tasks.append((_COMBINE, top, key, then_r))
+                tasks.append((_APPLY, f_else, g_else))
+            else:  # _COMBINE
+                _, top, key, then_r = task
+                else_r = results.pop()
+                if top in levels:
+                    result = self.or_(then_r, else_r)
+                else:
+                    result = make_node(top, then_r, else_r)
+                cache[key] = result
+                results.append(result)
+        return results[-1]
 
     # ------------------------------------------------------------------
     # Composition and renaming
@@ -797,34 +1176,44 @@ class Manager:
         """
         if not mapping:
             return f
-        cache: dict = {}
-        frozen = tuple(sorted(mapping.items()))
-        args = (f, dict(frozen), frozen, cache)
-        try:
-            return self._vector_compose(*args)
-        except RecursionError:
-            return self._retry_deep(
-                self._vector_compose, args, "vector_compose"
-            )
+        return self._vector_compose(f, dict(mapping), {})
 
     def _vector_compose(
-        self, f: int, mapping: Dict[int, int], key_tag: tuple, cache: dict
+        self, f: int, mapping: Dict[int, int], cache: dict
     ) -> int:
-        node_level = self._level[f >> 1]
-        if node_level == TERMINAL_LEVEL:
-            return f
-        cached = cache.get(f)
-        if cached is not None:
-            return cached
-        top, then_f, else_f = self.top_branches(f)
-        then_r = self._vector_compose(then_f, mapping, key_tag, cache)
-        else_r = self._vector_compose(else_f, mapping, key_tag, cache)
-        replacement = mapping.get(top)
-        if replacement is None:
-            replacement = self.make_node(top, ONE, ZERO)
-        result = self.ite(replacement, then_r, else_r)
-        cache[f] = result
-        return result
+        """Iterative composition kernel (per-call cache keyed by ref)."""
+        level_list = self._level
+        high_list = self._high
+        low_list = self._low
+        tasks: List[tuple] = [(_APPLY, f)]
+        results: List[int] = []
+        while tasks:
+            task = tasks.pop()
+            if task[0] == _REDUCE:
+                _, f, top = task
+                else_r = results.pop()
+                then_r = results.pop()
+                replacement = mapping.get(top)
+                if replacement is None:
+                    replacement = self.make_node(top, ONE, ZERO)
+                result = self.ite(replacement, then_r, else_r)
+                cache[f] = result
+                results.append(result)
+                continue
+            f = task[1]
+            index = f >> 1
+            if level_list[index] == TERMINAL_LEVEL:
+                results.append(f)
+                continue
+            cached = cache.get(f)
+            if cached is not None:
+                results.append(cached)
+                continue
+            complement = f & 1
+            tasks.append((_REDUCE, f, level_list[index]))
+            tasks.append((_APPLY, low_list[index] ^ complement))
+            tasks.append((_APPLY, high_list[index] ^ complement))
+        return results[-1]
 
     def rename(self, f: int, mapping: Dict[int, int]) -> int:
         """Rename variables: ``mapping`` is ``{old_level: new_level}``."""
@@ -910,30 +1299,45 @@ class Manager:
         """
         if num_levels is None:
             num_levels = len(self._var_names)
-        cache: Dict[int, int] = {}
         total = 1 << num_levels
-
-        def count(r: int) -> int:
-            # Returns satisfying fraction numerator over 2**num_levels.
-            if r == ONE:
-                return total
-            if r == ZERO:
-                return 0
-            if r & 1:
-                return total - count(r ^ 1)
-            cached = cache.get(r)
-            if cached is not None:
-                return cached
-            level, then_f, else_f = self.top_branches(r)
-            result = (count(then_f) + count(else_f)) >> 1
-            cache[r] = result
-            return result
-
-        try:
-            result = count(ref)
-        except RecursionError:
-            result = self._retry_deep(count, (ref,), "sat_count")
-        del cache
+        high_list = self._high
+        low_list = self._low
+        # Post-order over *regular* refs: counts[r] is the onset count
+        # of the regular function at r; a complemented edge reads as
+        # total - counts[child].  Iterative two-visit DFS, heap-bounded.
+        counts: Dict[int, int] = {}
+        stack = [ref & ~1]
+        while stack:
+            r = stack[-1]
+            if r == ONE or r in counts:
+                stack.pop()
+                continue
+            index = r >> 1
+            then_f = high_list[index]
+            else_f = low_list[index]
+            then_reg = then_f & ~1
+            else_reg = else_f & ~1
+            missing = False
+            if then_reg != ONE and then_reg not in counts:
+                stack.append(then_reg)
+                missing = True
+            if else_reg != ONE and else_reg not in counts:
+                stack.append(else_reg)
+                missing = True
+            if missing:
+                continue
+            then_count = total if then_reg == ONE else counts[then_reg]
+            if then_f & 1:
+                then_count = total - then_count
+            else_count = total if else_reg == ONE else counts[else_reg]
+            if else_f & 1:
+                else_count = total - else_count
+            counts[r] = (then_count + else_count) >> 1
+            stack.pop()
+        regular = ref & ~1
+        result = total if regular == ONE else counts[regular]
+        if ref & 1:
+            result = total - result
         return result
 
     def pick_cube(self, ref: int) -> Optional[Dict[int, bool]]:
@@ -957,28 +1361,40 @@ class Manager:
         Each cube is ``{level: value}`` mentioning only the variables on
         the path — exactly the cube enumeration the paper uses for its
         lower-bound computation (§4.1.1).  ``limit`` caps the count.
+
+        Enumeration is lazy and iterative: the DFS position lives in an
+        explicit phase stack, so path length (like everything else in
+        the kernel layer) is not bounded by the interpreter recursion
+        limit.  Visit order matches the old recursive walk: the else
+        branch before the then branch.
         """
         emitted = 0
         path: Dict[int, bool] = {}
-
-        def walk(r: int) -> Iterator[Dict[int, bool]]:
-            nonlocal emitted
-            if limit is not None and emitted >= limit:
-                return
-            if r == ZERO:
-                return
-            if r == ONE:
-                emitted += 1
-                yield dict(path)
-                return
-            level, then_f, else_f = self.top_branches(r)
-            path[level] = False
-            yield from walk(else_f)
-            path[level] = True
-            yield from walk(then_f)
-            del path[level]
-
-        yield from walk(ref)
+        # Frames: (ref, phase) with phase 0 = enter, 1 = else branch
+        # done (descend then), 2 = both done (pop the path literal).
+        stack: List[Tuple[int, int]] = [(ref, 0)]
+        while stack:
+            r, phase = stack.pop()
+            if phase == 0:
+                if r == ZERO:
+                    continue
+                if r == ONE:
+                    emitted += 1
+                    yield dict(path)
+                    if limit is not None and emitted >= limit:
+                        return
+                    continue
+                level, _, else_f = self.top_branches(r)
+                path[level] = False
+                stack.append((r, 1))
+                stack.append((else_f, 0))
+            elif phase == 1:
+                level, then_f, _ = self.top_branches(r)
+                path[level] = True
+                stack.append((r, 2))
+                stack.append((then_f, 0))
+            else:
+                del path[self.top_branches(r)[0]]
 
     def cube_ref(self, cube: Dict[int, bool]) -> int:
         """Build the BDD of a cube given as ``{level: value}``."""

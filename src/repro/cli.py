@@ -254,6 +254,7 @@ def _run_experiments(args: argparse.Namespace) -> int:
                 resume=args.resume,
                 parallel=args.parallel,
                 serve_memory_limit=args.memory_limit,
+                gc=not args.no_gc,
             )
     except CheckpointError as error:
         print("checkpoint error: %s" % error, file=sys.stderr)
@@ -497,6 +498,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         deadline=args.deadline,
         memory_limit=args.memory_limit,
+        recycle_after=args.recycle_after,
     )
     served = 0
     stream = open(args.input) if args.input else sys.stdin
@@ -683,6 +685,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="address-space rlimit per pool worker (with --parallel)",
     )
     experiments_parser.add_argument(
+        "--no-gc",
+        action="store_true",
+        help="flush caches only at the §4.1.1 flush points instead of "
+        "running the mark-and-sweep collector (for memory A/B runs)",
+    )
+    experiments_parser.add_argument(
         "--metrics",
         action="store_true",
         help="collect metrics for the sweep and print per-heuristic "
@@ -820,6 +828,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="retries for transient failures, with 2x deadline "
         "backoff per attempt (default 1)",
+    )
+    serve_parser.add_argument(
+        "--recycle-after",
+        type=int,
+        metavar="N",
+        help="gracefully replace each worker after it has served N "
+        "requests (bounds interpreter-level memory growth)",
     )
     serve_parser.add_argument(
         "--input",

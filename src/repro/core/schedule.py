@@ -73,12 +73,19 @@ class Schedule:
     sibling_no_new_vars: bool = True
     sibling_match_complement: bool = False
     batch_size: Optional[int] = None
+    #: Collect garbage every N windows (the paper invokes the collector
+    #: at flush points so runtimes stay comparable, §4.1.1); ``None``
+    #: disables in-loop collection.  Collection is non-compacting, so
+    #: every ref the loop holds stays valid.
+    gc_interval: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.window_size < 1:
             raise ValueError("window_size must be positive")
         if self.stop_top_down < 0:
             raise ValueError("stop_top_down must be non-negative")
+        if self.gc_interval is not None and self.gc_interval < 1:
+            raise ValueError("gc_interval must be positive or None")
 
 
 def _audited_step(manager, before, after, context):
@@ -137,6 +144,7 @@ def _scheduled_loop(
     mreg = obs_metrics.active()
     current_f, current_c = f, c
     level = 0
+    windows_since_gc = 0
     while True:
         if current_c == ONE or manager.is_constant(current_f):
             return current_f
@@ -219,4 +227,11 @@ def _scheduled_loop(
                                 % (criterion.name.lower(), boundary),
                             )
                         state[0], state[1] = current_f, current_c
+        if schedule.gc_interval is not None:
+            windows_since_gc += 1
+            if windows_since_gc >= schedule.gc_interval:
+                windows_since_gc = 0
+                # Between windows every live intermediate is one of
+                # these four refs, so they are the complete root set.
+                manager.gc((f, c, current_f, current_c))
         level += schedule.window_size

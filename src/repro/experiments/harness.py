@@ -4,7 +4,11 @@
 the results of earlier computations. ... we invoke the BDD garbage
 collector before each heuristic is called to flush the caches of
 computations from earlier heuristics" (§4.1.1).  ``run_heuristics``
-does exactly that via :meth:`Manager.clear_caches`.
+does exactly that via :meth:`Manager.gc` — a real mark-and-sweep
+collection rooted at the record's recorded instances, which both
+flushes the computed tables and reclaims the dead nodes left behind by
+the previous heuristic (``gc=False`` falls back to a cache-only flush
+for A/B comparisons; see ``benchmarks/bench_kernel.py``).
 
 Robustness: each heuristic measurement is isolated.  A budget trip,
 recursion failure or contract violation on one cell records
@@ -109,6 +113,14 @@ def _describe_failure(error: BaseException) -> str:
     return "%s: %s" % (name, text) if text else name
 
 
+def _flush(manager: Manager, gc_roots) -> None:
+    """One §4.1.1 flush point: collect, or just clear caches."""
+    if gc_roots is None:
+        manager.clear_caches()
+    else:
+        manager.gc(gc_roots)
+
+
 def _measure_call(
     manager: Manager,
     call: MinimizationCall,
@@ -117,6 +129,7 @@ def _measure_call(
     verify_covers: bool,
     compute_lower_bound: bool,
     cube_limit: int,
+    gc_roots,
 ) -> CallResult:
     """Measure one recorded call across all heuristics, isolated."""
     from repro.robust.governor import governed
@@ -128,7 +141,7 @@ def _measure_call(
     spec = ISpec(manager, call.f, call.c)
     for name in heuristics:
         heuristic = HEURISTICS[name]
-        manager.clear_caches()
+        _flush(manager, gc_roots)
         stats_before = manager.statistics()
         started = time.perf_counter()
         try:
@@ -159,7 +172,7 @@ def _measure_call(
         sizes[name] = manager.size(cover)
     lower = None
     if compute_lower_bound:
-        manager.clear_caches()
+        _flush(manager, gc_roots)
         lower = cube_lower_bound(
             manager, call.f, call.c, cube_limit=cube_limit
         )
@@ -186,6 +199,7 @@ def _measure_call_pooled(
     board,
     compute_lower_bound: bool,
     cube_limit: int,
+    gc_roots,
 ) -> CallResult:
     """Measure one call with every heuristic run in a pool worker.
 
@@ -236,7 +250,7 @@ def _measure_call_pooled(
             failures[name] = reply.reason
     lower = None
     if compute_lower_bound:
-        manager.clear_caches()
+        _flush(manager, gc_roots)
         lower = cube_lower_bound(
             manager, call.f, call.c, cube_limit=cube_limit
         )
@@ -285,6 +299,7 @@ def run_heuristics(
     parallel: Optional[int] = None,
     serve_deadline: Optional[float] = None,
     serve_memory_limit: Optional[int] = None,
+    gc: bool = True,
 ) -> ExperimentResults:
     """Measure every heuristic on every recorded call.
 
@@ -307,6 +322,12 @@ def run_heuristics(
     contract, so serial and pooled sweeps agree modulo ``None`` cells.
     ``budget``'s node/step limits are enforced inside the workers; its
     ``deadline`` seeds the watchdog when ``serve_deadline`` is unset.
+
+    ``gc=True`` (the default) makes each §4.1.1 flush point a real
+    mark-and-sweep collection rooted at the record's instances, so
+    nodes built by one heuristic are reclaimed before the next is
+    timed; ``gc=False`` flushes caches only (the pre-collector
+    behaviour), kept for memory A/B benchmarks.
     """
     journal, completed = _open_checkpoint(checkpoint, resume)
     pool = None
@@ -336,6 +357,18 @@ def run_heuristics(
         for record in benchmark_calls:
             manager = record.manager
             results.filtered_out += record.filtered_out
+            # Roots for the flush-point collections: every recorded
+            # instance in this record must survive the sweep — later
+            # calls replay against the same manager.
+            gc_roots = (
+                tuple(
+                    ref
+                    for recorded in record.calls
+                    for ref in (recorded.f, recorded.c)
+                )
+                if gc
+                else None
+            )
             for ordinal, call in enumerate(record.calls):
                 results.total_calls += 1
                 # Keyed by position, not iteration: frontier and image
@@ -355,6 +388,7 @@ def run_heuristics(
                         board,
                         compute_lower_bound,
                         cube_limit,
+                        gc_roots,
                     )
                 else:
                     result = _measure_call(
@@ -365,6 +399,7 @@ def run_heuristics(
                         verify_covers,
                         compute_lower_bound,
                         cube_limit,
+                        gc_roots,
                     )
                 if journal is not None:
                     journal.append(result)
@@ -387,6 +422,7 @@ def run_experiment(
     parallel: Optional[int] = None,
     serve_deadline: Optional[float] = None,
     serve_memory_limit: Optional[int] = None,
+    gc: bool = True,
 ) -> ExperimentResults:
     """Collect calls over a suite and measure: the whole §4 pipeline."""
     # Validate the journal before the expensive call collection, so a
@@ -406,4 +442,5 @@ def run_experiment(
         parallel=parallel,
         serve_deadline=serve_deadline,
         serve_memory_limit=serve_memory_limit,
+        gc=gc,
     )

@@ -41,7 +41,14 @@ ENV_VAR = "REPRO_METRICS"
 #: per-cell delta is ``after - before``.  Everything else (table sizes,
 #: peaks) is a point-in-time reading where the ``after`` value stands.
 CUMULATIVE_STATISTICS = frozenset(
-    {"ite_calls", "ite_cache_hits", "ite_cache_misses", "nodes_created"}
+    {
+        "ite_calls",
+        "ite_cache_hits",
+        "ite_cache_misses",
+        "nodes_created",
+        "gc_runs",
+        "nodes_reclaimed",
+    }
 )
 
 #: Suffixes marking per-named-cache counters as cumulative too.

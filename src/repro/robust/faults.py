@@ -9,11 +9,13 @@ ITE steps, counted in execution order) reaches ``at_operation``:
     real governor would — proves the budget-degradation path without
     tuning a real budget to a workload.
 ``recursion``
-    Raises a raw :class:`RecursionError` mid-operation.  One-shot
-    injections are absorbed by the manager's own deep-recursion retry
-    (the operation *completes*); ``repeat=True`` makes the retry fail
-    too, surfacing the typed
-    :class:`~repro.analysis.errors.RecursionBudgetExceeded`.
+    Raises a raw :class:`RecursionError` mid-operation.  The iterative
+    operator kernels never recurse, so nothing inside the manager
+    absorbs it any more — it propagates like any interpreter-level
+    failure and is caught by the degradation layer (it is in the
+    schedule's ``DEGRADABLE_ERRORS``, the harness's
+    ``RECOVERABLE_ERRORS``, and the guard's caught set), which is
+    exactly the path this fault drills.
 ``cache``
     Silently flips the complement bit of every cached ITE result —
     the nightmare failure: no exception, just wrong answers.  Caught
@@ -33,7 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.errors import NodeBudgetExceeded
-from repro.bdd.manager import Manager
+from repro.bdd.manager import EVENT_ITE, Manager
+from repro.obs.hooks import attach_hook
 
 #: Fault kinds understood by :class:`FaultPlan`.
 FAULT_BUDGET = "budget"
@@ -72,8 +75,10 @@ class FaultyManager(Manager):
 
     ``operations`` counts unique-table lookups (every ``make_node``
     reaching :meth:`_make_raw`, including during variable declaration)
-    plus ITE recursion steps, in execution order; ``faults_fired``
-    counts injections so far.
+    plus ITE kernel steps, in execution order; ``faults_fired`` counts
+    injections so far.  The iterative kernel expands frames in the
+    recursive post-order, so operation numbers — and therefore fault
+    schedules — are unchanged from the recursive implementation.
     """
 
     def __init__(self, *args, plan: FaultPlan, armed: bool = True, **kwargs):
@@ -85,6 +90,12 @@ class FaultyManager(Manager):
         # armed — lets a drill build its instance first, then arm.
         self.armed = armed
         super().__init__(*args, **kwargs)
+        # ITE steps are observed through the step hook: the kernel has
+        # no per-step method to override.  Attached via the composing
+        # dispatcher after super().__init__ (which resets the hook
+        # slot); being first in dispatch order, the tick fires before
+        # any governor sees the event — as the old _ite override did.
+        attach_hook(self, self._tick_ite)
 
     def _tick(self) -> None:
         self.operations += 1
@@ -123,11 +134,11 @@ class FaultyManager(Manager):
         for key in cache:
             cache[key] ^= 1
 
-    # Counted operations: unique-table lookups and ITE recursion steps.
+    # Counted operations: unique-table lookups and ITE kernel steps.
     def _make_raw(self, level: int, high: int, low: int) -> int:
         self._tick()
         return super()._make_raw(level, high, low)
 
-    def _ite(self, f: int, g: int, h: int) -> int:
-        self._tick()
-        return super()._ite(f, g, h)
+    def _tick_ite(self, event: str) -> None:
+        if event == EVENT_ITE:
+            self._tick()

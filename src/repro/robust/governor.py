@@ -1,8 +1,9 @@
 """The resource governor: bounded BDD computations.
 
 A :class:`Budget` limits three resources of one governed computation:
-node creations in the unique table, ITE recursion steps, and wall-clock
-time.  The :class:`Governor` enforces it through the manager's step
+node creations in the unique table, ITE kernel steps (one per expanded
+frame of the iterative ``ite`` kernel — the direct analogue of the old
+recursive call count), and wall-clock time.  The :class:`Governor` enforces it through the manager's step
 hook (:meth:`repro.bdd.manager.Manager.install_step_hook`): every
 counted event checks the bounds and raises the matching typed
 :class:`~repro.analysis.errors.BudgetExceeded` subclass the moment one
@@ -18,7 +19,9 @@ and a later retry resumes from whatever partial work was cached.
 Counters reset when the manager's caches are flushed
 (:data:`~repro.bdd.manager.EVENT_CLEAR`), so the §4.1.1 fairness
 protocol — flush caches before each heuristic — restarts the budget
-per heuristic for free.
+per heuristic for free.  :meth:`~repro.bdd.manager.Manager.gc` clears
+caches as part of every collection, so a gc flush point resets the
+budget the same way.
 """
 
 from __future__ import annotations

@@ -188,6 +188,13 @@ def _execute_request(request: dict) -> dict:
                 "ContractError: %s returned a non-cover" % method,
                 DETERMINISTIC,
             )
+        # Compacting collection before serialization: the worker runs
+        # under an optional RLIMIT_AS cap, and the heuristic's scratch
+        # nodes are pure dead weight once the cover is known.  The wire
+        # format emits canonically, so the remapped ref serializes to
+        # the same bytes the uncollected one would.
+        remap = manager.gc((cover,), compact=True)
+        cover = remap(cover)
         payload = serialize(manager, (cover,))
     except BudgetExceeded as error:
         return failed(describe_error(error), TRANSIENT)
@@ -239,6 +246,8 @@ class _Worker:
     """One child process plus its duplex pipe."""
 
     def __init__(self, context, memory_limit: Optional[int]):
+        #: Requests dispatched to this worker so far (drives recycling).
+        self.served = 0
         self.conn, child_conn = context.Pipe(duplex=True)
         self.process = context.Process(
             target=_worker_main,
@@ -316,6 +325,13 @@ class MinimizationPool:
         Optional ``(method, reason)`` callback invoked on every
         degradation — the same protocol as
         :class:`repro.robust.guard.GuardedHeuristic`.
+    recycle_after:
+        Optional request count after which an idle worker is gracefully
+        stopped and replaced by a fresh one.  Worker managers are
+        already per-request, and each request ends with a compacting
+        ``gc()``; recycling additionally returns any interpreter-level
+        growth (allocator arenas, fragmentation) to the OS, which
+        matters for long sweeps under ``memory_limit``.
     """
 
     def __init__(
@@ -329,6 +345,7 @@ class MinimizationPool:
         kill_grace: float = DEFAULT_KILL_GRACE,
         verify: bool = True,
         on_failure: Optional[Callable[[str, str], None]] = None,
+        recycle_after: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1, got %d" % workers)
@@ -336,6 +353,8 @@ class MinimizationPool:
             raise ValueError("deadline must be positive")
         if kill_grace < 0:
             raise ValueError("kill_grace must be >= 0")
+        if recycle_after is not None and recycle_after < 1:
+            raise ValueError("recycle_after must be positive or None")
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
@@ -349,6 +368,7 @@ class MinimizationPool:
         self.step_budget = step_budget
         self.verify = verify
         self.on_failure = on_failure
+        self.recycle_after = recycle_after
         # Reason-recording protocol (mirrors GuardedHeuristic).
         self.requests = 0
         self.failures = 0
@@ -357,6 +377,7 @@ class MinimizationPool:
         self.kills = 0
         self.crashes = 0
         self.worker_restarts = 0
+        self.recycles = 0
         self._closed = False
         self._workers: List[_Worker] = [
             _Worker(self._context, memory_limit) for _ in range(workers)
@@ -393,6 +414,7 @@ class MinimizationPool:
             "kills": self.kills,
             "crashes": self.crashes,
             "worker_restarts": self.worker_restarts,
+            "recycles": self.recycles,
         }
 
     # ------------------------------------------------------------------
@@ -465,6 +487,7 @@ class MinimizationPool:
                 "step_budget": self.step_budget,
             }
             started = time.monotonic()
+            worker.served += 1
             try:
                 worker.conn.send(request)
             except (BrokenPipeError, OSError):
@@ -503,6 +526,29 @@ class MinimizationPool:
                 finished.append(worker)
         for worker in finished:
             del inflight[worker]
+        if self.recycle_after is not None:
+            for worker in finished:
+                # Killed/crashed workers were already replaced and are
+                # no longer pool members; only recycle live idlers.
+                if (
+                    worker in self._workers
+                    and worker.served >= self.recycle_after
+                ):
+                    self._recycle(worker)
+
+    def _recycle(self, tired: _Worker) -> None:
+        """Gracefully replace an idle worker that served its quota."""
+        self.recycles += 1
+        mreg = obs_metrics.active()
+        if mreg is not None:
+            mreg.inc("serve.worker_recycles")
+        for slot, worker in enumerate(self._workers):
+            if worker is tired:
+                self._workers[slot] = _Worker(
+                    self._context, self.memory_limit
+                )
+                break
+        tired.stop()
 
     def _finish(self, manager, results, worker: _Worker, job) -> None:
         try:

@@ -189,3 +189,44 @@ class TestManagerCounters:
             key.startswith("cache_") and key.endswith("_hits")
             for key in stats
         )
+
+    def test_caches_created_before_attach_count_and_stay_live(self):
+        # Regression: a cache handle obtained *before* attach_metrics
+        # must be the same live object afterwards — an upgrade that
+        # swaps the dict leaves stale handles whose writes are lost.
+        manager = Manager()
+        x = manager.new_var("x")
+        y = manager.new_var("y")
+        f = manager.and_(x, y)
+        early = manager.cache("early")
+        early[("probe",)] = 42
+        manager.attach_metrics(MetricsRegistry())
+        assert manager.cache("early") is early  # identity survived
+        assert early[("probe",)] == 42  # contents survived
+        # Writes through the pre-attach handle keep hitting the cache
+        # the manager consults.
+        early[("added-after",)] = 7
+        assert manager.cache("early").get(("added-after",)) == 7
+        # And lookups through it are counted.
+        early.get(("probe",))
+        early.get(("never",))
+        stats = manager.statistics()
+        assert stats["cache_early_hits"] >= 1
+        assert stats["cache_early_misses"] >= 1
+        manager.detach_metrics()
+        assert manager.cache("early") is early
+
+    def test_gc_counters_are_cumulative(self):
+        from repro.obs.metrics import diff_statistics
+
+        manager = Manager()
+        x = manager.new_var("x")
+        y = manager.new_var("y")
+        manager.and_(x, y)
+        before = manager.statistics()
+        manager.xor(x, y)
+        manager.gc((manager.and_(x, y),))
+        delta = diff_statistics(before, manager.statistics())
+        assert delta["gc_runs"] == 1
+        assert delta["nodes_reclaimed"] >= 1
+        assert "live_nodes" in manager.statistics()

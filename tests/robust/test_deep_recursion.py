@@ -1,18 +1,18 @@
 """Satellite: BDDs deeper than the interpreter recursion limit.
 
-The recursive manager operations descend one variable level per call,
-so a chain BDD over more variables than ``sys.getrecursionlimit()``
-overflows a naive implementation.  The manager must either complete
-(by retrying with a variable-count-bounded limit) or raise the typed
-:class:`~repro.analysis.errors.RecursionBudgetExceeded` — a raw
-:class:`RecursionError` must never escape.
+The operator kernels are iterative (explicit frame stacks), so depth is
+heap-bounded: a chain BDD over more variables than
+``sys.getrecursionlimit()`` must go through ``ite``, ``cofactor``,
+quantification, ``sat_count`` and ``cubes`` *without* the interpreter
+limit ever being touched.  These tests pin that down — and pin down
+that the old limit-raising retry is really gone: the limit after a deep
+operation is exactly the limit before it.
 """
 
 import sys
 
 import pytest
 
-from repro.analysis.errors import BudgetExceeded, RecursionBudgetExceeded
 from repro.bdd.manager import Manager, ONE, ZERO
 
 
@@ -44,8 +44,8 @@ def _parity_chain(manager: Manager, depth: int) -> int:
     """XOR of all variables, built iteratively.
 
     Parity has no constant cofactor at any level, so an ITE against it
-    cannot take a terminal shortcut: the recursion genuinely descends
-    one frame per variable, which is what these tests need to provoke.
+    cannot take a terminal shortcut: the kernel genuinely expands one
+    frame per variable, which is what these tests need to provoke.
     """
     acc = ZERO
     for level in range(depth - 1, -1, -1):
@@ -55,6 +55,7 @@ def _parity_chain(manager: Manager, depth: int) -> int:
 
 class TestDeepBdds:
     def test_deep_ite_completes(self):
+        limit_before = sys.getrecursionlimit()
         manager, depth = _deep_manager()
         all_vars = _conjunction_chain(manager, depth)
         parity = _parity_chain(manager, depth)
@@ -65,8 +66,8 @@ class TestDeepBdds:
         # The only satisfying point of AND-of-all is all-ones, where
         # the parity of ``depth`` variables is ``depth % 2``.
         assert result == (all_vars if depth % 2 else ZERO)
-        # The interpreter limit was restored after the bounded retry.
-        assert sys.getrecursionlimit() < depth
+        # The iterative kernel never touches the interpreter limit.
+        assert sys.getrecursionlimit() == limit_before
 
     def test_deep_cofactor_completes(self):
         manager, depth = _deep_manager()
@@ -88,26 +89,32 @@ class TestDeepBdds:
         count = manager.sat_count(any_var, depth)
         assert count == (1 << depth) - 1
 
-    def test_low_cap_raises_typed_error(self):
+    def test_deep_cubes_completes(self):
         manager, depth = _deep_manager()
-        # Forbid the retry from raising the limit far enough.
-        manager.recursion_cap = sys.getrecursionlimit() + 10
         all_vars = _conjunction_chain(manager, depth)
-        parity = _parity_chain(manager, depth)
-        with pytest.raises(RecursionBudgetExceeded):
-            manager.and_(all_vars, parity)
-        # The typed error is a recoverable budget event, not a crash.
-        assert issubclass(RecursionBudgetExceeded, BudgetExceeded)
+        cubes = list(manager.cubes(all_vars))
+        assert len(cubes) == 1
+        assert all(cubes[0][level] for level in range(depth))
 
-    def test_limit_restored_after_typed_failure(self):
-        limit = sys.getrecursionlimit()
+    def test_deep_gc_completes(self):
         manager, depth = _deep_manager()
-        manager.recursion_cap = limit + 10
+        all_vars = _conjunction_chain(manager, depth)
+        scratch = _parity_chain(manager, depth)
+        del scratch
+        manager.gc((all_vars,))
+        assert manager.statistics()["nodes_reclaimed"] >= depth - 1
+        assert manager.cofactor(all_vars, 0, False) == ZERO
+
+    def test_recursion_limit_never_raised(self):
+        """Whole-module guard: the limit is a constant of the process."""
+        limit_before = sys.getrecursionlimit()
+        manager, depth = _deep_manager()
         all_vars = _conjunction_chain(manager, depth)
         parity = _parity_chain(manager, depth)
-        with pytest.raises(RecursionBudgetExceeded):
-            manager.and_(all_vars, parity)
-        assert sys.getrecursionlimit() == limit
+        manager.xor(all_vars, parity)
+        manager.exists(parity, [0, 1, 2])
+        manager.sat_count(all_vars, depth)
+        assert sys.getrecursionlimit() == limit_before
 
     def test_shallow_operations_unaffected(self):
         manager = Manager(var_names=["a", "b"])

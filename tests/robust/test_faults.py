@@ -2,10 +2,7 @@
 
 import pytest
 
-from repro.analysis.errors import (
-    NodeBudgetExceeded,
-    RecursionBudgetExceeded,
-)
+from repro.analysis.errors import NodeBudgetExceeded
 from repro.bdd.manager import Manager, ONE, ZERO
 from repro.core.ispec import ISpec
 from repro.core.sibling import constrain
@@ -80,24 +77,41 @@ class TestBudgetFault:
 
 
 class TestRecursionFault:
-    def test_one_shot_absorbed_by_retry(self):
-        # The manager's deep-recursion retry re-runs the operation, so
-        # a single injected RecursionError is survived transparently.
+    def test_raw_error_propagates(self):
+        # The iterative kernels never recurse, so nothing inside the
+        # manager absorbs a RecursionError any more: it propagates raw,
+        # to be caught by the degradation layer (next test).
+        manager = _faulty(FAULT_RECURSION, at=1)
+        f, c = _build_instance(manager)
+        manager.armed = True
+        with pytest.raises(RecursionError):
+            manager.and_(f, c)
+        assert manager.faults_fired == 1
+
+    def test_retry_succeeds_after_one_shot(self):
+        # One-shot: the fault is spent on the first attempt, so the
+        # caller's own retry — the path RECOVERABLE_ERRORS drills —
+        # completes and agrees with the unfaulted reference.
         manager = _faulty(FAULT_RECURSION, at=1)
         f, c = _build_instance(manager)
         reference = manager.and_(f, c)
         manager.clear_caches()
         manager.armed = True
+        with pytest.raises(RecursionError):
+            manager.and_(f, c)
         assert manager.and_(f, c) == reference
         assert manager.faults_fired == 1
 
-    def test_repeating_surfaces_typed_error(self):
+    def test_guard_degrades_through_recursion_failure(self):
+        # End to end: the guard layer treats RecursionError as a
+        # recoverable failure and falls back to the identity cover.
         manager = _faulty(FAULT_RECURSION, at=1, repeat=True)
         f, c = _build_instance(manager)
         manager.armed = True
-        with pytest.raises(RecursionBudgetExceeded):
-            manager.and_(f, c)
-        assert manager.faults_fired >= 2  # original plus failed retry
+        guarded = guard(constrain, name="constrain")
+        cover = guarded(manager, f, c)
+        assert cover == f
+        assert "RecursionError" in guarded.last_failure
 
 
 class TestCacheFault:

@@ -100,6 +100,48 @@ class TestHealthyPath:
         assert stats["requests"] == 1
         assert stats["failures"] == 0
         assert stats["workers"] == 1
+        assert stats["recycles"] == 0
+
+    def test_worker_stats_show_compacting_gc(self):
+        # Every worker runs a compacting collection before shipping its
+        # result, so the per-request statistics must record it.
+        manager, f, c = _instance()
+        with MinimizationPool(workers=1) as pool:
+            result = pool.minimize(manager, f, c, method="osm_bt")
+        assert result.ok
+        assert result.stats is not None
+        assert result.stats["gc_runs"] >= 1
+
+
+class TestRecycling:
+    def test_workers_recycled_after_quota(self):
+        manager, f, c = _instance()
+        with MinimizationPool(workers=1, recycle_after=2) as pool:
+            first_pid = pool.worker_pids()[0]
+            for _ in range(2):
+                assert pool.minimize(manager, f, c).ok
+            recycled_pid = pool.worker_pids()[0]
+            # The replacement still serves correctly.
+            assert pool.minimize(manager, f, c).ok
+            stats = pool.statistics()
+        assert recycled_pid != first_pid
+        assert stats["recycles"] == 1
+        # Graceful recycling is not a kill or crash.
+        assert stats["kills"] == 0
+        assert stats["crashes"] == 0
+
+    def test_no_recycling_by_default(self):
+        manager, f, c = _instance()
+        with MinimizationPool(workers=1) as pool:
+            pid = pool.worker_pids()[0]
+            for _ in range(3):
+                pool.minimize(manager, f, c)
+            assert pool.worker_pids()[0] == pid
+            assert pool.statistics()["recycles"] == 0
+
+    def test_recycle_after_validation(self):
+        with pytest.raises(ValueError):
+            MinimizationPool(workers=1, recycle_after=0)
 
 
 class TestWatchdog:
