@@ -57,7 +57,8 @@ def test_order_vs_dc_ablation(benchmark, quick_calls, label, use_sift, use_minim
     total = benchmark.pedantic(
         _pipeline, args=(sample, use_sift, use_minimize), rounds=1, iterations=1
     )
-    assert total > 0
+    if not (total > 0):
+        raise SystemExit('bench gate failed: total > 0')
 
 
 def test_combined_beats_either_alone(quick_calls):
@@ -71,7 +72,11 @@ def test_combined_beats_either_alone(quick_calls):
         "order-vs-DC ablation: baseline=%d minimize=%d sift=%d combined=%d"
         % (baseline, minimize_only, sift_only, combined)
     )
-    assert minimize_only <= baseline
-    assert sift_only <= baseline
-    assert combined <= minimize_only
-    assert combined <= sift_only
+    if not (minimize_only <= baseline):
+        raise SystemExit('bench gate failed: minimize_only <= baseline')
+    if not (sift_only <= baseline):
+        raise SystemExit('bench gate failed: sift_only <= baseline')
+    if not (combined <= minimize_only):
+        raise SystemExit('bench gate failed: combined <= minimize_only')
+    if not (combined <= sift_only):
+        raise SystemExit('bench gate failed: combined <= sift_only')

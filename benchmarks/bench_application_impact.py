@@ -33,12 +33,14 @@ def test_traversal_under_minimizer(benchmark, minimizer):
             result = check_equivalence(
                 product, minimize=HEURISTICS[minimizer]
             )
-            assert result.equivalent
+            if not (result.equivalent):
+                raise SystemExit('bench gate failed: result.equivalent')
             total_nodes += manager.num_nodes
         return total_nodes
 
     total = benchmark.pedantic(run, rounds=2, iterations=1)
-    assert total > 0
+    if not (total > 0):
+        raise SystemExit('bench gate failed: total > 0')
 
 
 def test_application_impact_render(benchmark):
@@ -51,4 +53,5 @@ def test_application_impact_render(benchmark):
     print()
     print(render_application_impact(runs))
     for run in runs:
-        assert run.equivalent
+        if not (run.equivalent):
+            raise SystemExit('bench gate failed: run.equivalent')

@@ -16,7 +16,8 @@ from repro.experiments.figure3 import (
 
 def test_curve_generation(benchmark, quick_results):
     curves = benchmark(figure3_curves, quick_results)
-    assert curves
+    if not (curves):
+        raise SystemExit('bench gate failed: curves')
 
 
 def test_figure3_shape_and_render(benchmark, quick_results):
@@ -26,15 +27,21 @@ def test_figure3_shape_and_render(benchmark, quick_results):
     curves = figure3_curves(quick_results)
     for series in curves.values():
         values = [value for _, value in series]
-        assert values == sorted(values)  # monotone toward 100%
-        assert values[-1] <= 100.0
+        if not (values == sorted(values)):  # monotone toward 100%
+            raise SystemExit('bench gate failed: values == sorted(values)')
+        if not (values[-1] <= 100.0):
+            raise SystemExit('bench gate failed: values[-1] <= 100.0')
     intercepts = y_intercepts(quick_results)
     # The restrict / tsm_td class wins more often than constrain
     # ("consistently perform about 20% better than constrain").
-    assert intercepts["restrict"] > intercepts["constrain"]
-    assert intercepts["tsm_td"] > intercepts["constrain"]
+    if not (intercepts["restrict"] > intercepts["constrain"]):
+        raise SystemExit('bench gate failed: intercepts["restrict"] > intercepts["constrain"]')
+    if not (intercepts["tsm_td"] > intercepts["constrain"]):
+        raise SystemExit('bench gate failed: intercepts["tsm_td"] > intercepts["constrain"]')
     # Dense bucket: opt_lv's curve is pegged at (or very near) 100% —
     # the paper's data has it exactly at 100%.
     dense = y_intercepts(quick_results, bucket=Bucket.DENSE)
-    assert dense["opt_lv"] >= 95.0
-    assert dense["opt_lv"] == max(dense.values())
+    if not (dense["opt_lv"] >= 95.0):
+        raise SystemExit('bench gate failed: dense["opt_lv"] >= 95.0')
+    if not (dense["opt_lv"] == max(dense.values())):
+        raise SystemExit('bench gate failed: dense["opt_lv"] == max(dense.values())')

@@ -42,34 +42,39 @@ class BaselineManager(Manager):
     ``_last_created`` / ``_ite_calls`` / ``_ite_hits`` /
     ``_ite_misses`` updates — nothing else differs, so the timing
     delta is the counters' cost and only that.
+
+    The ``repro-lint: skip=L2`` annotations below are justified: the
+    class is a deliberate kernel copy, so it must touch the same
+    private node storage the shipped kernel touches — routing through
+    the public API would change the very cost being measured.
     """
 
     def _make_raw(self, level: int, high: int, low: int) -> int:
         key = (level, high, low)
-        index = self._unique.get(key)
+        index = self._unique.get(key)  # repro-lint: skip=L2
         if index is None:
             free = self._free
             if free:
                 index = free.pop()
-                self._level[index] = level
-                self._high[index] = high
-                self._low[index] = low
+                self._level[index] = level  # repro-lint: skip=L2
+                self._high[index] = high  # repro-lint: skip=L2
+                self._low[index] = low  # repro-lint: skip=L2
             else:
-                index = len(self._level)
-                self._level.append(level)
-                self._high.append(high)
-                self._low.append(low)
-            self._unique[key] = index
+                index = len(self._level)  # repro-lint: skip=L2
+                self._level.append(level)  # repro-lint: skip=L2
+                self._high.append(high)  # repro-lint: skip=L2
+                self._low.append(low)  # repro-lint: skip=L2
+            self._unique[key] = index  # repro-lint: skip=L2
             hook = self._step_hook
             if hook is not None:
                 hook(EVENT_NODE)
         return index << 1
 
     def ite(self, f: int, g: int, h: int) -> int:
-        level_list = self._level
-        high_list = self._high
-        low_list = self._low
-        ite_cache = self._ite_cache
+        level_list = self._level  # repro-lint: skip=L2
+        high_list = self._high  # repro-lint: skip=L2
+        low_list = self._low  # repro-lint: skip=L2
+        ite_cache = self._ite_cache  # repro-lint: skip=L2
         ite_cache_get = ite_cache.get
         make_node = self.make_node
         tasks = []
@@ -347,10 +352,9 @@ def main(argv=None) -> int:
         "(threshold %.1f%%) -> %s"
         % (aggregate, median, args.threshold, args.output)
     )
-    assert median < args.threshold, (
-        "disabled-path observability overhead %.2f%% exceeds the %.1f%% "
-        "budget" % (median, args.threshold)
-    )
+    if not (median < args.threshold):
+        raise SystemExit("disabled-path observability overhead %.2f%% exceeds the %.1f%% "
+        "budget" % (median, args.threshold))
     return 0
 
 

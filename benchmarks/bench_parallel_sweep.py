@@ -76,15 +76,15 @@ def main(argv=None) -> int:
 
     # Sanity: the pooled sweep measured the same cells and produced
     # the same sizes (modulo None cells, which the contract allows).
-    assert serial_results.total_calls == pooled_results.total_calls
+    if not (serial_results.total_calls == pooled_results.total_calls):
+        raise SystemExit('bench gate failed: serial_results.total_calls == pooled_results.total_calls')
     agreeing = 0
     for left, right in zip(serial_results.results, pooled_results.results):
         for name in heuristics:
             if None in (left.sizes[name], right.sizes[name]):
                 continue
-            assert left.sizes[name] == right.sizes[name], (
-                "pooled sweep diverged on %s/%s" % (left.benchmark, name)
-            )
+            if not (left.sizes[name] == right.sizes[name]):
+                raise SystemExit("pooled sweep diverged on %s/%s" % (left.benchmark, name))
             agreeing += 1
 
     record = {

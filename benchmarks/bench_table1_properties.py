@@ -58,6 +58,8 @@ def test_strength_hierarchy_on_batch():
     manager, pairs = _batch(count=200, seed=29)
     for f1, c1, f2, c2 in pairs:
         if osdm_matches(manager, f1, c1, f2, c2):
-            assert osm_matches(manager, f1, c1, f2, c2)
+            if not (osm_matches(manager, f1, c1, f2, c2)):
+                raise SystemExit('bench gate failed: osm_matches(manager, f1, c1, f2, c2)')
         if osm_matches(manager, f1, c1, f2, c2):
-            assert tsm_matches(manager, f1, c1, f2, c2)
+            if not (tsm_matches(manager, f1, c1, f2, c2)):
+                raise SystemExit('bench gate failed: tsm_matches(manager, f1, c1, f2, c2)')

@@ -71,7 +71,8 @@ def test_table2_row(benchmark, label, criterion, compl, nnv):
         ]
 
     covers = benchmark.pedantic(run, rounds=3, iterations=1)
-    assert len(covers) == len(batch)
+    if not (len(covers) == len(batch)):
+        raise SystemExit('bench gate failed: len(covers) == len(batch)')
 
 
 def test_duplicate_rows_coincide():
@@ -80,17 +81,21 @@ def test_duplicate_rows_coincide():
     for f, c in batch:
         row1 = generic_td(manager, f, c, Criterion.OSDM)
         row3 = generic_td(manager, f, c, Criterion.OSDM, match_complement=True)
-        assert row1 == row3
+        if not (row1 == row3):
+            raise SystemExit('bench gate failed: row1 == row3')
         row2 = generic_td(manager, f, c, Criterion.OSDM, no_new_vars=True)
         row4 = generic_td(
             manager, f, c, Criterion.OSDM, match_complement=True, no_new_vars=True
         )
-        assert row2 == row4
+        if not (row2 == row4):
+            raise SystemExit('bench gate failed: row2 == row4')
         row9 = generic_td(manager, f, c, Criterion.TSM)
         row10 = generic_td(manager, f, c, Criterion.TSM, no_new_vars=True)
-        assert row9 == row10
+        if not (row9 == row10):
+            raise SystemExit('bench gate failed: row9 == row10')
         row11 = generic_td(manager, f, c, Criterion.TSM, match_complement=True)
         row12 = generic_td(
             manager, f, c, Criterion.TSM, match_complement=True, no_new_vars=True
         )
-        assert row11 == row12
+        if not (row11 == row12):
+            raise SystemExit('bench gate failed: row11 == row12')

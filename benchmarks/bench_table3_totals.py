@@ -47,7 +47,8 @@ def test_heuristic_replay(benchmark, quick_calls, name):
     total = benchmark.pedantic(
         _replay, args=(quick_calls, name), rounds=2, iterations=1
     )
-    assert total > 0
+    if not (total > 0):
+        raise SystemExit('bench gate failed: total > 0')
 
 
 def test_table3_shape_and_render(benchmark, quick_results):
@@ -67,19 +68,27 @@ def test_table3_shape_and_render(benchmark, quick_results):
         row.name: row for row in table3_rows(quick_results, Bucket.DENSE)
     }
     # The trivial bounds perform badly (paper §4.2).
-    assert overall["f_or_nc"].total_size >= overall["osm_bt"].total_size
-    assert overall["f_and_c"].total_size >= overall["osm_bt"].total_size
+    if not (overall["f_or_nc"].total_size >= overall["osm_bt"].total_size):
+        raise SystemExit('bench gate failed: overall["f_or_nc"].total_size >= overall["osm_bt"].total_size')
+    if not (overall["f_and_c"].total_size >= overall["osm_bt"].total_size):
+        raise SystemExit('bench gate failed: overall["f_and_c"].total_size >= overall["osm_bt"].total_size')
     # The lower bound never exceeds min.
-    assert overall["low_bd"].total_size <= overall["min"].total_size
+    if not (overall["low_bd"].total_size <= overall["min"].total_size):
+        raise SystemExit('bench gate failed: overall["low_bd"].total_size <= overall["min"].total_size')
     # Sparse bucket: no-new-vars variants beat their plain counterparts.
-    assert sparse["restrict"].total_size <= sparse["constrain"].total_size
-    assert sparse["osm_nv"].total_size <= sparse["osm_td"].total_size
-    assert sparse["osm_bt"].total_size <= sparse["osm_cp"].total_size
+    if not (sparse["restrict"].total_size <= sparse["constrain"].total_size):
+        raise SystemExit('bench gate failed: sparse["restrict"].total_size <= sparse["constrain"].total_size')
+    if not (sparse["osm_nv"].total_size <= sparse["osm_td"].total_size):
+        raise SystemExit('bench gate failed: sparse["osm_nv"].total_size <= sparse["osm_td"].total_size')
+    if not (sparse["osm_bt"].total_size <= sparse["osm_cp"].total_size):
+        raise SystemExit('bench gate failed: sparse["osm_bt"].total_size <= sparse["osm_cp"].total_size')
     # Dense bucket: opt_lv is never out-performed (rank 1).
-    assert dense["opt_lv"].rank == 1
+    if not (dense["opt_lv"].rank == 1):
+        raise SystemExit('bench gate failed: dense["opt_lv"].rank == 1')
     # opt_lv is the most expensive heuristic (runtime ordering).
     slowest = max(
         (row for row in overall.values() if row.rank is not None),
         key=lambda row: row.runtime,
     )
-    assert slowest.name == "opt_lv"
+    if not (slowest.name == "opt_lv"):
+        raise SystemExit('bench gate failed: slowest.name == "opt_lv"')

@@ -16,7 +16,8 @@ from repro.experiments.table4 import (
 
 def test_matrix_generation(benchmark, quick_results):
     matrix = benchmark(table4_matrix, quick_results)
-    assert matrix
+    if not (matrix):
+        raise SystemExit('bench gate failed: matrix')
 
 
 def test_table4_shape_and_render(benchmark, quick_results):
@@ -29,15 +30,20 @@ def test_table4_shape_and_render(benchmark, quick_results):
     names = ("f_orig", "constrain", "restrict", "osm_bt", "tsm_td", "opt_lv")
     # Diagonal is zero; nobody strictly beats min on any call.
     for name in names:
-        assert matrix[(name, name)] == 0.0
+        if not (matrix[(name, name)] == 0.0):
+            raise SystemExit('bench gate failed: matrix[(name, name)] == 0.0')
     for result in quick_results.results:
-        assert result.min_size <= min(result.sizes.values())
+        if not (result.min_size <= min(result.sizes.values())):
+            raise SystemExit('bench gate failed: result.min_size <= min(result.sizes.values())')
     # min beats osm_bt on a minority of calls (the paper's 21.9%).
-    assert matrix[("min", "osm_bt")] < 50.0
+    if not (matrix[("min", "osm_bt")] < 50.0):
+        raise SystemExit('bench gate failed: matrix[("min", "osm_bt")] < 50.0')
     # Orthogonality is symmetric-sum bounded.
-    assert 0.0 <= orthogonality(matrix, "constrain", "tsm_td") <= 200.0
+    if not (0.0 <= orthogonality(matrix, "constrain", "tsm_td") <= 200.0):
+        raise SystemExit('bench gate failed: 0.0 <= orthogonality(matrix, "constrain", "tsm_td") <= 200.0')
     # Dense bucket: the opt_lv column is (near) all zeroes — in the
     # paper's data it is exactly zero ("always the best").
     dense = table4_matrix(quick_results, bucket=Bucket.DENSE)
     for name in names:
-        assert dense[(name, "opt_lv")] <= 5.0
+        if not (dense[(name, "opt_lv")] <= 5.0):
+            raise SystemExit('bench gate failed: dense[(name, "opt_lv")] <= 5.0')

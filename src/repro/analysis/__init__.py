@@ -6,12 +6,22 @@ Two halves (see ``docs/analysis.md``):
   five codebase-specific rules (ref-truthiness, manager encapsulation,
   bare asserts, uncached BDD recursion, mutable defaults).  Run with
   ``python -m repro.cli lint`` or ``python -m repro.analysis.lint``.
+* :mod:`repro.analysis.flow` — the ``--flow`` tier: a project-wide,
+  flow-sensitive ref-provenance and determinism pass (rules F1–F4 —
+  cross-manager refs, stale refs across compaction, raw refs on
+  process boundaries, nondeterminism reachable from ``@deterministic``
+  code).
 * :mod:`repro.analysis.checked` / :mod:`repro.analysis.contracts` — a
   runtime contract auditor: :class:`CheckedManager` re-validates
   structural invariants after every operation, and the per-heuristic
   contract checks audit cover containment, no-new-vars, never-grow and
   the Theorem-7 cube bound.  ``REPRO_CHECK=1`` switches the audits on
   library-wide.
+* :mod:`repro.analysis.sanitize` — the runtime RefSanitizer:
+  ``REPRO_SANITIZE=1`` swaps in :class:`SanitizedManager`, which tags
+  every ref with ``(manager_id, gc_generation)`` and raises
+  :class:`SanitizerError` on cross-manager or stale-generation use —
+  the dynamic twin of flow rules F1/F2.
 
 Everything except the exception types is imported lazily so that
 :mod:`repro.bdd.manager` can depend on
@@ -20,12 +30,18 @@ Everything except the exception types is imported lazily so that
 
 from __future__ import annotations
 
-from repro.analysis.errors import AnalysisError, ContractError, InvariantError
+from repro.analysis.errors import (
+    AnalysisError,
+    ContractError,
+    InvariantError,
+    SanitizerError,
+)
 
 __all__ = [
     "AnalysisError",
     "ContractError",
     "InvariantError",
+    "SanitizerError",
     "CheckedManager",
     "checking_enabled",
     "manager_class",
@@ -44,6 +60,14 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "FLOW_RULES",
+    "deterministic",
+    "analyze_source",
+    "analyze_paths",
+    "SanitizedManager",
+    "SanitizedRef",
+    "sanitizing_enabled",
+    "install_sanitized_manager",
 ]
 
 _LAZY = {
@@ -65,6 +89,14 @@ _LAZY = {
     "lint_source": "repro.analysis.lint",
     "lint_file": "repro.analysis.lint",
     "lint_paths": "repro.analysis.lint",
+    "FLOW_RULES": "repro.analysis.flow",
+    "deterministic": "repro.analysis.flow",
+    "analyze_source": "repro.analysis.flow",
+    "analyze_paths": "repro.analysis.flow",
+    "SanitizedManager": "repro.analysis.sanitize",
+    "SanitizedRef": "repro.analysis.sanitize",
+    "sanitizing_enabled": "repro.analysis.sanitize",
+    "install_sanitized_manager": "repro.analysis.sanitize",
 }
 
 

@@ -35,6 +35,27 @@ class InvariantError(AnalysisError, AssertionError):
     """
 
 
+class SanitizerError(AnalysisError):
+    """A BDD ref was used outside the scope that makes it meaningful.
+
+    Raised by the runtime RefSanitizer
+    (:class:`repro.analysis.sanitize.SanitizedManager`, enabled with
+    ``REPRO_SANITIZE=1``) in exactly two situations, mirroring the
+    static flow rules F1/F2 of :mod:`repro.analysis.flow`:
+
+    * **cross-manager use** — a ref minted by one manager is passed to
+      an operation of a different manager.  Refs are plain ints; the
+      foreign manager would silently interpret the index against its
+      own node table and compute garbage.
+    * **stale-generation use** — a ref minted before a
+      ``gc(compact=True)`` is used without first being translated
+      through the :class:`~repro.bdd.manager.Remap` that collection
+      returned.
+
+    Both are *bugs* at the call site, never recoverable conditions.
+    """
+
+
 class ContractError(AnalysisError):
     """A minimization heuristic broke one of its advertised contracts.
 

@@ -1,0 +1,1006 @@
+"""``repro-lint --flow``: cross-module ref-flow and determinism analysis.
+
+The scope-local rules L1–L5 (:mod:`repro.analysis.lint`) catch misuse
+of a single ref in a single expression.  The bug classes introduced by
+the serving and GC layers are *flow* properties: a ref is an ``int``
+that is only meaningful relative to (a) the manager whose node table it
+indexes and (b) the compaction epoch it was minted under, and neither
+relation is visible to a scope-local check.  The four rules here run a
+taint-style provenance pass over every function plus a project-wide
+call-graph reachability pass:
+
+``F1`` **cross-manager ref use**
+    A name bound to the result of one manager's ref-returning operation
+    is later passed to an operation bound to a *different* manager.
+    Refs are plain ints, so the foreign manager silently interprets the
+    index against its own node table and computes garbage.
+``F2`` **stale ref across a compacting gc**
+    A ref-bound name is live across ``manager.gc(..., compact=True)``
+    and used afterwards without first being translated through the
+    :class:`~repro.bdd.manager.Remap` that collection returned.
+    Compaction renumbers every node; the old ref now points at an
+    arbitrary surviving node.
+``F3`` **raw ref crossing a process/serialization boundary**
+    A ref-bound name flows into ``Connection.send``/``queue.put``/
+    ``json.dumps``/``pickle.dumps`` and friends.  A ref is only
+    meaningful inside its manager's address space; cross-process and
+    on-disk transfer must go through :mod:`repro.bdd.wire`
+    (``serialize``/``serialize_instance``), which this rule recognizes
+    and exempts.
+``F4`` **nondeterminism reachable from ``@deterministic`` code**
+    Functions marked with the :func:`deterministic` decorator promise
+    input-determinism (the wire emission order, breaker state
+    transitions, scenario generators, checkpoint records).  This rule
+    builds a project-wide call graph and flags any wall-clock read,
+    module-level/unseeded ``random`` use, ``id()`` call, or unordered
+    ``set`` iteration reachable from a marked function.
+
+Like L1–L5, a line can opt out with ``# repro-lint: skip`` or
+``# repro-lint: skip=F2`` plus a justification comment.  The rules are
+deliberately lint-grade: per-function provenance with statement-order
+flow, not a fixed-point dataflow — precise enough to catch the real
+bug patterns, simple enough to stay under the CI time budget.
+
+Run via ``repro-bdd lint --flow [paths...]`` or standalone as
+``python -m repro.analysis.flow [paths...]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import (
+    REF_PARAMETER_NAMES,
+    REF_RETURNING_FUNCTIONS,
+    REF_RETURNING_METHODS,
+    Violation,
+    _suppressed,
+    iter_python_files,
+)
+
+#: Rule code -> one-line description (kept in sync with docs/analysis.md).
+FLOW_RULES: Dict[str, str] = {
+    "F1": "ref minted by one manager passed to a different manager",
+    "F2": "ref held across gc(compact=True) without applying the Remap",
+    "F3": "raw ref crossing a process/serialization boundary",
+    "F4": "nondeterminism source reachable from an @deterministic function",
+}
+
+#: Attribute set on functions by the :func:`deterministic` marker.
+DETERMINISTIC_ATTR = "__repro_deterministic__"
+
+
+def deterministic(func):
+    """Mark ``func`` as input-deterministic (a no-op at runtime).
+
+    The marker is a *contract*, not an implementation: equal inputs
+    must produce equal outputs across processes and runs.  Rule F4
+    statically checks every function reachable from a marked one for
+    wall-clock reads, module-level ``random``, ``id()`` and unordered
+    ``set`` iteration.  Apply it to anything whose output is hashed,
+    persisted, or replayed: wire emission, breaker transitions,
+    checkpoint records, scenario generators.
+    """
+    setattr(func, DETERMINISTIC_ATTR, True)
+    return func
+
+
+#: Class names whose construction binds a manager.
+MANAGER_CLASSES = frozenset(
+    {
+        "Manager",
+        "CheckedManager",
+        "SanitizedManager",
+        "FaultyManager",
+        "RecursiveKernelManager",
+    }
+)
+
+#: Functions returning a manager class (``manager_class()(...)``).
+MANAGER_FACTORIES = frozenset({"manager_class"})
+
+#: Functions returning ``(manager, refs...)`` tuples.
+MANAGER_RETURNING_FUNCTIONS = frozenset({"deserialize", "deserialize_instance"})
+
+#: Parameter names conventionally holding a manager.
+MANAGER_PARAMETER_NAMES = frozenset({"manager", "mgr"})
+MANAGER_PARAMETER_SUFFIXES = ("_manager", "_mgr")
+
+#: Manager methods that *consume* refs (rule F1 checks their args).
+#: The ref-returning operator set minus the non-ref-consuming builders,
+#: plus the pure observers.
+REF_ACCEPTING_METHODS = frozenset(
+    REF_RETURNING_METHODS - {"var", "new_var", "cube_ref", "onset", "offset", "dcset", "upper"}
+) | frozenset(
+    {
+        "size",
+        "size_multi",
+        "sat_count",
+        "eval",
+        "support",
+        "support_multi",
+        "leq",
+        "level",
+        "branches",
+        "top_branches",
+        "is_constant",
+        "protect",
+        "unprotect",
+        "validate",
+        "nodes_reachable",
+        "nodes_below",
+        "level_profile",
+        "pick_cube",
+        "cubes",
+        "is_cube",
+        "minterms",
+    }
+)
+
+#: Attribute calls that ship their arguments to another process/queue.
+BOUNDARY_METHODS = frozenset({"send", "send_bytes", "put", "put_nowait"})
+
+#: ``module.function`` pairs that persist their arguments.
+BOUNDARY_FUNCTIONS = frozenset(
+    {
+        ("json", "dumps"),
+        ("json", "dump"),
+        ("pickle", "dumps"),
+        ("pickle", "dump"),
+        ("marshal", "dumps"),
+        ("marshal", "dump"),
+    }
+)
+
+#: Calls that correctly translate refs for a boundary (rule F3 exempts
+#: any ref appearing inside one of these).
+SERIALIZER_NAMES = frozenset(
+    {"serialize", "serialize_instance", "to_wire", "ref_to_wire"}
+)
+
+#: Wall-clock reads (rule F4) as ``time.<fn>`` / bare imported names.
+WALLCLOCK_FUNCTIONS = frozenset(
+    {"time", "monotonic", "perf_counter", "time_ns", "monotonic_ns", "process_time", "clock"}
+)
+
+#: ``datetime``-ish receivers whose now/utcnow/today reads wall clock.
+DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+
+#: ``random.<fn>`` calls that hit the shared, unseeded module RNG.
+#: (``random.Random(seed)`` constructs a private seeded stream and is
+#: exempt unless called with no arguments.)
+RANDOM_MODULE_EXEMPT = frozenset({"Random", "SystemRandom", "seed", "getstate", "setstate"})
+
+#: Calls/constructs producing set-typed values (iteration order is
+#: hash-randomized across runs for str keys and id-dependent for
+#: objects).
+SET_RETURNING_METHODS = frozenset({"support", "support_multi", "nodes_reachable"})
+
+#: Method names too generic to resolve through the project call graph.
+_CALL_STOPLIST = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "close",
+        "copy",
+        "count",
+        "decode",
+        "discard",
+        "encode",
+        "endswith",
+        "exists",
+        "extend",
+        "findall",
+        "flush",
+        "format",
+        "get",
+        "group",
+        "index",
+        "insert",
+        "is_dir",
+        "is_file",
+        "items",
+        "join",
+        "keys",
+        "lower",
+        "match",
+        "mkdir",
+        "open",
+        "pop",
+        "popleft",
+        "put",
+        "read",
+        "read_text",
+        "recv",
+        "remove",
+        "render",
+        "search",
+        "send",
+        "setdefault",
+        "sort",
+        "split",
+        "startswith",
+        "strip",
+        "sub",
+        "update",
+        "upper",
+        "values",
+        "write",
+        "write_text",
+    }
+)
+
+#: At most this many same-name candidates before an attribute call is
+#: considered unresolvable (keeps the over-approximation bounded).
+_MAX_ATTR_CANDIDATES = 3
+
+
+def _call_receiver(node: ast.Call) -> Optional[str]:
+    """The simple-name receiver of ``recv.meth(...)``, if any."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id
+    return None
+
+
+def _call_attr(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _call_simple_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _name_loads(node: ast.AST) -> Iterator[ast.Name]:
+    """All Name loads in a subtree."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+            yield child
+
+
+def _assigned_names(targets: Sequence[ast.AST]) -> Iterator[str]:
+    for target in targets:
+        for child in ast.walk(target):
+            if isinstance(child, ast.Name):
+                yield child.id
+
+
+def _is_manager_param(name: str) -> bool:
+    return name in MANAGER_PARAMETER_NAMES or name.endswith(
+        MANAGER_PARAMETER_SUFFIXES
+    )
+
+
+def _is_manager_construction(value: ast.AST) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Name) and func.id in MANAGER_CLASSES:
+        return True
+    if isinstance(func, ast.Attribute) and func.attr in MANAGER_CLASSES:
+        return True
+    # manager_class()(...) — a call whose callee is a factory call.
+    if isinstance(func, ast.Call):
+        inner = _call_simple_name(func) or _call_attr(func)
+        return inner in MANAGER_FACTORIES
+    return False
+
+
+def _is_ref_param(name: str) -> bool:
+    return name in REF_PARAMETER_NAMES or name.endswith(("_ref", "_refs"))
+
+
+def _gc_compact_call(node: ast.Call) -> bool:
+    """Is this ``<mgr>.gc(..., compact=True)``?"""
+    if _call_attr(node) != "gc":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "compact":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    if len(node.args) >= 2:
+        arg = node.args[1]
+        return isinstance(arg, ast.Constant) and arg.value is True
+    return False
+
+
+class _FlowScope:
+    """Statement-order provenance tracking for one function scope.
+
+    Runs F1 (cross-manager), F2 (stale across compaction) and F3
+    (boundary crossing) in a single linear pass over the statements of
+    one function, descending into compound-statement bodies in source
+    order.  Nested function/class definitions are separate scopes and
+    are skipped here.
+    """
+
+    def __init__(self, scope: ast.AST, path: str, violations: List[Violation]):
+        self.path = path
+        self.violations = violations
+        #: manager-name -> True (the set of names bound to managers)
+        self.managers: Set[str] = set()
+        #: ref-name -> name of the manager that minted it
+        self.origin: Dict[str, str] = {}
+        #: ref-names invalidated by a compacting gc (name -> gc lineno)
+        self.stale: Dict[str, int] = {}
+        #: remap-name -> manager whose compaction produced it
+        self.remaps: Dict[str, str] = {}
+        #: names known to hold raw refs (for F3), even with no origin
+        self.ref_names: Set[str] = set()
+        #: names holding set-typed values (used by the F4 source scan)
+        self.set_names: Set[str] = set()
+        self._seed_from_params(scope)
+
+    def _seed_from_params(self, scope: ast.AST) -> None:
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        args = scope.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if _is_manager_param(arg.arg):
+                self.managers.add(arg.arg)
+            elif _is_ref_param(arg.arg):
+                self.ref_names.add(arg.arg)
+
+    # -- helpers -------------------------------------------------------
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(rule, self.path, node.lineno, node.col_offset, message)
+        )
+
+    def _minting_manager(self, value: ast.AST) -> Optional[str]:
+        """The manager a ref-valued RHS expression is minted by."""
+        if not isinstance(value, ast.Call):
+            return None
+        receiver = _call_receiver(value)
+        attr = _call_attr(value)
+        if (
+            receiver in self.managers
+            and attr in REF_RETURNING_METHODS | {"branches", "top_branches"}
+        ):
+            return receiver
+        name = _call_simple_name(value)
+        if name in REF_RETURNING_FUNCTIONS and value.args:
+            first = value.args[0]
+            if isinstance(first, ast.Name) and first.id in self.managers:
+                return first.id
+        return None
+
+    def _is_set_valued(self, value: ast.AST) -> bool:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Name):
+            return value.id in self.set_names
+        if isinstance(value, ast.Call):
+            name = _call_simple_name(value)
+            if name in ("set", "frozenset"):
+                return True
+            if _call_attr(value) in SET_RETURNING_METHODS:
+                return True
+        return False
+
+    # -- statement dispatch --------------------------------------------
+    def run(self, scope: ast.AST) -> None:
+        self._walk_body(scope.body)
+
+    def _walk_body(self, body: Sequence[ast.stmt]) -> None:
+        for statement in body:
+            self._statement(statement)
+
+    def _statement(self, statement: ast.stmt) -> None:
+        if isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # separate scopes
+        if isinstance(statement, (ast.If, ast.While)):
+            self._expression(statement.test)
+            self._walk_body(statement.body)
+            self._walk_body(statement.orelse)
+            return
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._expression(statement.iter)
+            for name in _assigned_names([statement.target]):
+                self._rebind(name)
+            self._walk_body(statement.body)
+            self._walk_body(statement.orelse)
+            return
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                self._expression(item.context_expr)
+                if item.optional_vars is not None:
+                    for name in _assigned_names([item.optional_vars]):
+                        self._rebind(name)
+            self._walk_body(statement.body)
+            return
+        if isinstance(statement, ast.Try):
+            self._walk_body(statement.body)
+            for handler in statement.handlers:
+                self._walk_body(handler.body)
+            self._walk_body(statement.orelse)
+            self._walk_body(statement.finalbody)
+            return
+        # Simple statement: analyze the whole node, then apply bindings.
+        self._expression(statement)
+        if isinstance(statement, ast.Assign):
+            self._bind(statement.targets, statement.value)
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            self._bind([statement.target], statement.value)
+        elif isinstance(statement, ast.AugAssign):
+            for name in _assigned_names([statement.target]):
+                self._rebind(name)
+
+    # -- expression analysis (F1 / F2-use / F3 / gc detection) ---------
+    def _expression(self, node: ast.AST) -> None:
+        remap_exempt: Set[str] = set()
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            simple = _call_simple_name(call)
+            if simple in self.remaps:
+                # Names being translated through a Remap are the one
+                # legitimate use of a stale ref.
+                for arg in call.args:
+                    for name in _name_loads(arg):
+                        remap_exempt.add(name.id)
+        self._check_stale_uses(node, remap_exempt)
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            self._check_f1(call)
+            self._check_f3(call)
+            if _gc_compact_call(call):
+                receiver = _call_receiver(call)
+                if receiver in self.managers:
+                    self._compaction(receiver, call)
+
+    def _check_stale_uses(self, node: ast.AST, exempt: Set[str]) -> None:
+        for name in _name_loads(node):
+            if name.id in self.stale and name.id not in exempt:
+                gc_line = self.stale.pop(name.id)  # flag once
+                self._flag(
+                    "F2",
+                    name,
+                    "ref %r was invalidated by the gc(compact=True) on "
+                    "line %d; apply the returned Remap "
+                    "(e.g. %s = remap(%s)) before reusing it"
+                    % (name.id, gc_line, name.id, name.id),
+                )
+
+    def _check_f1(self, call: ast.Call) -> None:
+        receiver = _call_receiver(call)
+        if receiver not in self.managers:
+            return
+        if _call_attr(call) not in REF_ACCEPTING_METHODS:
+            return
+        arguments = list(call.args) + [kw.value for kw in call.keywords]
+        for argument in arguments:
+            for name in _name_loads(argument):
+                minted_by = self.origin.get(name.id)
+                if minted_by is not None and minted_by != receiver:
+                    self._flag(
+                        "F1",
+                        name,
+                        "ref %r was minted by manager %r but is passed to "
+                        "%s.%s(); refs index one manager's node table and "
+                        "must be rebuilt (e.g. via bdd.wire) to cross "
+                        "managers"
+                        % (name.id, minted_by, receiver, _call_attr(call)),
+                    )
+
+    def _check_f3(self, call: ast.Call) -> None:
+        attr = _call_attr(call)
+        receiver = _call_receiver(call)
+        is_boundary = attr in BOUNDARY_METHODS or (
+            receiver is not None and (receiver, attr) in BOUNDARY_FUNCTIONS
+        )
+        if not is_boundary:
+            return
+        arguments = list(call.args) + [kw.value for kw in call.keywords]
+        for argument in arguments:
+            for name in self._unserialized_names(argument):
+                if name.id in self.origin or name.id in self.ref_names:
+                    self._flag(
+                        "F3",
+                        name,
+                        "raw ref %r crosses a process/serialization "
+                        "boundary via %s(); refs are meaningless outside "
+                        "their manager — encode with "
+                        "repro.bdd.wire.serialize/serialize_instance"
+                        % (name.id, attr),
+                    )
+
+    def _unserialized_names(self, node: ast.AST) -> Iterator[ast.Name]:
+        """Name loads in ``node`` not inside a serializer call."""
+        stack: List[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ast.Call):
+                called = _call_simple_name(current) or _call_attr(current)
+                if called in SERIALIZER_NAMES:
+                    continue
+            if isinstance(current, ast.Name) and isinstance(
+                current.ctx, ast.Load
+            ):
+                yield current
+            stack.extend(ast.iter_child_nodes(current))
+
+    # -- binding updates ------------------------------------------------
+    def _compaction(self, manager: str, call: ast.Call) -> None:
+        for name, minted_by in self.origin.items():
+            if minted_by == manager:
+                self.stale[name] = call.lineno
+
+    def _rebind(self, name: str) -> None:
+        """A name was re-assigned to an unknown value."""
+        self.origin.pop(name, None)
+        self.stale.pop(name, None)
+        self.remaps.pop(name, None)
+        self.ref_names.discard(name)
+        self.set_names.discard(name)
+        self.managers.discard(name)
+
+    def _bind(self, targets: Sequence[ast.AST], value: ast.AST) -> None:
+        simple_targets = [
+            target.id for target in targets if isinstance(target, ast.Name)
+        ]
+        for name in _assigned_names(targets):
+            self._rebind(name)
+        # Manager bindings.
+        if _is_manager_construction(value):
+            self.managers.update(simple_targets)
+            return
+        if (
+            isinstance(value, ast.Call)
+            and _call_simple_name(value) in MANAGER_RETURNING_FUNCTIONS
+        ):
+            # manager, roots = deserialize(blob): first unpacked target
+            # is the manager, the rest are its refs.
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)) and target.elts:
+                    first = target.elts[0]
+                    if isinstance(first, ast.Name):
+                        self.managers.add(first.id)
+                        for element in target.elts[1:]:
+                            if isinstance(element, ast.Name):
+                                self.origin[element.id] = first.id
+                elif isinstance(target, ast.Name):
+                    self.managers.add(target.id)
+            return
+        # Remap application: x = remap(x).
+        if (
+            isinstance(value, ast.Call)
+            and _call_simple_name(value) in self.remaps
+        ):
+            minted_by = self.remaps[_call_simple_name(value)]
+            for name in simple_targets:
+                self.origin[name] = minted_by
+            return
+        # Remap binding: remap = mgr.gc(..., compact=True).
+        if isinstance(value, ast.Call) and _gc_compact_call(value):
+            receiver = _call_receiver(value)
+            if receiver in self.managers:
+                for name in simple_targets:
+                    self.remaps[name] = receiver
+                    self.stale.pop(name, None)
+            return
+        # Ref mints.
+        minted_by = self._minting_manager(value)
+        if minted_by is not None:
+            attr = _call_attr(value) if isinstance(value, ast.Call) else None
+            if attr in ("branches", "top_branches"):
+                skip = 1 if attr == "top_branches" else 0
+                for target in targets:
+                    if isinstance(target, (ast.Tuple, ast.List)):
+                        for position, element in enumerate(target.elts):
+                            if position >= skip and isinstance(
+                                element, ast.Name
+                            ):
+                                self.origin[element.id] = minted_by
+            else:
+                for name in simple_targets:
+                    self.origin[name] = minted_by
+            return
+        # Set-typed values (consumed by the F4 source scan).
+        if self._is_set_valued(value):
+            self.set_names.update(simple_targets)
+
+
+# ----------------------------------------------------------------------
+# Project model and the F4 determinism pass
+# ----------------------------------------------------------------------
+class _Function:
+    """One function in the project: marker, calls, direct sources."""
+
+    __slots__ = (
+        "qualname",
+        "name",
+        "module",
+        "class_name",
+        "node",
+        "is_deterministic",
+        "calls",
+        "sources",
+    )
+
+    def __init__(self, qualname, name, module, class_name, node):
+        self.qualname = qualname
+        self.name = name
+        self.module = module
+        self.class_name = class_name
+        self.node = node
+        self.is_deterministic = any(
+            _decorator_name(decorator) == "deterministic"
+            for decorator in node.decorator_list
+        )
+        self.calls: List[Tuple[Optional[str], str]] = []  # (receiver, name)
+        self.sources: List[Tuple[int, int, str]] = []
+
+
+def _decorator_name(decorator: ast.AST) -> Optional[str]:
+    if isinstance(decorator, ast.Call):
+        decorator = decorator.func
+    if isinstance(decorator, ast.Name):
+        return decorator.id
+    if isinstance(decorator, ast.Attribute):
+        return decorator.attr
+    return None
+
+
+class _Module:
+    """One parsed module: functions, import table, source lines."""
+
+    def __init__(self, path: str, tree: ast.Module, source_lines: Sequence[str]):
+        self.path = path
+        self.tree = tree
+        self.source_lines = source_lines
+        self.dotted = _dotted_name(path)
+        self.functions: Dict[str, _Function] = {}  # simple name -> function
+        self.imports: Dict[str, str] = {}  # local alias -> dotted origin
+        self._collect_imports()
+        self._collect_functions()
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.imports[local] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = "%s.%s" % (node.module, alias.name)
+
+    def _collect_functions(self) -> None:
+        def visit(node: ast.AST, class_name: Optional[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = "%s:%s" % (
+                        self.dotted,
+                        child.name
+                        if class_name is None
+                        else "%s.%s" % (class_name, child.name),
+                    )
+                    function = _Function(
+                        qualname, child.name, self, class_name, child
+                    )
+                    _scan_function(function)
+                    # Later defs shadow earlier same-name ones; both are
+                    # kept reachable through the project-wide name index.
+                    self.functions.setdefault(child.name, function)
+                    visit(child, class_name)
+                elif isinstance(child, ast.ClassDef):
+                    visit(child, child.name)
+                else:
+                    visit(child, class_name)
+
+        visit(self.tree, None)
+
+
+def _dotted_name(path: str) -> str:
+    """Best-effort dotted module name (``repro.bdd.wire``)."""
+    file_path = Path(path)
+    parts = [file_path.stem]
+    parent = file_path.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        parent = parent.parent
+    if parts[0] == "__init__":
+        parts = parts[1:] or [file_path.parent.name]
+    return ".".join(reversed(parts))
+
+
+def _scan_function(function: _Function) -> None:
+    """Record calls and direct nondeterminism sources of one function."""
+    flow = _FlowScope(function.node, "<scan>", [])
+    # A cheap pre-pass binds set-typed names so iteration checks below
+    # can recognize them; violations from this throwaway run are dropped.
+    flow.run(function.node)
+    set_names = flow.set_names
+    module = function.module
+
+    def own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+        stack = list(ast.iter_child_nodes(root))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def is_set_expr(value: ast.AST) -> bool:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Name):
+            return value.id in set_names
+        if isinstance(value, ast.Call):
+            if _call_simple_name(value) in ("set", "frozenset"):
+                return True
+            if _call_attr(value) in SET_RETURNING_METHODS:
+                return True
+        return False
+
+    def source(node: ast.AST, description: str) -> None:
+        function.sources.append((node.lineno, node.col_offset, description))
+
+    for node in own_nodes(function.node):
+        if isinstance(node, ast.Call):
+            receiver = _call_receiver(node)
+            attr = _call_attr(node)
+            simple = _call_simple_name(node)
+            if simple is not None:
+                function.calls.append((None, simple))
+            elif attr is not None:
+                function.calls.append((receiver, attr))
+            # Wall clock.
+            if receiver == "time" and attr in WALLCLOCK_FUNCTIONS:
+                source(node, "wall-clock read time.%s()" % attr)
+            elif (
+                simple in WALLCLOCK_FUNCTIONS
+                and module.imports.get(simple, "").startswith("time.")
+            ):
+                source(node, "wall-clock read %s()" % simple)
+            elif attr in DATETIME_METHODS and receiver in (
+                "datetime",
+                "date",
+            ):
+                source(node, "wall-clock read %s.%s()" % (receiver, attr))
+            # Module-level / unseeded random.
+            elif receiver == "random" and attr is not None:
+                if attr == "Random" and not node.args:
+                    source(node, "unseeded random.Random()")
+                elif attr not in RANDOM_MODULE_EXEMPT:
+                    source(
+                        node,
+                        "module-level random.%s() (shared, unseeded RNG)"
+                        % attr,
+                    )
+            elif (
+                simple is not None
+                and module.imports.get(simple, "").startswith("random.")
+                and module.imports[simple].rsplit(".", 1)[-1]
+                not in RANDOM_MODULE_EXEMPT
+            ):
+                source(node, "module-level random function %s()" % simple)
+            # Interpreter addresses.
+            elif simple == "id" and len(node.args) == 1:
+                source(node, "id() (interpreter-address dependent)")
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if is_set_expr(node.iter):
+                source(
+                    node.iter,
+                    "iteration over an unordered set (wrap in sorted())",
+                )
+        elif isinstance(node, ast.comprehension):
+            if is_set_expr(node.iter):
+                source(
+                    node.iter,
+                    "comprehension over an unordered set (wrap in sorted())",
+                )
+
+
+class _Project:
+    """All parsed modules plus a name-indexed call graph."""
+
+    def __init__(self, modules: Sequence[_Module]):
+        self.modules = list(modules)
+        self.by_simple_name: Dict[str, List[_Function]] = {}
+        self.by_dotted: Dict[str, _Function] = {}
+        self.module_by_dotted: Dict[str, _Module] = {}
+        for module in self.modules:
+            self.module_by_dotted[module.dotted] = module
+            for function in module.functions.values():
+                self.by_simple_name.setdefault(function.name, []).append(
+                    function
+                )
+                self.by_dotted[
+                    "%s.%s" % (module.dotted, function.name)
+                ] = function
+
+    def resolve(
+        self, caller: _Function, receiver: Optional[str], name: str
+    ) -> List[_Function]:
+        module = caller.module
+        if receiver is None:
+            local = module.functions.get(name)
+            if local is not None:
+                return [local]
+            imported = module.imports.get(name)
+            if imported is not None:
+                target = self.by_dotted.get(imported)
+                return [target] if target is not None else []
+            return []
+        if receiver == "self" and caller.class_name is not None:
+            local = module.functions.get(name)
+            if local is not None and local.class_name == caller.class_name:
+                return [local]
+        imported = module.imports.get(receiver)
+        if imported is not None:
+            target_module = self.module_by_dotted.get(
+                imported
+            ) or self.module_by_dotted.get(imported.rsplit(".", 1)[-1])
+            if target_module is not None:
+                target = target_module.functions.get(name)
+                return [target] if target is not None else []
+        if name in _CALL_STOPLIST:
+            return []
+        candidates = self.by_simple_name.get(name, [])
+        if 1 <= len(candidates) <= _MAX_ATTR_CANDIDATES:
+            return candidates
+        return []
+
+    def determinism_violations(self) -> List[Violation]:
+        violations: List[Violation] = []
+        flagged: Set[Tuple[str, int, int]] = set()
+        for module in self.modules:
+            for function in module.functions.values():
+                if not function.is_deterministic:
+                    continue
+                self._check_root(function, violations, flagged)
+        return violations
+
+    def _check_root(
+        self,
+        root: _Function,
+        violations: List[Violation],
+        flagged: Set[Tuple[str, int, int]],
+    ) -> None:
+        seen: Set[int] = set()
+        queue: List[Tuple[_Function, Tuple[str, ...]]] = [(root, (root.qualname,))]
+        while queue:
+            function, chain = queue.pop()
+            if id(function) in seen:
+                continue
+            seen.add(id(function))
+            for line, col, description in function.sources:
+                key = (function.module.path, line, col)
+                if key in flagged:
+                    continue
+                flagged.add(key)
+                if function is root:
+                    via = ""
+                else:
+                    via = " (reached from @deterministic %s)" % root.qualname
+                violations.append(
+                    Violation(
+                        "F4",
+                        function.module.path,
+                        line,
+                        col,
+                        "%s in %s, which must be deterministic%s"
+                        % (description, function.qualname, via),
+                    )
+                )
+            for receiver, name in function.calls:
+                for callee in self.resolve(function, receiver, name):
+                    if id(callee) not in seen:
+                        queue.append((callee, chain + (callee.qualname,)))
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _module_flow_violations(module: _Module) -> List[Violation]:
+    violations: List[Violation] = []
+    scopes: List[ast.AST] = [module.tree]
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node)
+    for scope in scopes:
+        flow = _FlowScope(scope, module.path, violations)
+        flow.run(scope)
+    return violations
+
+
+def _finish(
+    modules: Sequence[_Module], violations: List[Violation]
+) -> List[Violation]:
+    lines_by_path = {module.path: module.source_lines for module in modules}
+    kept = [
+        violation
+        for violation in violations
+        if not _suppressed(
+            violation.rule,
+            violation.line,
+            lines_by_path.get(violation.path, ()),
+        )
+    ]
+    kept.sort(key=lambda violation: (violation.path, violation.line, violation.col))
+    return kept
+
+
+def analyze_source(source: str, path: str = "<string>") -> List[Violation]:
+    """Run F1–F4 over one module's source text (single-module project)."""
+    tree = ast.parse(source, filename=path)
+    module = _Module(path, tree, source.splitlines())
+    violations = _module_flow_violations(module)
+    violations.extend(_Project([module]).determinism_violations())
+    return _finish([module], violations)
+
+
+def analyze_paths(paths: Optional[Sequence] = None) -> List[Violation]:
+    """Run F1–F4 over files/directories as one project.
+
+    Unreadable or unparsable files are skipped here; the lint driver
+    reports them when it walks the same paths for L1–L5.
+    """
+    from repro.analysis.lint import default_lint_paths
+
+    if not paths:
+        paths = default_lint_paths()
+    modules: List[_Module] = []
+    for python_file in iter_python_files(paths):
+        try:
+            text = Path(python_file).read_text()
+            tree = ast.parse(text, filename=str(python_file))
+        except (OSError, SyntaxError):
+            continue
+        modules.append(_Module(str(python_file), tree, text.splitlines()))
+    violations: List[Violation] = []
+    for module in modules:
+        violations.extend(_module_flow_violations(module))
+    violations.extend(_Project(modules).determinism_violations())
+    return _finish(modules, violations)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone flow-analysis entry point (text output only).
+
+    ``repro-bdd lint --flow`` is the full driver with formats and
+    baseline support; this exists for quick one-off runs.
+    """
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro-flow", description="cross-module ref-flow analysis"
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: repro + benchmarks/examples)",
+    )
+    arguments = parser.parse_args(argv)
+    violations = analyze_paths(arguments.paths or None)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print("%d flow violation(s)" % len(violations))
+        return 1
+    print("repro-flow: clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -37,7 +37,12 @@ A line can opt out with ``# repro-lint: skip`` (all rules) or
 
 Run as ``python -m repro.cli lint [paths...]`` or standalone as
 ``python -m repro.analysis.lint [paths...]``; with no paths the
-installed ``repro`` package tree is linted.
+installed ``repro`` package tree plus the repository's ``benchmarks/``
+and ``examples/`` directories are linted.  ``--flow`` adds the
+cross-module ref-flow rules F1–F4 (:mod:`repro.analysis.flow`);
+``--format json``/``--format sarif`` emit machine-readable reports and
+``--baseline FILE`` suppresses previously recorded findings (create
+one with ``--write-baseline FILE``).
 """
 
 from __future__ import annotations
@@ -122,6 +127,10 @@ REF_PARAMETER_NAMES = frozenset(
 
 #: Identifier fragments that count as memoization evidence (rule L4).
 CACHE_NAME_FRAGMENTS = ("cache", "memo", "seen", "visited")
+
+#: Fully qualified decorators that memoize the function they wrap
+#: (rule L4 exempts functions carrying one, even under an alias).
+CACHING_DECORATORS = frozenset({"functools.lru_cache", "functools.cache"})
 
 _SKIP_ALL = re.compile(r"#\s*repro-lint:\s*skip\s*(?:$|[^=])")
 _SKIP_SOME = re.compile(r"#\s*repro-lint:\s*skip=([A-Z0-9,\s]+)")
@@ -281,9 +290,56 @@ class _ScopeChecker:
                 self._check_condition(node.args[0])
 
 
+def _import_table(tree: ast.AST) -> Dict[str, str]:
+    """Local alias -> dotted origin for every import in the module."""
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                imports[local] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = "%s.%s" % (node.module, alias.name)
+    return imports
+
+
+def _is_caching_decorator(
+    decorator: ast.AST, imports: Dict[str, str]
+) -> bool:
+    """Does this decorator resolve to functools.lru_cache/cache?
+
+    Resolution goes through the module's import table, so aliased forms
+    (``from functools import lru_cache as flc``) are recognized too —
+    the textual cache-fragment sniff alone would miss them.
+    """
+    if isinstance(decorator, ast.Call):
+        decorator = decorator.func
+    if isinstance(decorator, ast.Name):
+        resolved = imports.get(decorator.id, decorator.id)
+        return resolved in CACHING_DECORATORS
+    if isinstance(decorator, ast.Attribute) and isinstance(
+        decorator.value, ast.Name
+    ):
+        module = imports.get(decorator.value.id, decorator.value.id)
+        return (
+            "%s.%s" % (module, decorator.attr) in CACHING_DECORATORS
+        )
+    return False
+
+
 def _check_l4(
-    func: ast.FunctionDef, violations: List[Violation], path: str
+    func: ast.FunctionDef,
+    violations: List[Violation],
+    path: str,
+    imports: Optional[Dict[str, str]] = None,
 ) -> None:
+    if any(
+        _is_caching_decorator(decorator, imports or {})
+        for decorator in func.decorator_list
+    ):
+        return  # functools memoizes the whole function.
     name = func.name
     recursive = False
     splits = False
@@ -387,11 +443,12 @@ def lint_source(source: str, path: str = "<string>") -> List[Violation]:
             )
 
     # L1: per-scope ref inference; L4/L5: per-function checks.
+    imports = _import_table(tree)
     scopes: List[ast.AST] = [tree]
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             scopes.append(node)
-            _check_l4(node, violations, path)
+            _check_l4(node, violations, path, imports)
             _check_l5(node, violations, path)
     for scope in scopes:
         _ScopeChecker(scope, violations, path).check(scope)
@@ -428,14 +485,192 @@ def default_lint_root() -> Path:
     return Path(repro.__file__).parent
 
 
+def default_lint_paths() -> List[Path]:
+    """The default lint target set.
+
+    The installed ``repro`` package tree plus, when running from a
+    source checkout (``src/repro`` layout with a ``pyproject.toml`` two
+    levels up), the repository's ``benchmarks/`` and ``examples/``
+    directories — bench and example code manipulates refs just like
+    library code and deserves the same rules.
+    """
+    root = default_lint_root()
+    paths: List[Path] = [root]
+    repo_root = root.parent.parent
+    if (repo_root / "pyproject.toml").is_file():
+        for extra in ("benchmarks", "examples"):
+            candidate = repo_root / extra
+            if candidate.is_dir():
+                paths.append(candidate)
+    return paths
+
+
 def lint_paths(paths: Optional[Sequence] = None) -> List[Violation]:
-    """Lint files/directories; defaults to the ``repro`` package tree."""
+    """Lint files/directories; defaults to :func:`default_lint_paths`."""
     if not paths:
-        paths = [default_lint_root()]
+        paths = default_lint_paths()
     violations: List[Violation] = []
     for python_file in iter_python_files(paths):
         violations.extend(lint_file(python_file))
     return violations
+
+
+# ----------------------------------------------------------------------
+# Report formats and baselines
+# ----------------------------------------------------------------------
+def render_json(violations: Sequence[Violation]) -> str:
+    """The violation list as a stable JSON document."""
+    import json
+
+    return json.dumps(
+        {
+            "violations": [
+                {
+                    "rule": violation.rule,
+                    "path": violation.path,
+                    "line": violation.line,
+                    "col": violation.col,
+                    "message": violation.message,
+                }
+                for violation in violations
+            ],
+            "count": len(violations),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    rules: Optional[Dict[str, str]] = None,
+) -> str:
+    """The violation list as a SARIF 2.1.0 document (for CI annotation)."""
+    import json
+
+    if rules is None:
+        rules = dict(RULES)
+        try:
+            from repro.analysis.flow import FLOW_RULES
+
+            rules.update(FLOW_RULES)
+        except ImportError:  # pragma: no cover - flow always ships
+            pass
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/analysis"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule,
+                                "shortDescription": {"text": description},
+                            }
+                            for rule, description in sorted(rules.items())
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": violation.rule,
+                        "level": "error",
+                        "message": {"text": violation.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": Path(
+                                            violation.path
+                                        ).as_posix()
+                                    },
+                                    "region": {
+                                        "startLine": violation.line,
+                                        "startColumn": violation.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for violation in violations
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _baseline_entry(violation: Violation) -> Dict[str, str]:
+    # Line numbers shift on every edit, so a baseline entry identifies a
+    # finding by rule + path + message only.
+    return {
+        "rule": violation.rule,
+        "path": Path(violation.path).as_posix(),
+        "message": violation.message,
+    }
+
+
+def _paths_match(first: str, second: str) -> bool:
+    if first == second:
+        return True
+    return first.endswith("/" + second) or second.endswith("/" + first)
+
+
+def load_baseline(path) -> List[Dict[str, str]]:
+    """Parse a baseline file written by ``--write-baseline``."""
+    import json
+
+    with open(path) as handle:
+        document = json.load(handle)
+    return list(document.get("findings", []))
+
+
+def write_baseline(path, violations: Sequence[Violation]) -> None:
+    """Record the current findings so future runs can suppress them."""
+    import json
+
+    document = {
+        "format": "repro-lint-baseline",
+        "version": 1,
+        "findings": [
+            _baseline_entry(violation) for violation in violations
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(
+    violations: Sequence[Violation], entries: Sequence[Dict[str, str]]
+) -> List[Violation]:
+    """Drop violations matching a baseline entry.
+
+    Matching ignores line/column (they shift on unrelated edits) and
+    compares paths by suffix, so a baseline recorded from the repo root
+    still applies when lint runs from a subdirectory.  Each baseline
+    entry suppresses any number of identical findings.
+    """
+    kept: List[Violation] = []
+    for violation in violations:
+        posix = Path(violation.path).as_posix()
+        suppressed = any(
+            entry.get("rule") == violation.rule
+            and entry.get("message") == violation.message
+            and _paths_match(posix, entry.get("path", ""))
+            for entry in entries
+        )
+        if not suppressed:
+            kept.append(violation)
+    return kept
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -453,12 +688,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories (default: the repro package)",
+        help=(
+            "files or directories (default: the repro package plus "
+            "benchmarks/ and examples/)"
+        ),
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the cross-module ref-flow rules F1-F4",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="output_format",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in FILE (see --write-baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings to FILE and exit 0",
     )
     args = parser.parse_args(argv)
+    paths = args.paths or default_lint_paths()
     violations: List[Violation] = []
     errors: List[str] = []
-    for python_file in iter_python_files(args.paths or [default_lint_root()]):
+    for python_file in iter_python_files(paths):
         try:
             violations.extend(lint_file(python_file))
         except OSError as error:
@@ -471,23 +732,53 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "%s:%s: syntax error: %s"
                 % (python_file, error.lineno or 0, error.msg)
             )
-    for violation in violations:
-        print(violation.render())
+    if args.flow:
+        from repro.analysis.flow import analyze_paths
+
+        violations.extend(analyze_paths(paths))
+    violations.sort(
+        key=lambda violation: (violation.path, violation.line, violation.col)
+    )
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            print(
+                "%s: cannot read baseline: %s" % (args.baseline, error),
+                file=sys.stderr,
+            )
+            return 2
+        violations = apply_baseline(violations, entries)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, violations)
+        print(
+            "recorded %d finding(s) to %s"
+            % (len(violations), args.write_baseline)
+        )
+        return 2 if errors else 0
     for error_line in errors:
         print(error_line, file=sys.stderr)
-    counts: Dict[str, int] = {}
-    for violation in violations:
-        counts[violation.rule] = counts.get(violation.rule, 0) + 1
-    if violations:
-        summary = ", ".join(
-            "%s: %d" % (rule, counts[rule]) for rule in sorted(counts)
-        )
-        print("%d violation(s) (%s)" % (len(violations), summary))
+    if args.output_format == "json":
+        print(render_json(violations))
+    elif args.output_format == "sarif":
+        print(render_sarif(violations))
+    else:
+        for violation in violations:
+            print(violation.render())
+        counts: Dict[str, int] = {}
+        for violation in violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        if violations:
+            summary = ", ".join(
+                "%s: %d" % (rule, counts[rule]) for rule in sorted(counts)
+            )
+            print("%d violation(s) (%s)" % (len(violations), summary))
     if errors:
         return 2
     if violations:
         return 1
-    print("repro-lint: clean")
+    if args.output_format == "text":
+        print("repro-lint: clean")
     return 0
 
 

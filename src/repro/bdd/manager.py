@@ -187,6 +187,12 @@ class Manager:
         self._free: List[int] = []
         self._gc_runs: int = 0
         self._nodes_reclaimed: int = 0
+        # Compaction epoch: bumped by every gc(compact=True).  Refs
+        # minted before the bump are only meaningful through the Remap
+        # that same collection returned; the RefSanitizer
+        # (repro.analysis.sanitize) stamps refs with this value to
+        # catch stale-ref use at runtime.
+        self._gc_generation: int = 0
         # Index of the most recently created node (for audit hooks).
         self._last_created: int = 0
         # Attached repro.obs.metrics registry (None = not collecting).
@@ -463,6 +469,18 @@ class Manager:
         """The currently protected refs (once each, whatever the count)."""
         return tuple(self._protected)
 
+    @property
+    def gc_generation(self) -> int:
+        """Number of compacting collections run so far.
+
+        Every ``gc(compact=True)`` invalidates all outstanding refs and
+        bumps this epoch; a ref minted under an older epoch must be
+        translated through that collection's :class:`Remap` before it
+        is used again.  ``REPRO_SANITIZE=1``
+        (:mod:`repro.analysis.sanitize`) enforces this dynamically.
+        """
+        return self._gc_generation
+
     @contextmanager
     def protecting(self, *refs: int) -> Iterator[None]:
         """Protect ``refs`` for the duration of a ``with`` block.
@@ -512,6 +530,7 @@ class Manager:
             self.clear_caches()
             if compact:
                 remap, reclaimed = self._compact(marked)
+                self._gc_generation += 1
             else:
                 remap = None
                 reclaimed = 0

@@ -49,6 +49,7 @@ import struct
 import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.flow import deterministic
 from repro.bdd.manager import Manager, TERMINAL_LEVEL
 
 #: Leading magic of every payload.
@@ -106,6 +107,7 @@ class _Reader:
         return _U32.unpack(self.take(4, what))[0]
 
 
+@deterministic
 def _emission_order(manager: Manager, roots: Sequence[int]) -> List[int]:
     """Canonical reverse-topological node order for the given roots.
 
@@ -142,6 +144,7 @@ def _emission_order(manager: Manager, roots: Sequence[int]) -> List[int]:
     return order
 
 
+@deterministic
 def serialize(manager: Manager, roots: Sequence[int]) -> bytes:
     """Encode functions of ``manager`` into a wire payload.
 
@@ -360,6 +363,7 @@ def deserialize(
     return target, roots
 
 
+@deterministic
 def serialize_instance(manager: Manager, f: int, c: int) -> bytes:
     """Encode one ``[f, c]`` minimization instance."""
     return serialize(manager, (f, c))

@@ -13,6 +13,7 @@ import random
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.errors import InvariantError
+from repro.analysis.flow import deterministic
 from repro.bdd.function import Function
 from repro.fsm.machine import FsmSpec, LatchSpec, OutputSpec
 from repro.circuits.bitvec import (
@@ -381,6 +382,7 @@ def round_robin_arbiter(clients: int) -> FsmSpec:
     )
 
 
+@deterministic
 def redundant_counter(
     seed: int, bits: int, garbage_terms: int = 10
 ) -> FsmSpec:
@@ -494,6 +496,7 @@ def redundant_counter(
 # ----------------------------------------------------------------------
 # Pseudo-random decoded controllers (the s* stand-ins)
 # ----------------------------------------------------------------------
+@deterministic
 def random_controller(
     seed: int,
     state_bits: int,

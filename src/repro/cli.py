@@ -17,8 +17,11 @@ Subcommands
     reachable state count.
 ``lint``
     Run ``repro-lint``, the codebase-specific AST lint pass (rules
-    L1–L5, see ``docs/analysis.md``), over the given paths (default:
-    the installed ``repro`` package).
+    L1–L5 plus, with ``--flow``, the cross-module ref-flow rules
+    F1–F4; see ``docs/analysis.md``), over the given paths (default:
+    the installed ``repro`` package plus ``benchmarks/`` and
+    ``examples/``).  Supports ``--format json|sarif`` and baseline
+    files (``--baseline`` / ``--write-baseline``).
 ``audit``
     Replay circuit-suite minimization instances against every
     registered heuristic and check the advertised contracts (cover
@@ -370,7 +373,16 @@ def _cmd_blif(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import main as lint_main
 
-    return lint_main(list(args.paths))
+    argv = list(args.paths)
+    if args.flow:
+        argv.append("--flow")
+    if args.output_format != "text":
+        argv.extend(["--format", args.output_format])
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    if args.write_baseline:
+        argv.extend(["--write-baseline", args.write_baseline])
+    return lint_main(argv)
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -724,12 +736,41 @@ def build_parser() -> argparse.ArgumentParser:
     blif_parser.set_defaults(handler=_cmd_blif)
 
     lint_parser = commands.add_parser(
-        "lint", help="run the codebase-specific lint pass (rules L1-L5)"
+        "lint",
+        help=(
+            "run the codebase-specific lint pass (rules L1-L5; "
+            "--flow adds F1-F4)"
+        ),
     )
     lint_parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories (default: the repro package tree)",
+        help=(
+            "files or directories (default: the repro package tree "
+            "plus benchmarks/ and examples/)"
+        ),
+    )
+    lint_parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the cross-module ref-flow rules F1-F4",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="output_format",
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in FILE",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record current findings to FILE and exit 0",
     )
     lint_parser.set_defaults(handler=_cmd_lint)
 

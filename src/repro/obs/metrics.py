@@ -34,6 +34,8 @@ import os
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
+from repro.analysis.flow import deterministic
+
 #: Environment variable enabling metrics collection at import time.
 ENV_VAR = "REPRO_METRICS"
 
@@ -225,6 +227,7 @@ def collecting(
         _ACTIVE = previous
 
 
+@deterministic
 def diff_statistics(
     before: Dict[str, int], after: Dict[str, int]
 ) -> Dict[str, int]:
@@ -248,6 +251,7 @@ def diff_statistics(
     return delta
 
 
+@deterministic
 def merge_counts(
     accumulator: Dict[str, int], snapshot: Dict[str, int]
 ) -> Dict[str, int]:

@@ -41,6 +41,8 @@ import json
 from pathlib import Path
 from typing import Dict, Tuple
 
+from repro.analysis.flow import deterministic
+
 #: Journal schema version; bumped on incompatible format changes.
 CHECKPOINT_VERSION = 1
 
@@ -64,6 +66,7 @@ class CheckpointError(Exception):
 Key = Tuple[str, int]
 
 
+@deterministic
 def result_to_record(result) -> dict:
     """Serialize a :class:`CallResult` to a journal record (a dict)."""
     return {

@@ -38,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.analysis.flow import deterministic
+
 #: Breaker state names (strings, so reprs and logs read naturally).
 CLOSED = "closed"
 OPEN = "open"
@@ -77,6 +79,7 @@ class CircuitBreaker:
         self.opens = 0
         self.short_circuits = 0
 
+    @deterministic
     def allow(self) -> bool:
         """May the next request run?  Advances the cooldown when open.
 
@@ -93,12 +96,14 @@ class CircuitBreaker:
             self.state = HALF_OPEN
         return True
 
+    @deterministic
     def record_success(self) -> None:
         """The request succeeded: close the breaker, reset the count."""
         self.successes += 1
         self.consecutive_failures = 0
         self.state = CLOSED
 
+    @deterministic
     def record_failure(self) -> None:
         """The request failed (after any retries): advance toward open."""
         self.failures += 1

@@ -1,0 +1,11 @@
+"""Seeded F1 violation: a ref crosses from one manager to another."""
+
+from repro.bdd.manager import Manager
+
+
+def cross_manager_size(leaves):
+    first = Manager(["a", "b"])
+    second = Manager(["a", "b"])
+    f = first.and_(first.var(0), first.var(1))
+    # BUG: f indexes first's node table, but is handed to second.
+    return second.size(f)

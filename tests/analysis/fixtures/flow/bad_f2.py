@@ -1,0 +1,9 @@
+"""Seeded F2 violation: a ref is used after gc(compact=True)."""
+
+
+def minimize_and_measure(manager, f, c):
+    cover = manager.and_(f, c)
+    remap = manager.gc((cover,), compact=True)
+    # BUG: compaction renumbered every node; cover is stale until it
+    # goes through remap.
+    return manager.size(cover)

@@ -1,0 +1,8 @@
+"""Seeded F3 violation: a raw ref is shipped over a pipe."""
+
+
+def ship_cover(manager, conn, f, c):
+    cover = manager.and_(f, c)
+    # BUG: cover is an int indexing this process's node table; the
+    # receiver cannot interpret it.  Encode with repro.bdd.wire.
+    conn.send({"status": "ok", "cover": cover})

@@ -1,0 +1,27 @@
+"""Seeded F4 violations: nondeterminism reachable from @deterministic.
+
+The marked emitter itself is clean; the nondeterminism hides two call
+hops away, which is exactly what the call-graph reachability pass is
+for.
+"""
+
+import random
+
+from repro.analysis.flow import deterministic
+
+
+@deterministic
+def emit_records(records):
+    for record in ordered(records):
+        yield record
+
+
+def ordered(records):
+    unique = set(records)
+    # BUG: set iteration order is hash-randomized across runs.
+    return [decorate(record) for record in unique]
+
+
+def decorate(record):
+    # BUG: the module-level RNG is shared and unseeded.
+    return (record, random.random())

@@ -1,0 +1,11 @@
+"""F1 near-miss: two managers, each ref used with its own minter."""
+
+from repro.bdd.manager import Manager
+
+
+def parallel_sizes(leaves):
+    first = Manager(["a", "b"])
+    second = Manager(["a", "b"])
+    f = first.and_(first.var(0), first.var(1))
+    g = second.or_(second.var(0), second.var(1))
+    return first.size(f) + second.size(g)

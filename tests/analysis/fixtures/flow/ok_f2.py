@@ -1,0 +1,8 @@
+"""F2 near-miss: the Remap is applied before the ref is reused."""
+
+
+def minimize_and_measure(manager, f, c):
+    cover = manager.and_(f, c)
+    remap = manager.gc((cover,), compact=True)
+    cover = remap(cover)
+    return manager.size(cover)

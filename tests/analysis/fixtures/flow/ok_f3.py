@@ -1,0 +1,8 @@
+"""F3 near-miss: the ref crosses the boundary through bdd.wire."""
+
+from repro.bdd.wire import serialize
+
+
+def ship_cover(manager, conn, f, c):
+    cover = manager.and_(f, c)
+    conn.send({"status": "ok", "payload": serialize(manager, (cover,))})

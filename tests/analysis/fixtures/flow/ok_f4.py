@@ -1,0 +1,13 @@
+"""F4 near-miss: seeded RNG and sorted set iteration are fine."""
+
+import random
+
+from repro.analysis.flow import deterministic
+
+
+@deterministic
+def emit_records(records, seed):
+    rng = random.Random(seed)
+    unique = set(records)
+    for record in sorted(unique):
+        yield record, rng.random()

@@ -1,0 +1,141 @@
+"""Flow rules F1-F4: each fixture fires, each near-miss stays silent."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow import (
+    FLOW_RULES,
+    analyze_paths,
+    analyze_source,
+    deterministic,
+)
+from repro.analysis.lint import default_lint_paths
+
+FLOW_FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+
+#: fixture file -> (expected rule, expected violation count)
+BAD_FLOW_FIXTURES = {
+    "bad_f1.py": ("F1", 1),
+    "bad_f2.py": ("F2", 1),
+    "bad_f3.py": ("F3", 1),
+    "bad_f4.py": ("F4", 2),
+}
+
+
+@pytest.mark.parametrize("filename", sorted(BAD_FLOW_FIXTURES))
+def test_bad_fixture_is_flagged(filename):
+    rule, count = BAD_FLOW_FIXTURES[filename]
+    source = (FLOW_FIXTURES / filename).read_text()
+    violations = analyze_source(source, filename)
+    assert violations, "expected %s violations in %s" % (rule, filename)
+    assert {violation.rule for violation in violations} == {rule}
+    assert len(violations) == count
+
+
+@pytest.mark.parametrize("filename", ["ok_f1.py", "ok_f2.py", "ok_f3.py", "ok_f4.py"])
+def test_near_miss_is_silent(filename):
+    source = (FLOW_FIXTURES / filename).read_text()
+    assert analyze_source(source, filename) == []
+
+
+def test_every_flow_rule_has_a_fixture():
+    covered = {BAD_FLOW_FIXTURES[name][0] for name in BAD_FLOW_FIXTURES}
+    assert covered == set(FLOW_RULES)
+
+
+def test_deterministic_marker_is_a_noop():
+    @deterministic
+    def emit(x):
+        return x + 1
+
+    assert emit(1) == 2
+    assert emit.__repro_deterministic__ is True
+
+
+def test_f1_deserialize_binds_a_manager():
+    source = (
+        "def rebuild(blob, g):\n"
+        "    manager, roots = deserialize(blob)\n"
+        "    f = roots[0]\n"
+        "    return manager.size(manager.not_(f))\n"
+    )
+    assert analyze_source(source) == []
+
+
+def test_f2_non_compacting_gc_is_exempt():
+    source = (
+        "def sweep(manager, f, c):\n"
+        "    cover = manager.and_(f, c)\n"
+        "    manager.gc((cover,))\n"
+        "    return manager.size(cover)\n"
+    )
+    assert analyze_source(source) == []
+
+
+def test_f2_reassignment_clears_staleness():
+    source = (
+        "def rebuild(manager, f, c):\n"
+        "    cover = manager.and_(f, c)\n"
+        "    remap = manager.gc((), compact=True)\n"
+        "    cover = manager.and_(f, c)\n"
+        "    return manager.size(cover)\n"
+    )
+    violations = analyze_source(source)
+    # f and c are parameters with no tracked origin, so only the
+    # local mint is invalidated; rebinding it clears the staleness.
+    assert violations == []
+
+
+def test_f4_wall_clock_flagged():
+    source = (
+        "import time\n"
+        "from repro.analysis.flow import deterministic\n"
+        "@deterministic\n"
+        "def stamp(record):\n"
+        "    return (record, time.time())\n"
+    )
+    violations = analyze_source(source)
+    assert [violation.rule for violation in violations] == ["F4"]
+    assert "time.time" in violations[0].message
+
+
+def test_f4_unmarked_function_not_checked():
+    source = (
+        "import time\n"
+        "def stamp(record):\n"
+        "    return (record, time.time())\n"
+    )
+    assert analyze_source(source) == []
+
+
+def test_f4_seeded_random_instance_is_exempt():
+    source = (
+        "import random\n"
+        "from repro.analysis.flow import deterministic\n"
+        "@deterministic\n"
+        "def scenario(seed):\n"
+        "    rng = random.Random(seed)\n"
+        "    return rng.random()\n"
+    )
+    assert analyze_source(source) == []
+
+
+def test_suppression_comment_applies_to_flow_rules():
+    flagged = (
+        "def ship(manager, conn, f):\n"
+        "    cover = manager.not_(f)\n"
+        "    conn.send(cover)\n"
+    )
+    assert len(analyze_source(flagged)) == 1
+    suppressed = (
+        "def ship(manager, conn, f):\n"
+        "    cover = manager.not_(f)\n"
+        "    conn.send(cover)  # repro-lint: skip=F3\n"
+    )
+    assert analyze_source(suppressed) == []
+
+
+def test_repro_package_is_flow_clean():
+    violations = analyze_paths(default_lint_paths())
+    assert violations == [], "\n".join(v.render() for v in violations)

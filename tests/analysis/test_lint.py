@@ -10,11 +10,17 @@ import pytest
 from repro.analysis.lint import (
     RULES,
     Violation,
+    apply_baseline,
+    default_lint_paths,
     default_lint_root,
     lint_file,
     lint_paths,
     lint_source,
+    load_baseline,
     main,
+    render_json,
+    render_sarif,
+    write_baseline,
 )
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -132,3 +138,116 @@ def test_cli_lint_fails_on_fixture():
     result = _run_cli(str(FIXTURES / "bad_l1.py"))
     assert result.returncode == 1
     assert "L1" in result.stdout
+
+
+def test_l4_exempts_functools_decorators():
+    source = (
+        "import functools\n"
+        "@functools.lru_cache(maxsize=None)\n"
+        "def walk(manager, node):\n"
+        "    a, b = manager.branches(node, 0)\n"
+        "    return 1 + walk(manager, a) + walk(manager, b)\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_l4_exempts_aliased_lru_cache():
+    # The blind spot: an alias with no 'cache' in its text used to be
+    # flagged as uncached; decorator resolution through the import
+    # table now recognizes it.
+    source = (
+        "from functools import lru_cache as _f\n"
+        "@_f(maxsize=None)\n"
+        "def walk(manager, node):\n"
+        "    a, b = manager.branches(node, 0)\n"
+        "    return 1 + walk(manager, a) + walk(manager, b)\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_l4_still_flags_undecorated_recursion():
+    source = (
+        "def walk(manager, node):\n"
+        "    a, b = manager.branches(node, 0)\n"
+        "    return 1 + walk(manager, a) + walk(manager, b)\n"
+    )
+    assert [violation.rule for violation in lint_source(source)] == ["L4"]
+
+
+def test_default_lint_paths_include_benchmarks():
+    paths = [path.name for path in default_lint_paths()]
+    assert paths[0] == "repro"
+    assert "benchmarks" in paths
+    assert "examples" in paths
+
+
+def test_render_json_shape():
+    import json
+
+    violations = lint_file(FIXTURES / "bad_l3.py")
+    document = json.loads(render_json(violations))
+    assert document["count"] == len(violations) == 2
+    assert {entry["rule"] for entry in document["violations"]} == {"L3"}
+    assert all("line" in entry for entry in document["violations"])
+
+
+def test_render_sarif_shape():
+    import json
+
+    violations = lint_file(FIXTURES / "bad_l1.py")
+    document = json.loads(render_sarif(violations))
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"L1", "L4", "F1", "F4"} <= rule_ids
+    assert len(run["results"]) == len(violations)
+    result = run["results"][0]
+    assert result["ruleId"] == "L1"
+    assert result["locations"][0]["physicalLocation"]["region"]["startLine"]
+
+
+def test_baseline_round_trip(tmp_path):
+    violations = lint_file(FIXTURES / "bad_l3.py")
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, violations)
+    entries = load_baseline(baseline)
+    assert len(entries) == len(violations)
+    assert apply_baseline(violations, entries) == []
+    # A new finding not in the baseline survives.
+    other = lint_file(FIXTURES / "bad_l5.py")
+    assert apply_baseline(other, entries) == other
+
+
+def test_main_baseline_suppresses_and_exits_zero(tmp_path, capsys):
+    fixture = str(FIXTURES / "bad_l3.py")
+    baseline = str(tmp_path / "baseline.json")
+    assert main([fixture, "--write-baseline", baseline]) == 0
+    capsys.readouterr()
+    assert main([fixture, "--baseline", baseline]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_main_format_json(capsys):
+    import json
+
+    assert main([str(FIXTURES / "bad_l5.py"), "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["count"] == 4
+
+
+def test_main_flow_flag(capsys):
+    flow_fixture = FIXTURES / "flow" / "bad_f2.py"
+    assert main([str(flow_fixture), "--flow"]) == 1
+    out = capsys.readouterr().out
+    assert "F2" in out
+    # Without --flow only the L rules run; the fixture is L-clean.
+    assert main([str(flow_fixture)]) == 0
+
+
+def test_cli_lint_flow_sarif():
+    import json
+
+    result = _run_cli("--flow", "--format", "sarif")
+    assert result.returncode == 0, result.stdout + result.stderr
+    document = json.loads(result.stdout)
+    assert document["runs"][0]["results"] == []

@@ -26,6 +26,16 @@ def pytest_configure(config):
         from repro.analysis.checked import install_checked_manager
 
         install_checked_manager()
+    # REPRO_SANITIZE=1 runs the whole suite under the RefSanitizer
+    # (cross-manager/stale-generation detection).  Installed after
+    # --repro-check on purpose: when both are requested the sanitizer
+    # wins the Manager binding (each mode has its own CI lane).
+    from repro.analysis.sanitize import sanitizing_enabled
+
+    if sanitizing_enabled():
+        from repro.analysis.sanitize import install_sanitized_manager
+
+        install_sanitized_manager()
 
 
 @pytest.fixture
