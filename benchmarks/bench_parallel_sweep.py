@@ -97,6 +97,27 @@ def main(argv=None) -> int:
         "pooled_seconds": round(pooled_seconds, 4),
         "speedup": round(serial_seconds / pooled_seconds, 4),
         "pooled_failed_cells": pooled_results.failed_cells,
+        # Serve-layer health of the pooled pass: the record must show
+        # how hard the isolation machinery worked, not just how fast.
+        "serve_stats": {
+            key: pooled_results.serve_stats.get(key, 0)
+            for key in (
+                "requests",
+                "failures",
+                "kills",
+                "crashes",
+                "worker_restarts",
+                "probe_failures",
+                "recycles",
+                "breaker_successes",
+                "breaker_failures",
+                "breaker_opens",
+                "breaker_short_circuits",
+            )
+        },
+        "breaker_states": pooled_results.serve_stats.get(
+            "breaker_states", {}
+        ),
     }
     with open(args.output, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)

@@ -582,6 +582,109 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Chaos load drill: gateway + pool under seeded fault schedules.
+
+    Runs the closed-loop load generator of :mod:`repro.robust.chaos`
+    against every requested fault schedule, asserts the serve-layer
+    invariants (every completed response is a valid cover, every
+    rejection is typed and bounded in time), and records the results
+    in ``benchmarks/BENCH_serve_load.json``.  Exit status 1 on any
+    invariant violation — this is the CI gate behind ``load-smoke``.
+    """
+    import json
+    import multiprocessing
+
+    from repro.robust.chaos import (
+        FAULT_SCHEDULES,
+        LoadConfig,
+        named_schedule,
+        run_loadtest,
+    )
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("loadtest requires the fork start method", file=sys.stderr)
+        return 2
+    if args.quick:
+        config = LoadConfig(
+            requests=args.requests or 80,
+            concurrency=args.concurrency or 6,
+            workers=args.workers,
+            deadline=args.deadline or 1.5,
+            seed=args.seed,
+            stall_seconds=0.3,
+            spike_bytes=32 << 20,
+        )
+        names = args.schedule or ["mixed"]
+    else:
+        config = LoadConfig(
+            requests=args.requests or 200,
+            concurrency=args.concurrency or 8,
+            workers=args.workers,
+            deadline=args.deadline or 2.0,
+            seed=args.seed,
+        )
+        names = args.schedule or sorted(FAULT_SCHEDULES)
+    for name in names:
+        if name not in FAULT_SCHEDULES:
+            print(
+                "unknown schedule %r; available: %s"
+                % (name, ", ".join(sorted(FAULT_SCHEDULES))),
+                file=sys.stderr,
+            )
+            return 2
+    all_violations: List[str] = []
+    records = []
+    for name in names:
+        schedule = named_schedule(name, config.seed, config.requests)
+        report = run_loadtest(config, schedule)
+        record = report.to_record()
+        records.append(record)
+        violations = report.violations(
+            max_p99=args.max_p99, max_shed_rate=args.max_shed_rate
+        )
+        all_violations.extend(violations)
+        print(
+            "%-8s %4d req: %4d ok, %3d degraded, %3d shed "
+            "(p50 %.3fs, p99 %.3fs, %.0f req/s)%s"
+            % (
+                name,
+                report.requests,
+                report.completed_ok,
+                report.degraded,
+                report.shed,
+                report.p50,
+                report.p99,
+                report.throughput,
+                "  FAIL" if violations else "",
+            )
+        )
+        for message in violations:
+            print("  violation: %s" % message, file=sys.stderr)
+    if args.output:
+        payload = {
+            "quick": bool(args.quick),
+            "seed": config.seed,
+            "requests_per_schedule": config.requests,
+            "concurrency": config.concurrency,
+            "workers": config.workers,
+            "schedules": records,
+            "violations": all_violations,
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.output)
+    if all_violations:
+        print(
+            "%d invariant violation(s)" % len(all_violations),
+            file=sys.stderr,
+        )
+        return 1
+    print("all serve-layer invariants held under every schedule")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Capped sweep with observability fully on; print every counter."""
     from repro.circuits.suite import QUICK_SUITE
@@ -882,6 +985,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="read requests from this file instead of stdin",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    loadtest_parser = commands.add_parser(
+        "loadtest",
+        help="chaos load drill: gateway invariants under fault schedules",
+    )
+    loadtest_parser.add_argument(
+        "--schedule",
+        nargs="+",
+        metavar="NAME",
+        help="fault schedules to run (default: all; quick mode: mixed)",
+    )
+    loadtest_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller load and smaller memory spikes (CI smoke)",
+    )
+    loadtest_parser.add_argument(
+        "--requests",
+        type=int,
+        help="requests per schedule (default 200; quick 80)",
+    )
+    loadtest_parser.add_argument(
+        "--concurrency",
+        type=int,
+        help="closed-loop clients (default 8; quick 6)",
+    )
+    loadtest_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="pool worker processes (default 2)",
+    )
+    loadtest_parser.add_argument(
+        "--deadline",
+        type=float,
+        help="per-request budget in seconds (default 2.0; quick 1.5)",
+    )
+    loadtest_parser.add_argument(
+        "--seed",
+        type=int,
+        default=2026,
+        help="chaos/instance seed (default 2026)",
+    )
+    loadtest_parser.add_argument(
+        "--max-p99",
+        type=float,
+        help="fail if any schedule's p99 latency exceeds this bound",
+    )
+    loadtest_parser.add_argument(
+        "--max-shed-rate",
+        type=float,
+        help="fail if any schedule's shed rate exceeds this fraction",
+    )
+    loadtest_parser.add_argument(
+        "--output",
+        default="benchmarks/BENCH_serve_load.json",
+        help="JSON record path (default benchmarks/BENCH_serve_load.json; "
+        "empty string to skip writing)",
+    )
+    loadtest_parser.set_defaults(handler=_cmd_loadtest)
 
     metrics_parser = commands.add_parser(
         "metrics",

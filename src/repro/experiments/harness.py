@@ -92,6 +92,11 @@ class ExperimentResults:
     total_calls: int = 0
     filtered_out: int = 0
     resumed_calls: int = 0
+    #: Serve-layer health for pooled sweeps (``parallel=N``): the
+    #: pool's counters (requests, kills, crashes, worker_restarts,
+    #: probe_failures, ...) plus the breaker board's lifetime totals
+    #: and final states.  Empty for in-process sweeps.
+    serve_stats: Dict[str, object] = field(default_factory=dict)
 
     def in_bucket(self, bucket: Optional[Bucket]) -> List[CallResult]:
         """Results restricted to one bucket (None = all calls)."""
@@ -406,6 +411,11 @@ def run_heuristics(
                 results.results.append(result)
     finally:
         if pool is not None:
+            # Snapshot serve-layer health before the pool shuts down,
+            # so sweep records can report retry/shed/breaker counters.
+            results.serve_stats = dict(pool.statistics())
+            results.serve_stats.update(board.counters())
+            results.serve_stats["breaker_states"] = board.states()
             pool.close()
     return results
 

@@ -23,6 +23,12 @@ package provides the four layers that guarantee it:
     :class:`FaultyManager` injects deterministic failures at scheduled
     operation counts, proving the degradation paths under test and in
     manual ``repro-bdd inject`` drills.
+:mod:`repro.robust.chaos`
+    Seeded chaos schedules (worker SIGKILL, stalls, corrupt wire
+    payloads, memory spikes) composed with a closed-loop load
+    generator over the serve-layer gateway — ``repro-bdd loadtest``
+    asserts every completed response is a valid Definition 2 cover and
+    every rejection is typed, under every fault schedule.
 
 See ``docs/robustness.md`` for the full degradation semantics.
 """
@@ -42,6 +48,16 @@ from repro.robust.guard import (
     guarding_enabled,
 )
 from repro.robust.checkpoint import Checkpoint, CheckpointError
+from repro.robust.chaos import (
+    FAULT_SCHEDULES,
+    ChaosEvent,
+    ChaosInjector,
+    ChaosSchedule,
+    LoadConfig,
+    LoadReport,
+    named_schedule,
+    run_loadtest,
+)
 from repro.robust.faults import (
     FAULT_BUDGET,
     FAULT_CACHE,
@@ -51,6 +67,14 @@ from repro.robust.faults import (
 )
 
 __all__ = [
+    "ChaosEvent",
+    "ChaosSchedule",
+    "ChaosInjector",
+    "LoadConfig",
+    "LoadReport",
+    "FAULT_SCHEDULES",
+    "named_schedule",
+    "run_loadtest",
     "Budget",
     "Governor",
     "governed",

@@ -38,6 +38,8 @@ number; the CLI turns that into a clean exit status 2.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Tuple
 
@@ -154,10 +156,59 @@ def record_to_result(record: dict):
 
 
 class Checkpoint:
-    """One JSONL journal file of completed call measurements."""
+    """One JSONL journal file of completed call measurements.
 
-    def __init__(self, path):
+    Durability model: :meth:`append` fsyncs each record (set
+    ``fsync=False`` to trade the crash-after-power-loss guarantee for
+    speed in tests), and every whole-file rewrite
+    (:meth:`trim_partial`, :meth:`truncate`) goes through a temp file
+    in the same directory plus :func:`os.replace`, so a kill at ANY
+    instant leaves either the old journal or the new one on disk —
+    never a half-written file.  In-place ``write_text`` would truncate
+    first and write second; a kill in between destroys the very
+    journal the repair was trying to save.
+    """
+
+    def __init__(self, path, fsync: bool = True):
         self.path = Path(path)
+        self.fsync = fsync
+
+    def _sync(self, fileno: int) -> None:
+        if self.fsync:
+            os.fsync(fileno)
+
+    def _sync_dir(self) -> None:
+        """Flush the directory entry so a rename itself is durable."""
+        if not self.fsync:
+            return
+        try:
+            dir_fd = os.open(str(self.path.parent), os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def _write_atomic(self, text: str) -> None:
+        """Replace the journal's contents in one atomic step."""
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=self.path.name + ".", suffix=".tmp",
+            dir=str(self.path.parent),
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                self._sync(handle.fileno())
+            os.replace(tmp_name, str(self.path))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._sync_dir()
 
     def has_journal(self) -> bool:
         """True iff the journal file exists on disk."""
@@ -205,23 +256,27 @@ class Checkpoint:
     def append(self, result) -> None:
         """Durably append one completed result to the journal.
 
-        Open-write-close per record: a kill between calls loses nothing,
-        and a kill mid-write loses at most the final partial line, which
-        :meth:`load` would reject — callers resuming after a crash
-        should :meth:`trim_partial` first.
+        Open-write-fsync-close per record: a kill between calls loses
+        nothing (the fsync pushed every prior record to disk, not just
+        to the page cache), and a kill mid-write loses at most the
+        final partial line, which :meth:`load` would reject — callers
+        resuming after a crash should :meth:`trim_partial` first.
         """
         record = result_to_record(result)
         with open(self.path, "a") as handle:
             handle.write(json.dumps(record, sort_keys=True))
             handle.write("\n")
             handle.flush()
+            self._sync(handle.fileno())
 
     def trim_partial(self) -> bool:
         """Drop a trailing partial line left by a mid-write kill.
 
         Returns True if anything was trimmed.  Only the *final* line is
         ever considered: earlier malformed lines are real corruption and
-        still raise from :meth:`load`.
+        still raise from :meth:`load`.  The rewrite is atomic (temp
+        file + rename): a kill mid-repair leaves the original journal
+        intact instead of a second, worse truncation.
         """
         if not self.path.is_file():
             return False
@@ -232,14 +287,14 @@ class Checkpoint:
         try:
             json.loads(partial)
         except json.JSONDecodeError:
-            self.path.write_text(kept + "\n" if kept else "")
+            self._write_atomic(kept + "\n" if kept else "")
             return True
         return False
 
     def truncate(self) -> None:
-        """Start the journal over (fresh, non-resumed sweep)."""
+        """Start the journal over (fresh, non-resumed sweep); atomic."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text("")
+        self._write_atomic("")
 
     def __repr__(self) -> str:
         return "Checkpoint(%r)" % str(self.path)

@@ -18,10 +18,17 @@ the way industrial flows invoke it thousands of times per run:
     retry-with-backoff policy — both measured in requests, not wall
     time, so every scenario replays deterministically.
 :mod:`repro.serve.service`
-    :class:`MinimizationService`: the front door combining all of the
-    above.  Every request returns a valid cover (heuristic result or
-    the Definition-2 identity ``g = f``) with the failure reason
-    recorded — the service never raises on a request.
+    :class:`MinimizationService`: the synchronous front door combining
+    all of the above.  Every request returns a valid cover (heuristic
+    result or the Definition-2 identity ``g = f``) with the failure
+    reason recorded — the service never raises on a request.
+:mod:`repro.serve.gateway`
+    :class:`MinimizationGateway`: the asyncio front door for
+    concurrent load — bounded admission queue with typed load shedding
+    (:class:`OverloadedError`), end-to-end deadline propagation (queue
+    wait deducted from the worker budget; expired requests shed
+    without dispatch), deterministic counter-based hedged retries, and
+    a worker supervisor with capped-backoff health probing.
 
 The experiment harness shards benchmark cells across the pool with
 ``run_experiment(parallel=N)`` / ``repro-bdd experiments --parallel N``,
@@ -44,19 +51,37 @@ from repro.serve.breaker import (
     OPEN,
     RetryPolicy,
 )
+from repro.serve.gateway import (
+    DeadlineExpired,
+    GatewayClosed,
+    GatewayError,
+    GatewayReply,
+    HedgePolicy,
+    MinimizationGateway,
+    OverloadedError,
+)
 from repro.serve.pool import (
     DEFAULT_DEADLINE,
     DETERMINISTIC,
     MinimizationPool,
     ServeResult,
     TRANSIENT,
+    WireOutcome,
 )
 from repro.serve.service import MinimizationService
 
 __all__ = [
     "MinimizationPool",
     "MinimizationService",
+    "MinimizationGateway",
+    "GatewayError",
+    "GatewayReply",
+    "GatewayClosed",
+    "OverloadedError",
+    "DeadlineExpired",
+    "HedgePolicy",
     "ServeResult",
+    "WireOutcome",
     "CircuitBreaker",
     "BreakerBoard",
     "RetryPolicy",

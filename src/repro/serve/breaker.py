@@ -31,10 +31,18 @@ Deterministic failures (contract violations, unknown heuristics) are
 never retried: a bug does not heal under a bigger deadline.  This
 mirrors the transient/deterministic split of
 :mod:`repro.robust.guard` exactly.
+
+Breakers are **thread-safe**: every transition and counter update
+happens under a per-breaker lock, so the asyncio gateway's dispatcher
+threads and a sweep on the main thread can share one
+:class:`BreakerBoard` without corrupting statistics.  Determinism is
+per request *sequence* — concurrent callers still interleave their
+sequences, but each observed interleaving drives the same transitions.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -78,6 +86,9 @@ class CircuitBreaker:
         self.failures = 0
         self.opens = 0
         self.short_circuits = 0
+        # Guards every transition and counter; RLock so describe() can
+        # be called from failure callbacks fired under the lock.
+        self._lock = threading.RLock()
 
     @deterministic
     def allow(self) -> bool:
@@ -88,32 +99,35 @@ class CircuitBreaker:
         moves to half-open and this call's request becomes the probe
         (``True``).
         """
-        if self.state == OPEN:
-            if self._cooldown_remaining > 0:
-                self._cooldown_remaining -= 1
-                self.short_circuits += 1
-                return False
-            self.state = HALF_OPEN
-        return True
+        with self._lock:
+            if self.state == OPEN:
+                if self._cooldown_remaining > 0:
+                    self._cooldown_remaining -= 1
+                    self.short_circuits += 1
+                    return False
+                self.state = HALF_OPEN
+            return True
 
     @deterministic
     def record_success(self) -> None:
         """The request succeeded: close the breaker, reset the count."""
-        self.successes += 1
-        self.consecutive_failures = 0
-        self.state = CLOSED
+        with self._lock:
+            self.successes += 1
+            self.consecutive_failures = 0
+            self.state = CLOSED
 
     @deterministic
     def record_failure(self) -> None:
         """The request failed (after any retries): advance toward open."""
-        self.failures += 1
-        if self.state == HALF_OPEN:
-            # The probe failed: straight back to open, full cooldown.
-            self._trip()
-            return
-        self.consecutive_failures += 1
-        if self.consecutive_failures >= self.failure_threshold:
-            self._trip()
+        with self._lock:
+            self.failures += 1
+            if self.state == HALF_OPEN:
+                # The probe failed: straight back to open, full cooldown.
+                self._trip()
+                return
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= self.failure_threshold:
+                self._trip()
 
     def _trip(self) -> None:
         self.state = OPEN
@@ -123,18 +137,19 @@ class CircuitBreaker:
 
     def describe(self) -> str:
         """One-line state summary for logs and degradation reasons."""
-        if self.state == OPEN:
-            return "%s: open (%d request(s) until half-open probe)" % (
+        with self._lock:
+            if self.state == OPEN:
+                return "%s: open (%d request(s) until half-open probe)" % (
+                    self.name,
+                    self._cooldown_remaining,
+                )
+            if self.state == HALF_OPEN:
+                return "%s: half-open (probe outstanding)" % self.name
+            return "%s: closed (%d/%d consecutive failure(s))" % (
                 self.name,
-                self._cooldown_remaining,
+                self.consecutive_failures,
+                self.failure_threshold,
             )
-        if self.state == HALF_OPEN:
-            return "%s: half-open (probe outstanding)" % self.name
-        return "%s: closed (%d/%d consecutive failure(s))" % (
-            self.name,
-            self.consecutive_failures,
-            self.failure_threshold,
-        )
 
     def __repr__(self) -> str:
         return "CircuitBreaker(%r, state=%s, threshold=%d, cooldown=%d)" % (
@@ -192,26 +207,46 @@ class BreakerBoard:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
 
     def breaker(self, method: str) -> CircuitBreaker:
         """The breaker for ``method``, created on first use."""
-        breaker = self._breakers.get(method)
-        if breaker is None:
-            breaker = CircuitBreaker(
-                name=method,
-                failure_threshold=self.failure_threshold,
-                cooldown=self.cooldown,
-            )
-            self._breakers[method] = breaker
-        return breaker
+        with self._lock:
+            breaker = self._breakers.get(method)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    name=method,
+                    failure_threshold=self.failure_threshold,
+                    cooldown=self.cooldown,
+                )
+                self._breakers[method] = breaker
+            return breaker
 
     def get(self, method: str) -> Optional[CircuitBreaker]:
         """The breaker for ``method`` if one exists (no creation)."""
-        return self._breakers.get(method)
+        with self._lock:
+            return self._breakers.get(method)
 
     def states(self) -> Dict[str, str]:
         """Current state of every instantiated breaker."""
-        return {
-            name: breaker.state
-            for name, breaker in sorted(self._breakers.items())
+        with self._lock:
+            items = sorted(self._breakers.items())
+        return {name: breaker.state for name, breaker in items}
+
+    def counters(self) -> Dict[str, int]:
+        """Lifetime totals summed over every instantiated breaker."""
+        with self._lock:
+            breakers = list(self._breakers.values())
+        totals = {
+            "breaker_successes": 0,
+            "breaker_failures": 0,
+            "breaker_opens": 0,
+            "breaker_short_circuits": 0,
         }
+        for breaker in breakers:
+            with breaker._lock:
+                totals["breaker_successes"] += breaker.successes
+                totals["breaker_failures"] += breaker.failures
+                totals["breaker_opens"] += breaker.opens
+                totals["breaker_short_circuits"] += breaker.short_circuits
+        return totals

@@ -31,6 +31,20 @@ Failures are classified for the circuit breaker / retry layer
 * **deterministic** — contract violations, invariant violations,
   unknown heuristics, malformed payloads: retrying cannot help.
 
+Concurrency model
+-----------------
+
+Workers live on a checked-out/checked-in free list guarded by one
+condition variable, so the pool is safe to drive from **multiple
+threads at once** — the asyncio gateway's dispatcher threads
+(:mod:`repro.serve.gateway`), the chaos harness and a sweep can share
+one pool.  :meth:`MinimizationPool.execute` is the thread-safe,
+wire-level primitive (bytes in, :class:`WireOutcome` out; it never
+touches a caller manager); :meth:`run_batch` and :meth:`minimize` are
+built on top of it and do all caller-manager decoding in the calling
+thread, so a :class:`~repro.bdd.manager.Manager` is never shared
+across threads by this module.
+
 Custom heuristics must be resolvable *in the child*.  With the default
 ``fork`` start method, anything registered via
 :func:`repro.core.registry.register_heuristic` before the pool starts
@@ -41,9 +55,10 @@ entries are visible.
 from __future__ import annotations
 
 import multiprocessing
-import multiprocessing.connection
+import threading
 import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -114,6 +129,31 @@ class ServeResult:
     def transient(self) -> bool:
         """True iff a retry (bigger deadline) could plausibly succeed."""
         return self.kind == TRANSIENT
+
+
+@dataclass
+class WireOutcome:
+    """Wire-level outcome of one worker attempt.
+
+    The thread-safe twin of :class:`ServeResult`: it carries the
+    result as wire bytes instead of a caller-manager ref, so it can be
+    produced on any thread without touching any manager.  ``payload``
+    is the wire-encoded cover on success and ``None`` on failure — a
+    failed request degrades at whatever layer holds the caller's
+    ``f`` ref (the batch API here, or the gateway's fallback encoder).
+    """
+
+    status: str
+    payload: Optional[bytes] = None
+    reason: Optional[str] = None
+    kind: str = TRANSIENT
+    killed: bool = False
+    runtime: float = 0.0
+    stats: Optional[Dict[str, int]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 def _apply_memory_limit(limit_bytes: Optional[int]) -> None:
@@ -234,6 +274,14 @@ def _worker_main(conn, memory_limit: Optional[int]) -> None:
             break
         if request is None:
             break
+        if isinstance(request, dict) and "ping" in request:
+            # Health probe from the supervisor: echo the token back.
+            # Kept trivially cheap so a probe never competes with work.
+            try:
+                conn.send({"pong": request["ping"]})
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                break
+            continue
         reply = _execute_request(request)
         try:
             conn.send(reply)
@@ -243,14 +291,19 @@ def _worker_main(conn, memory_limit: Optional[int]) -> None:
 
 
 class _Worker:
-    """One child process plus its duplex pipe."""
+    """One child process plus its duplex pipe.
 
-    def __init__(self, context, memory_limit: Optional[int]):
+    ``target`` overrides the process entry point — used by tests to
+    spawn pathological workers (e.g. one that ignores the shutdown
+    sentinel) against the same lifecycle machinery.
+    """
+
+    def __init__(self, context, memory_limit: Optional[int], target=None):
         #: Requests dispatched to this worker so far (drives recycling).
         self.served = 0
         self.conn, child_conn = context.Pipe(duplex=True)
         self.process = context.Process(
-            target=_worker_main,
+            target=_worker_main if target is None else target,
             args=(child_conn, memory_limit),
             daemon=True,
         )
@@ -263,38 +316,31 @@ class _Worker:
 
     def kill(self) -> None:
         """SIGKILL the worker — no cooperation, no cleanup, no mercy."""
-        self.process.kill()
-        self.process.join()
-        self.conn.close()
+        try:
+            self.process.kill()
+            self.process.join()
+        finally:
+            self.conn.close()
 
     def stop(self) -> None:
-        """Graceful shutdown: sentinel, short join, then kill."""
+        """Graceful shutdown: sentinel, short join, then kill.
+
+        A worker that ignores the sentinel (wedged interpreter, blocked
+        signal handling, a child that stopped reading its pipe) is
+        SIGKILLed after a 1 second join; the parent end of the pipe is
+        closed on every path.
+        """
         try:
             self.conn.send(None)
         except (BrokenPipeError, OSError):
             pass
-        self.process.join(timeout=1.0)
-        if self.process.is_alive():
-            self.process.kill()
-            self.process.join()
-        self.conn.close()
-
-
-@dataclass
-class _InFlight:
-    """Bookkeeping for one dispatched request.
-
-    ``fallback`` is the request's ``f`` ref (the identity cover used on
-    degradation) and ``care`` its ``c`` ref, both in the caller's
-    manager — kept so the parent can re-verify returned covers.
-    """
-
-    index: int
-    method: str
-    fallback: int
-    care: int
-    kill_at: float
-    started: float
+        try:
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join()
+        finally:
+            self.conn.close()
 
 
 class MinimizationPool:
@@ -320,11 +366,14 @@ class MinimizationPool:
     verify:
         Re-check returned covers in the parent (two BDD operations) —
         the child already verifies, but the parent does not have to
-        trust a worker that may have corrupted itself.
+        trust a worker that may have corrupted itself.  Applies to the
+        manager-level APIs (:meth:`minimize` / :meth:`run_batch`); the
+        wire-level :meth:`execute` leaves verification to its caller.
     on_failure:
         Optional ``(method, reason)`` callback invoked on every
         degradation — the same protocol as
-        :class:`repro.robust.guard.GuardedHeuristic`.
+        :class:`repro.robust.guard.GuardedHeuristic`.  May be invoked
+        from a dispatcher thread when the pool is driven concurrently.
     recycle_after:
         Optional request count after which an idle worker is gracefully
         stopped and replaced by a fresh one.  Worker managers are
@@ -378,22 +427,45 @@ class MinimizationPool:
         self.crashes = 0
         self.worker_restarts = 0
         self.recycles = 0
+        self.probe_failures = 0
         self._closed = False
-        self._workers: List[_Worker] = [
+        self._probe_token = 0
+        # Worker free list: every member is either idle or busy; both
+        # collections (and every counter above) are guarded by _cv.
+        self._cv = threading.Condition()
+        self._idle: deque = deque(
             _Worker(self._context, memory_limit) for _ in range(workers)
-        ]
+        )
+        self._busy: List[_Worker] = []
+        # Lazily created dispatcher threads for multi-worker batches.
+        self._executor: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut every worker down; idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        for worker in self._workers:
+        """Shut every worker down; idempotent.
+
+        New checkouts are refused immediately; requests already running
+        on other threads are allowed to finish (each is bounded by its
+        deadline plus the kill grace), and their workers are stopped as
+        they check back in.
+        """
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            idle = list(self._idle)
+            self._idle.clear()
+            self._cv.notify_all()
+        for worker in idle:
             worker.stop()
-        self._workers = []
+        with self._cv:
+            while self._busy:
+                self._cv.wait(timeout=0.1)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     def __enter__(self) -> "MinimizationPool":
         return self
@@ -403,19 +475,74 @@ class MinimizationPool:
 
     def worker_pids(self) -> List[Optional[int]]:
         """PIDs of the live workers (useful to observe recycling)."""
-        return [worker.pid for worker in self._workers]
+        with self._cv:
+            members = list(self._idle) + list(self._busy)
+        return [worker.pid for worker in members]
 
     def statistics(self) -> Dict[str, int]:
         """Health counters: requests, failures, kills, restarts."""
-        return {
-            "workers": len(self._workers),
-            "requests": self.requests,
-            "failures": self.failures,
-            "kills": self.kills,
-            "crashes": self.crashes,
-            "worker_restarts": self.worker_restarts,
-            "recycles": self.recycles,
-        }
+        with self._cv:
+            return {
+                "workers": len(self._idle) + len(self._busy),
+                "requests": self.requests,
+                "failures": self.failures,
+                "kills": self.kills,
+                "crashes": self.crashes,
+                "worker_restarts": self.worker_restarts,
+                "recycles": self.recycles,
+                "probe_failures": self.probe_failures,
+            }
+
+    # ------------------------------------------------------------------
+    # Worker free list
+    # ------------------------------------------------------------------
+    def _checkout(self, block: bool = True) -> Optional[_Worker]:
+        """Claim an idle worker; ``block=False`` returns None instead
+        of waiting (the gateway's hedge path: a hedge only helps when
+        spare capacity exists)."""
+        with self._cv:
+            while True:
+                if self._closed:
+                    raise RuntimeError("pool is closed")
+                if self._idle:
+                    worker = self._idle.popleft()
+                    self._busy.append(worker)
+                    return worker
+                if not block:
+                    return None
+                self._cv.wait()
+
+    def _checkin(self, worker: _Worker, fresh: Optional[_Worker] = None) -> None:
+        """Return ``worker`` (or its replacement ``fresh``) to the free
+        list.  The caller kills/stops a replaced ``worker`` itself —
+        always outside the lock."""
+        stop_me: Optional[_Worker] = None
+        with self._cv:
+            self._busy.remove(worker)
+            member = worker if fresh is None else fresh
+            if self._closed:
+                stop_me = member
+            elif (
+                fresh is None
+                and self.recycle_after is not None
+                and worker.served >= self.recycle_after
+            ):
+                self.recycles += 1
+                mreg = obs_metrics.active()
+                if mreg is not None:
+                    mreg.inc("serve.worker_recycles")
+                stop_me = worker
+                self._idle.append(_Worker(self._context, self.memory_limit))
+            else:
+                self._idle.append(member)
+            self._cv.notify_all()
+        if stop_me is not None:
+            stop_me.stop()
+
+    def _swap_busy(self, dead: _Worker, fresh: _Worker) -> None:
+        with self._cv:
+            index = self._busy.index(dead)
+            self._busy[index] = fresh
 
     # ------------------------------------------------------------------
     # Requests
@@ -449,177 +576,197 @@ class MinimizationPool:
         Up to ``workers`` requests run concurrently; each is
         independently watchdogged, and a killed request degrades alone
         — the rest of the batch is untouched.  Results are returned
-        index-aligned with the input.
+        index-aligned with the input.  All caller-manager work (wire
+        encoding, decoding, re-verification) happens on the calling
+        thread; only the wire-level middle runs on dispatcher threads.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
         per_request = self.deadline if deadline is None else deadline
         if per_request <= 0:
             raise ValueError("deadline must be positive")
-        results: List[Optional[ServeResult]] = [None] * len(requests)
-        pending = deque()
-        for index, (method, f, c) in enumerate(requests):
-            self.requests += 1
-            pending.append(
-                (index, method, f, c, serialize_instance(manager, f, c))
-            )
-        inflight: Dict[_Worker, _InFlight] = {}
-        while pending or inflight:
-            self._dispatch(pending, inflight, per_request)
-            self._collect(manager, results, inflight, per_request)
-        return [result for result in results if result is not None]
+        jobs = [
+            (method, f, c, serialize_instance(manager, f, c))
+            for method, f, c in requests
+        ]
+        if len(jobs) <= 1 or self.num_workers == 1:
+            outcomes = [
+                self.execute(payload, method, deadline=per_request)
+                for method, _, _, payload in jobs
+            ]
+        else:
+            executor = self._dispatchers()
+            futures = [
+                executor.submit(
+                    self.execute, payload, method, per_request
+                )
+                for method, _, _, payload in jobs
+            ]
+            outcomes = [future.result() for future in futures]
+        return [
+            self._to_result(manager, method, f, c, outcome)
+            for (method, f, c, _), outcome in zip(jobs, outcomes)
+        ]
 
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _dispatch(self, pending, inflight, per_request: float) -> None:
-        for slot, worker in enumerate(self._workers):
-            if not pending:
-                return
-            if worker in inflight:
-                continue
-            index, method, fallback, care, payload = pending.popleft()
-            request = {
-                "method": method,
-                "payload": payload,
-                "deadline": per_request,
-                "node_budget": self.node_budget,
-                "step_budget": self.step_budget,
-            }
-            started = time.monotonic()
+    def execute(
+        self,
+        payload: bytes,
+        method: str,
+        deadline: Optional[float] = None,
+        block: bool = True,
+    ) -> Optional[WireOutcome]:
+        """Run one wire-encoded ``[f, c]`` request on a worker.
+
+        The thread-safe core primitive: blocks until a worker is free
+        (or returns ``None`` immediately with ``block=False``), ships
+        the payload, watchdogs the worker, and returns a
+        :class:`WireOutcome` — never raises on a request, only on
+        caller errors (closed pool, non-positive deadline).  Wire-level
+        failures are recorded against ``failures`` / ``last_failure``
+        and reported through ``on_failure`` here; parent-side decode
+        and verification belong to the caller.
+        """
+        per_request = self.deadline if deadline is None else deadline
+        if per_request <= 0:
+            raise ValueError("deadline must be positive")
+        worker = self._checkout(block=block)
+        if worker is None:
+            return None
+        with self._cv:
+            self.requests += 1
+        request = {
+            "method": method,
+            "payload": payload,
+            "deadline": per_request,
+            "node_budget": self.node_budget,
+            "step_budget": self.step_budget,
+        }
+        started = time.monotonic()
+        while True:
             worker.served += 1
             try:
                 worker.conn.send(request)
             except (BrokenPipeError, OSError):
                 # The worker died between requests; replace it and
                 # retry the request on the fresh one.
-                self._workers[slot] = self._respawn(worker)
-                pending.appendleft((index, method, fallback, care, payload))
+                fresh = _Worker(self._context, self.memory_limit)
+                self._swap_busy(worker, fresh)
+                with self._cv:
+                    self.crashes += 1
+                    self.worker_restarts += 1
+                worker.kill()
+                worker = fresh
                 continue
-            inflight[worker] = _InFlight(
-                index=index,
-                method=method,
-                fallback=fallback,
-                care=care,
-                kill_at=started + per_request + self.kill_grace,
-                started=started,
-            )
-
-    def _collect(self, manager, results, inflight, per_request) -> None:
-        if not inflight:
-            return
-        now = time.monotonic()
-        wait_for = max(
-            0.0, min(job.kill_at for job in inflight.values()) - now
-        )
-        ready = multiprocessing.connection.wait(
-            [worker.conn for worker in inflight], timeout=wait_for
-        )
-        ready_set = set(ready)
-        finished: List[_Worker] = []
-        for worker, job in inflight.items():
-            if worker.conn in ready_set:
-                self._finish(manager, results, worker, job)
-                finished.append(worker)
-            elif time.monotonic() >= job.kill_at:
-                self._kill_overdue(results, worker, job, per_request)
-                finished.append(worker)
-        for worker in finished:
-            del inflight[worker]
-        if self.recycle_after is not None:
-            for worker in finished:
-                # Killed/crashed workers were already replaced and are
-                # no longer pool members; only recycle live idlers.
-                if (
-                    worker in self._workers
-                    and worker.served >= self.recycle_after
-                ):
-                    self._recycle(worker)
-
-    def _recycle(self, tired: _Worker) -> None:
-        """Gracefully replace an idle worker that served its quota."""
-        self.recycles += 1
-        mreg = obs_metrics.active()
-        if mreg is not None:
-            mreg.inc("serve.worker_recycles")
-        for slot, worker in enumerate(self._workers):
-            if worker is tired:
-                self._workers[slot] = _Worker(
-                    self._context, self.memory_limit
-                )
-                break
-        tired.stop()
-
-    def _finish(self, manager, results, worker: _Worker, job) -> None:
+            break
+        kill_at = started + per_request + self.kill_grace
+        try:
+            ready = worker.conn.poll(max(0.0, kill_at - time.monotonic()))
+        except (BrokenPipeError, OSError):  # pragma: no cover - races
+            ready = False
+        if not ready:
+            return self._kill_overdue(worker, method, per_request)
         try:
             reply = worker.conn.recv()
         except (EOFError, OSError):
-            # The worker died mid-request: OOM kill, segfault, or an
-            # explicit exit.  Classified transient (a fresh worker may
-            # well succeed) and the worker is replaced.
-            exitcode = worker.process.exitcode
-            self.crashes += 1
-            self._replace(worker)
-            results[job.index] = self._degraded(
-                job,
-                "WorkerCrash: worker died mid-request (exit code %s)"
-                % exitcode,
-                TRANSIENT,
-                killed=False,
-            )
-            return
-        runtime = reply.get("runtime", time.monotonic() - job.started)
+            return self._crashed(worker, method, started)
+        runtime = reply.get("runtime", time.monotonic() - started)
         stats = reply.get("stats")
         mreg = obs_metrics.active()
         if mreg is not None:
             mreg.observe("serve.request_latency", runtime)
+        self._checkin(worker)
         if reply["status"] != "ok":
-            results[job.index] = self._degraded(
-                job, reply["reason"], reply["kind"], killed=False,
-                runtime=runtime, stats=stats,
-            )
-            return
-        try:
-            _, roots = deserialize(reply["payload"], manager=manager)
-            cover = roots[0]
-        except (WireError, IndexError) as error:
-            results[job.index] = self._degraded(
-                job,
-                "WireError: undecodable result payload: %s" % error,
-                DETERMINISTIC,
+            return self._wire_failure(
+                method,
+                reply["reason"],
+                reply["kind"],
                 killed=False,
                 runtime=runtime,
                 stats=stats,
             )
-            return
-        if self.verify and not self._covers(manager, job, cover):
-            results[job.index] = self._degraded(
-                job,
-                "ContractError: worker returned a non-cover for %s"
-                % job.method,
-                DETERMINISTIC,
-                killed=False,
-                runtime=runtime,
-                stats=stats,
-            )
-            return
-        results[job.index] = ServeResult(
-            method=job.method, cover=cover, runtime=runtime, stats=stats
+        return WireOutcome(
+            status="ok",
+            payload=reply["payload"],
+            runtime=runtime,
+            stats=stats,
         )
 
-    def _covers(self, manager, job, cover: int) -> bool:
-        from repro.core.ispec import ISpec
+    def probe(self, timeout: float = 1.0) -> Dict[str, int]:
+        """Health-check every currently idle worker with a ping.
 
-        return ISpec(manager, job.fallback, job.care).is_cover(cover)
+        A worker that does not echo the probe token within ``timeout``
+        seconds is killed and replaced.  Busy workers are skipped —
+        they are already covered by their request's watchdog.  Returns
+        ``{"probed": n, "healthy": n, "replaced": n}``.
+        """
+        grabbed: List[_Worker] = []
+        while True:
+            try:
+                worker = self._checkout(block=False)
+            except RuntimeError:
+                break
+            if worker is None:
+                break
+            grabbed.append(worker)
+        probed = healthy = replaced = 0
+        for worker in grabbed:
+            probed += 1
+            with self._cv:
+                self._probe_token += 1
+                token = self._probe_token
+            alive = False
+            try:
+                worker.conn.send({"ping": token})
+                if worker.conn.poll(timeout):
+                    reply = worker.conn.recv()
+                    alive = (
+                        isinstance(reply, dict)
+                        and reply.get("pong") == token
+                    )
+            except (BrokenPipeError, EOFError, OSError):
+                alive = False
+            if alive:
+                healthy += 1
+                self._checkin(worker)
+            else:
+                replaced += 1
+                with self._cv:
+                    self.probe_failures += 1
+                    self.worker_restarts += 1
+                mreg = obs_metrics.active()
+                if mreg is not None:
+                    mreg.inc("serve.probe_failures")
+                fresh = _Worker(self._context, self.memory_limit)
+                self._checkin(worker, fresh=fresh)
+                worker.kill()
+        return {"probed": probed, "healthy": healthy, "replaced": replaced}
 
-    def _kill_overdue(self, results, worker, job, per_request) -> None:
-        self.kills += 1
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _dispatchers(self) -> ThreadPoolExecutor:
+        with self._cv:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.num_workers,
+                    thread_name_prefix="repro-pool",
+                )
+            return self._executor
+
+    def _kill_overdue(
+        self, worker: _Worker, method: str, per_request: float
+    ) -> WireOutcome:
+        with self._cv:
+            self.kills += 1
+            self.worker_restarts += 1
         mreg = obs_metrics.active()
         if mreg is not None:
             mreg.inc("serve.watchdog_kills")
-        self._replace(worker)
-        results[job.index] = self._degraded(
-            job,
+        fresh = _Worker(self._context, self.memory_limit)
+        self._checkin(worker, fresh=fresh)
+        worker.kill()
+        return self._wire_failure(
+            method,
             "DeadlineExceeded: worker exceeded the %.3fs wall-clock "
             "deadline and was killed (SIGKILL)" % per_request,
             TRANSIENT,
@@ -627,41 +774,109 @@ class MinimizationPool:
             runtime=per_request,
         )
 
-    def _replace(self, dead: _Worker) -> None:
-        dead.kill()
-        self.worker_restarts += 1
-        for slot, worker in enumerate(self._workers):
-            if worker is dead:
-                self._workers[slot] = _Worker(
-                    self._context, self.memory_limit
-                )
-                return
+    def _crashed(
+        self, worker: _Worker, method: str, started: float
+    ) -> WireOutcome:
+        # The worker died mid-request: OOM kill, segfault, or an
+        # explicit exit.  Classified transient (a fresh worker may
+        # well succeed) and the worker is replaced.
+        exitcode = worker.process.exitcode
+        with self._cv:
+            self.crashes += 1
+            self.worker_restarts += 1
+        fresh = _Worker(self._context, self.memory_limit)
+        self._checkin(worker, fresh=fresh)
+        worker.kill()
+        return self._wire_failure(
+            method,
+            "WorkerCrash: worker died mid-request (exit code %s)"
+            % exitcode,
+            TRANSIENT,
+            killed=False,
+            runtime=time.monotonic() - started,
+        )
 
-    def _respawn(self, dead: _Worker) -> _Worker:
-        dead.kill()
-        self.crashes += 1
-        self.worker_restarts += 1
-        return _Worker(self._context, self.memory_limit)
-
-    def _degraded(
+    def _wire_failure(
         self,
-        job,
+        method: str,
         reason: str,
         kind: str,
         killed: bool,
         runtime: float = 0.0,
         stats: Optional[Dict[str, int]] = None,
-    ) -> ServeResult:
-        self.failures += 1
-        self.last_failure = reason
-        if self.on_failure is not None:
-            self.on_failure(job.method, reason)
-        return ServeResult(
-            method=job.method,
-            cover=job.fallback,
+    ) -> WireOutcome:
+        self._record_failure(method, reason)
+        return WireOutcome(
+            status="failed",
             reason=reason,
             kind=kind,
             killed=killed,
             runtime=runtime,
             stats=stats,
         )
+
+    def _record_failure(self, method: str, reason: str) -> None:
+        with self._cv:
+            self.failures += 1
+            self.last_failure = reason
+        if self.on_failure is not None:
+            self.on_failure(method, reason)
+
+    def _to_result(
+        self,
+        manager: Manager,
+        method: str,
+        fallback: int,
+        care: int,
+        outcome: WireOutcome,
+    ) -> ServeResult:
+        """Decode a wire outcome into the caller's manager (caller
+        thread only); re-verify when ``verify`` is set."""
+        if not outcome.ok:
+            return ServeResult(
+                method=method,
+                cover=fallback,
+                reason=outcome.reason,
+                kind=outcome.kind,
+                killed=outcome.killed,
+                runtime=outcome.runtime,
+                stats=outcome.stats,
+            )
+        try:
+            _, roots = deserialize(outcome.payload, manager=manager)
+            cover = roots[0]
+        except (WireError, IndexError) as error:
+            reason = "WireError: undecodable result payload: %s" % error
+            self._record_failure(method, reason)
+            return ServeResult(
+                method=method,
+                cover=fallback,
+                reason=reason,
+                kind=DETERMINISTIC,
+                runtime=outcome.runtime,
+                stats=outcome.stats,
+            )
+        if self.verify and not self._covers(manager, fallback, care, cover):
+            reason = (
+                "ContractError: worker returned a non-cover for %s" % method
+            )
+            self._record_failure(method, reason)
+            return ServeResult(
+                method=method,
+                cover=fallback,
+                reason=reason,
+                kind=DETERMINISTIC,
+                runtime=outcome.runtime,
+                stats=outcome.stats,
+            )
+        return ServeResult(
+            method=method,
+            cover=cover,
+            runtime=outcome.runtime,
+            stats=outcome.stats,
+        )
+
+    def _covers(self, manager, f: int, c: int, cover: int) -> bool:
+        from repro.core.ispec import ISpec
+
+        return ISpec(manager, f, c).is_cover(cover)

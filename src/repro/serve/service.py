@@ -30,6 +30,7 @@ isolation — and follows the same reason-recording protocol
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Optional
 
 from repro.bdd.manager import Manager
@@ -85,11 +86,15 @@ class MinimizationService:
         self.requests = 0
         self.failures = 0
         self.short_circuits = 0
+        self.retries = 0
         self.last_failure: Optional[str] = None
         #: Aggregated worker-side Manager.statistics() across every
         #: request that shipped a snapshot back (cumulative counters
         #: summed, sizes/peaks kept as maxima).
         self.worker_stats: Dict[str, int] = {}
+        # Counter/aggregate guard: the async gateway's dispatcher
+        # threads and harness threads may share one service.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -111,13 +116,15 @@ class MinimizationService:
 
     def statistics(self) -> Dict[str, object]:
         """Service counters plus pool health and breaker states."""
-        stats: Dict[str, object] = {
-            "requests": self.requests,
-            "failures": self.failures,
-            "short_circuits": self.short_circuits,
-            "breakers": self.board.states(),
-            "worker_stats": dict(self.worker_stats),
-        }
+        with self._lock:
+            stats: Dict[str, object] = {
+                "requests": self.requests,
+                "failures": self.failures,
+                "short_circuits": self.short_circuits,
+                "retries": self.retries,
+                "worker_stats": dict(self.worker_stats),
+            }
+        stats["breakers"] = self.board.states()
         stats.update(self.pool.statistics())
         return stats
 
@@ -137,7 +144,8 @@ class MinimizationService:
         Never raises; the returned :class:`ServeResult`'s ``cover`` is
         always a valid cover of ``[f, c]`` in ``manager``.
         """
-        self.requests += 1
+        with self._lock:
+            self.requests += 1
         mreg = obs_metrics.active()
         breaker = self.board.breaker(method)
         state_before = breaker.state
@@ -148,7 +156,8 @@ class MinimizationService:
             )
         if not allowed:
             reason = "CircuitOpen: %s" % breaker.describe()
-            self.short_circuits += 1
+            with self._lock:
+                self.short_circuits += 1
             if mreg is not None:
                 mreg.inc("serve.short_circuits")
             self._record(method, reason)
@@ -164,8 +173,11 @@ class MinimizationService:
         result: Optional[ServeResult] = None
         with obs_trace.span("serve.request", method=method):
             for attempt in range(self.retry.max_attempts):
-                if mreg is not None and attempt > 0:
-                    mreg.inc("serve.retries")
+                if attempt > 0:
+                    with self._lock:
+                        self.retries += 1
+                    if mreg is not None:
+                        mreg.inc("serve.retries")
                 result = self.pool.minimize(
                     manager,
                     f,
@@ -193,10 +205,12 @@ class MinimizationService:
     def _absorb_stats(self, result: ServeResult) -> None:
         """Fold a result's worker-side statistics into the aggregate."""
         if result.stats:
-            obs_metrics.merge_counts(self.worker_stats, result.stats)
+            with self._lock:
+                obs_metrics.merge_counts(self.worker_stats, result.stats)
 
     def _record(self, method: str, reason: str) -> None:
-        self.failures += 1
-        self.last_failure = reason
+        with self._lock:
+            self.failures += 1
+            self.last_failure = reason
         if self.on_failure is not None:
             self.on_failure(method, reason)

@@ -1,0 +1,213 @@
+"""Tests for the seeded chaos schedules and the load harness."""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.robust.chaos import (
+    CHAOS_CORRUPT,
+    CHAOS_KILL,
+    CHAOS_KINDS,
+    CHAOS_STALL,
+    FAULT_SCHEDULES,
+    ChaosEvent,
+    ChaosInjector,
+    ChaosSchedule,
+    LoadConfig,
+    LoadReport,
+    corrupt_payload,
+    named_schedule,
+    run_loadtest,
+)
+from repro.bdd.wire import WireError, deserialize_instance, serialize_instance
+from repro.bdd.manager import Manager
+from repro.serve.pool import MinimizationPool
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="chaos drills require the fork start method",
+)
+
+#: A small, fast configuration shared by the live drills.
+SMALL = dict(
+    requests=30,
+    concurrency=4,
+    workers=2,
+    deadline=1.0,
+    stall_seconds=0.3,
+    instance_pool=4,
+    spike_bytes=16 << 20,
+    probe_interval=0.3,
+)
+
+
+class TestSchedules:
+    def test_generate_is_deterministic_in_seed(self):
+        rates = {CHAOS_KILL: 0.1, CHAOS_CORRUPT: 0.2}
+        one = ChaosSchedule.generate("drill", 7, 100, rates)
+        two = ChaosSchedule.generate("drill", 7, 100, rates)
+        assert one.events == two.events
+        other = ChaosSchedule.generate("drill", 8, 100, rates)
+        assert other.events != one.events
+
+    def test_generate_respects_rates(self):
+        schedule = ChaosSchedule.generate(
+            "drill", 1, 200, {CHAOS_KILL: 0.05, CHAOS_STALL: 0.10}
+        )
+        assert schedule.counts[CHAOS_KILL] == 10
+        assert schedule.counts[CHAOS_STALL] == 20
+        assert schedule.counts[CHAOS_CORRUPT] == 0
+        # Events are keyed on admission sequence, all in range.
+        assert all(0 <= e.at_request < 200 for e in schedule.events)
+
+    def test_due_returns_kinds_for_sequence(self):
+        schedule = ChaosSchedule(
+            "drill",
+            (
+                ChaosEvent(3, CHAOS_KILL),
+                ChaosEvent(3, CHAOS_CORRUPT),
+                ChaosEvent(5, CHAOS_STALL),
+            ),
+        )
+        assert sorted(schedule.due(3)) == [CHAOS_CORRUPT, CHAOS_KILL]
+        assert schedule.due(5) == [CHAOS_STALL]
+        assert schedule.due(4) == []
+
+    def test_named_schedules_cover_catalogue(self):
+        for name in FAULT_SCHEDULES:
+            schedule = named_schedule(name, seed=3, requests=50)
+            assert schedule.name == name
+        with pytest.raises(ValueError):
+            named_schedule("no_such", seed=3, requests=50)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(0, "earthquake")
+        with pytest.raises(ValueError):
+            ChaosEvent(-1, CHAOS_KILL)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule.generate("drill", 0, 10, {CHAOS_KILL: 1.5})
+
+
+class TestCorruption:
+    def test_corrupt_payload_breaks_crc(self):
+        manager = Manager(["a", "b"])
+        a, b = manager.var(0), manager.var(1)
+        payload = serialize_instance(manager, manager.and_(a, b), a)
+        corrupted = corrupt_payload(payload, random.Random(0))
+        assert corrupted != payload
+        assert len(corrupted) == len(payload)
+        with pytest.raises(WireError):
+            deserialize_instance(corrupted)
+        # The original is untouched (corruption is on-the-wire only).
+        deserialize_instance(payload)
+
+    def test_corrupt_is_deterministic_in_rng(self):
+        payload = b"\x00" * 64
+        one = corrupt_payload(payload, random.Random(9))
+        two = corrupt_payload(payload, random.Random(9))
+        assert one == two
+
+
+@needs_fork
+class TestInjector:
+    def test_kill_worker_targets_live_pid(self):
+        with MinimizationPool(workers=2) as pool:
+            before = set(pool.worker_pids())
+            injector = ChaosInjector(pool, seed=1)
+            victim = injector.kill_worker()
+            assert victim in before
+            assert injector.kills == 1
+
+    def test_stall_and_release_resume_worker(self):
+        manager = Manager(["a", "b"])
+        a, b = manager.var(0), manager.var(1)
+        f = manager.and_(a, b)
+        with MinimizationPool(workers=1, deadline=5.0) as pool:
+            injector = ChaosInjector(pool, seed=1, stall_seconds=30.0)
+            assert injector.stall_worker() is not None
+            injector.release()
+            # After release the worker is running again and serves.
+            result = pool.minimize(manager, f, a, method="f_orig")
+            assert result.ok
+
+    def test_victim_selection_is_seeded(self):
+        with MinimizationPool(workers=2) as pool:
+            one = ChaosInjector(pool, seed=5)
+            two = ChaosInjector(pool, seed=5)
+            assert one._victim() == two._victim()
+
+
+class TestLoadReport:
+    def test_accounting_violation_detected(self):
+        report = LoadReport(schedule="calm", config=LoadConfig(requests=10))
+        report.completed_ok = 4  # 6 requests vanished
+        problems = report.violations()
+        assert any("unaccounted" in message for message in problems)
+
+    def test_invalid_cover_and_untyped_are_violations(self):
+        report = LoadReport(schedule="calm", config=LoadConfig(requests=1))
+        report.completed_ok = 1
+        report.invalid_covers = 1
+        report.untyped_rejections = 1
+        report.unhandled_exceptions = 1
+        problems = report.violations()
+        assert len(problems) == 3
+
+    def test_bounds_are_optional_gates(self):
+        report = LoadReport(schedule="calm", config=LoadConfig(requests=2))
+        report.completed_ok = 1
+        report.shed_overload = 1
+        report.latencies = [0.5]
+        assert report.violations() == []
+        assert report.violations(max_p99=0.1)
+        assert report.violations(max_shed_rate=0.25)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(requests=0)
+        with pytest.raises(ValueError):
+            LoadConfig(concurrency=0)
+        with pytest.raises(ValueError):
+            LoadConfig(methods=())
+
+
+@needs_fork
+class TestLiveDrills:
+    def _run(self, name: str) -> LoadReport:
+        config = LoadConfig(**SMALL)
+        schedule = named_schedule(name, config.seed, config.requests)
+        return run_loadtest(config, schedule)
+
+    def test_calm_schedule_all_complete(self):
+        report = self._run("calm")
+        assert report.completed_ok == report.requests
+        assert report.shed == 0
+        assert report.violations() == []
+        record = report.to_record()
+        assert record["invalid_covers"] == 0
+        assert record["schedule"] == "calm"
+
+    def test_corrupt_schedule_degrades_typed(self):
+        report = self._run("corrupt")
+        # Every corrupted request degrades (CRC catches the flip) but
+        # still yields a valid identity cover for the caller.
+        assert report.degraded >= 1
+        assert report.violations() == []
+
+    def test_kill_schedule_survives_worker_loss(self):
+        report = self._run("kills")
+        assert report.injected_kills >= 1
+        assert report.finished + report.shed == report.requests
+        assert report.violations() == []
+
+    def test_mixed_schedule_holds_all_invariants(self):
+        report = self._run("mixed")
+        assert report.violations() == []
+        assert report.invalid_covers == 0
+        assert report.unhandled_exceptions == 0

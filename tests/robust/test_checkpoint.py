@@ -1,6 +1,7 @@
 """Tests for the JSONL checkpoint journal and the CLI exit codes."""
 
 import json
+import os
 
 import pytest
 
@@ -121,6 +122,89 @@ class TestCheckpoint:
         journal.append(_result())
         journal.truncate()
         assert journal.load() == {}
+
+
+class TestAtomicity:
+    def test_trim_partial_rewrites_via_rename(self, tmp_path, monkeypatch):
+        path = tmp_path / "torn.jsonl"
+        journal = Checkpoint(path)
+        journal.append(_result(iteration=1))
+        with open(path, "a") as handle:
+            handle.write('{"version": 1, "benchm')
+        replaced = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            replaced.append((src, dst))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        assert journal.trim_partial()
+        # The repair went through a same-directory temp file + rename,
+        # never an in-place truncate-then-write.
+        assert len(replaced) == 1
+        src, dst = replaced[0]
+        assert dst == str(path)
+        assert os.path.dirname(src) == str(tmp_path)
+        assert len(journal.load()) == 1
+
+    def test_failed_trim_leaves_original_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "torn.jsonl"
+        journal = Checkpoint(path)
+        journal.append(_result(iteration=1))
+        with open(path, "a") as handle:
+            handle.write('{"version": 1, "benchm')
+        before = path.read_text()
+
+        def dying_replace(src, dst):
+            raise OSError("disk pulled mid-rename")
+
+        monkeypatch.setattr(os, "replace", dying_replace)
+        with pytest.raises(OSError):
+            journal.trim_partial()
+        # A kill mid-repair must not destroy the journal: the original
+        # bytes (good records + torn tail) are untouched, and no temp
+        # litter survives.
+        assert path.read_text() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        # The repair still works once the disk comes back.
+        monkeypatch.undo()
+        assert journal.trim_partial()
+        assert len(journal.load()) == 1
+
+    def test_truncate_is_atomic(self, tmp_path, monkeypatch):
+        path = tmp_path / "fresh.jsonl"
+        journal = Checkpoint(path)
+        journal.append(_result())
+        before = path.read_text()
+        monkeypatch.setattr(
+            os, "replace", lambda s, d: (_ for _ in ()).throw(OSError("no"))
+        )
+        with pytest.raises(OSError):
+            journal.truncate()
+        assert path.read_text() == before
+
+    def test_append_fsyncs_each_record(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+
+        def spying_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spying_fsync)
+        journal = Checkpoint(tmp_path / "durable.jsonl")
+        journal.append(_result(iteration=1))
+        journal.append(_result(iteration=2))
+        assert len(synced) == 2
+
+    def test_fsync_false_skips_syncs(self, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd))
+        journal = Checkpoint(tmp_path / "fast.jsonl", fsync=False)
+        journal.append(_result())
+        journal.truncate()
+        assert synced == []
 
 
 class TestCliExitCodes:

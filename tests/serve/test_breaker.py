@@ -138,3 +138,130 @@ class TestBreakerBoard:
         board.breaker("a")
         board.breaker("b").record_failure()
         assert board.states() == {"a": CLOSED, "b": OPEN}
+
+    def test_counters_sum_across_breakers(self):
+        board = BreakerBoard(failure_threshold=1, cooldown=2)
+        board.breaker("a").record_success()
+        b = board.breaker("b")
+        b.record_failure()  # trips open
+        assert not b.allow()  # short-circuit 1
+        totals = board.counters()
+        assert totals == {
+            "breaker_successes": 1,
+            "breaker_failures": 1,
+            "breaker_opens": 1,
+            "breaker_short_circuits": 1,
+        }
+
+
+class TestHalfOpenInterleavings:
+    """Half-open behavior under interleaved success/failure sequences."""
+
+    def _tripped(self, cooldown=2):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=cooldown)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        # Burn the cooldown.
+        for _ in range(cooldown):
+            assert not breaker.allow()
+        return breaker
+
+    def test_probe_success_then_immediate_failures_retrip(self):
+        breaker = self._tripped()
+        assert breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # Closing resets the consecutive count: it takes a full
+        # threshold of NEW failures to trip again.
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_success_failure_alternation_never_trips(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=2)
+        for _ in range(20):
+            assert breaker.allow()
+            breaker.record_failure()
+            assert breaker.allow()
+            breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.opens == 0
+
+    def test_repeated_probe_failures_cycle_open_halfopen(self):
+        breaker = self._tripped(cooldown=1)
+        for cycle in range(3):
+            assert breaker.allow()  # half-open probe
+            assert breaker.state == HALF_OPEN
+            breaker.record_failure()  # probe fails: full cooldown again
+            assert breaker.state == OPEN
+            assert not breaker.allow()  # cooldown request
+        assert breaker.opens == 4  # initial trip + 3 failed probes
+
+    def test_success_recorded_while_half_open_closes(self):
+        # A late success from a request admitted before the trip can
+        # land while the breaker is half-open; it must close it rather
+        # than corrupt the probe accounting.
+        breaker = self._tripped()
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        breaker.record_success()  # the probe's own success
+        assert breaker.state == CLOSED
+
+
+class TestThreadSafety:
+    def test_concurrent_hammer_keeps_counters_consistent(self):
+        import threading
+
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=4)
+        per_thread = 500
+        threads = 8
+
+        def hammer(worker_index):
+            for i in range(per_thread):
+                allowed = breaker.allow()
+                if not allowed:
+                    continue
+                if (worker_index + i) % 3 == 0:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+
+        pool = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        # Every allowed request recorded exactly one outcome, every
+        # denied one exactly one short-circuit: nothing lost to races.
+        assert (
+            breaker.successes
+            + breaker.failures
+            + breaker.short_circuits
+            == threads * per_thread
+        )
+        assert breaker.state in (CLOSED, OPEN, HALF_OPEN)
+
+    def test_board_concurrent_creation_is_single_instance(self):
+        import threading
+
+        board = BreakerBoard()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(board.breaker("shared"))
+
+        pool = [threading.Thread(target=create) for _ in range(8)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert all(breaker is seen[0] for breaker in seen)

@@ -281,3 +281,111 @@ class TestLifecycle:
             method="osm_bt", cover=0, reason="x", kind=DETERMINISTIC
         )
         assert failed.degraded and not failed.transient
+
+
+def _stubborn_main(conn, memory_limit):
+    """A worker that reads the shutdown sentinel and ignores it."""
+    while True:
+        try:
+            conn.recv()
+        except (EOFError, OSError):
+            pass
+        time.sleep(3600)
+
+
+class TestStopHardening:
+    def test_sentinel_ignoring_worker_is_killed_within_join_budget(self):
+        import multiprocessing as mp
+
+        from repro.serve.pool import _Worker
+
+        context = mp.get_context("fork")
+        worker = _Worker(context, None, target=_stubborn_main)
+        assert worker.process.is_alive()
+        started = time.monotonic()
+        worker.stop()
+        elapsed = time.monotonic() - started
+        # The sentinel is ignored, so stop() must escalate: 1s join,
+        # then SIGKILL. Allow generous scheduler slack above the 1s.
+        assert elapsed < 3.0
+        assert not worker.process.is_alive()
+        # SIGKILL, not a clean sentinel exit.
+        assert worker.process.exitcode not in (0, None)
+        # The parent's pipe end is closed on the escalation path too.
+        assert worker.conn.closed
+
+    def test_kill_closes_pipe(self):
+        import multiprocessing as mp
+
+        from repro.serve.pool import _Worker
+
+        context = mp.get_context("fork")
+        worker = _Worker(context, None)
+        worker.kill()
+        assert not worker.process.is_alive()
+        assert worker.conn.closed
+
+    def test_close_survives_stubborn_worker_in_pool(self):
+        import multiprocessing as mp
+
+        from repro.serve.pool import _Worker
+
+        pool = MinimizationPool(workers=2)
+        # Replace one idle worker with a sentinel-ignoring one.
+        context = mp.get_context("fork")
+        stubborn = _Worker(context, None, target=_stubborn_main)
+        with pool._cv:
+            victim = pool._idle.popleft()
+            pool._idle.appendleft(stubborn)
+        victim.stop()
+        started = time.monotonic()
+        pool.close()
+        assert time.monotonic() - started < 5.0
+        assert not stubborn.process.is_alive()
+
+
+class TestProbe:
+    def test_probe_reports_healthy_workers(self):
+        with MinimizationPool(workers=2) as pool:
+            report = pool.probe(timeout=2.0)
+        assert report == {"probed": 2, "healthy": 2, "replaced": 0}
+
+    def test_probe_replaces_killed_idle_worker(self):
+        with MinimizationPool(workers=2) as pool:
+            victim = pool.worker_pids()[0]
+            os.kill(victim, 9)
+            report = pool.probe(timeout=2.0)
+            pids = pool.worker_pids()
+            stats = pool.statistics()
+            # The replacement serves.
+            manager, f, c = _instance()
+            assert pool.minimize(manager, f, c, method="f_orig").ok
+        assert report["probed"] == 2
+        assert report["replaced"] == 1
+        assert victim not in pids
+        assert len(pids) == 2
+        assert stats["probe_failures"] == 1
+        assert stats["worker_restarts"] == 1
+
+    def test_probe_skips_busy_workers(self, registered):
+        import threading
+
+        manager, f, c = _instance()
+        with MinimizationPool(workers=1, deadline=5.0) as pool:
+            payload_done = threading.Event()
+            result_box = []
+
+            def occupy():
+                result_box.append(
+                    pool.minimize(manager, f, c, method="test_hang",
+                                  deadline=1.0)
+                )
+                payload_done.set()
+
+            thread = threading.Thread(target=occupy)
+            thread.start()
+            time.sleep(0.2)  # let the request check out the worker
+            report = pool.probe(timeout=0.5)
+            assert report["probed"] == 0
+            payload_done.wait(timeout=10.0)
+            thread.join(timeout=10.0)

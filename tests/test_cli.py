@@ -139,6 +139,47 @@ class TestServeCommands:
         args = build_parser().parse_args(["serve", "--workers", "3"])
         assert args.workers == 3
 
+    def test_loadtest_quick_run(self, tmp_path, capsys):
+        import json
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("loadtest requires fork")
+        output = tmp_path / "load.json"
+        code = main(
+            [
+                "loadtest",
+                "--quick",
+                "--schedule",
+                "calm",
+                "--requests",
+                "20",
+                "--concurrency",
+                "3",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "calm" in captured.out
+        assert "all serve-layer invariants held" in captured.out
+        record = json.loads(output.read_text())
+        assert record["violations"] == []
+        assert record["schedules"][0]["schedule"] == "calm"
+        assert record["schedules"][0]["invalid_covers"] == 0
+
+    def test_loadtest_unknown_schedule_is_usage_error(self):
+        assert main(["loadtest", "--schedule", "earthquake"]) == 2
+
+    def test_loadtest_flags_parse(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--quick", "--max-p99", "3.0",
+             "--max-shed-rate", "0.5"]
+        )
+        assert args.quick and args.max_p99 == 3.0
+        assert args.max_shed_rate == 0.5
+
 
 class TestObservability:
     def test_minimize_metrics_and_trace(self, tmp_path, capsys):
