@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.errors import ContractError, InvariantError
+from repro.bdd.cover import cover_disagreement
 from repro.bdd.manager import Manager, ZERO
 
 Heuristic = Callable[[Manager, int, int], int]
@@ -114,7 +115,7 @@ def audit_result(
     except InvariantError as error:
         _fail(name, "canonical-result", str(error))
     if contract.cover:
-        disagreement = manager.and_(manager.xor(g, f), c)
+        disagreement = cover_disagreement(manager, f, c, g)
         if disagreement != ZERO:
             _fail(
                 name,

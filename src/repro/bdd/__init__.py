@@ -41,6 +41,7 @@ from repro.bdd.wire import (
     deserialize_instance,
     payload_summary,
 )
+from repro.bdd.cover import cover_disagreement, is_def2_cover
 from repro.bdd.isop import isop, isop_of_ispec, cube_count
 from repro.bdd.pretty import format_sop, format_ite, format_table
 
@@ -68,6 +69,8 @@ __all__ = [
     "serialize_instance",
     "deserialize_instance",
     "payload_summary",
+    "cover_disagreement",
+    "is_def2_cover",
     "isop",
     "isop_of_ispec",
     "cube_count",

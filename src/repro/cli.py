@@ -685,6 +685,128 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing: seeded corpora, oracle pack, serving lanes.
+
+    Generates deterministic ``[f, c]`` corpora, checks the paper's
+    theorems as metamorphic oracles over every requested heuristic,
+    pushes every instance through the requested serving lanes
+    (asserting byte-level cover agreement and typed degradations), and
+    optionally delta-debugs any failure down to a minimal reproducer
+    plus a pytest regression stub.  Exit status 1 on any finding or
+    violation — the CI gate behind ``fuzz-smoke``.
+    """
+    import json
+
+    from repro.obs import metrics as obs_metrics
+    from repro.verify import FuzzConfig, run_fuzz
+    from repro.verify.corpus import DEFAULT_FAMILIES, FAMILIES
+    from repro.verify.driver import DEFAULT_METHODS
+    from repro.verify.lanes import LANE_NAMES
+    from repro.verify.oracles import ORACLE_NAMES
+
+    for family in args.families or ():
+        if family not in FAMILIES:
+            print(
+                "unknown family %r; available: %s"
+                % (family, ", ".join(sorted(FAMILIES))),
+                file=sys.stderr,
+            )
+            return 2
+    for lane in args.lanes:
+        if lane not in LANE_NAMES:
+            print(
+                "unknown lane %r; available: %s"
+                % (lane, ", ".join(LANE_NAMES)),
+                file=sys.stderr,
+            )
+            return 2
+    for oracle in args.oracles or ():
+        if oracle not in ORACLE_NAMES:
+            print(
+                "unknown oracle %r; available: %s"
+                % (oracle, ", ".join(ORACLE_NAMES)),
+                file=sys.stderr,
+            )
+            return 2
+    config = FuzzConfig(
+        seed=args.seed,
+        rounds=args.rounds,
+        size=args.size,
+        num_vars=args.num_vars,
+        families=tuple(args.families) if args.families else DEFAULT_FAMILIES,
+        methods=tuple(args.methods) if args.methods else DEFAULT_METHODS,
+        lanes=tuple(args.lanes),
+        oracles=tuple(args.oracles) if args.oracles else None,
+        shrink=args.shrink,
+        deadline=args.deadline,
+        output_dir=args.reproducer_dir if args.shrink else None,
+    )
+    with obs_metrics.collecting() as registry:
+        report = run_fuzz(config, log=print)
+    print(
+        "%d instance(s), %d oracle check(s), %d lane request(s) over %s"
+        % (
+            report.instances,
+            report.oracle_checks,
+            report.lane_requests,
+            ", ".join(config.lanes),
+        )
+    )
+    for lane, counts in sorted(report.lane_status_counts.items()):
+        print(
+            "  %-9s %s"
+            % (
+                lane,
+                " ".join(
+                    "%s=%d" % item for item in sorted(counts.items())
+                ),
+            )
+        )
+    for record in report.oracle_findings:
+        print(
+            "finding: %s/%s on %s: %s"
+            % (
+                record["oracle"],
+                record["heuristic"] or "-",
+                record["instance"],
+                record["message"],
+            ),
+            file=sys.stderr,
+        )
+    for message in report.lane_violations:
+        print("violation: %s" % message, file=sys.stderr)
+    for record in report.shrunk:
+        print(
+            "shrunk %s/%s to %d variable(s)%s"
+            % (
+                record["oracle"],
+                record["heuristic"] or "-",
+                record["num_vars"],
+                ": %s" % ", ".join(record["artifacts"])
+                if "artifacts" in record
+                else "",
+            )
+        )
+    print("report fingerprint: %s" % report.fingerprint())
+    if args.metrics:
+        _print_registry(registry)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.output)
+    if not report.ok:
+        print(
+            "%d oracle finding(s), %d lane violation(s)"
+            % (len(report.oracle_findings), len(report.lane_violations)),
+            file=sys.stderr,
+        )
+        return 1
+    print("all oracles and lanes conformed")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Capped sweep with observability fully on; print every counter."""
     from repro.circuits.suite import QUICK_SUITE
@@ -704,6 +826,17 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             compute_lower_bound=False,
             max_iterations=args.max_iterations,
         )
+        if args.parallel:
+            # Drive the serve stack too, so the pool/gateway supervisor
+            # counters (serve.* / gateway.*) land in the same registry.
+            from repro.verify.corpus import Corpus
+            from repro.verify.lanes import GatewayLane, PoolLane
+
+            instances = Corpus(
+                families=("random_dnf",), size=4, num_vars=6, seed=0
+            ).generate()
+            PoolLane(workers=args.parallel).run(instances, ["osm_bt"])
+            GatewayLane(workers=args.parallel).run(instances, ["osm_bt"])
     print(
         "%d calls measured over %s (max %d iterations each)"
         % (results.total_calls, ", ".join(names), args.max_iterations)
@@ -1067,7 +1200,100 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="fixpoint iterations recorded per benchmark (default 4)",
     )
+    metrics_parser.add_argument(
+        "--parallel",
+        type=int,
+        metavar="WORKERS",
+        help="also drive the pool and gateway lanes with this many "
+        "workers, so serve.* and gateway.* counters appear",
+    )
     metrics_parser.set_defaults(handler=_cmd_metrics)
+
+    fuzz_parser = commands.add_parser(
+        "fuzz",
+        help="differential fuzzing: corpora, oracles, serving lanes",
+    )
+    fuzz_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="corpus seed; the whole run is deterministic in it "
+        "(default 0)",
+    )
+    fuzz_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="corpus rounds; round k uses seed+k (default 1)",
+    )
+    fuzz_parser.add_argument(
+        "--size",
+        type=int,
+        default=3,
+        help="instances per family per round (default 3)",
+    )
+    fuzz_parser.add_argument(
+        "--num-vars",
+        type=int,
+        default=6,
+        help="variable budget per generated instance (default 6)",
+    )
+    fuzz_parser.add_argument(
+        "--families",
+        nargs="+",
+        metavar="NAME",
+        help="corpus families (default: all registered)",
+    )
+    fuzz_parser.add_argument(
+        "--methods",
+        nargs="+",
+        metavar="NAME",
+        help="heuristics to fuzz (default: constrain restrict osm_bt "
+        "osm_nv)",
+    )
+    fuzz_parser.add_argument(
+        "--lanes",
+        nargs="+",
+        default=["inprocess"],
+        metavar="NAME",
+        help="serving lanes to compare: inprocess pool gateway chaos "
+        "(default: inprocess)",
+    )
+    fuzz_parser.add_argument(
+        "--oracles",
+        nargs="+",
+        metavar="NAME",
+        help="restrict the oracle pack to these oracles (default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug failing instances and emit reproducers",
+    )
+    fuzz_parser.add_argument(
+        "--reproducer-dir",
+        default="fuzz-reproducers",
+        help="directory for shrunk reproducers and pytest stubs "
+        "(default fuzz-reproducers/; only written with --shrink)",
+    )
+    fuzz_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="per-request worker deadline for serving lanes "
+        "(default 30)",
+    )
+    fuzz_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the observability registry after the run",
+    )
+    fuzz_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the JSON report here",
+    )
+    fuzz_parser.set_defaults(handler=_cmd_fuzz)
     return parser
 
 

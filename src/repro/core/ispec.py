@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.bdd.cover import is_def2_cover
 from repro.bdd.manager import Manager, ONE, ZERO
 from repro.bdd.truthtable import instance_from_leaf_string
 
@@ -55,7 +56,7 @@ class ISpec:
 
         Equivalent to ``(g ⊕ f)·c = 0``: g agrees with f on the care set.
         """
-        return self.manager.and_(self.manager.xor(g, self.f), self.c) == ZERO
+        return is_def2_cover(self.manager, self.f, self.c, g)
 
     def i_covers(self, other: "ISpec") -> bool:
         """Does every cover of ``self`` cover ``other``?

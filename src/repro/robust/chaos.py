@@ -49,9 +49,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.bdd.cover import is_def2_cover
 from repro.bdd.manager import Manager
 from repro.bdd.wire import deserialize, deserialize_instance, serialize_instance
-from repro.core.ispec import ISpec
 from repro.core.registry import register_heuristic, unregister_heuristic
 from repro.serve.breaker import BreakerBoard
 from repro.serve.gateway import (
@@ -468,7 +468,13 @@ def _percentile(values: Sequence[float], q: float) -> float:
 
 
 def _build_payloads(config: LoadConfig) -> List[bytes]:
-    """Pre-serialize a deterministic pool of ``[f, c]`` instances."""
+    """Pre-serialize a deterministic pool of ``[f, c]`` instances.
+
+    Samples from the corpus framework's shared DNF builder so the load
+    harness and ``repro.verify`` fuzz the same distribution.
+    """
+    from repro.verify.corpus import random_dnf_ref
+
     rng = random.Random(config.seed)
     payloads: List[bytes] = []
     for _ in range(config.instance_pool):
@@ -476,24 +482,8 @@ def _build_payloads(config: LoadConfig) -> List[bytes]:
             ["x%d" % index for index in range(config.num_vars)]
         )
         levels = [manager.var(level) for level in range(config.num_vars)]
-
-        def random_dnf(cubes: int) -> int:
-            result = None
-            for _ in range(cubes):
-                chosen = rng.sample(levels, k=min(3, len(levels)))
-                cube = None
-                for literal in chosen:
-                    literal = literal if rng.random() < 0.5 else literal ^ 1
-                    cube = (
-                        literal
-                        if cube is None
-                        else manager.and_(cube, literal)
-                    )
-                result = cube if result is None else manager.or_(result, cube)
-            return result
-
-        f = random_dnf(config.num_vars)
-        c = random_dnf(config.num_vars)
+        f = random_dnf_ref(manager, levels, rng, config.num_vars)
+        c = random_dnf_ref(manager, levels, rng, config.num_vars)
         payloads.append(serialize_instance(manager, f, c))
     return payloads
 
@@ -511,7 +501,7 @@ def _validate_reply(request_payload: bytes, reply_payload) -> bool:
     else:
         _, roots = deserialize(reply_payload, manager=scratch)
         cover = roots[0]
-    return ISpec(scratch, f, c).is_cover(cover)
+    return is_def2_cover(scratch, f, c, cover)
 
 
 def run_loadtest(

@@ -197,9 +197,9 @@ class GuardedHeuristic:
             return
         if self.flush_before_verify:
             manager.clear_caches()
-        from repro.core.ispec import ISpec
+        from repro.bdd.cover import is_def2_cover
 
-        if not ISpec(manager, f, c).is_cover(cover):
+        if not is_def2_cover(manager, f, c, cover):
             raise ContractError(
                 "guarded heuristic %r returned a non-cover" % self.name
             )

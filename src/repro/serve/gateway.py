@@ -362,6 +362,9 @@ class MinimizationGateway:
             except asyncio.QueueEmpty:
                 break
             self.shed_closed += 1
+            mreg = obs_metrics.active()
+            if mreg is not None:
+                mreg.inc("gateway.shed_closed")
             if not item.future.done():
                 item.future.set_exception(
                     GatewayClosed("gateway closed before dispatch")

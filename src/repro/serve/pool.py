@@ -654,6 +654,10 @@ class MinimizationPool:
                 with self._cv:
                     self.crashes += 1
                     self.worker_restarts += 1
+                mreg = obs_metrics.active()
+                if mreg is not None:
+                    mreg.inc("serve.worker_crashes")
+                    mreg.inc("serve.worker_replacements")
                 worker.kill()
                 worker = fresh
                 continue
@@ -736,6 +740,7 @@ class MinimizationPool:
                 mreg = obs_metrics.active()
                 if mreg is not None:
                     mreg.inc("serve.probe_failures")
+                    mreg.inc("serve.worker_replacements")
                 fresh = _Worker(self._context, self.memory_limit)
                 self._checkin(worker, fresh=fresh)
                 worker.kill()
@@ -762,6 +767,7 @@ class MinimizationPool:
         mreg = obs_metrics.active()
         if mreg is not None:
             mreg.inc("serve.watchdog_kills")
+            mreg.inc("serve.worker_replacements")
         fresh = _Worker(self._context, self.memory_limit)
         self._checkin(worker, fresh=fresh)
         worker.kill()
@@ -784,6 +790,10 @@ class MinimizationPool:
         with self._cv:
             self.crashes += 1
             self.worker_restarts += 1
+        mreg = obs_metrics.active()
+        if mreg is not None:
+            mreg.inc("serve.worker_crashes")
+            mreg.inc("serve.worker_replacements")
         fresh = _Worker(self._context, self.memory_limit)
         self._checkin(worker, fresh=fresh)
         worker.kill()
@@ -877,6 +887,6 @@ class MinimizationPool:
         )
 
     def _covers(self, manager, f: int, c: int, cover: int) -> bool:
-        from repro.core.ispec import ISpec
+        from repro.bdd.cover import is_def2_cover
 
-        return ISpec(manager, f, c).is_cover(cover)
+        return is_def2_cover(manager, f, c, cover)

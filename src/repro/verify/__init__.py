@@ -1,0 +1,94 @@
+"""End-to-end differential verification: corpora, oracles, lanes, shrink.
+
+The subsystem that *proves the paper's contracts hold on arbitrary
+inputs through every serving path* (see ``docs/verification.md``):
+
+* :mod:`repro.verify.corpus` — seeded, byte-reproducible ``[f, c]``
+  instance corpora (random DNFs and DAGs, circuit-derived cones, FSM
+  reachability don't-cares) behind one :class:`Corpus` API;
+* :mod:`repro.verify.oracles` — the paper's theorems as executable
+  metamorphic properties;
+* :mod:`repro.verify.lanes` — differential serving lanes (in-process,
+  pool, gateway, chaos-injected gateway) with byte-level cover
+  agreement;
+* :mod:`repro.verify.shrink` — a delta-debugging shrinker emitting
+  reproducer files and pytest regression stubs;
+* :mod:`repro.verify.driver` — :func:`run_fuzz`, the engine behind
+  ``repro-bdd fuzz``.
+"""
+
+from repro.verify.corpus import (
+    Corpus,
+    CorpusConfig,
+    DEFAULT_FAMILIES,
+    FAMILIES,
+    Instance,
+    random_dnf_ref,
+    register_family,
+    unregister_family,
+)
+from repro.verify.driver import (
+    DEFAULT_METHODS,
+    FuzzConfig,
+    FuzzReport,
+    oracle_failure_predicate,
+    run_fuzz,
+)
+from repro.verify.lanes import (
+    ChaosLane,
+    GatewayLane,
+    InProcessLane,
+    LANE_NAMES,
+    LaneResult,
+    PoolLane,
+    build_lane,
+    differential_violations,
+    group_by_request,
+)
+from repro.verify.oracles import (
+    ORACLE_NAMES,
+    ORACLES,
+    OracleCase,
+    OracleFinding,
+    run_oracles,
+)
+from repro.verify.shrink import (
+    Reproducer,
+    ShrinkResult,
+    shrink,
+    write_reproducer,
+)
+
+__all__ = [
+    "Corpus",
+    "CorpusConfig",
+    "DEFAULT_FAMILIES",
+    "FAMILIES",
+    "Instance",
+    "random_dnf_ref",
+    "register_family",
+    "unregister_family",
+    "DEFAULT_METHODS",
+    "FuzzConfig",
+    "FuzzReport",
+    "oracle_failure_predicate",
+    "run_fuzz",
+    "ChaosLane",
+    "GatewayLane",
+    "InProcessLane",
+    "LANE_NAMES",
+    "LaneResult",
+    "PoolLane",
+    "build_lane",
+    "differential_violations",
+    "group_by_request",
+    "ORACLE_NAMES",
+    "ORACLES",
+    "OracleCase",
+    "OracleFinding",
+    "run_oracles",
+    "Reproducer",
+    "ShrinkResult",
+    "shrink",
+    "write_reproducer",
+]

@@ -1,0 +1,309 @@
+"""Metamorphic oracle pack: the paper's theorems as executable checks.
+
+Each oracle inspects one corpus instance (and usually one heuristic's
+result on it) and returns ``None`` on success or a failure message.
+Oracles never raise on a *property* violation — raising is reserved for
+harness bugs — so a fuzz run can accumulate every finding.
+
+The pack encodes, with the paper section that justifies each:
+
+``cover``
+    Definition 2: ``f·c ≤ g ≤ f + ¬c``, via the shared
+    :func:`repro.bdd.cover.is_def2_cover` helper.
+``contracts``
+    The heuristic's advertised contract bundle
+    (:func:`repro.analysis.contracts.audit_result`): canonical result,
+    no-new-vars for the ``*_nv`` family (§3.2), never-grow for the
+    wrapped heuristics, and the Theorem 7 cube bound
+    ``|g| ≥ |constrain(f, c)|`` when ``c`` is a cube.
+``sibling``
+    Generalized-cofactor identities (§3.1): ``constrain(f, c)·c = f·c``,
+    ``restrict(f, c)·c = f·c``, and both collapse to ``f`` at ``c = 1``.
+``idempotence``
+    Covers compose: ``h(h(f, c), c)`` must still cover ``[f, c]``
+    (covers agree with ``f`` on ``c``, so re-minimizing a cover stays
+    inside the Definition 2 interval).  For constrain and restrict the
+    fixpoint is exact: ``h(h(f, c), c) = h(f, c)``.
+``dc_monotone``
+    Enlarging the don't-care set never worsens the optimum: for
+    ``c' ≤ c`` every cover of ``[f, c]`` covers ``[f, c']``, so
+    ``min |g'| ≤ min |g|`` — checked against
+    :func:`repro.core.exact.exact_minimize` on small supports, plus
+    cover validity of the heuristic on the relaxed instance.
+``permutation``
+    Variable-permutation invariance: rebuilding the instance under the
+    reversed variable order must leave the onset/offset sizes unchanged
+    and the heuristic's result a valid cover there.  (Result *sizes*
+    are order-dependent and deliberately not compared.)
+``wire_roundtrip``
+    Canonical wire fidelity: serialize → deserialize → re-serialize is
+    byte-identical and semantics-preserving.
+``gc_remap``
+    Compaction invariance: refs translated through the ``Remap`` of a
+    ``gc(compact=True)`` serialize to the same canonical bytes and
+    still satisfy Definition 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.errors import ContractError, InvariantError
+from repro.bdd.cover import cover_disagreement, is_def2_cover
+from repro.bdd.manager import Manager, ONE, ZERO
+from repro.bdd.reorder import is_equiv, reorder
+from repro.bdd.wire import serialize, serialize_instance, deserialize_instance
+from repro.verify.corpus import Instance
+
+Heuristic = Callable[[Manager, int, int], int]
+
+#: Supports larger than this skip the exact-minimum comparison.
+EXACT_SUPPORT_LIMIT = 5
+
+
+@dataclass
+class OracleCase:
+    """One (instance, heuristic) pairing on a private scratch manager."""
+
+    instance: Instance
+    manager: Manager
+    f: int
+    c: int
+    heuristic_name: Optional[str] = None
+    heuristic: Optional[Heuristic] = None
+    _g: Optional[int] = field(default=None, repr=False)
+
+    def result(self) -> int:
+        """The heuristic's cover, computed once per case."""
+        if self._g is None:
+            if self.heuristic is None:
+                raise InvariantError(
+                    "per-instance oracle case has no heuristic"
+                )
+            self._g = self.heuristic(self.manager, self.f, self.c)
+        return self._g
+
+
+@dataclass(frozen=True)
+class OracleFinding:
+    """One property violation, ready for reporting and shrinking."""
+
+    oracle: str
+    heuristic: Optional[str]
+    instance: Instance
+    message: str
+
+    @property
+    def label(self) -> str:
+        subject = self.heuristic or "-"
+        return "%s/%s on %s" % (self.oracle, subject, self.instance.label)
+
+
+# ----------------------------------------------------------------------
+# Per-heuristic oracles
+# ----------------------------------------------------------------------
+def oracle_cover(case: OracleCase) -> Optional[str]:
+    manager, f, c = case.manager, case.f, case.c
+    g = case.result()
+    bad = cover_disagreement(manager, f, c, g)
+    if bad == ZERO:
+        return None
+    return "result disagrees with f on %d care minterm(s)" % manager.sat_count(
+        bad, manager.num_vars
+    )
+
+
+def oracle_contracts(case: OracleCase) -> Optional[str]:
+    from repro.analysis.contracts import audit_result, contract_for
+
+    if case.heuristic_name is None:
+        raise InvariantError("contracts oracle needs a heuristic name")
+    try:
+        audit_result(
+            case.manager,
+            case.heuristic_name,
+            case.f,
+            case.c,
+            case.result(),
+            contract_for(case.heuristic_name),
+        )
+    except ContractError as error:
+        return str(error)
+    return None
+
+
+def oracle_idempotence(case: OracleCase) -> Optional[str]:
+    manager, f, c = case.manager, case.f, case.c
+    g = case.result()
+    g2 = case.heuristic(manager, g, c)
+    if not is_def2_cover(manager, f, c, g2):
+        return "re-minimizing the result left the Definition 2 interval"
+    if case.heuristic_name in ("constrain", "restrict") and g2 != g:
+        return "%s is not idempotent on its own output" % case.heuristic_name
+    return None
+
+
+def oracle_dc_monotone(case: OracleCase) -> Optional[str]:
+    from repro.core.exact import ExactSearchTooLarge, exact_minimize
+
+    manager, f, c = case.manager, case.f, case.c
+    support = sorted(manager.support_multi((f, c)))
+    if not support or c == ZERO:
+        return None
+    # Shrink the care set deterministically: conjoin the lowest support
+    # variable, so c' <= c (strictly more don't-cares).
+    literal = manager.var(support[0])
+    c_small = manager.and_(c, literal)
+    g_small = case.heuristic(manager, f, c_small)
+    if not is_def2_cover(manager, f, c_small, g_small):
+        return "result on the relaxed instance [f, c·x] is not a cover"
+    if len(support) > EXACT_SUPPORT_LIMIT:
+        return None
+    try:
+        _, cost_full = exact_minimize(manager, f, c)
+        _, cost_small = exact_minimize(manager, f, c_small)
+    except ExactSearchTooLarge:  # pragma: no cover - guarded by limit
+        return None
+    if cost_small > cost_full:
+        return (
+            "enlarging the don't-care set worsened the optimum "
+            "(%d > %d nodes)" % (cost_small, cost_full)
+        )
+    return None
+
+
+def oracle_permutation(case: OracleCase) -> Optional[str]:
+    manager, f, c = case.manager, case.f, case.c
+    order = list(reversed(manager.var_names))
+    permuted, (f2, c2) = reorder(manager, (f, c), order)
+    total = manager.num_vars
+    for name, before, after in (
+        ("onset", manager.and_(f, c), permuted.and_(f2, c2)),
+        ("offset", manager.and_(f ^ 1, c), permuted.and_(f2 ^ 1, c2)),
+    ):
+        if manager.sat_count(before, total) != permuted.sat_count(
+            after, total
+        ):
+            return "%s size changed under variable permutation" % name
+    g2 = case.heuristic(permuted, f2, c2)
+    if not is_def2_cover(permuted, f2, c2, g2):
+        return "result on the permuted instance is not a cover"
+    return None
+
+
+def oracle_gc_remap(case: OracleCase) -> Optional[str]:
+    manager, f, c = case.manager, case.f, case.c
+    g = case.result()
+    before = serialize(manager, (f, c, g))
+    remap = manager.gc(roots=(f, c, g), compact=True)
+    if remap is None:
+        return "gc(compact=True) returned no Remap"
+    try:
+        f2, c2, g2 = remap(f), remap(c), remap(g)
+    except InvariantError as error:
+        return "gc reclaimed a live root: %s" % error
+    after = serialize(manager, (f2, c2, g2))
+    if after != before:
+        return "canonical wire bytes changed across gc(compact=True)"
+    if not is_def2_cover(manager, f2, c2, g2):
+        return "remapped result is no longer a Definition 2 cover"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Per-instance oracles (heuristic-independent)
+# ----------------------------------------------------------------------
+def oracle_sibling(case: OracleCase) -> Optional[str]:
+    from repro.core.sibling import constrain, restrict
+
+    manager, f, c = case.manager, case.f, case.c
+    onset = manager.and_(f, c)
+    for name, op in (("constrain", constrain), ("restrict", restrict)):
+        if op(manager, f, ONE) != f:
+            return "%s(f, 1) != f" % name
+        if manager.and_(op(manager, f, c), c) != onset:
+            return "%s(f, c)·c != f·c" % name
+    return None
+
+
+def oracle_wire_roundtrip(case: OracleCase) -> Optional[str]:
+    manager, f, c = case.manager, case.f, case.c
+    data = serialize_instance(manager, f, c)
+    fresh, f2, c2 = deserialize_instance(data)
+    if serialize_instance(fresh, f2, c2) != data:
+        return "re-serialization is not byte-identical"
+    if not is_equiv(manager, f, fresh, f2):
+        return "deserialized f is not equivalent to the original"
+    if not is_equiv(manager, c, fresh, c2):
+        return "deserialized c is not equivalent to the original"
+    return None
+
+
+@dataclass(frozen=True)
+class OracleSpec:
+    name: str
+    fn: Callable[[OracleCase], Optional[str]]
+    per_instance: bool = False
+
+
+ORACLES: Tuple[OracleSpec, ...] = (
+    OracleSpec("cover", oracle_cover),
+    OracleSpec("contracts", oracle_contracts),
+    OracleSpec("idempotence", oracle_idempotence),
+    OracleSpec("dc_monotone", oracle_dc_monotone),
+    OracleSpec("permutation", oracle_permutation),
+    OracleSpec("gc_remap", oracle_gc_remap),
+    OracleSpec("sibling", oracle_sibling, per_instance=True),
+    OracleSpec("wire_roundtrip", oracle_wire_roundtrip, per_instance=True),
+)
+
+ORACLE_NAMES: Tuple[str, ...] = tuple(spec.name for spec in ORACLES)
+
+
+def _specs(names: Optional[Sequence[str]]) -> List[OracleSpec]:
+    if names is None:
+        return list(ORACLES)
+    table = {spec.name: spec for spec in ORACLES}
+    unknown = [name for name in names if name not in table]
+    if unknown:
+        raise ValueError(
+            "unknown oracles %r (available: %s)"
+            % (unknown, ", ".join(ORACLE_NAMES))
+        )
+    return [table[name] for name in names]
+
+
+def run_oracles(
+    instance: Instance,
+    heuristics: Dict[str, Heuristic],
+    oracle_names: Optional[Sequence[str]] = None,
+) -> List[OracleFinding]:
+    """Run the oracle pack over one instance.
+
+    Per-heuristic oracles run once per named heuristic; per-instance
+    oracles run once.  Every oracle gets a private scratch manager (a
+    fresh decode of the wire payload), so destructive oracles such as
+    ``gc_remap`` cannot contaminate later checks.  A crashing heuristic
+    or oracle is itself reported as a finding.
+    """
+    findings: List[OracleFinding] = []
+    for spec in _specs(oracle_names):
+        if spec.per_instance:
+            pairings: List[Tuple[Optional[str], Optional[Heuristic]]] = [
+                (None, None)
+            ]
+        else:
+            pairings = list(heuristics.items())
+        for name, heuristic in pairings:
+            manager, f, c = instance.decode()
+            case = OracleCase(instance, manager, f, c, name, heuristic)
+            try:
+                message = spec.fn(case)
+            except Exception as error:  # noqa: BLE001 - fuzzing boundary
+                message = "%s: %s" % (type(error).__name__, error)
+            if message is not None:
+                findings.append(
+                    OracleFinding(spec.name, name, instance, message)
+                )
+    return findings

@@ -1,0 +1,241 @@
+"""Delta-debugging shrinker for failing ``[f, c]`` instances.
+
+Given a wire payload and a *failure predicate* (``payload -> bool``,
+True while the failure still reproduces), :func:`shrink` greedily
+applies semantic reductions until no candidate both shrinks the
+instance and keeps it failing:
+
+* **drop a variable** — replace ``f`` and ``c`` by their cofactors at
+  one variable (both phases tried) and remove the variable from the
+  universe;
+* **widen the don't-cares** — subtract one cube from the care set
+  (``c' = c·¬cube``), which can only enlarge the Definition 2 interval;
+* **collapse f** — replace ``f`` by its onset ``f·c``, its upper bound
+  ``f + ¬c``, or a top-variable cofactor.
+
+Every candidate is re-encoded through the canonical wire format over a
+*dense* variable universe (only surviving support variables declared),
+so instance size is honest: ``num_vars`` is the declared universe, and
+byte length strictly decreases along accepted steps.
+
+:func:`write_reproducer` materializes the shrunk instance as a JSON
+reproducer plus a ready-to-commit pytest regression stub that re-runs
+the violated oracle — the stub fails while the bug exists and passes
+once it is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.bdd.manager import Manager
+from repro.bdd.reorder import transfer
+from repro.bdd.wire import deserialize_instance, serialize_instance
+
+FailurePredicate = Callable[[bytes], bool]
+
+#: Hard cap on greedy restarts — each restart strictly shrinks the
+#: instance, so this is a safety net, not a tuning knob.
+MAX_ROUNDS = 200
+
+#: Cubes of ``c`` considered for don't-care widening per round.
+WIDEN_CUBE_LIMIT = 16
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    payload: bytes
+    original_payload: bytes
+    num_vars: int
+    original_num_vars: int
+    rounds: int = 0
+    attempts: int = 0
+    accepted: int = 0
+
+    @property
+    def reduced(self) -> bool:
+        return self.payload != self.original_payload
+
+
+def _measure(payload: bytes) -> Tuple[int, int, int]:
+    """Shrink objective: (universe size, BDD nodes, byte length)."""
+    manager, f, c = deserialize_instance(payload)
+    return (manager.num_vars, manager.size_multi((f, c)), len(payload))
+
+
+def _reencode(manager: Manager, f: int, c: int) -> bytes:
+    """Serialize over a dense universe of only the surviving support."""
+    support = sorted(manager.support_multi((f, c)))
+    names = [manager.name_of_level(level) for level in support]
+    dense = Manager(names)
+    new_f, new_c = transfer(manager, dense, (f, c))
+    return serialize_instance(dense, new_f, new_c)
+
+
+def _candidates(payload: bytes) -> Iterator[bytes]:
+    """All one-step reductions of ``payload``, smallest-impact first."""
+    manager, f, c = deserialize_instance(payload)
+    support = sorted(manager.support_multi((f, c)))
+    # Drop one variable (either phase).
+    for level in support:
+        for value in (False, True):
+            yield _reencode(
+                manager,
+                manager.cofactor(f, level, value),
+                manager.cofactor(c, level, value),
+            )
+    # Widen the don't-care set by one cube of c.
+    for cube in list(manager.cubes(c, limit=WIDEN_CUBE_LIMIT)):
+        if not cube:
+            continue
+        smaller_c = manager.and_(c, manager.cube_ref(cube) ^ 1)
+        yield _reencode(manager, f, smaller_c)
+    # Collapse f toward the interval endpoints and its cofactors.
+    onset = manager.and_(f, c)
+    upper = manager.or_(f, c ^ 1)
+    for new_f in (onset, upper):
+        if new_f != f:
+            yield _reencode(manager, new_f, c)
+    if support:
+        top = support[0]
+        for value in (False, True):
+            new_f = manager.cofactor(f, top, value)
+            if new_f != f:
+                yield _reencode(manager, new_f, c)
+
+
+def shrink(
+    payload: bytes,
+    failure: FailurePredicate,
+    max_rounds: int = MAX_ROUNDS,
+) -> ShrinkResult:
+    """Greedy ddmin-style reduction of a failing instance to a fixpoint.
+
+    ``failure(payload)`` must be True on entry; raises ``ValueError``
+    otherwise (a non-reproducing failure cannot be shrunk).  Each
+    accepted candidate strictly decreases the ``(num_vars, nodes,
+    bytes)`` measure, so termination is guaranteed.
+    """
+    if not failure(payload):
+        raise ValueError("failure does not reproduce on the input instance")
+    original = payload
+    original_measure = _measure(payload)
+    result = ShrinkResult(
+        payload=payload,
+        original_payload=original,
+        num_vars=original_measure[0],
+        original_num_vars=original_measure[0],
+    )
+    current_measure = original_measure
+    for _ in range(max_rounds):
+        result.rounds += 1
+        improved = False
+        for candidate in _candidates(result.payload):
+            if _measure(candidate) >= current_measure:
+                continue
+            result.attempts += 1
+            if failure(candidate):
+                result.payload = candidate
+                current_measure = _measure(candidate)
+                result.accepted += 1
+                improved = True
+                break
+        if not improved:
+            break
+    result.num_vars = current_measure[0]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Reproducer emission
+# ----------------------------------------------------------------------
+_STUB_TEMPLATE = '''"""Regression reproducer emitted by ``repro-bdd fuzz --shrink``.
+
+Oracle ``{oracle}`` failed on heuristic ``{heuristic}``:
+    {message}
+
+The payload below is the shrunk instance ({num_vars} variable(s)); the
+test re-runs the violated oracle and fails while the bug reproduces.
+"""
+
+from repro.verify.corpus import Instance
+from repro.verify.oracles import run_oracles
+
+PAYLOAD = bytes.fromhex(
+    "{payload_hex}"
+)
+
+
+def test_shrunk_reproducer():
+    instance = Instance("reproducer", 0, 0, PAYLOAD)
+    heuristics = {{}}
+    {heuristic_setup}
+    findings = run_oracles(instance, heuristics, oracle_names=["{oracle}"])
+    assert not findings, "; ".join(
+        "%s: %s" % (finding.label, finding.message) for finding in findings
+    )
+'''
+
+_HEURISTIC_SETUP = (
+    "from repro.core.registry import get_heuristic\n"
+    '    heuristics["{name}"] = get_heuristic(\n'
+    '        "{name}", audited=False, guarded=False\n'
+    "    )"
+)
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """Paths of the emitted artifacts."""
+
+    json_path: str
+    stub_path: str
+
+
+def write_reproducer(
+    result: ShrinkResult,
+    oracle: str,
+    heuristic: Optional[str],
+    message: str,
+    directory: str,
+    tag: str,
+) -> Reproducer:
+    """Write ``<tag>.json`` and ``test_<tag>.py`` under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    record = {
+        "oracle": oracle,
+        "heuristic": heuristic,
+        "message": message,
+        "payload_hex": result.payload.hex(),
+        "original_payload_hex": result.original_payload.hex(),
+        "num_vars": result.num_vars,
+        "original_num_vars": result.original_num_vars,
+        "shrink_rounds": result.rounds,
+        "shrink_accepted": result.accepted,
+    }
+    json_path = os.path.join(directory, "%s.json" % tag)
+    with open(json_path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if heuristic is not None:
+        heuristic_setup = _HEURISTIC_SETUP.format(name=heuristic)
+    else:
+        heuristic_setup = "# per-instance oracle: no heuristic involved"
+    stub_path = os.path.join(directory, "test_%s.py" % tag)
+    with open(stub_path, "w") as handle:
+        handle.write(
+            _STUB_TEMPLATE.format(
+                oracle=oracle,
+                heuristic=heuristic or "-",
+                message=message,
+                num_vars=result.num_vars,
+                payload_hex=result.payload.hex(),
+                heuristic_setup=heuristic_setup,
+            )
+        )
+    return Reproducer(json_path=json_path, stub_path=stub_path)

@@ -1,0 +1,94 @@
+"""The ``repro-bdd fuzz`` subcommand."""
+
+import json
+
+from repro.cli import main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_fuzz_quick_run_exits_zero(capsys, tmp_path):
+    output = tmp_path / "report.json"
+    code, out, err = _run(
+        capsys,
+        "fuzz",
+        "--seed",
+        "6",
+        "--size",
+        "1",
+        "--num-vars",
+        "5",
+        "--families",
+        "random_dnf",
+        "--methods",
+        "constrain",
+        "--output",
+        str(output),
+    )
+    assert code == 0, err
+    assert "all oracles and lanes conformed" in out
+    assert "report fingerprint:" in out
+    report = json.loads(output.read_text())
+    assert report["ok"] is True
+    assert report["instances"] == 1
+    assert report["fingerprint"]
+
+
+def test_fuzz_is_deterministic_across_invocations(capsys):
+    argv = (
+        "fuzz",
+        "--seed",
+        "9",
+        "--size",
+        "1",
+        "--num-vars",
+        "5",
+        "--families",
+        "random_dnf",
+        "random_dag",
+        "--methods",
+        "constrain",
+        "restrict",
+    )
+    _, first_out, _ = _run(capsys, *argv)
+    _, second_out, _ = _run(capsys, *argv)
+    assert first_out == second_out
+
+
+def test_fuzz_rejects_unknown_lane(capsys):
+    code, _, err = _run(capsys, "fuzz", "--lanes", "warp")
+    assert code == 2
+    assert "unknown lane" in err
+
+
+def test_fuzz_rejects_unknown_family_and_oracle(capsys):
+    code, _, err = _run(capsys, "fuzz", "--families", "nope")
+    assert code == 2
+    assert "unknown family" in err
+    code, _, err = _run(capsys, "fuzz", "--oracles", "nope")
+    assert code == 2
+    assert "unknown oracle" in err
+
+
+def test_fuzz_metrics_flag_prints_verify_counters(capsys):
+    code, out, _ = _run(
+        capsys,
+        "fuzz",
+        "--seed",
+        "2",
+        "--size",
+        "1",
+        "--num-vars",
+        "5",
+        "--families",
+        "random_dnf",
+        "--methods",
+        "constrain",
+        "--metrics",
+    )
+    assert code == 0
+    assert "verify.instances" in out

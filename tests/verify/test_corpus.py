@@ -1,0 +1,95 @@
+"""Corpus framework: the pisek determinism contract and the family API."""
+
+import pytest
+
+from repro.bdd.cover import is_def2_cover
+from repro.bdd.manager import ONE, ZERO
+from repro.verify.corpus import (
+    Corpus,
+    DEFAULT_FAMILIES,
+    FAMILIES,
+    register_family,
+    unregister_family,
+)
+
+
+def test_same_seed_is_byte_identical():
+    first = Corpus(size=2, num_vars=6, seed=13)
+    second = Corpus(size=2, num_vars=6, seed=13)
+    payloads_a = [inst.payload for inst in first.generate()]
+    payloads_b = [inst.payload for inst in second.generate()]
+    assert payloads_a == payloads_b
+    assert first.fingerprint() == second.fingerprint()
+
+
+def test_different_seeds_differ():
+    assert (
+        Corpus(size=2, num_vars=6, seed=1).fingerprint()
+        != Corpus(size=2, num_vars=6, seed=2).fingerprint()
+    )
+
+
+def test_every_family_produces_requested_size():
+    corpus = Corpus(size=3, num_vars=6, seed=5)
+    assert corpus.statistics() == {
+        family: 3 for family in DEFAULT_FAMILIES
+    }
+
+
+def test_instances_decode_to_valid_refs():
+    for instance in Corpus(size=2, num_vars=6, seed=9).generate():
+        manager, f, c = instance.decode()
+        manager.validate((f, c))
+        # The identity is always a Definition 2 cover of itself.
+        assert is_def2_cover(manager, f, c, f)
+
+
+def test_instance_digest_and_label_are_stable():
+    first = Corpus(size=1, num_vars=5, seed=3).generate()[0]
+    second = Corpus(size=1, num_vars=5, seed=3).generate()[0]
+    assert first.digest == second.digest
+    assert first.label == second.label
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ValueError, match="unknown corpus families"):
+        Corpus(families=("no_such_family",))
+
+
+def test_register_family_roundtrip():
+    def constant_family(config):
+        from repro.bdd.manager import Manager
+        from repro.bdd.wire import serialize_instance
+
+        manager = Manager(["x0"])
+        return [
+            serialize_instance(manager, ONE, ZERO)
+            for _ in range(config.size)
+        ]
+
+    register_family("constant_test", constant_family)
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            register_family("constant_test", constant_family)
+        corpus = Corpus(families=("constant_test",), size=2, seed=0)
+        assert len(corpus.generate()) == 2
+    finally:
+        unregister_family("constant_test")
+    assert "constant_test" not in FAMILIES
+
+
+def test_builtin_families_cannot_be_unregistered():
+    with pytest.raises(ValueError, match="built-in"):
+        unregister_family("random_dnf")
+
+
+def test_wrong_size_family_is_an_error():
+    def short_family(config):
+        return []
+
+    register_family("short_test", short_family)
+    try:
+        with pytest.raises(RuntimeError, match="produced 0 payloads"):
+            Corpus(families=("short_test",), size=2, seed=0).generate()
+    finally:
+        unregister_family("short_test")

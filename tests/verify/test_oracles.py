@@ -1,0 +1,103 @@
+"""The metamorphic oracle pack: clean on honest heuristics, sharp on bugs."""
+
+import pytest
+
+from repro.core.registry import HEURISTICS
+from repro.verify.corpus import Corpus
+from repro.verify.oracles import (
+    ORACLE_NAMES,
+    run_oracles,
+)
+
+HONEST = {
+    name: HEURISTICS[name]
+    for name in ("constrain", "restrict", "osm_bt", "osm_nv", "f_orig")
+}
+
+
+def _small_corpus(seed=21):
+    return Corpus(
+        families=("random_dnf", "random_dag"), size=2, num_vars=5, seed=seed
+    ).generate()
+
+
+def test_honest_heuristics_pass_every_oracle():
+    for instance in _small_corpus():
+        findings = run_oracles(instance, HONEST)
+        assert findings == [], [
+            (f.oracle, f.heuristic, f.message) for f in findings
+        ]
+
+
+def test_fsm_families_pass_cover_and_wire_oracles():
+    instances = Corpus(
+        families=("circuit_cone", "fsm_reach"), size=2, num_vars=6, seed=4
+    ).generate()
+    for instance in instances:
+        findings = run_oracles(
+            instance,
+            {"constrain": HEURISTICS["constrain"]},
+            ["cover", "wire_roundtrip", "gc_remap", "sibling"],
+        )
+        assert findings == [], [
+            (f.oracle, f.message) for f in findings
+        ]
+
+
+def test_non_cover_heuristic_is_caught():
+    def complemented(manager, f, c):
+        return f ^ 1
+
+    caught = set()
+    for instance in _small_corpus():
+        for finding in run_oracles(instance, {"bad": complemented}):
+            caught.add(finding.oracle)
+    assert "cover" in caught
+    assert "contracts" in caught
+
+
+def test_crashing_heuristic_is_a_finding_not_an_escape():
+    def crashes(manager, f, c):
+        raise RuntimeError("boom")
+
+    instance = _small_corpus()[0]
+    findings = run_oracles(instance, {"crash": crashes}, ["cover"])
+    assert len(findings) == 1
+    assert "RuntimeError" in findings[0].message
+
+
+def test_non_idempotent_sibling_is_caught():
+    # f ⊕ ¬c is a valid cover (it agrees with f on the care set), but
+    # applying it twice alternates back to f — not constrain's promised
+    # fixpoint on its own output.
+    def unstable(manager, f, c):
+        return manager.xor(f, c ^ 1)
+
+    caught = set()
+    for instance in _small_corpus(seed=33):
+        for finding in run_oracles(
+            instance, {"constrain": unstable}, ["idempotence"]
+        ):
+            caught.add(finding.oracle)
+    assert "idempotence" in caught
+
+
+def test_unknown_oracle_name_rejected():
+    instance = _small_corpus()[0]
+    with pytest.raises(ValueError, match="unknown oracles"):
+        run_oracles(instance, HONEST, ["nope"])
+
+
+def test_oracle_names_are_exported_and_unique():
+    assert len(ORACLE_NAMES) == len(set(ORACLE_NAMES))
+    for expected in (
+        "cover",
+        "contracts",
+        "idempotence",
+        "dc_monotone",
+        "permutation",
+        "gc_remap",
+        "sibling",
+        "wire_roundtrip",
+    ):
+        assert expected in ORACLE_NAMES
