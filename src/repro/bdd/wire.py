@@ -243,18 +243,39 @@ def _target_manager(
     return manager
 
 
-def deserialize(
-    data: bytes, manager: Optional[Manager] = None
-) -> Tuple[Manager, List[int]]:
-    """Decode a payload into ``(manager, roots)``.
+class ParsedPayload:
+    """A fully parsed and checksum-validated payload, not yet built.
 
-    ``manager`` defaults to a fresh manager over the payload's variable
-    universe; pass an existing one to decode into it (its variables
-    must agree with the payload by name and level; missing ones are
-    declared).  Every structural invariant is re-validated and nodes
-    are rebuilt through ``make_node``, so the returned refs are
-    canonical in the target manager.  Raises :class:`WireError` on any
-    malformed, truncated, corrupted or version-incompatible input.
+    The output of :func:`parse_payload` and the input of
+    :func:`build_parsed`.  Splitting decode into parse (pure bytes
+    work: framing, structural validation, CRC) and build (manager
+    resolution plus ``make_node`` reconstruction) lets the serving
+    layer account for the two costs separately — wire decode vs
+    manager build are distinct phases in the worker's latency
+    breakdown (:mod:`repro.obs.dist`).
+    """
+
+    __slots__ = ("names", "node_records", "root_wires")
+
+    def __init__(
+        self,
+        names: List[str],
+        node_records: List[Tuple[int, int, int]],
+        root_wires: List[int],
+    ) -> None:
+        self.names = names
+        self.node_records = node_records
+        self.root_wires = root_wires
+
+
+def parse_payload(data: bytes) -> ParsedPayload:
+    """Parse and validate a payload without touching any manager.
+
+    Performs every byte-level check :func:`deserialize` does — magic,
+    version, structural invariants on the node table, root bounds and
+    the CRC-32 — and returns the validated :class:`ParsedPayload`.
+    Raises :class:`WireError` on any malformed, truncated, corrupted
+    or version-incompatible input.
     """
     if not isinstance(data, (bytes, bytearray, memoryview)):
         raise WireError(
@@ -335,6 +356,23 @@ def deserialize(
             "(corrupted in transit?)" % (stored_crc, actual_crc)
         )
     del nodes_start
+    return ParsedPayload(names, node_records, root_wires)
+
+
+def build_parsed(
+    parsed: ParsedPayload, manager: Optional[Manager] = None
+) -> Tuple[Manager, List[int]]:
+    """Rebuild a :class:`ParsedPayload` into ``(manager, roots)``.
+
+    The manager-building half of :func:`deserialize`: resolves (or
+    creates) the target manager and reconstructs every node through
+    ``make_node``, re-checking level descent against the canonical
+    children the manager reports.  Raises :class:`WireError` on a
+    universe mismatch or a non-descending edge.
+    """
+    names = parsed.names
+    node_records = parsed.node_records
+    root_wires = parsed.root_wires
     target = _target_manager(names, manager)
     # dense id -> ref in the target manager; the level check below
     # needs each child's level, which make_node's canonical result
@@ -361,6 +399,27 @@ def deserialize(
         refs.append(target.make_node(level, then_child, else_child))
     roots = [refs[wire >> 1] ^ (wire & 1) for wire in root_wires]
     return target, roots
+
+
+def deserialize(
+    data: bytes, manager: Optional[Manager] = None
+) -> Tuple[Manager, List[int]]:
+    """Decode a payload into ``(manager, roots)``.
+
+    ``manager`` defaults to a fresh manager over the payload's variable
+    universe; pass an existing one to decode into it (its variables
+    must agree with the payload by name and level; missing ones are
+    declared).  Every structural invariant is re-validated and nodes
+    are rebuilt through ``make_node``, so the returned refs are
+    canonical in the target manager.  Raises :class:`WireError` on any
+    malformed, truncated, corrupted or version-incompatible input.
+
+    Equivalent to :func:`parse_payload` followed by
+    :func:`build_parsed`; callers that need the two costs separated
+    (the pool worker's decode vs manager-build phases) call the halves
+    directly.
+    """
+    return build_parsed(parse_payload(data), manager=manager)
 
 
 @deterministic

@@ -592,9 +592,11 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     in ``benchmarks/BENCH_serve_load.json``.  Exit status 1 on any
     invariant violation — this is the CI gate behind ``load-smoke``.
     """
+    import contextlib
     import json
     import multiprocessing
 
+    from repro.obs import trace as obs_trace
     from repro.robust.chaos import (
         FAULT_SCHEDULES,
         LoadConfig,
@@ -635,32 +637,36 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             return 2
     all_violations: List[str] = []
     records = []
-    for name in names:
-        schedule = named_schedule(name, config.seed, config.requests)
-        report = run_loadtest(config, schedule)
-        record = report.to_record()
-        records.append(record)
-        violations = report.violations(
-            max_p99=args.max_p99, max_shed_rate=args.max_shed_rate
-        )
-        all_violations.extend(violations)
-        print(
-            "%-8s %4d req: %4d ok, %3d degraded, %3d shed "
-            "(p50 %.3fs, p99 %.3fs, %.0f req/s)%s"
-            % (
-                name,
-                report.requests,
-                report.completed_ok,
-                report.degraded,
-                report.shed,
-                report.p50,
-                report.p99,
-                report.throughput,
-                "  FAIL" if violations else "",
+    trace_stack = contextlib.ExitStack()
+    if getattr(args, "trace", None):
+        trace_stack.enter_context(obs_trace.tracing(args.trace))
+    with trace_stack:
+        for name in names:
+            schedule = named_schedule(name, config.seed, config.requests)
+            report = run_loadtest(config, schedule)
+            record = report.to_record()
+            records.append(record)
+            violations = report.violations(
+                max_p99=args.max_p99, max_shed_rate=args.max_shed_rate
             )
-        )
-        for message in violations:
-            print("  violation: %s" % message, file=sys.stderr)
+            all_violations.extend(violations)
+            print(
+                "%-8s %4d req: %4d ok, %3d degraded, %3d shed "
+                "(p50 %.3fs, p99 %.3fs, %.0f req/s)%s"
+                % (
+                    name,
+                    report.requests,
+                    report.completed_ok,
+                    report.degraded,
+                    report.shed,
+                    report.p50,
+                    report.p99,
+                    report.throughput,
+                    "  FAIL" if violations else "",
+                )
+            )
+            for message in violations:
+                print("  violation: %s" % message, file=sys.stderr)
     if args.output:
         payload = {
             "quick": bool(args.quick),
@@ -813,12 +819,14 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.experiments import run_experiment
     from repro.experiments.summary import aggregate_stats, render_stats
     from repro.core.registry import PAPER_HEURISTICS
+    from repro.obs import dist as obs_dist
     from repro.obs import metrics as obs_metrics
 
     names = args.benchmarks or list(QUICK_SUITE)
     heuristics = tuple(args.heuristics) if args.heuristics else (
         PAPER_HEURISTICS
     )
+    obs_dist.GLOBAL_PHASES.reset()
     with obs_metrics.collecting() as registry:
         results = run_experiment(
             names=names,
@@ -835,8 +843,18 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             instances = Corpus(
                 families=("random_dnf",), size=4, num_vars=6, seed=0
             ).generate()
-            PoolLane(workers=args.parallel).run(instances, ["osm_bt"])
-            GatewayLane(workers=args.parallel).run(instances, ["osm_bt"])
+            lane_results = PoolLane(workers=args.parallel).run(
+                instances, ["osm_bt"]
+            )
+            lane_results += GatewayLane(workers=args.parallel).run(
+                instances, ["osm_bt"]
+            )
+            registry.inc("verify.lane_requests", len(lane_results))
+            # The merged parallel view exports the *complete*
+            # serve-path key set — a counter that only appears once
+            # something sheds or hedges is invisible exactly when a
+            # dashboard is being built against this output.
+            obs_dist.ensure_serve_counters(registry)
     print(
         "%d calls measured over %s (max %d iterations each)"
         % (results.total_calls, ", ".join(names), args.max_iterations)
@@ -854,6 +872,156 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         % sum(cell.get("ite_cache_hits", 0) for cell in totals.values())
     )
     _print_registry(registry)
+    phase_summary = obs_dist.GLOBAL_PHASES.summary()
+    if phase_summary:
+        print("\nphase percentiles (count / p50 / p95 / p99, seconds):")
+        for name in sorted(phase_summary):
+            entry = phase_summary[name]
+            print(
+                "  %-44s %d / %.6f / %.6f / %.6f"
+                % (
+                    name,
+                    entry["count"],
+                    entry["p50"],
+                    entry["p95"],
+                    entry["p99"],
+                )
+            )
+    return 0
+
+
+def _cmd_perf_report(args: argparse.Namespace) -> int:
+    """Aggregate a merged trace into its phase-breakdown table."""
+    from repro.obs import dist as obs_dist
+
+    try:
+        events = obs_dist.load_trace(args.trace)
+    except (OSError, ValueError) as error:
+        print("unreadable trace %s: %s" % (args.trace, error),
+              file=sys.stderr)
+        return 2
+    breakdown = obs_dist.phase_breakdown(events)
+    if breakdown["requests"] == 0:
+        print(
+            "no pool request spans in %s (was the sweep run with "
+            "--trace and --parallel?)" % args.trace,
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "%d request(s), %.3f ms total wall"
+        % (breakdown["requests"], breakdown["wall_us"] / 1e3)
+    )
+    print()
+    print(obs_dist.render_phase_table(breakdown))
+    if args.collapsed:
+        lines = obs_dist.collapsed_stacks(events)
+        with open(args.collapsed, "w") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        print("\nwrote %d collapsed stack(s) to %s"
+              % (len(lines), args.collapsed))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(breakdown, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.json)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark history ledger: record, compare, list."""
+    import datetime
+
+    from repro.obs import hist
+
+    if not (args.record or args.compare or args.list):
+        print("nothing to do: pass --record, --compare and/or --list",
+              file=sys.stderr)
+        return 2
+    ledger_path = args.ledger
+    try:
+        if args.record:
+            recorded_at = datetime.datetime.now(
+                datetime.timezone.utc
+            ).strftime("%Y-%m-%dT%H:%M:%SZ")
+            entries = hist.record(
+                args.dir, ledger_path=ledger_path, recorded_at=recorded_at
+            )
+            for entry in entries:
+                print(
+                    "recorded %-16s %s"
+                    % (
+                        entry["bench"],
+                        " ".join(
+                            "%s=%g" % (metric, value["value"])
+                            for metric, value in sorted(
+                                entry["metrics"].items()
+                            )
+                        ),
+                    )
+                )
+            if not entries:
+                print("no BENCH_*.json records in %s" % args.dir,
+                      file=sys.stderr)
+                return 2
+        if args.list:
+            entries = hist.load_ledger(
+                ledger_path
+                or "%s/%s" % (args.dir, hist.LEDGER_NAME)
+            )
+            for entry in entries:
+                print(
+                    "%-20s %-16s %s"
+                    % (
+                        entry.get("recorded_at") or "-",
+                        entry["bench"],
+                        " ".join(
+                            "%s=%g" % (metric, value["value"])
+                            for metric, value in sorted(
+                                entry["metrics"].items()
+                            )
+                        ),
+                    )
+                )
+            print("%d ledger entr%s" % (
+                len(entries), "y" if len(entries) == 1 else "ies"))
+        if args.compare:
+            outcome = hist.compare(
+                args.dir,
+                ledger_path=ledger_path,
+                tolerance=args.tolerance,
+            )
+            for skip in outcome["skipped"]:
+                print(
+                    "skipped %s: %s" % (skip["bench"], skip["reason"])
+                )
+            for regression in outcome["regressions"]:
+                print(
+                    "REGRESSION %s.%s: %g -> %g (%+.1f%%, %s is "
+                    "better, tolerance %.0f%%)"
+                    % (
+                        regression["bench"],
+                        regression["metric"],
+                        regression["baseline"],
+                        regression["current"],
+                        regression["relative_change"] * 100.0,
+                        regression["direction"],
+                        regression["tolerance"] * 100.0,
+                    ),
+                    file=sys.stderr,
+                )
+            print(
+                "%d directed metric(s) checked, %d regression(s)"
+                % (outcome["checked"], len(outcome["regressions"]))
+            )
+            if not outcome["ok"]:
+                return 1
+    except hist.LedgerError as error:
+        print("ledger error: %s" % error, file=sys.stderr)
+        return 2
     return 0
 
 
@@ -1177,6 +1345,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON record path (default benchmarks/BENCH_serve_load.json; "
         "empty string to skip writing)",
     )
+    loadtest_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a merged distributed Chrome trace of the drill "
+        "(chaos injections tagged as instant events)",
+    )
     loadtest_parser.set_defaults(handler=_cmd_loadtest)
 
     metrics_parser = commands.add_parser(
@@ -1208,6 +1382,67 @@ def build_parser() -> argparse.ArgumentParser:
         "workers, so serve.* and gateway.* counters appear",
     )
     metrics_parser.set_defaults(handler=_cmd_metrics)
+
+    perf_parser = commands.add_parser(
+        "perf-report",
+        help="aggregate a merged trace into a phase-breakdown table",
+    )
+    perf_parser.add_argument(
+        "trace",
+        help="merged Chrome-trace JSON written by a --trace run",
+    )
+    perf_parser.add_argument(
+        "--collapsed",
+        metavar="PATH",
+        help="also write collapsed stacks (flamegraph.pl/speedscope "
+        "format)",
+    )
+    perf_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the full breakdown as JSON",
+    )
+    perf_parser.set_defaults(handler=_cmd_perf_report)
+
+    bench_parser = commands.add_parser(
+        "bench",
+        help="benchmark history ledger: record and compare BENCH_*.json",
+    )
+    bench_parser.add_argument(
+        "--dir",
+        default="benchmarks",
+        help="directory holding BENCH_*.json records (default "
+        "benchmarks)",
+    )
+    bench_parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="ledger path (default <dir>/BENCH_history.jsonl)",
+    )
+    bench_parser.add_argument(
+        "--record",
+        action="store_true",
+        help="append one ledger entry per BENCH_*.json record",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="check current records against the latest ledger "
+        "baselines (exit 1 on regression)",
+    )
+    bench_parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print every ledger entry",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="relative tolerance before a directed metric counts as "
+        "a regression (default 0.30)",
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     fuzz_parser = commands.add_parser(
         "fuzz",

@@ -416,6 +416,10 @@ def run_heuristics(
             results.serve_stats = dict(pool.statistics())
             results.serve_stats.update(board.counters())
             results.serve_stats["breaker_states"] = board.states()
+            # Exact per-phase latency percentiles (queue / IPC /
+            # decode / compute / encode) — the before-picture every
+            # batching or warm-manager PR is judged against.
+            results.serve_stats["phases"] = pool.phase_summary()
             pool.close()
     return results
 

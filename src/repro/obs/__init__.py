@@ -16,7 +16,13 @@ the instrumented paths cost a single ``is None`` test (bounded by the
 workloads).  See ``docs/observability.md``.
 """
 
-from repro.obs import metrics, trace
+from repro.obs import dist, hist, metrics, trace
+from repro.obs.dist import (
+    PhaseAccumulator,
+    TraceContext,
+    TraceMerger,
+    phase_breakdown,
+)
 from repro.obs.hooks import (
     StepHookDispatcher,
     attach_hook,
@@ -33,15 +39,21 @@ from repro.obs.trace import Tracer, tracing, validate_events
 
 __all__ = [
     "MetricsRegistry",
+    "PhaseAccumulator",
     "StepHookDispatcher",
+    "TraceContext",
+    "TraceMerger",
     "Tracer",
     "attach_hook",
     "attached_hooks",
     "collecting",
     "detach_hook",
     "diff_statistics",
+    "dist",
+    "hist",
     "merge_counts",
     "metrics",
+    "phase_breakdown",
     "trace",
     "tracing",
     "validate_events",

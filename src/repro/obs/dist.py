@@ -1,0 +1,773 @@
+"""Distributed tracing and phase-level latency accounting.
+
+:mod:`repro.obs.trace` (PR 4) sees one process.  The serving stack is
+three: the caller (gateway / sweep harness), the pool's dispatcher
+threads, and the worker children.  This module stitches them into a
+single timeline:
+
+* a :class:`TraceContext` — trace id, parent span, admission sequence
+  number and a **logical-clock offset** (the parent-timeline µs at
+  which the request was sent) — rides the request envelope next to the
+  wire payload;
+* the worker runs a private span buffer per traced request (a fresh
+  :class:`~repro.obs.trace.Tracer`), so the decode / manager-build /
+  compute / gc / encode phases *and* every library span they contain
+  (schedule windows, sibling passes, gc) are captured and shipped back
+  with the reply;
+* the pool's :class:`TraceMerger` rebases each bundle onto the parent
+  timeline at the recorded send offset and emits one Chrome-trace
+  stream with a per-process track for the parent and every worker —
+  ordered by **admission sequence**, never by completion order, so the
+  merged trace is deterministic even when workers finish out of order.
+
+On top of the raw spans, :class:`PhaseAccumulator` keeps exact
+observation lists per phase (p50/p95/p99 by nearest rank, not
+summaries), and the ``phase_breakdown`` / ``collapsed_stacks`` helpers
+aggregate a merged trace into the queue/IPC/decode/compute/encode
+shares that ``repro-bdd perf-report`` prints.
+
+Per-request accounting is exact by construction: the parent measures
+``pool.request`` wall time and its ``pool.queue``/``pool.dispatch``
+children directly, the worker reports its own phase durations, and the
+two residuals — IPC (dispatch minus worker wall) and uninstrumented
+tails — are emitted as explicit pseudo-phases, so each request's
+phases sum to its wall time instead of silently under-counting.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Worker bundle depths are shifted by this much when rebased under
+#: the parent: ``pool.request`` (0) > ``pool.dispatch`` (1) >
+#: ``worker.request`` (2) > worker phases (3) > library spans (4+).
+WORKER_DEPTH_SHIFT = 2
+
+#: The worker-side phase names, in pipeline order.
+WORKER_PHASES = (
+    "worker.decode",
+    "worker.manager",
+    "worker.compute",
+    "worker.gc",
+    "worker.encode",
+)
+
+#: Every serve-path counter the merged ``repro-bdd metrics --parallel``
+#: view must surface, even at zero: a counter that only appears once
+#: something goes wrong is invisible exactly when dashboards are being
+#: built.  Grouped by the module that increments them.
+SERVE_COUNTER_KEYS = (
+    # repro.serve.pool / repro.serve.service
+    "serve.probe_failures",
+    "serve.retries",
+    "serve.short_circuits",
+    "serve.watchdog_kills",
+    "serve.worker_crashes",
+    "serve.worker_recycles",
+    "serve.worker_replacements",
+    # repro.serve.gateway
+    "gateway.degraded",
+    "gateway.drains",
+    "gateway.hedge_wins",
+    "gateway.hedges",
+    "gateway.probe_rounds",
+    "gateway.retries",
+    "gateway.shed_closed",
+    "gateway.shed_expired",
+    "gateway.shed_overload",
+    "gateway.short_circuits",
+    "gateway.supervisor_restarts",
+    # repro.verify lanes
+    "verify.instances",
+    "verify.lane_requests",
+    "verify.lane_violations",
+    "verify.oracle_checks",
+    "verify.oracle_findings",
+    "verify.shrink_accepted_steps",
+    "verify.shrinks",
+)
+
+
+def ensure_serve_counters(registry: obs_metrics.MetricsRegistry) -> None:
+    """Zero-fill every :data:`SERVE_COUNTER_KEYS` counter in place.
+
+    ``inc(name, 0)`` materializes the key without changing any count
+    that instrumentation already recorded, so the merged parallel view
+    always exports the full serve-path key set.
+    """
+    for name in SERVE_COUNTER_KEYS:
+        registry.inc(name, 0)
+
+
+class TraceContext:
+    """The cross-process trace context carried in a request envelope.
+
+    ``seq`` is the pool's admission sequence number — the tie-breaker
+    every deterministic ordering in this module uses.  ``sent_at_us``
+    is the parent tracer's timeline reading (µs since its origin) at
+    the moment the request was written to the worker pipe; the
+    worker's span bundle is recorded relative to its own receipt and
+    rebased onto the parent timeline at this offset, which keeps the
+    merge correct without assuming the two processes share a clock.
+
+    ``detail`` selects the tracing level for this request: phase spans
+    (decode / manager / compute / gc / encode) are recorded on every
+    traced request, but the much denser library spans — clique-cover
+    rounds, per-level minimization — only when ``detail`` is set.  The
+    pool samples detail every :data:`TRACE_DETAIL_EVERY` admissions,
+    which keeps tracing overhead on sub-millisecond requests inside
+    the budget ``bench_parallel_sweep.py --trace`` gates.
+    """
+
+    __slots__ = ("trace_id", "seq", "parent_span", "sent_at_us", "detail")
+
+    def __init__(
+        self,
+        trace_id: str,
+        seq: int,
+        parent_span: str,
+        sent_at_us: float = 0.0,
+        detail: bool = True,
+    ) -> None:
+        self.trace_id = trace_id
+        self.seq = seq
+        self.parent_span = parent_span
+        self.sent_at_us = sent_at_us
+        self.detail = detail
+
+    def to_wire(self) -> Dict[str, object]:
+        """A picklable dict for the request envelope."""
+        return {
+            "trace_id": self.trace_id,
+            "seq": self.seq,
+            "parent_span": self.parent_span,
+            "sent_at_us": self.sent_at_us,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "TraceContext":
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            seq=int(payload["seq"]),
+            parent_span=str(payload["parent_span"]),
+            sent_at_us=float(payload.get("sent_at_us", 0.0)),
+            detail=bool(payload.get("detail", True)),
+        )
+
+    def __repr__(self) -> str:
+        return "TraceContext(%s seq=%d parent=%s)" % (
+            self.trace_id,
+            self.seq,
+            self.parent_span,
+        )
+
+
+def request_trace_id(seq: int) -> str:
+    """The deterministic trace id for admission sequence ``seq``."""
+    return "req-%06d" % seq
+
+
+#: Library-span detail is sampled: every Nth admitted request carries
+#: ``detail=True`` and ships the worker's real span buffer (library
+#: spans included); the rest get their worker track synthesized from
+#: phase durations.  Sequence 0 is always detailed, so even a
+#: single-request trace shows the full hierarchy.  Prime so the
+#: sample decorrelates from sweep grids (benchmarks × calls ×
+#: heuristics), which stride admission order with small composite
+#: periods.
+TRACE_DETAIL_EVERY = 13
+
+
+class PhaseClock:
+    """Accumulates named phase durations, with spans when tracing.
+
+    One clock per request.  Each :meth:`phase` block adds its wall
+    time to ``durations[name]`` unconditionally (phase accounting is
+    always on — a handful of ``perf_counter`` pairs per request) and
+    additionally records a span on ``tracer`` when one was supplied.
+    The tracer is explicit rather than the module-global active one so
+    workers can record phase spans on the request-private bundle
+    tracer even for requests whose ``detail`` flag left the global
+    tracer deactivated (library spans sampled out).
+    """
+
+    __slots__ = ("durations", "_tracer")
+
+    def __init__(self, tracer: Optional[obs_trace.Tracer] = None) -> None:
+        self.durations: Dict[str, float] = {}
+        self._tracer = tracer
+
+    @contextmanager
+    def phase(self, name: str, **args: object) -> Iterator[None]:
+        tracer = self._tracer
+        span = (
+            tracer.span(name, **args)
+            if tracer is not None
+            else obs_trace._NULL_SPAN
+        )
+        start = time.perf_counter()
+        try:
+            with span:
+                yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[name] = self.durations.get(name, 0.0) + elapsed
+
+
+class PhaseAccumulator:
+    """Exact per-phase latency distributions (p50/p95/p99 by rank).
+
+    :class:`~repro.obs.metrics.MetricsRegistry` histograms keep O(1)
+    count/total/min/max summaries; tail percentiles need the samples.
+    Request volumes here are sweep-sized (hundreds, not millions), so
+    the accumulator simply keeps every observation, guarded by a lock
+    because the pool observes from its dispatcher threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: Dict[str, List[float]] = {}
+
+    def observe(self, phase: str, seconds: float) -> None:
+        with self._lock:
+            self._samples.setdefault(phase, []).append(seconds)
+
+    def merge(self, durations: Dict[str, float]) -> None:
+        """Observe one request's ``{phase: seconds}`` dict."""
+        for phase, seconds in durations.items():
+            self.observe(phase, float(seconds))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    @staticmethod
+    def _rank(ordered: Sequence[float], q: float) -> float:
+        """Nearest-rank percentile of an ascending sample list."""
+        index = max(0, math.ceil(q * len(ordered)) - 1)
+        return ordered[index]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {count,total,p50,p95,p99,max}}`` over all samples."""
+        with self._lock:
+            samples = {
+                phase: sorted(values)
+                for phase, values in self._samples.items()
+            }
+        return {
+            phase: {
+                "count": len(ordered),
+                "total": sum(ordered),
+                "p50": self._rank(ordered, 0.50),
+                "p95": self._rank(ordered, 0.95),
+                "p99": self._rank(ordered, 0.99),
+                "max": ordered[-1],
+            }
+            for phase, ordered in sorted(samples.items())
+            if ordered
+        }
+
+
+#: Process-global phase accumulator: the pool mirrors every request's
+#: phases here so ``repro-bdd metrics`` can export exact percentiles
+#: without holding a reference to any particular pool.
+GLOBAL_PHASES = PhaseAccumulator()
+
+
+class TraceMerger:
+    """Merges per-request span groups into one deterministic stream.
+
+    The pool allocates an admission sequence number per traced request
+    (:meth:`next_seq`), buffers the parent-side events and the
+    worker's rebased bundle under that number (:meth:`add_group`), and
+    flushes everything **sorted by sequence** — never by arrival — so
+    two workers completing out of order still produce byte-identical
+    merged output.  Per-process ``process_name`` metadata events give
+    Perfetto one track per pid.
+    """
+
+    def __init__(self, parent_label: str = "pool") -> None:
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._groups: Dict[int, List[Dict[str, object]]] = {}
+        self._process_labels: Dict[int, str] = {}
+        self._parent_label = parent_label
+
+    def next_seq(self) -> int:
+        """Allocate the next admission sequence number."""
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            return seq
+
+    def register_process(self, pid: Optional[int], label: str) -> None:
+        """Name the Perfetto track for ``pid`` (first label wins)."""
+        if pid is None:
+            return
+        with self._lock:
+            self._process_labels.setdefault(int(pid), label)
+
+    def add_group(
+        self,
+        seq: int,
+        parent_events: List[Dict[str, object]],
+        context: Optional[TraceContext] = None,
+        bundle: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        """Buffer one request's events under its admission sequence.
+
+        ``parent_events`` are already on the parent timeline.  The
+        worker ``bundle`` (if the request got that far) is rebased
+        here: each event's ``ts`` is shifted by the context's
+        ``sent_at_us`` logical-clock offset and its ``args.depth`` by
+        :data:`WORKER_DEPTH_SHIFT`, re-parenting the worker's spans
+        under this request's ``pool.dispatch``.
+        """
+        events = list(parent_events)
+        if bundle and context is not None:
+            for event in bundle:
+                rebased = dict(event)
+                rebased["ts"] = round(
+                    float(event["ts"]) + context.sent_at_us, 3
+                )
+                args = dict(event.get("args", {}))
+                args["depth"] = (
+                    int(args.get("depth", 0)) + WORKER_DEPTH_SHIFT
+                )
+                args.setdefault("trace_id", context.trace_id)
+                args.setdefault("seq", context.seq)
+                rebased["args"] = args
+                events.append(rebased)
+                self.register_process(
+                    event.get("pid"),  # type: ignore[arg-type]
+                    "worker-%s" % event.get("pid"),
+                )
+        with self._lock:
+            self._groups[seq] = events
+
+    def merged_events(self) -> List[Dict[str, object]]:
+        """The deterministic merged stream: metadata, then groups.
+
+        Groups are emitted in ascending admission sequence, each
+        group's events in insertion order — arrival order never
+        matters.
+        """
+        with self._lock:
+            labels = dict(self._process_labels)
+            groups = {seq: list(ev) for seq, ev in self._groups.items()}
+        merged: List[Dict[str, object]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+            for pid, label in sorted(labels.items())
+        ]
+        for seq in sorted(groups):
+            merged.extend(groups[seq])
+        return merged
+
+    def flush(self, tracer: Optional[obs_trace.Tracer]) -> int:
+        """Emit the merged stream into ``tracer`` and clear buffers.
+
+        Returns the number of events emitted (0 when no tracer is
+        active or nothing was buffered).
+        """
+        events = self.merged_events()
+        with self._lock:
+            self._groups.clear()
+            self._process_labels.clear()
+        if tracer is None or not events:
+            return 0
+        for event in events:
+            tracer.emit(event)
+        return len(events)
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._groups)
+
+
+def synthesize_worker_spans(
+    phases: Dict[str, float],
+    pid: Optional[int],
+    context: TraceContext,
+) -> List[Dict[str, object]]:
+    """Worker-track span events rebuilt from a phase-duration dict.
+
+    Non-detail traced requests ship no span bundle — only the
+    always-on ``phases`` accounting every reply carries.  The pool
+    reconstructs the worker track here, already on the parent
+    timeline (base ``ts`` = the context's logical-clock offset, depth
+    already shifted): ``worker.request`` with the named
+    :data:`WORKER_PHASES` laid out consecutively inside it.
+    Durations are exact (they are the measured ones); only the
+    in-request *positions* are approximate, since the gaps between
+    phases are lumped after the last one.  Every event carries
+    ``args.synthesized`` so trace readers can tell the reconstruction
+    from a sampled real buffer.  Emitting directly in merged
+    coordinates keeps :meth:`TraceMerger.add_group` from copying and
+    rebasing these events per request on the dispatch path.
+    """
+    base = context.sent_at_us
+    total = round(float(phases.get("worker.request", 0.0)) * 1e6, 3)
+    events: List[Dict[str, object]] = [
+        {
+            "name": "worker.request",
+            "ph": "X",
+            "ts": base,
+            "dur": total,
+            "pid": pid,
+            "tid": obs_trace.TRACE_TID,
+            "cat": "repro",
+            "args": {
+                "depth": WORKER_DEPTH_SHIFT,
+                "seq": context.seq,
+                "trace_id": context.trace_id,
+                "parent": context.parent_span,
+                "synthesized": True,
+            },
+        }
+    ]
+    cursor = 0.0
+    for name in WORKER_PHASES:
+        if name not in phases:
+            continue
+        # Clamp so per-phase rounding can never push a child past the
+        # end of its synthesized parent.
+        dur = min(
+            round(float(phases[name]) * 1e6, 3),
+            round(total - cursor, 3),
+        )
+        if dur < 0:
+            break
+        events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": round(base + cursor, 3),
+                "dur": dur,
+                "pid": pid,
+                "tid": obs_trace.TRACE_TID,
+                "cat": "repro",
+                "args": {
+                    "depth": WORKER_DEPTH_SHIFT + 1,
+                    "seq": context.seq,
+                    "trace_id": context.trace_id,
+                    "synthesized": True,
+                },
+            }
+        )
+        cursor = round(cursor + dur, 3)
+    return events
+
+
+def events_json(events: List[Dict[str, object]]) -> bytes:
+    """Canonical JSON bytes for an event list (byte-identity tests)."""
+    return json.dumps(
+        events, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+class RequestSpanTracker:
+    """Root spans for gateway requests, closed on *every* exit path.
+
+    The gateway opens a handle at admission and must close it exactly
+    once — on completion, degradation, or any shed (overload, deadline
+    expiry, close-time drain), where the closing event carries a
+    ``shed_reason`` attribute.  ``open_count`` exposes leaked handles
+    to the test suite; closing is idempotent so racing completion
+    against drain cannot double-emit.
+    """
+
+    def __init__(self, name: str = "gateway.request") -> None:
+        self._lock = threading.Lock()
+        self._name = name
+        self._next = 0
+        self._open: Dict[int, Dict[str, object]] = {}
+        self.closed = 0
+
+    def open(self, **args: object) -> int:
+        """Open a root span; returns a handle for :meth:`close`."""
+        tracer = obs_trace.active()
+        with self._lock:
+            handle = self._next
+            self._next += 1
+            self._open[handle] = {
+                "start": time.perf_counter(),
+                "args": dict(args),
+                "tracer": tracer,
+            }
+        return handle
+
+    def close(self, handle: int, **args: object) -> bool:
+        """Close a handle; no-op (False) if already closed."""
+        with self._lock:
+            record = self._open.pop(handle, None)
+            if record is None:
+                return False
+            self.closed += 1
+        tracer: Optional[obs_trace.Tracer] = record["tracer"]  # type: ignore[assignment]
+        if tracer is not None:
+            end = time.perf_counter()
+            start: float = record["start"]  # type: ignore[assignment]
+            event_args: Dict[str, object] = {"depth": 0}
+            event_args.update(record["args"])  # type: ignore[arg-type]
+            event_args.update(args)
+            tracer.emit(
+                {
+                    "name": self._name,
+                    "ph": "X",
+                    "ts": tracer.offset_us(start),
+                    "dur": round((end - start) * 1e6, 3),
+                    "pid": tracer._pid,
+                    "tid": obs_trace.TRACE_TID + 1,
+                    "cat": "repro",
+                    "args": event_args,
+                }
+            )
+        return True
+
+    @property
+    def open_count(self) -> int:
+        with self._lock:
+            return len(self._open)
+
+
+# ----------------------------------------------------------------------
+# perf-report: aggregate a merged trace into a phase breakdown
+# ----------------------------------------------------------------------
+
+#: The per-request phase rows ``phase_breakdown`` reports, in timeline
+#: order.  ``ipc`` and the two ``*.other`` rows are residuals, so each
+#: request's rows sum to its ``pool.request`` wall time exactly.
+BREAKDOWN_PHASES = (
+    "pool.queue",
+    "ipc",
+    "worker.decode",
+    "worker.manager",
+    "worker.compute",
+    "worker.gc",
+    "worker.encode",
+    "worker.other",
+    "pool.other",
+)
+
+
+def load_trace(path: str) -> List[Dict[str, object]]:
+    """Load a Chrome-trace JSON file written by the tracer."""
+    with open(path, "r", encoding="utf-8") as handle:
+        events = json.load(handle)
+    if not isinstance(events, list):
+        raise ValueError("trace file must contain a JSON array of events")
+    return events
+
+
+def _spans_by_request(
+    events: List[Dict[str, object]],
+) -> Dict[int, Dict[str, float]]:
+    """Index span durations (µs) by admission sequence and name."""
+    requests: Dict[int, Dict[str, float]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        seq = args.get("seq")
+        if seq is None:
+            continue
+        per_request = requests.setdefault(int(seq), {})
+        name = str(event["name"])
+        per_request[name] = per_request.get(name, 0.0) + float(
+            event["dur"]
+        )
+    return requests
+
+
+def phase_breakdown(
+    events: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """Aggregate a merged trace into per-phase time shares.
+
+    Returns ``{"requests": n, "wall_us": total, "phases": {name:
+    {"us": t, "share": t/total}}, "per_request": [...]}``.  Residual
+    rows make the accounting exact: ``ipc`` is the dispatch time the
+    worker cannot see (pipe transfer + scheduling), ``worker.other``
+    is worker wall not covered by a named phase, and ``pool.other`` is
+    parent-side time outside queue + dispatch.
+    """
+    requests = _spans_by_request(events)
+    per_request: List[Dict[str, object]] = []
+    totals: Dict[str, float] = {name: 0.0 for name in BREAKDOWN_PHASES}
+    wall_total = 0.0
+    for seq in sorted(requests):
+        spans = requests[seq]
+        wall = spans.get("pool.request")
+        if wall is None:
+            continue
+        queue = spans.get("pool.queue", 0.0)
+        dispatch = spans.get("pool.dispatch", 0.0)
+        worker_wall = spans.get("worker.request", 0.0)
+        named = {
+            phase: spans.get(phase, 0.0) for phase in WORKER_PHASES
+        }
+        row: Dict[str, float] = {"pool.queue": queue}
+        row["ipc"] = max(0.0, dispatch - worker_wall)
+        row.update(named)
+        row["worker.other"] = max(
+            0.0, worker_wall - sum(named.values())
+        )
+        row["pool.other"] = max(0.0, wall - queue - dispatch)
+        per_request.append(
+            {"seq": seq, "wall_us": wall, "phases": row}
+        )
+        wall_total += wall
+        for phase, value in row.items():
+            totals[phase] += value
+    phases = {
+        phase: {
+            "us": round(totals[phase], 3),
+            "share": (
+                totals[phase] / wall_total if wall_total > 0 else 0.0
+            ),
+        }
+        for phase in BREAKDOWN_PHASES
+    }
+    return {
+        "requests": len(per_request),
+        "wall_us": round(wall_total, 3),
+        "phases": phases,
+        "per_request": per_request,
+    }
+
+
+def render_phase_table(breakdown: Dict[str, object]) -> str:
+    """The human-readable phase table ``perf-report`` prints."""
+    lines = [
+        "phase            total_ms    share",
+        "-----            --------    -----",
+    ]
+    phases: Dict[str, Dict[str, float]] = breakdown["phases"]  # type: ignore[assignment]
+    for phase in BREAKDOWN_PHASES:
+        entry = phases.get(phase)
+        if entry is None:
+            continue
+        lines.append(
+            "%-16s %9.3f   %5.1f%%"
+            % (phase, entry["us"] / 1e3, entry["share"] * 100.0)
+        )
+    lines.append(
+        "%-16s %9.3f   100.0%%"
+        % ("wall", float(breakdown["wall_us"]) / 1e3)
+    )
+    return "\n".join(lines)
+
+
+def collapsed_stacks(events: List[Dict[str, object]]) -> List[str]:
+    """Collapsed-stack lines (``a;b;c weight_us``) for flamegraphs.
+
+    One stack per phase row, aggregated across requests, weights in
+    integer microseconds — the semicolon format ``flamegraph.pl`` and
+    speedscope consume directly.
+    """
+    breakdown = phase_breakdown(events)
+    stacks = {
+        "pool.queue": "pool.request;pool.queue",
+        "ipc": "pool.request;pool.dispatch;ipc",
+        "worker.decode": (
+            "pool.request;pool.dispatch;worker.request;worker.decode"
+        ),
+        "worker.manager": (
+            "pool.request;pool.dispatch;worker.request;worker.manager"
+        ),
+        "worker.compute": (
+            "pool.request;pool.dispatch;worker.request;worker.compute"
+        ),
+        "worker.gc": (
+            "pool.request;pool.dispatch;worker.request;worker.gc"
+        ),
+        "worker.encode": (
+            "pool.request;pool.dispatch;worker.request;worker.encode"
+        ),
+        "worker.other": (
+            "pool.request;pool.dispatch;worker.request;worker.other"
+        ),
+        "pool.other": "pool.request;pool.other",
+    }
+    phases: Dict[str, Dict[str, float]] = breakdown["phases"]  # type: ignore[assignment]
+    lines = []
+    for phase in BREAKDOWN_PHASES:
+        weight = int(round(phases[phase]["us"]))
+        if weight > 0:
+            lines.append("%s %d" % (stacks[phase], weight))
+    return lines
+
+
+def build_parent_group(
+    tracer: obs_trace.Tracer,
+    context: TraceContext,
+    method: str,
+    status: str,
+    t_entry: float,
+    t_checkout: float,
+    t_send: float,
+    t_done: float,
+    **extra: object,
+) -> List[Dict[str, object]]:
+    """The parent-side span triple for one pool request.
+
+    ``pool.request`` (depth 0) covers entry to completion;
+    ``pool.queue`` (depth 1) the checkout wait; ``pool.dispatch``
+    (depth 1) send to reply.  All carry ``seq``/``trace_id`` so the
+    breakdown and the worker bundle can be joined per request.
+    """
+
+    def span_event(
+        name: str,
+        depth: int,
+        start: float,
+        end: float,
+        **args: object,
+    ) -> Dict[str, object]:
+        event_args: Dict[str, object] = {
+            "depth": depth,
+            "seq": context.seq,
+            "trace_id": context.trace_id,
+        }
+        event_args.update(args)
+        return {
+            "name": name,
+            "ph": "X",
+            "ts": tracer.offset_us(start),
+            "dur": round((end - start) * 1e6, 3),
+            "pid": tracer._pid,
+            "tid": obs_trace.TRACE_TID,
+            "cat": "repro",
+            "args": event_args,
+        }
+
+    events = [
+        span_event(
+            "pool.request",
+            0,
+            t_entry,
+            t_done,
+            method=method,
+            status=status,
+            **extra,
+        ),
+        span_event("pool.queue", 1, t_entry, t_checkout),
+    ]
+    if t_done > t_send:
+        events.append(span_event("pool.dispatch", 1, t_send, t_done))
+    return events

@@ -1,0 +1,300 @@
+"""The benchmark history ledger: ``benchmarks/BENCH_history.jsonl``.
+
+Every benchmark in this repo writes a ``BENCH_*.json`` record, but
+until now nothing persisted *across* runs — the bench trajectory was
+empty, so "did this PR regress the sweep?" had no recorded answer.
+This module gives each producer a row in an append-only,
+schema-versioned JSON-lines ledger:
+
+* :func:`record` extracts the headline metrics from every known
+  ``BENCH_*.json`` in a directory and appends one ledger line per
+  benchmark (``repro-bdd bench --record``);
+* :func:`compare` re-extracts the current records and checks them
+  against the most recent ledger entry per benchmark, flagging any
+  metric that moved in its bad direction by more than a relative
+  tolerance (``repro-bdd bench --compare``, the CI regression gate).
+
+Each metric carries its *direction* — ``higher`` is better for
+throughputs and speedups, ``lower`` for latencies and overheads — so
+the comparison needs no per-metric configuration at check time.
+Unknown ``BENCH_*.json`` files still get a ledger row via a generic
+top-level-numeric extractor, but with no direction their metrics are
+recorded without being gated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Ledger line schema version; bump on any shape change.
+SCHEMA_VERSION = 1
+
+#: Default ledger filename, next to the ``BENCH_*.json`` producers.
+LEDGER_NAME = "BENCH_history.jsonl"
+
+#: Default relative tolerance for :func:`compare`: a metric may move
+#: up to this fraction in its bad direction before it is a regression.
+#: Generous on purpose — the ledger spans machines and CI runners, and
+#: this gate exists to catch step changes, not scheduler noise.
+DEFAULT_TOLERANCE = 0.30
+
+HIGHER = "higher"
+LOWER = "lower"
+
+#: ``{metric: (value, direction)}``; direction ``None`` = ungated.
+Metrics = Dict[str, Tuple[float, Optional[str]]]
+
+
+class LedgerError(ValueError):
+    """A malformed ledger line or an unreadable benchmark record."""
+
+
+def _extract_parallel_sweep(record: dict) -> Metrics:
+    metrics: Metrics = {
+        "speedup": (float(record["speedup"]), HIGHER),
+        "pooled_seconds": (float(record["pooled_seconds"]), LOWER),
+        "serial_seconds": (float(record["serial_seconds"]), LOWER),
+    }
+    phases = record.get("serve_stats", {}).get("phases", {})
+    compute = phases.get("worker.compute")
+    if compute:
+        metrics["compute_p99_seconds"] = (float(compute["p99"]), LOWER)
+    return metrics
+
+
+def _extract_kernel(record: dict) -> Metrics:
+    ite = record["ite_throughput"]
+    return {
+        "iterative_steps_per_sec": (
+            float(ite["iterative_steps_per_sec"]),
+            HIGHER,
+        ),
+        "ite_ratio": (float(ite["ratio"]), HIGHER),
+        "sanitizer_slowdown": (
+            float(record["sanitizer_overhead"]["slowdown"]),
+            LOWER,
+        ),
+    }
+
+
+def _extract_obs_overhead(record: dict) -> Metrics:
+    return {
+        "aggregate_overhead_pct": (
+            float(record["aggregate_overhead_pct"]),
+            # Overhead percentages hover near zero and can be negative
+            # (noise); a relative gate on them divides by almost-zero
+            # baselines, so record without gating.
+            None,
+        ),
+    }
+
+
+def _extract_serve_load(record: dict) -> Metrics:
+    schedules = record.get("schedules", [])
+    if not schedules:
+        return {}
+    return {
+        "max_p99_seconds": (
+            max(float(s["p99_seconds"]) for s in schedules),
+            LOWER,
+        ),
+        "min_throughput_rps": (
+            min(float(s["throughput_rps"]) for s in schedules),
+            HIGHER,
+        ),
+    }
+
+
+def _extract_generic(record: dict) -> Metrics:
+    """Top-level numerics of an unknown record, recorded ungated."""
+    return {
+        key: (float(value), None)
+        for key, value in record.items()
+        if isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+
+
+#: Per-benchmark extractors, keyed by the ``<name>`` in
+#: ``BENCH_<name>.json``.
+EXTRACTORS: Dict[str, Callable[[dict], Metrics]] = {
+    "parallel_sweep": _extract_parallel_sweep,
+    "kernel": _extract_kernel,
+    "obs_overhead": _extract_obs_overhead,
+    "serve_load": _extract_serve_load,
+}
+
+
+def bench_name(path: str) -> Optional[str]:
+    """``BENCH_<name>.json`` -> ``<name>``; None for other files."""
+    base = os.path.basename(path)
+    if (
+        base.startswith("BENCH_")
+        and base.endswith(".json")
+        and base != "BENCH_history.jsonl"
+    ):
+        return base[len("BENCH_") : -len(".json")]
+    return None
+
+
+def discover_records(directory: str) -> List[Tuple[str, str]]:
+    """Sorted ``(name, path)`` pairs for every ``BENCH_*.json``."""
+    found = []
+    for entry in sorted(os.listdir(directory)):
+        name = bench_name(entry)
+        if name is not None:
+            found.append((name, os.path.join(directory, entry)))
+    return found
+
+
+def extract(name: str, path: str) -> Metrics:
+    """Headline metrics of one benchmark record file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise LedgerError("unreadable record %s: %s" % (path, error))
+    extractor = EXTRACTORS.get(name, _extract_generic)
+    try:
+        return extractor(record)
+    except (KeyError, TypeError, ValueError) as error:
+        raise LedgerError(
+            "record %s does not match the %r extractor: %s"
+            % (path, name, error)
+        )
+
+
+def _ledger_line(
+    name: str, source: str, metrics: Metrics, recorded_at: str
+) -> str:
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "bench": name,
+        "source": os.path.basename(source),
+        "recorded_at": recorded_at,
+        "metrics": {
+            metric: {"value": value, "direction": direction}
+            for metric, (value, direction) in sorted(metrics.items())
+        },
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def record(
+    directory: str,
+    ledger_path: Optional[str] = None,
+    recorded_at: str = "",
+) -> List[dict]:
+    """Append one ledger line per ``BENCH_*.json`` in ``directory``.
+
+    Returns the appended entries (parsed).  ``recorded_at`` is a
+    caller-supplied timestamp string (kept out of this module so the
+    ledger logic stays deterministic and testable).
+    """
+    if ledger_path is None:
+        ledger_path = os.path.join(directory, LEDGER_NAME)
+    lines = []
+    for name, path in discover_records(directory):
+        metrics = extract(name, path)
+        if metrics:
+            lines.append(_ledger_line(name, path, metrics, recorded_at))
+    with open(ledger_path, "a", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return [json.loads(line) for line in lines]
+
+
+def load_ledger(ledger_path: str) -> List[dict]:
+    """Parse every ledger line; raises :class:`LedgerError` on damage."""
+    if not os.path.isfile(ledger_path):
+        return []
+    entries = []
+    with open(ledger_path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError as error:
+                raise LedgerError(
+                    "%s:%d: not JSON: %s" % (ledger_path, lineno, error)
+                )
+            if not isinstance(entry, dict) or "bench" not in entry:
+                raise LedgerError(
+                    "%s:%d: not a ledger entry" % (ledger_path, lineno)
+                )
+            schema = entry.get("schema")
+            if schema != SCHEMA_VERSION:
+                raise LedgerError(
+                    "%s:%d: schema %r (this build reads %d)"
+                    % (ledger_path, lineno, schema, SCHEMA_VERSION)
+                )
+            entries.append(entry)
+    return entries
+
+
+def latest_baselines(entries: List[dict]) -> Dict[str, dict]:
+    """The most recent ledger entry per benchmark (file order)."""
+    latest: Dict[str, dict] = {}
+    for entry in entries:
+        latest[entry["bench"]] = entry
+    return latest
+
+
+def compare(
+    directory: str,
+    ledger_path: Optional[str] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> dict:
+    """Check current ``BENCH_*.json`` records against the ledger.
+
+    Returns ``{"ok": bool, "checked": n, "regressions": [...],
+    "skipped": [...]}``.  A benchmark with no ledger baseline is
+    skipped (recording it is the fix, not a failure); a directed
+    metric regresses when it moves more than ``tolerance``
+    (relative) in its bad direction.
+    """
+    if ledger_path is None:
+        ledger_path = os.path.join(directory, LEDGER_NAME)
+    baselines = latest_baselines(load_ledger(ledger_path))
+    regressions = []
+    skipped = []
+    checked = 0
+    for name, path in discover_records(directory):
+        baseline = baselines.get(name)
+        if baseline is None:
+            skipped.append({"bench": name, "reason": "no baseline"})
+            continue
+        current = extract(name, path)
+        for metric, (value, direction) in sorted(current.items()):
+            base_entry = baseline["metrics"].get(metric)
+            if base_entry is None or direction is None:
+                continue
+            checked += 1
+            base_value = float(base_entry["value"])
+            scale = max(abs(base_value), 1e-12)
+            delta = (value - base_value) / scale
+            bad = (
+                -delta if direction == HIGHER else delta
+            ) > tolerance
+            if bad:
+                regressions.append(
+                    {
+                        "bench": name,
+                        "metric": metric,
+                        "baseline": base_value,
+                        "current": value,
+                        "direction": direction,
+                        "relative_change": round(delta, 4),
+                        "tolerance": tolerance,
+                    }
+                )
+    return {
+        "ok": not regressions,
+        "checked": checked,
+        "regressions": regressions,
+        "skipped": skipped,
+    }

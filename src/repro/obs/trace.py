@@ -46,6 +46,56 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _Span:
+    """Reusable-shape context manager recording one "X" event.
+
+    A plain class instead of ``@contextmanager``: the generator
+    machinery costs ~2.5µs per span, which at the serving layer's
+    span density (worker phases plus library spans on every request)
+    is the difference between tracing being free and tracing showing
+    up in the overhead gate of ``bench_parallel_sweep.py``.
+    """
+
+    __slots__ = ("_tracer", "_name", "_args", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> None:
+        tracer = self._tracer
+        self._depth = tracer._depth
+        tracer._depth = self._depth + 1
+        self._start = time.perf_counter_ns()
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        # Integer-ns arithmetic with a single float division: ns/1000.0
+        # renders as at most three decimals in JSON (exact µs), without
+        # paying for two ``round()`` calls per span.
+        end = time.perf_counter_ns()
+        tracer = self._tracer
+        depth = self._depth
+        tracer._depth = depth
+        args = self._args
+        if "depth" not in args:
+            args["depth"] = depth
+        tracer.events.append(
+            {
+                "name": self._name,
+                "ph": "X",
+                "ts": (self._start - tracer._origin_ns) / 1000.0,
+                "dur": (end - self._start) / 1000.0,
+                "pid": tracer._pid,
+                "tid": TRACE_TID,
+                "cat": "repro",
+                "args": args,
+            }
+        )
+        return False
+
+
 class Tracer:
     """Collects nested spans as Chrome trace "complete" events.
 
@@ -58,43 +108,44 @@ class Tracer:
 
     def __init__(self) -> None:
         self.events: List[Dict[str, object]] = []
-        self._origin = time.perf_counter()
+        self._origin_ns = time.perf_counter_ns()
         self._depth = 0
         self._pid = os.getpid()
 
-    @contextmanager
-    def span(self, name: str, **args: object) -> Iterator[None]:
+    def span(self, name: str, **args: object) -> "_Span":
         """Time a block as a span named ``name`` with optional args."""
-        start = time.perf_counter()
-        depth = self._depth
-        self._depth = depth + 1
-        try:
-            yield
-        finally:
-            self._depth = depth
-            end = time.perf_counter()
-            event: Dict[str, object] = {
-                "name": name,
-                "ph": "X",
-                "ts": round((start - self._origin) * 1e6, 3),
-                "dur": round((end - start) * 1e6, 3),
-                "pid": self._pid,
-                "tid": TRACE_TID,
-                "cat": "repro",
-            }
-            event_args: Dict[str, object] = {"depth": depth}
-            event_args.update(args)
-            event["args"] = event_args
-            self.events.append(event)
+        return _Span(self, name, args)
+
+    def offset_us(self, at: Optional[float] = None) -> float:
+        """``perf_counter`` time ``at`` (default: now) in trace µs.
+
+        Converts an absolute :func:`time.perf_counter` reading into
+        this tracer's timeline (microseconds since the tracer's
+        origin), the unit Chrome trace events carry in ``ts``.
+        """
+        if at is None:
+            at = time.perf_counter()
+        return round(at * 1e6 - self._origin_ns / 1000.0, 3)
+
+    def emit(self, event: Dict[str, object]) -> None:
+        """Append one pre-built trace event.
+
+        Unlike :meth:`span` this never touches ``_depth``, so it is
+        safe from pool dispatcher threads: a single ``list.append`` is
+        atomic under the GIL.  Callers are responsible for supplying a
+        complete event (``ph``/``ts``/``pid``/``tid``/...); the merge
+        layer in :mod:`repro.obs.dist` is the main client.
+        """
+        self.events.append(event)
 
     def instant(self, name: str, **args: object) -> None:
         """Record a zero-duration marker event (Chrome "i" phase)."""
-        now = time.perf_counter()
+        now = time.perf_counter_ns()
         self.events.append(
             {
                 "name": name,
                 "ph": "i",
-                "ts": round((now - self._origin) * 1e6, 3),
+                "ts": (now - self._origin_ns) / 1000.0,
                 "pid": self._pid,
                 "tid": TRACE_TID,
                 "cat": "repro",
@@ -196,8 +247,17 @@ def validate_events(events: List[Dict[str, object]]) -> None:
     spans = []
     for event in events:
         phase = event.get("ph")
-        if phase not in ("X", "i"):
+        if phase not in ("X", "i", "M"):
             raise ValueError("unknown event phase: %r" % (phase,))
+        if phase == "M":
+            # Metadata events (process_name tracks from the merged
+            # distributed timeline) carry no timestamps.
+            for field in ("name", "pid"):
+                if field not in event:
+                    raise ValueError(
+                        "metadata event missing %r: %r" % (field, event)
+                    )
+            continue
         for field in ("name", "ts", "pid", "tid"):
             if field not in event:
                 raise ValueError(
@@ -207,6 +267,11 @@ def validate_events(events: List[Dict[str, object]]) -> None:
             if "dur" not in event:
                 raise ValueError("complete event missing dur: %r" % event)
             spans.append(event)
+    # Timestamps and durations are rounded to 3 decimals (nanosecond
+    # resolution) independently, so a child's rounded end can poke at
+    # most a few ns past its parent's rounded end; the containment
+    # check allows that much slack.
+    eps = 0.005
     for event in spans:
         depth = event["args"]["depth"]
         if depth == 0:
@@ -215,8 +280,8 @@ def validate_events(events: List[Dict[str, object]]) -> None:
         end = start + event["dur"]
         enclosed = any(
             parent["args"]["depth"] == depth - 1
-            and parent["ts"] <= start
-            and start + 0.0 <= end <= parent["ts"] + parent["dur"]
+            and parent["ts"] - eps <= start
+            and end <= parent["ts"] + parent["dur"] + eps
             for parent in spans
             if parent is not event
         )

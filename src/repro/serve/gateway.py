@@ -67,6 +67,7 @@ from repro.bdd.wire import (
     serialize_instance,
 )
 from repro.obs import metrics as obs_metrics
+from repro.obs.dist import RequestSpanTracker
 from repro.serve.breaker import BreakerBoard
 from repro.serve.pool import (
     DETERMINISTIC,
@@ -186,6 +187,9 @@ class _Admitted:
     admitted_at: float
     expires_at: float
     future: "asyncio.Future[GatewayReply]"
+    #: Root-span handle in the gateway's RequestSpanTracker; closed
+    #: exactly once on every exit path (completion or typed shed).
+    span: int = -1
 
 
 class MinimizationGateway:
@@ -288,9 +292,16 @@ class MinimizationGateway:
         self.hedges = 0
         self.hedge_wins = 0
         self.retries = 0
+        self.drains = 0
         self.probe_rounds = 0
         self.supervisor_restarts = 0
         self.max_queue_depth = 0
+        #: Root spans for admitted requests.  Every request opens one
+        #: at admission and closes it on every exit path — completion,
+        #: degradation, or any typed shed (which stamps a
+        #: ``shed_reason``) — so ``spans.open_count`` is 0 whenever
+        #: the gateway is quiescent.
+        self.spans = RequestSpanTracker()
         self._seq = 0
         self._active = 0
         self._started = False
@@ -365,10 +376,17 @@ class MinimizationGateway:
             mreg = obs_metrics.active()
             if mreg is not None:
                 mreg.inc("gateway.shed_closed")
+            self.spans.close(
+                item.span, status="shed", shed_reason="gateway_closed"
+            )
             if not item.future.done():
                 item.future.set_exception(
                     GatewayClosed("gateway closed before dispatch")
                 )
+        self.drains += 1
+        mreg = obs_metrics.active()
+        if mreg is not None:
+            mreg.inc("gateway.drains")
         for task in self._tasks:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
@@ -404,9 +422,11 @@ class MinimizationGateway:
             "hedges": self.hedges,
             "hedge_wins": self.hedge_wins,
             "retries": self.retries,
+            "drains": self.drains,
             "probe_rounds": self.probe_rounds,
             "supervisor_restarts": self.supervisor_restarts,
             "max_queue_depth": self.max_queue_depth,
+            "open_spans": self.spans.open_count,
             "queue_depth": 0 if self._queue is None else self._queue.qsize(),
         }
         if self.board is not None:
@@ -449,6 +469,7 @@ class MinimizationGateway:
             admitted_at=now,
             expires_at=now + budget,
             future=asyncio.get_running_loop().create_future(),
+            span=self.spans.open(seq=self._seq, method=method),
         )
         try:
             self._queue.put_nowait(item)
@@ -457,6 +478,9 @@ class MinimizationGateway:
             mreg = obs_metrics.active()
             if mreg is not None:
                 mreg.inc("gateway.shed_overload")
+            self.spans.close(
+                item.span, status="shed", shed_reason="overload"
+            )
             raise OverloadedError(
                 "admission queue full (%d queued); request shed"
                 % self._queue.qsize(),
@@ -505,11 +529,17 @@ class MinimizationGateway:
             await self._gate.wait()
             item = await self._queue.get()
             if item.future.done():  # pragma: no cover - cancelled caller
+                self.spans.close(
+                    item.span, status="shed", shed_reason="abandoned"
+                )
                 continue
             self._active += 1
             try:
                 await self._run_item(item)
             except asyncio.CancelledError:
+                self.spans.close(
+                    item.span, status="shed", shed_reason="gateway_closed"
+                )
                 if not item.future.done():
                     item.future.set_exception(
                         GatewayClosed("gateway closed mid-request")
@@ -530,6 +560,10 @@ class MinimizationGateway:
                         )
                     )
             finally:
+                # Idempotent backstop: _run_item closes the span on
+                # every path it owns; anything that slipped through
+                # (the untyped-exception boundary above) closes here.
+                self.spans.close(item.span, status="error")
                 self._active -= 1
 
     async def _run_item(self, item: _Admitted) -> None:
@@ -543,6 +577,12 @@ class MinimizationGateway:
             self.shed_expired += 1
             if mreg is not None:
                 mreg.inc("gateway.shed_expired")
+            self.spans.close(
+                item.span,
+                status="shed",
+                shed_reason="deadline_expired",
+                waited=round(waited, 6),
+            )
             item.future.set_exception(
                 DeadlineExpired(
                     "deadline of %.3fs expired after %.3fs in queue"
@@ -558,6 +598,7 @@ class MinimizationGateway:
                 self.degraded += 1
                 if mreg is not None:
                     mreg.inc("gateway.short_circuits")
+                self.spans.close(item.span, status="short_circuit")
                 item.future.set_result(
                     GatewayReply(
                         method=item.method,
@@ -580,6 +621,12 @@ class MinimizationGateway:
             self.completed += 1
             if mreg is not None:
                 mreg.observe("gateway.request_latency", runtime)
+            self.spans.close(
+                item.span,
+                status="ok",
+                attempts=attempts,
+                hedged=hedged,
+            )
             item.future.set_result(
                 GatewayReply(
                     method=item.method,
@@ -595,6 +642,9 @@ class MinimizationGateway:
         self.degraded += 1
         if mreg is not None:
             mreg.inc("gateway.degraded")
+        self.spans.close(
+            item.span, status="degraded", attempts=attempts
+        )
         reason = (
             outcome.reason
             if outcome is not None and outcome.reason

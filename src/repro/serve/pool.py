@@ -70,12 +70,25 @@ from repro.analysis.errors import (
 from repro.bdd.manager import Manager
 from repro.bdd.wire import (
     WireError,
+    build_parsed,
     deserialize,
-    deserialize_instance,
+    parse_payload,
     serialize,
     serialize_instance,
 )
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.dist import (
+    GLOBAL_PHASES,
+    TRACE_DETAIL_EVERY,
+    PhaseAccumulator,
+    PhaseClock,
+    TraceContext,
+    TraceMerger,
+    build_parent_group,
+    request_trace_id,
+    synthesize_worker_spans,
+)
 
 #: Default wall-clock deadline (seconds) per request.
 DEFAULT_DEADLINE = 10.0
@@ -179,8 +192,50 @@ def _execute_request(request: dict) -> dict:
 
     Returns a reply dict: ``status`` is ``"ok"`` (with a wire-encoded
     cover in ``payload``) or ``"failed"`` (with ``reason`` and a
-    transient/deterministic ``kind``).
+    transient/deterministic ``kind``).  Either way the reply carries a
+    ``phases`` dict — worker-side wall time split into decode /
+    manager-build / compute / gc / encode — and, when the request
+    envelope carries a trace context, a ``spans`` bundle: the worker's
+    full span buffer (phases plus every library span the heuristic
+    emitted), recorded on a request-private tracer and shipped home
+    for re-parenting under the request's dispatch span.
     """
+    started = time.perf_counter()
+    context = request.get("trace")
+    bundle_tracer = None
+    request_span = obs_trace._NULL_SPAN
+    if context is not None and context.get("detail", True):
+        # A fresh, request-scoped tracer: span timestamps are relative
+        # to *this* request's start, which is exactly the shape the
+        # merger's logical-clock rebasing expects.  Only requests the
+        # pool sampled for detail record (and ship) real spans —
+        # phase spans for the rest are synthesized pool-side from the
+        # ``phases`` durations below, which keeps tracing overhead on
+        # sub-millisecond requests near zero.
+        bundle_tracer = obs_trace.activate(obs_trace.Tracer())
+        request_span = bundle_tracer.span(
+            "worker.request",
+            seq=context["seq"],
+            trace_id=context["trace_id"],
+            parent=context["parent_span"],
+        )
+    clock = PhaseClock(tracer=bundle_tracer)
+    try:
+        with request_span:
+            reply = _serve_request(request, clock)
+    finally:
+        if bundle_tracer is not None:
+            obs_trace.deactivate()
+    phases = dict(clock.durations)
+    phases["worker.request"] = time.perf_counter() - started
+    reply["phases"] = phases
+    if bundle_tracer is not None:
+        reply["spans"] = bundle_tracer.events
+    return reply
+
+
+def _serve_request(request: dict, clock: PhaseClock) -> dict:
+    """The phase pipeline of :func:`_execute_request`."""
     from repro.core.ispec import ISpec
     from repro.core.registry import HEURISTICS
     from repro.robust.governor import Budget, governed
@@ -205,9 +260,19 @@ def _execute_request(request: dict) -> dict:
         return reply
 
     try:
-        manager, f, c = deserialize_instance(request["payload"])
+        with clock.phase("worker.decode"):
+            parsed = parse_payload(request["payload"])
+        with clock.phase("worker.manager"):
+            manager, roots = build_parsed(parsed)
     except WireError as error:
         return failed("WireError: %s" % error, DETERMINISTIC)
+    if len(roots) != 2:
+        return failed(
+            "WireError: instance payload must carry exactly 2 roots "
+            "[f, c], got %d" % len(roots),
+            DETERMINISTIC,
+        )
+    f, c = roots
     heuristic = HEURISTICS.get(method)
     if heuristic is None:
         return failed(
@@ -221,21 +286,24 @@ def _execute_request(request: dict) -> dict:
         deadline=request.get("deadline"),
     )
     try:
-        with governed(manager, None if budget.unlimited else budget):
-            cover = heuristic(manager, f, c)
-        if not ISpec(manager, f, c).is_cover(cover):
-            return failed(
-                "ContractError: %s returned a non-cover" % method,
-                DETERMINISTIC,
-            )
+        with clock.phase("worker.compute"):
+            with governed(manager, None if budget.unlimited else budget):
+                cover = heuristic(manager, f, c)
+            if not ISpec(manager, f, c).is_cover(cover):
+                return failed(
+                    "ContractError: %s returned a non-cover" % method,
+                    DETERMINISTIC,
+                )
         # Compacting collection before serialization: the worker runs
         # under an optional RLIMIT_AS cap, and the heuristic's scratch
         # nodes are pure dead weight once the cover is known.  The wire
         # format emits canonically, so the remapped ref serializes to
         # the same bytes the uncollected one would.
-        remap = manager.gc((cover,), compact=True)
-        cover = remap(cover)
-        payload = serialize(manager, (cover,))
+        with clock.phase("worker.gc"):
+            remap = manager.gc((cover,), compact=True)
+            cover = remap(cover)
+        with clock.phase("worker.encode"):
+            payload = serialize(manager, (cover,))
     except BudgetExceeded as error:
         return failed(describe_error(error), TRANSIENT)
     except RecursionError:
@@ -267,6 +335,11 @@ def _execute_request(request: dict) -> dict:
 def _worker_main(conn, memory_limit: Optional[int]) -> None:
     """Worker process entry: serve requests until the sentinel."""
     _apply_memory_limit(memory_limit)
+    # Under ``fork`` the child inherits the parent's active tracer.
+    # Recording into that copy is pure waste — the events can never
+    # reach the parent's file — and it would pollute the per-request
+    # bundles, so worker tracing is strictly request-scoped.
+    obs_trace.deactivate()
     while True:
         try:
             request = conn.recv()
@@ -430,6 +503,11 @@ class MinimizationPool:
         self.probe_failures = 0
         self._closed = False
         self._probe_token = 0
+        # Distributed-trace plumbing: the merger buffers per-request
+        # span groups keyed by admission sequence; the accumulator
+        # keeps exact phase latency samples for percentile reporting.
+        self._merger = TraceMerger()
+        self._phases = PhaseAccumulator()
         # Worker free list: every member is either idle or busy; both
         # collections (and every counter above) are guarded by _cv.
         self._cv = threading.Condition()
@@ -466,6 +544,7 @@ class MinimizationPool:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        self.flush_trace()
 
     def __enter__(self) -> "MinimizationPool":
         return self
@@ -478,6 +557,22 @@ class MinimizationPool:
         with self._cv:
             members = list(self._idle) + list(self._busy)
         return [worker.pid for worker in members]
+
+    def flush_trace(self) -> int:
+        """Emit buffered request span groups into the active tracer.
+
+        Groups are flushed in admission-sequence order (deterministic
+        regardless of worker completion order) with per-process track
+        metadata, so the resulting file is one merged Chrome-trace
+        timeline.  Called automatically by :meth:`close`; returns the
+        number of events emitted.
+        """
+        return self._merger.flush(obs_trace.active())
+
+    def phase_summary(self) -> Dict[str, Dict[str, float]]:
+        """Exact per-phase latency percentiles for this pool's
+        requests (``{phase: {count,total,p50,p95,p99,max}}``)."""
+        return self._phases.summary()
 
     def statistics(self) -> Dict[str, int]:
         """Health counters: requests, failures, kills, restarts."""
@@ -629,9 +724,12 @@ class MinimizationPool:
         per_request = self.deadline if deadline is None else deadline
         if per_request <= 0:
             raise ValueError("deadline must be positive")
+        tracer = obs_trace.active()
+        t_entry = time.perf_counter()
         worker = self._checkout(block=block)
         if worker is None:
             return None
+        t_checkout = time.perf_counter()
         with self._cv:
             self.requests += 1
         request = {
@@ -641,9 +739,29 @@ class MinimizationPool:
             "node_budget": self.node_budget,
             "step_budget": self.step_budget,
         }
+        context: Optional[TraceContext] = None
+        if tracer is not None:
+            seq = self._merger.next_seq()
+            self._merger.register_process(tracer._pid, "pool")
+            context = TraceContext(
+                trace_id=request_trace_id(seq),
+                seq=seq,
+                parent_span="pool.dispatch",
+                detail=seq % TRACE_DETAIL_EVERY == 0,
+            )
         started = time.monotonic()
         while True:
             worker.served += 1
+            t_send = time.perf_counter()
+            if context is not None:
+                # The logical-clock offset: the parent-timeline µs at
+                # which this payload hits the pipe.  The worker's span
+                # bundle is recorded relative to its own receipt and
+                # rebased here at merge time, so no cross-process
+                # clock agreement is assumed.  Refreshed on the
+                # crash-retry path — the retry is a new send.
+                context.sent_at_us = tracer.offset_us(t_send)
+                request["trace"] = context.to_wire()
             try:
                 worker.conn.send(request)
             except (BrokenPipeError, OSError):
@@ -668,17 +786,48 @@ class MinimizationPool:
         except (BrokenPipeError, OSError):  # pragma: no cover - races
             ready = False
         if not ready:
-            return self._kill_overdue(worker, method, per_request)
+            outcome = self._kill_overdue(worker, method, per_request)
+            self._finish_request(
+                context,
+                method,
+                "killed",
+                t_entry,
+                t_checkout,
+                t_send,
+                worker_pid=worker.pid,
+            )
+            return outcome
         try:
             reply = worker.conn.recv()
         except (EOFError, OSError):
-            return self._crashed(worker, method, started)
+            outcome = self._crashed(worker, method, started)
+            self._finish_request(
+                context,
+                method,
+                "crashed",
+                t_entry,
+                t_checkout,
+                t_send,
+                worker_pid=worker.pid,
+            )
+            return outcome
         runtime = reply.get("runtime", time.monotonic() - started)
         stats = reply.get("stats")
         mreg = obs_metrics.active()
         if mreg is not None:
             mreg.observe("serve.request_latency", runtime)
         self._checkin(worker)
+        status = "ok" if reply["status"] == "ok" else "degraded"
+        self._finish_request(
+            context,
+            method,
+            status,
+            t_entry,
+            t_checkout,
+            t_send,
+            reply=reply,
+            worker_pid=worker.pid,
+        )
         if reply["status"] != "ok":
             return self._wire_failure(
                 method,
@@ -757,6 +906,83 @@ class MinimizationPool:
                     thread_name_prefix="repro-pool",
                 )
             return self._executor
+
+    def _finish_request(
+        self,
+        context: Optional[TraceContext],
+        method: str,
+        status: str,
+        t_entry: float,
+        t_checkout: float,
+        t_send: float,
+        reply: Optional[dict] = None,
+        worker_pid: Optional[int] = None,
+    ) -> None:
+        """Phase accounting and span-group finalization for one request.
+
+        Runs on the dispatching thread for **every** exit path —
+        success, degraded, watchdog-killed, crashed — so a failed
+        request still closes its root span (tagged with ``status``)
+        instead of leaking a partial trace.  Phase durations are
+        observed unconditionally; span groups only when tracing.
+        Requests sampled for detail ship a real worker span bundle;
+        for the rest the worker track is synthesized from the reply's
+        phase durations, so the merged timeline stays complete either
+        way.
+        """
+        t_done = time.perf_counter()
+        phases: Dict[str, float] = {
+            "pool.queue": t_checkout - t_entry,
+            "pool.dispatch": t_done - t_send,
+        }
+        worker_phases = (reply or {}).get("phases")
+        if worker_phases:
+            phases.update(worker_phases)
+            phases["pool.ipc"] = max(
+                0.0,
+                phases["pool.dispatch"]
+                - worker_phases.get("worker.request", 0.0),
+            )
+        self._phases.merge(phases)
+        GLOBAL_PHASES.merge(phases)
+        mreg = obs_metrics.active()
+        if mreg is not None:
+            for name, seconds in phases.items():
+                mreg.observe("phase." + name, seconds)
+        if context is None:
+            return
+        tracer = obs_trace.active()
+        if tracer is None:  # pragma: no cover - tracer raced off
+            return
+        parent_events = build_parent_group(
+            tracer,
+            context,
+            method,
+            status,
+            t_entry,
+            t_checkout,
+            t_send,
+            t_done,
+        )
+        if worker_pid is not None:
+            self._merger.register_process(
+                worker_pid, "worker-%d" % worker_pid
+            )
+        bundle = (reply or {}).get("spans")
+        if bundle is None and worker_phases:
+            # Synthesized events are emitted directly in merged
+            # coordinates, so they ride along as parent-timeline
+            # events instead of paying the bundle rebase.
+            parent_events = parent_events + synthesize_worker_spans(
+                worker_phases, worker_pid, context
+            )
+            bundle = None
+        self._merger.add_group(
+            context.seq,
+            parent_events,
+            context=context,
+            bundle=bundle,
+        )
 
     def _kill_overdue(
         self, worker: _Worker, method: str, per_request: float

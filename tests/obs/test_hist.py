@@ -1,0 +1,222 @@
+"""Tests for the benchmark history ledger (record/compare/gate)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import hist
+from repro.obs.hist import (
+    HIGHER,
+    LOWER,
+    LedgerError,
+    bench_name,
+    compare,
+    discover_records,
+    extract,
+    latest_baselines,
+    load_ledger,
+    record,
+)
+
+
+def _sweep_record(speedup=1.2, pooled=2.0, serial=2.4, compute_p99=0.01):
+    return {
+        "speedup": speedup,
+        "pooled_seconds": pooled,
+        "serial_seconds": serial,
+        "serve_stats": {
+            "phases": {
+                "worker.compute": {"count": 10, "p99": compute_p99}
+            }
+        },
+    }
+
+
+def _write(directory, name, payload):
+    path = directory / ("BENCH_%s.json" % name)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestDiscovery:
+    def test_bench_name_parsing(self):
+        assert bench_name("BENCH_parallel_sweep.json") == "parallel_sweep"
+        assert bench_name("BENCH_history.jsonl") is None
+        assert bench_name("notes.json") is None
+
+    def test_discover_is_sorted(self, tmp_path):
+        _write(tmp_path, "zeta", {"x": 1})
+        _write(tmp_path, "alpha", {"x": 2})
+        names = [name for name, _ in discover_records(str(tmp_path))]
+        assert names == ["alpha", "zeta"]
+
+
+class TestExtractors:
+    def test_parallel_sweep_directions(self, tmp_path):
+        path = _write(tmp_path, "parallel_sweep", _sweep_record())
+        metrics = extract("parallel_sweep", str(path))
+        assert metrics["speedup"] == (1.2, HIGHER)
+        assert metrics["pooled_seconds"] == (2.0, LOWER)
+        assert metrics["compute_p99_seconds"] == (0.01, LOWER)
+
+    def test_unknown_record_falls_back_to_generic_ungated(self, tmp_path):
+        path = _write(
+            tmp_path, "custom", {"rate": 3.5, "label": "x", "flag": True}
+        )
+        metrics = extract("custom", str(path))
+        # Numerics only, bools excluded, no direction => never gated.
+        assert metrics == {"rate": (3.5, None)}
+
+    def test_malformed_record_raises_ledger_error(self, tmp_path):
+        path = _write(tmp_path, "parallel_sweep", {"speedup": 1.0})
+        with pytest.raises(LedgerError):
+            extract("parallel_sweep", str(path))
+        bad = tmp_path / "BENCH_broken.json"
+        bad.write_text("{not json")
+        with pytest.raises(LedgerError):
+            extract("broken", str(bad))
+
+
+class TestRecordAndLoad:
+    def test_round_trip(self, tmp_path):
+        _write(tmp_path, "parallel_sweep", _sweep_record())
+        entries = record(str(tmp_path), recorded_at="2026-08-08T00:00:00Z")
+        assert len(entries) == 1
+        loaded = load_ledger(str(tmp_path / hist.LEDGER_NAME))
+        assert loaded == entries
+        entry = loaded[0]
+        assert entry["schema"] == hist.SCHEMA_VERSION
+        assert entry["bench"] == "parallel_sweep"
+        assert entry["recorded_at"] == "2026-08-08T00:00:00Z"
+        assert entry["metrics"]["speedup"] == {
+            "value": 1.2,
+            "direction": HIGHER,
+        }
+
+    def test_latest_entry_wins_as_baseline(self, tmp_path):
+        _write(tmp_path, "parallel_sweep", _sweep_record(speedup=1.0))
+        record(str(tmp_path), recorded_at="t1")
+        _write(tmp_path, "parallel_sweep", _sweep_record(speedup=2.0))
+        record(str(tmp_path), recorded_at="t2")
+        entries = load_ledger(str(tmp_path / hist.LEDGER_NAME))
+        assert len(entries) == 2
+        baseline = latest_baselines(entries)["parallel_sweep"]
+        assert baseline["metrics"]["speedup"]["value"] == 2.0
+
+    def test_missing_ledger_loads_empty(self, tmp_path):
+        assert load_ledger(str(tmp_path / "absent.jsonl")) == []
+
+    def test_malformed_ledger_lines_raise(self, tmp_path):
+        ledger = tmp_path / hist.LEDGER_NAME
+        ledger.write_text("{not json\n")
+        with pytest.raises(LedgerError):
+            load_ledger(str(ledger))
+        ledger.write_text('{"no_bench_key": 1}\n')
+        with pytest.raises(LedgerError):
+            load_ledger(str(ledger))
+        ledger.write_text(
+            json.dumps({"bench": "x", "schema": 999, "metrics": {}}) + "\n"
+        )
+        with pytest.raises(LedgerError):
+            load_ledger(str(ledger))
+
+
+class TestCompare:
+    def test_green_within_tolerance(self, tmp_path):
+        _write(tmp_path, "parallel_sweep", _sweep_record(speedup=1.0))
+        record(str(tmp_path), recorded_at="t1")
+        _write(tmp_path, "parallel_sweep", _sweep_record(speedup=0.9))
+        outcome = compare(str(tmp_path), tolerance=0.30)
+        assert outcome["ok"]
+        assert outcome["checked"] >= 4
+        assert outcome["regressions"] == []
+
+    def test_direction_aware_regression(self, tmp_path):
+        _write(tmp_path, "parallel_sweep", _sweep_record())
+        record(str(tmp_path), recorded_at="t1")
+        # speedup (higher-is-better) halves: a regression.
+        _write(tmp_path, "parallel_sweep", _sweep_record(speedup=0.6))
+        outcome = compare(str(tmp_path), tolerance=0.30)
+        assert not outcome["ok"]
+        assert [r["metric"] for r in outcome["regressions"]] == ["speedup"]
+        regression = outcome["regressions"][0]
+        assert regression["direction"] == HIGHER
+        assert regression["relative_change"] == pytest.approx(-0.5)
+
+    def test_improvement_in_good_direction_never_flags(self, tmp_path):
+        _write(tmp_path, "parallel_sweep", _sweep_record(pooled=2.0))
+        record(str(tmp_path), recorded_at="t1")
+        # pooled_seconds (lower-is-better) drops 10x: an improvement.
+        _write(tmp_path, "parallel_sweep", _sweep_record(pooled=0.2))
+        assert compare(str(tmp_path), tolerance=0.30)["ok"]
+
+    def test_no_baseline_is_skipped_not_failed(self, tmp_path):
+        _write(tmp_path, "parallel_sweep", _sweep_record())
+        outcome = compare(str(tmp_path))
+        assert outcome["ok"]
+        assert outcome["skipped"] == [
+            {"bench": "parallel_sweep", "reason": "no baseline"}
+        ]
+
+    def test_ungated_metric_never_regresses(self, tmp_path):
+        _write(tmp_path, "obs_overhead", {"aggregate_overhead_pct": 0.1})
+        record(str(tmp_path), recorded_at="t1")
+        _write(tmp_path, "obs_overhead", {"aggregate_overhead_pct": 99.0})
+        outcome = compare(str(tmp_path))
+        assert outcome["ok"]
+        assert outcome["checked"] == 0
+
+
+class TestBenchCLI:
+    def test_record_then_compare_round_trips_green(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _write(tmp_path, "parallel_sweep", _sweep_record())
+        assert main(["bench", "--record", "--dir", str(tmp_path)]) == 0
+        assert main(["bench", "--compare", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_regression_exits_1(self, tmp_path):
+        from repro.cli import main
+
+        _write(tmp_path, "parallel_sweep", _sweep_record(speedup=2.0))
+        assert main(["bench", "--record", "--dir", str(tmp_path)]) == 0
+        _write(tmp_path, "parallel_sweep", _sweep_record(speedup=0.5))
+        assert main(["bench", "--compare", "--dir", str(tmp_path)]) == 1
+
+    def test_malformed_ledger_exits_2(self, tmp_path):
+        from repro.cli import main
+
+        _write(tmp_path, "parallel_sweep", _sweep_record())
+        (tmp_path / hist.LEDGER_NAME).write_text("{broken\n")
+        assert main(["bench", "--compare", "--dir", str(tmp_path)]) == 2
+
+    def test_no_action_exits_2(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["bench", "--dir", str(tmp_path)]) == 2
+
+    def test_list_prints_entries(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _write(tmp_path, "parallel_sweep", _sweep_record())
+        assert main(["bench", "--record", "--dir", str(tmp_path)]) == 0
+        assert main(["bench", "--list", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "parallel_sweep" in out
+        assert "1 ledger entry" in out
+
+    def test_committed_history_compares_green(self):
+        """The in-repo ledger must gate the in-repo records green."""
+        import os
+
+        repo_root = os.path.join(os.path.dirname(__file__), "..", "..")
+        directory = os.path.join(repo_root, "benchmarks")
+        ledger = os.path.join(directory, hist.LEDGER_NAME)
+        assert os.path.exists(ledger)
+        outcome = compare(directory)
+        assert outcome["ok"], outcome["regressions"]
+        assert outcome["checked"] >= 9
