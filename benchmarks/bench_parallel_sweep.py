@@ -1,14 +1,30 @@
 """Serial vs pooled sweep wall-clock: the --parallel speedup record.
 
 A standalone script (no pytest benches): it runs the same heuristic
-sweep twice — once serially in-process, once sharded across a
-``repro.serve`` worker pool — and writes the wall-clock comparison to
-``BENCH_parallel_sweep.json`` next to this file.  The pooled numbers
-include the full isolation overhead (wire encoding, pipe transport,
-child-side verification), so the speedup honestly reports what
+sweep three times — once serially in-process, once through the batched
+pooled path (one envelope per call, warm worker managers, pipelined
+dispatch), and once through the unbatched pooled path (one worker
+round trip per cell, the pre-batching behaviour) — and writes the
+wall-clock comparison to ``BENCH_parallel_sweep.json`` next to this
+file.  The headline metric is explicitly
+
+    ``speedup = serial_seconds / pooled_seconds``
+
+so values above 1.0 mean the pooled sweep beats serial; the companion
+``unbatched_speedup`` uses the same definition for the unbatched pass,
+and ``batched_vs_unbatched`` is their ratio — what batching plus warm
+managers buy *independent of core count*.  The pooled numbers include
+the full isolation overhead (wire encoding, pipe transport, child-side
+verification), so the speedup honestly reports what
 ``repro-bdd experiments --parallel N`` buys, not an idealized bound.
 
-With ``--trace PATH`` a third pooled pass runs under distributed
+``--min-speedup`` gates the batched speedup, but only when the machine
+can physically parallelize: a pool of N workers plus the reaping
+parent needs more than N CPUs to beat serial, so on smaller boxes the
+gate records itself as skipped (``speedup_gate.enforced = false``)
+instead of failing on hardware that cannot pass.
+
+With ``--trace PATH`` an extra pooled pass runs under distributed
 tracing and writes the merged Chrome-trace timeline; the measured
 tracing overhead is gated by ``--max-trace-overhead`` so the always-on
 phase accounting stays honest about its cost.
@@ -33,6 +49,14 @@ from repro.experiments.calls import collect_suite_calls
 from repro.experiments.harness import run_heuristics
 from repro.obs import trace as obs_trace
 
+
+def _effective_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
 #: Benchmarks kept small enough that CI pays seconds, not minutes.
 DEFAULT_BENCHMARKS = ("tlc", "minmax5", "s344")
 
@@ -46,7 +70,7 @@ DEFAULT_BENCHMARKS = ("tlc", "minmax5", "s344")
 QUICK_BENCHMARKS = ("s344",)
 
 
-def _sweep(names, heuristics, parallel):
+def _sweep(names, heuristics, parallel, batch=True):
     calls = collect_suite_calls(list(names))
     started = time.perf_counter()
     results = run_heuristics(
@@ -54,6 +78,7 @@ def _sweep(names, heuristics, parallel):
         heuristics=heuristics,
         compute_lower_bound=False,
         parallel=parallel,
+        batch=batch,
     )
     elapsed = time.perf_counter() - started
     return results, elapsed
@@ -118,6 +143,22 @@ def main(argv=None) -> int:
         % ", ".join(QUICK_BENCHMARKS),
     )
     parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless the batched pooled speedup reaches X; the "
+        "gate is recorded but not enforced when the machine has "
+        "fewer than workers+1 CPUs (parallelism cannot beat serial "
+        "there)",
+    )
+    parser.add_argument(
+        "--no-unbatched",
+        action="store_true",
+        help="skip the unbatched pooled pass (faster CI runs that "
+        "only need the batched numbers)",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -169,14 +210,18 @@ def main(argv=None) -> int:
     # the same sizes (modulo None cells, which the contract allows).
     agreeing = _check_agreement(serial_results, pooled_results, heuristics)
 
+    cpus = _effective_cpus()
     record = {
         "benchmarks": benchmarks,
         "heuristics": list(heuristics),
         "cells": serial_results.total_calls * len(heuristics),
         "agreeing_cells": agreeing,
         "workers": args.workers,
+        "cpus": cpus,
         "serial_seconds": round(serial_seconds, 4),
         "pooled_seconds": round(pooled_seconds, 4),
+        # The headline: speedup = serial_seconds / pooled_seconds.
+        # > 1.0 means the pooled sweep beats the serial one.
         "speedup": round(serial_seconds / pooled_seconds, 4),
         "pooled_failed_cells": pooled_results.failed_cells,
         # Serve-layer health of the pooled pass: the record must show
@@ -185,6 +230,7 @@ def main(argv=None) -> int:
             key: pooled_results.serve_stats.get(key, 0)
             for key in (
                 "requests",
+                "batches",
                 "failures",
                 "kills",
                 "crashes",
@@ -206,6 +252,59 @@ def main(argv=None) -> int:
     record["serve_stats"]["phases"] = pooled_results.serve_stats.get(
         "phases", {}
     )
+
+    # Ledger sanity: pool.dispatch is the pool-side overhead residual
+    # (round trip minus worker-reported wall), so a healthy batched
+    # sweep spends strictly less on dispatch than on compute.
+    phases = record["serve_stats"]["phases"]
+    dispatch_total = phases.get("pool.dispatch", {}).get("total", 0.0)
+    compute_total = phases.get("worker.compute", {}).get("total", 0.0)
+    if compute_total and dispatch_total >= compute_total:
+        raise SystemExit(
+            "bench gate failed: pool.dispatch total %.4fs is not below "
+            "worker.compute total %.4fs" % (dispatch_total, compute_total)
+        )
+
+    if not args.no_unbatched:
+        # The same pooled sweep through the pre-batching path: one
+        # worker round trip per cell, cold per-request decode.  The
+        # batched-vs-unbatched ratio isolates what batching and warm
+        # managers buy, independent of how many CPUs the box has.
+        unbatched_results, unbatched_seconds = _sweep(
+            benchmarks, heuristics, parallel=args.workers, batch=False
+        )
+        _check_agreement(serial_results, unbatched_results, heuristics)
+        record["pooled_unbatched_seconds"] = round(unbatched_seconds, 4)
+        record["unbatched_speedup"] = round(
+            serial_seconds / unbatched_seconds, 4
+        )
+        record["batched_vs_unbatched"] = round(
+            unbatched_seconds / pooled_seconds, 4
+        )
+
+    # The speedup floor: enforced only where the hardware can pass it.
+    # N workers plus the decoding/reaping parent need more than N CPUs
+    # before wall-clock parallel gains are physically possible.
+    if args.min_speedup is not None:
+        enforced = cpus >= args.workers + 1
+        record["speedup_gate"] = {
+            "floor": args.min_speedup,
+            "enforced": enforced,
+            "reason": None
+            if enforced
+            else "%d CPU(s) cannot parallelize %d workers + parent"
+            % (cpus, args.workers),
+        }
+        if enforced and record["speedup"] < args.min_speedup:
+            raise SystemExit(
+                "bench gate failed: speedup %.2fx below the %.2fx floor"
+                % (record["speedup"], args.min_speedup)
+            )
+        if not enforced:
+            print(
+                "speedup floor %.2fx recorded but not enforced: %s"
+                % (args.min_speedup, record["speedup_gate"]["reason"])
+            )
 
     if args.trace:
         # A warmup traced pass (discarded), then alternated untraced /
@@ -259,14 +358,21 @@ def main(argv=None) -> int:
     with open(args.output, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    extra = ""
+    if "batched_vs_unbatched" in record:
+        extra = ", batched %.2fx over unbatched pooled" % (
+            record["batched_vs_unbatched"]
+        )
     print(
-        "serial %.2fs vs pooled %.2fs with %d worker(s) "
-        "(speedup %.2fx, %d/%d cells agree) -> %s"
+        "serial %.2fs vs pooled %.2fs with %d worker(s) on %d CPU(s) "
+        "(speedup %.2fx%s, %d/%d cells agree) -> %s"
         % (
             serial_seconds,
             pooled_seconds,
             args.workers,
+            cpus,
             record["speedup"],
+            extra,
             agreeing,
             record["cells"],
             args.output,

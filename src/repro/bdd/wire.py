@@ -455,3 +455,165 @@ def payload_summary(data: bytes) -> Dict[str, int]:
         "num_roots": len(roots),
         "num_bytes": len(data),
     }
+
+
+#: Leading magic of every batch envelope.
+BATCH_MAGIC = b"RBDB"
+
+#: Current batch envelope version; bumped on incompatible changes.
+BATCH_VERSION = 1
+
+
+class BatchEnvelope:
+    """A decoded batch envelope: shared instances plus cell references.
+
+    ``instances`` is the shared-instance table — each entry is a
+    complete single-instance wire payload (:func:`serialize_instance`
+    bytes, own CRC included), encoded exactly once no matter how many
+    cells reference it.  ``cells`` is the work list: each cell is an
+    ``(instance_index, method)`` pair naming which shared instance to
+    minimize with which registered heuristic.  The envelope framing is
+    validated by :func:`decode_batch`; the nested instance payloads are
+    *not* re-parsed here — the worker decodes each referenced instance
+    lazily (and exactly once per batch) so decode cost lands in its
+    per-cell phase ledger.
+    """
+
+    __slots__ = ("instances", "cells")
+
+    def __init__(
+        self,
+        instances: List[bytes],
+        cells: List[Tuple[int, str]],
+    ) -> None:
+        self.instances = instances
+        self.cells = cells
+
+
+@deterministic
+def encode_batch(
+    instances: Sequence[bytes], cells: Sequence[Tuple[int, str]]
+) -> bytes:
+    """Pack shared instance payloads and cells into one batch envelope.
+
+    Layout (all integers little-endian)::
+
+        magic          4 bytes  b"RBDB"
+        version        u8       BATCH_VERSION
+        reserved       u8       0
+        num_instances  u32
+        instances      per instance: u32 byte-length + payload bytes
+        num_cells      u32
+        cells          per cell: u32 instance index,
+                                 u16 method byte-length + UTF-8 bytes
+        crc32          u32      CRC-32 of every preceding byte
+
+    Each instance payload is an opaque single-instance wire payload
+    (it carries its own CRC); the envelope CRC covers the framing and
+    the embedded bytes.  Raises :class:`WireError` on an out-of-range
+    cell index, an oversized method name, or an empty cell list — an
+    empty batch is always a caller bug, never a wire condition.
+    """
+    if not cells:
+        raise WireError("batch envelope must carry at least one cell")
+    parts = [BATCH_MAGIC, _U8.pack(BATCH_VERSION), _U8.pack(0)]
+    parts.append(_U32.pack(len(instances)))
+    for position, payload in enumerate(instances):
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise WireError(
+                "instance %d must be bytes, got %s"
+                % (position, type(payload).__name__)
+            )
+        raw = bytes(payload)
+        parts.append(_U32.pack(len(raw)))
+        parts.append(raw)
+    parts.append(_U32.pack(len(cells)))
+    for position, (instance_index, method) in enumerate(cells):
+        if not 0 <= instance_index < len(instances):
+            raise WireError(
+                "cell %d references instance %d, but the envelope "
+                "carries %d instance(s)"
+                % (position, instance_index, len(instances))
+            )
+        encoded = method.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise WireError(
+                "cell %d method name exceeds the wire format's "
+                "65535-byte limit" % position
+            )
+        parts.append(_U32.pack(instance_index))
+        parts.append(_U16.pack(len(encoded)))
+        parts.append(encoded)
+    envelope = b"".join(parts)
+    return envelope + _U32.pack(zlib.crc32(envelope) & 0xFFFFFFFF)
+
+
+def decode_batch(data: bytes) -> BatchEnvelope:
+    """Decode and validate a batch envelope's framing.
+
+    Checks magic, version, CRC-32 and every structural bound (counts
+    against :data:`MAX_WIRE_ITEMS`, instance indices against the
+    instance table, method names as UTF-8) and raises
+    :class:`WireError` on any violation.  The nested instance payloads
+    are returned as raw bytes; callers validate them with
+    :func:`parse_payload` when (and only when) a cell needs them.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise WireError(
+            "batch envelope must be bytes, got %s" % type(data).__name__
+        )
+    reader = _Reader(bytes(data))
+    if reader.take(4, "batch magic") != BATCH_MAGIC:
+        raise WireError("bad magic: not a %r batch envelope" % BATCH_MAGIC)
+    version = reader.u8("batch version")
+    if version != BATCH_VERSION:
+        raise WireError(
+            "unsupported batch version %d (this build reads version %d)"
+            % (version, BATCH_VERSION)
+        )
+    reader.u8("batch reserved byte")
+    num_instances = _check_count(
+        reader.u32("instance count"), "instance"
+    )
+    instances: List[bytes] = []
+    for position in range(num_instances):
+        length = _check_count(
+            reader.u32("instance %d length" % position), "instance byte"
+        )
+        instances.append(reader.take(length, "instance %d" % position))
+    num_cells = _check_count(reader.u32("cell count"), "cell")
+    if num_cells == 0:
+        raise WireError("batch envelope carries no cells")
+    cells: List[Tuple[int, str]] = []
+    for position in range(num_cells):
+        instance_index = reader.u32("cell %d instance index" % position)
+        if instance_index >= num_instances:
+            raise WireError(
+                "cell %d references instance %d, but the envelope "
+                "carries %d instance(s)"
+                % (position, instance_index, num_instances)
+            )
+        length = reader.u16("cell %d method length" % position)
+        raw = reader.take(length, "cell %d method" % position)
+        try:
+            method = raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireError(
+                "cell %d has a non-UTF-8 method name: %s"
+                % (position, error)
+            ) from None
+        cells.append((instance_index, method))
+    body_end = reader.offset
+    stored_crc = reader.u32("batch checksum")
+    if reader.offset != len(reader.data):
+        raise WireError(
+            "%d trailing byte(s) after the batch checksum"
+            % (len(reader.data) - reader.offset)
+        )
+    actual_crc = zlib.crc32(reader.data[:body_end]) & 0xFFFFFFFF
+    if stored_crc != actual_crc:
+        raise WireError(
+            "batch checksum mismatch: envelope carries %08x, computed "
+            "%08x (corrupted in transit?)" % (stored_crc, actual_crc)
+        )
+    return BatchEnvelope(instances, cells)

@@ -22,6 +22,7 @@ already on disk (see :mod:`repro.robust.checkpoint`).
 from __future__ import annotations
 
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -75,7 +76,8 @@ class CallResult:
     #: recorded for failed cells too, so a journal explains *why* a
     #: cell fell back (e.g. ite_calls hit the budget).  Serial sweeps
     #: record the delta across the measured call; pooled sweeps record
-    #: the worker's absolute numbers (its manager is fresh per request).
+    #: the worker's per-cell delta against its warm manager's
+    #: cell-start snapshot (killed/crashed cells ship none).
     stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
@@ -196,29 +198,22 @@ def _measure_call(
     )
 
 
-def _measure_call_pooled(
-    manager: Manager,
-    call: MinimizationCall,
-    heuristics: Sequence[str],
-    pool,
-    board,
-    compute_lower_bound: bool,
-    cube_limit: int,
-    gc_roots,
-) -> CallResult:
-    """Measure one call with every heuristic run in a pool worker.
+def _gate_call_pooled(
+    heuristics: Sequence[str], board
+) -> Tuple[
+    List[str],
+    Dict[str, Optional[int]],
+    Dict[str, float],
+    Dict[str, str],
+]:
+    """Breaker-gate one call's heuristic cells.
 
-    Each heuristic's circuit breaker gates its cell: a denied cell is
-    short-circuited to ``sizes[name] = None`` with a ``CircuitOpen``
-    reason and never touches the pool.  Breaker bookkeeping happens in
-    the caller's heuristic order, so the same call sequence always
-    drives the breakers through the same states — pooled sweeps stay
-    deterministic modulo wall-clock-dependent kills.
+    A denied cell is short-circuited to ``sizes[name] = None`` with a
+    ``CircuitOpen`` reason and never touches the pool.
     """
     sizes: Dict[str, Optional[int]] = {}
     runtimes: Dict[str, float] = {}
     failures: Dict[str, str] = {}
-    stats: Dict[str, Dict[str, int]] = {}
     allowed: List[str] = []
     for name in heuristics:
         breaker = board.breaker(name)
@@ -228,13 +223,32 @@ def _measure_call_pooled(
             sizes[name] = None
             runtimes[name] = 0.0
             failures[name] = "CircuitOpen: %s" % breaker.describe()
-    replies = (
-        pool.run_batch(
-            manager, [(name, call.f, call.c) for name in allowed]
-        )
-        if allowed
-        else []
-    )
+    return allowed, sizes, runtimes, failures
+
+
+def _reap_call_pooled(
+    manager: Manager,
+    call: MinimizationCall,
+    heuristics: Sequence[str],
+    pool,
+    board,
+    allowed: Sequence[str],
+    replies,
+    sizes: Dict[str, Optional[int]],
+    runtimes: Dict[str, float],
+    failures: Dict[str, str],
+    compute_lower_bound: bool,
+    cube_limit: int,
+    gc_roots,
+) -> CallResult:
+    """Turn one call's pool replies into its :class:`CallResult`.
+
+    Breaker bookkeeping happens here, in the caller's heuristic order,
+    so the same call sequence always drives the breakers through the
+    same states — pooled sweeps stay deterministic modulo
+    wall-clock-dependent kills.
+    """
+    stats: Dict[str, Dict[str, int]] = {}
     by_name = dict(zip(allowed, replies))
     for name in heuristics:
         reply = by_name.get(name)
@@ -242,8 +256,8 @@ def _measure_call_pooled(
             continue
         runtimes[name] = reply.runtime
         if reply.stats is not None:
-            # Worker managers are fresh per request, so these are the
-            # cell's absolute numbers; killed/crashed cells ship none.
+            # The worker's per-cell delta against its warm manager's
+            # cell-start snapshot; killed/crashed cells ship none.
             stats[name] = reply.stats
         breaker = board.breaker(name)
         if reply.ok:
@@ -272,6 +286,143 @@ def _measure_call_pooled(
         failures=failures,
         stats=stats,
     )
+
+
+def _measure_call_pooled(
+    manager: Manager,
+    call: MinimizationCall,
+    heuristics: Sequence[str],
+    pool,
+    board,
+    compute_lower_bound: bool,
+    cube_limit: int,
+    gc_roots,
+    batch: bool = True,
+) -> CallResult:
+    """Measure one call with every heuristic run in a pool worker.
+
+    The sequential pooled path: gate, dispatch the call's cells (one
+    batch envelope by default, per-cell round trips with
+    ``batch=False``), reap.  The batched sweep normally goes through
+    :func:`_sweep_record_pooled` instead, which pipelines whole
+    records; this stays as the single-call building block.
+    """
+    allowed, sizes, runtimes, failures = _gate_call_pooled(
+        heuristics, board
+    )
+    replies = (
+        pool.run_batch(
+            manager,
+            [(name, call.f, call.c) for name in allowed],
+            batch=batch,
+        )
+        if allowed
+        else []
+    )
+    return _reap_call_pooled(
+        manager,
+        call,
+        heuristics,
+        pool,
+        board,
+        allowed,
+        replies,
+        sizes,
+        runtimes,
+        failures,
+        compute_lower_bound,
+        cube_limit,
+        gc_roots,
+    )
+
+
+def _sweep_record_pooled(
+    record: BenchmarkCalls,
+    manager: Manager,
+    heuristics: Sequence[str],
+    pool,
+    board,
+    executor: ThreadPoolExecutor,
+    compute_lower_bound: bool,
+    cube_limit: int,
+    gc_roots,
+    journal,
+    completed,
+    results: ExperimentResults,
+) -> None:
+    """Pipelined batched sweep of one record's calls.
+
+    Each non-resumed call becomes one batch envelope — its instance
+    encoded once and shared by all of the call's breaker-allowed
+    heuristic cells — and up to ``workers + 1`` calls are kept in
+    flight, so every child process computes while the caller decodes
+    finished ones.  Reaping happens strictly in call order: breaker
+    bookkeeping, caller-manager decode and journalling all run in the
+    order a sequential sweep would, so pooled sweeps stay
+    deterministic.  Breaker gating happens at submission time with the
+    board state of the last *reaped* call, so a heuristic that starts
+    failing mid-record is short-circuited with at most a
+    pipeline-window lag instead of running to the end of the record.
+    """
+    from repro.bdd.wire import encode_batch, serialize_instance
+
+    def reap(entry) -> None:
+        call, resumed, submission = entry
+        if resumed is not None:
+            results.results.append(resumed)
+            results.resumed_calls += 1
+            return
+        (allowed, sizes, runtimes, failures), future = submission
+        outcomes = future.result() if future is not None else []
+        result = _reap_call_pooled(
+            manager,
+            call,
+            heuristics,
+            pool,
+            board,
+            allowed,
+            [
+                pool.decode_outcome(manager, name, call.f, call.c, outcome)
+                for name, outcome in zip(allowed, outcomes)
+            ],
+            sizes,
+            runtimes,
+            failures,
+            compute_lower_bound,
+            cube_limit,
+            gc_roots,
+        )
+        if journal is not None:
+            journal.append(result)
+        results.results.append(result)
+
+    # One extra envelope beyond the worker count keeps every worker
+    # busy while the caller reaps, without letting breaker gating lag
+    # further than it must.
+    window = pool.num_workers + 1
+    pending: List[tuple] = []
+    for ordinal, call in enumerate(record.calls):
+        results.total_calls += 1
+        key = (call.benchmark, ordinal)
+        if key in completed:
+            pending.append((call, completed[key], None))
+        else:
+            gating = _gate_call_pooled(heuristics, board)
+            allowed = gating[0]
+            future: Optional[Future] = None
+            if allowed:
+                payload = serialize_instance(manager, call.f, call.c)
+                envelope = encode_batch(
+                    [payload], [(0, name) for name in allowed]
+                )
+                future = executor.submit(
+                    pool.execute_batch, envelope, list(allowed)
+                )
+            pending.append((call, None, (gating, future)))
+        while len(pending) > window:
+            reap(pending.pop(0))
+    while pending:
+        reap(pending.pop(0))
 
 
 def _open_checkpoint(checkpoint, resume: bool):
@@ -305,6 +456,7 @@ def run_heuristics(
     serve_deadline: Optional[float] = None,
     serve_memory_limit: Optional[int] = None,
     gc: bool = True,
+    batch: bool = True,
 ) -> ExperimentResults:
     """Measure every heuristic on every recorded call.
 
@@ -327,6 +479,14 @@ def run_heuristics(
     contract, so serial and pooled sweeps agree modulo ``None`` cells.
     ``budget``'s node/step limits are enforced inside the workers; its
     ``deadline`` seeds the watchdog when ``serve_deadline`` is unset.
+
+    ``batch=True`` (the default, pooled sweeps only) packs each call's
+    cells into one batch envelope — the instance encoded once, shared
+    by every cell — and pipelines a record's calls: later calls are
+    dispatched while earlier ones still compute, with results reaped
+    strictly in call order so breaker bookkeeping and journalling stay
+    deterministic.  ``batch=False`` keeps the one-round-trip-per-cell
+    dispatch, for differential runs and overhead benchmarks.
 
     ``gc=True`` (the default) makes each §4.1.1 flush point a real
     mark-and-sweep collection rooted at the record's instances, so
@@ -354,9 +514,19 @@ def run_heuristics(
             memory_limit=serve_memory_limit,
             node_budget=budget.max_nodes if budget is not None else None,
             step_budget=budget.max_steps if budget is not None else None,
-            verify=verify_covers,
+            # Workers verify every cover unconditionally — the same
+            # is_cover check the serial sweep runs — so the sweep skips
+            # the pool's parent-side paranoia re-verify: it would repeat
+            # the pure-Python check on the reaping thread, serializing
+            # work the workers already did in parallel.
+            verify=False,
         )
         board = BreakerBoard()
+    executor: Optional[ThreadPoolExecutor] = None
+    if pool is not None and batch:
+        # The pipeline's dispatch lanes: one submitting thread per
+        # worker keeps every child busy while the caller reaps.
+        executor = ThreadPoolExecutor(max_workers=parallel)
     results = ExperimentResults(heuristics=tuple(heuristics))
     try:
         for record in benchmark_calls:
@@ -374,6 +544,22 @@ def run_heuristics(
                 if gc
                 else None
             )
+            if executor is not None:
+                _sweep_record_pooled(
+                    record,
+                    manager,
+                    heuristics,
+                    pool,
+                    board,
+                    executor,
+                    compute_lower_bound,
+                    cube_limit,
+                    gc_roots,
+                    journal,
+                    completed,
+                    results,
+                )
+                continue
             for ordinal, call in enumerate(record.calls):
                 results.total_calls += 1
                 # Keyed by position, not iteration: frontier and image
@@ -410,6 +596,8 @@ def run_heuristics(
                     journal.append(result)
                 results.results.append(result)
     finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
         if pool is not None:
             # Snapshot serve-layer health before the pool shuts down,
             # so sweep records can report retry/shed/breaker counters.
@@ -437,6 +625,7 @@ def run_experiment(
     serve_deadline: Optional[float] = None,
     serve_memory_limit: Optional[int] = None,
     gc: bool = True,
+    batch: bool = True,
 ) -> ExperimentResults:
     """Collect calls over a suite and measure: the whole §4 pipeline."""
     # Validate the journal before the expensive call collection, so a
@@ -457,4 +646,5 @@ def run_experiment(
         serve_deadline=serve_deadline,
         serve_memory_limit=serve_memory_limit,
         gc=gc,
+        batch=batch,
     )

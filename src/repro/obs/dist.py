@@ -66,6 +66,9 @@ WORKER_PHASES = (
 #: built.  Grouped by the module that increments them.
 SERVE_COUNTER_KEYS = (
     # repro.serve.pool / repro.serve.service
+    "serve.batch_cells",
+    "serve.batch_partial_failures",
+    "serve.batches",
     "serve.probe_failures",
     "serve.retries",
     "serve.short_circuits",

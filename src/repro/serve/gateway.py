@@ -63,6 +63,7 @@ from repro.bdd.wire import (
     WireError,
     deserialize,
     deserialize_instance,
+    encode_batch,
     serialize,
     serialize_instance,
 )
@@ -190,6 +191,12 @@ class _Admitted:
     #: Root-span handle in the gateway's RequestSpanTracker; closed
     #: exactly once on every exit path (completion or typed shed).
     span: int = -1
+    #: Batch request: ``(instances, cells)`` when set — the shared
+    #: instance payloads and ``(instance_index, method)`` cells of one
+    #: batch envelope.  ``payload`` is then empty, ``method`` is the
+    #: display label, and ``future`` resolves to a *list* of per-cell
+    #: :class:`GatewayReply` aligned with ``cells``.
+    batch: Optional[Tuple[List[bytes], List[Tuple[int, str]]]] = None
 
 
 class MinimizationGateway:
@@ -491,6 +498,88 @@ class MinimizationGateway:
         self.max_queue_depth = max(self.max_queue_depth, self._queue.qsize())
         return await item.future
 
+    async def submit_batch(
+        self,
+        instances: List[bytes],
+        cells: List[Tuple[int, str]],
+        deadline: Optional[float] = None,
+    ) -> List[GatewayReply]:
+        """Admit one batch of ``(instance_index, method)`` cells.
+
+        The batch analogue of :meth:`submit`: ``instances`` holds each
+        distinct wire-encoded ``[f, c]`` payload once, and every cell
+        references one by index — the whole batch occupies a *single*
+        admission slot and a single worker checkout, which is the
+        sweep's admission amortization.  Returns one
+        :class:`GatewayReply` per cell, index-aligned with ``cells``;
+        each cell degrades independently (breaker-denied cells are
+        short-circuited without dispatch, failed cells carry their own
+        typed reason), so one bad cell never rejects its batch.
+
+        Typed shedding is all-or-nothing at the *batch* level: the
+        batch is admitted or :class:`OverloadedError` is raised
+        immediately, and a budget that dies in the queue sheds the
+        whole batch with :class:`DeadlineExpired` — cells of a batch
+        share one end-to-end deadline.
+
+        Batches are never hedged and never retried: a batch already
+        amortizes its dispatch overhead, duplicate whole-batch attempts
+        would double worker load for one straggler cell, and per-cell
+        transient failures surface in the replies for the caller (who
+        holds every ``f``) to re-submit individually if worthwhile.
+
+        ``admitted`` counts one per batch; ``completed`` / ``degraded``
+        count cells, so gateway statistics stay cell-comparable with
+        single-cell traffic.
+        """
+        if not self._started:
+            raise GatewayClosed("gateway is not started")
+        if not self._accepting:
+            raise GatewayClosed("gateway is closed to new requests")
+        if not cells:
+            return []
+        for index, _ in cells:
+            if not 0 <= index < len(instances):
+                raise ValueError(
+                    "cell references instance %d of %d"
+                    % (index, len(instances))
+                )
+        budget = self.default_deadline if deadline is None else deadline
+        if budget <= 0:
+            raise ValueError("deadline must be positive")
+        now = self._clock()
+        label = "batch[%d]" % len(cells)
+        item = _Admitted(
+            seq=self._seq,
+            method=label,
+            payload=b"",
+            budget=budget,
+            admitted_at=now,
+            expires_at=now + budget,
+            future=asyncio.get_running_loop().create_future(),
+            span=self.spans.open(seq=self._seq, method=label),
+            batch=(list(instances), list(cells)),
+        )
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.shed_overload += 1
+            mreg = obs_metrics.active()
+            if mreg is not None:
+                mreg.inc("gateway.shed_overload")
+            self.spans.close(
+                item.span, status="shed", shed_reason="overload"
+            )
+            raise OverloadedError(
+                "admission queue full (%d queued); batch shed"
+                % self._queue.qsize(),
+                queue_depth=self._queue.qsize(),
+            ) from None
+        self._seq += 1
+        self.admitted += 1
+        self.max_queue_depth = max(self.max_queue_depth, self._queue.qsize())
+        return await item.future
+
     async def minimize(
         self,
         manager: Manager,
@@ -550,15 +639,34 @@ class MinimizationGateway:
                 # landing here is a gateway bug reported as a typed,
                 # deterministic degradation.
                 if not item.future.done():
-                    item.future.set_result(
-                        GatewayReply(
-                            method=item.method,
-                            payload=self._fallback_payload(item.payload),
-                            reason="GatewayError: %s: %s"
-                            % (type(error).__name__, error),
-                            kind=DETERMINISTIC,
-                        )
+                    reason = "GatewayError: %s: %s" % (
+                        type(error).__name__,
+                        error,
                     )
+                    if item.batch is not None:
+                        instances, cells = item.batch
+                        item.future.set_result(
+                            [
+                                GatewayReply(
+                                    method=method,
+                                    payload=self._fallback_payload(
+                                        instances[index]
+                                    ),
+                                    reason=reason,
+                                    kind=DETERMINISTIC,
+                                )
+                                for index, method in cells
+                            ]
+                        )
+                    else:
+                        item.future.set_result(
+                            GatewayReply(
+                                method=item.method,
+                                payload=self._fallback_payload(item.payload),
+                                reason=reason,
+                                kind=DETERMINISTIC,
+                            )
+                        )
             finally:
                 # Idempotent backstop: _run_item closes the span on
                 # every path it owns; anything that slipped through
@@ -567,6 +675,9 @@ class MinimizationGateway:
                 self._active -= 1
 
     async def _run_item(self, item: _Admitted) -> None:
+        if item.batch is not None:
+            await self._run_batch_item(item)
+            return
         now = self._clock()
         waited = now - item.admitted_at
         remaining = item.expires_at - now
@@ -663,6 +774,160 @@ class MinimizationGateway:
                 runtime=runtime,
             )
         )
+
+    async def _run_batch_item(self, item: _Admitted) -> None:
+        """Dispatch one admitted batch: gate, execute, reply per cell."""
+        now = self._clock()
+        waited = now - item.admitted_at
+        remaining = item.expires_at - now
+        mreg = obs_metrics.active()
+        instances, cells = item.batch
+        if remaining <= 0.0:
+            self.shed_expired += 1
+            if mreg is not None:
+                mreg.inc("gateway.shed_expired")
+            self.spans.close(
+                item.span,
+                status="shed",
+                shed_reason="deadline_expired",
+                waited=round(waited, 6),
+            )
+            item.future.set_exception(
+                DeadlineExpired(
+                    "deadline of %.3fs expired after %.3fs in queue"
+                    % (item.budget, waited),
+                    waited=waited,
+                )
+            )
+            return
+        replies: List[Optional[GatewayReply]] = [None] * len(cells)
+        allowed: List[int] = []
+        for position, (index, method) in enumerate(cells):
+            breaker = (
+                self.board.breaker(method)
+                if self.board is not None
+                else None
+            )
+            if breaker is not None and not breaker.allow():
+                self.degraded += 1
+                if mreg is not None:
+                    mreg.inc("gateway.short_circuits")
+                replies[position] = GatewayReply(
+                    method=method,
+                    payload=self._fallback_payload(instances[index]),
+                    reason="CircuitOpen: %s" % breaker.describe(),
+                    kind=TRANSIENT,
+                    attempts=0,
+                    queue_wait=waited,
+                )
+            else:
+                allowed.append(position)
+        outcomes: List[Optional[WireOutcome]] = []
+        if allowed:
+            # Re-index so the envelope carries only the instances its
+            # dispatched cells reference (breaker-denied cells may
+            # have been the only users of theirs).
+            local_ids: Dict[int, int] = {}
+            local_instances: List[bytes] = []
+            local_cells: List[Tuple[int, str]] = []
+            for position in allowed:
+                index, method = cells[position]
+                local = local_ids.get(index)
+                if local is None:
+                    local = len(local_instances)
+                    local_ids[index] = local
+                    local_instances.append(instances[index])
+                local_cells.append((local, method))
+            envelope = encode_batch(local_instances, local_cells)
+            if self.dispatch_log is not None:
+                self.dispatch_log.append((item.seq, item.method, remaining))
+            outcomes = await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                self._attempt_batch,
+                envelope,
+                [cells[position][1] for position in allowed],
+                remaining,
+                [instances[cells[position][0]] for position in allowed],
+            )
+        runtime = self._clock() - item.admitted_at
+        degraded_cells = 0
+        for position, outcome in zip(allowed, outcomes):
+            index, method = cells[position]
+            breaker = (
+                self.board.breaker(method)
+                if self.board is not None
+                else None
+            )
+            ok = outcome is not None and outcome.ok
+            if breaker is not None:
+                if ok:
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
+            if ok:
+                self.completed += 1
+                replies[position] = GatewayReply(
+                    method=method,
+                    payload=outcome.payload,
+                    queue_wait=waited,
+                    worker_deadline=remaining,
+                    runtime=outcome.runtime,
+                )
+            else:
+                self.degraded += 1
+                degraded_cells += 1
+                if mreg is not None:
+                    mreg.inc("gateway.degraded")
+                replies[position] = GatewayReply(
+                    method=method,
+                    payload=self._fallback_payload(instances[index]),
+                    reason=(
+                        outcome.reason
+                        if outcome is not None and outcome.reason
+                        else "GatewayError: no attempt produced an outcome"
+                    ),
+                    kind=outcome.kind if outcome is not None else TRANSIENT,
+                    queue_wait=waited,
+                    worker_deadline=remaining,
+                    runtime=outcome.runtime if outcome is not None else 0.0,
+                )
+        if mreg is not None:
+            mreg.observe("gateway.request_latency", runtime)
+        self.spans.close(
+            item.span,
+            status="ok" if degraded_cells == 0 else "degraded",
+            cells=len(cells),
+            degraded_cells=degraded_cells,
+        )
+        item.future.set_result(replies)
+
+    def _attempt_batch(
+        self,
+        envelope: bytes,
+        methods: List[str],
+        worker_deadline: float,
+        instance_payloads: List[bytes],
+    ) -> List[Optional[WireOutcome]]:
+        """One batch pool attempt (executor thread; wire-level only)."""
+        try:
+            outcomes = self.pool.execute_batch(
+                envelope, methods, deadline=worker_deadline
+            )
+        except RuntimeError as error:
+            failure = WireOutcome(
+                status="failed",
+                reason="PoolClosed: %s" % error,
+                kind=TRANSIENT,
+            )
+            return [failure] * len(methods)
+        if not self.verify:
+            return list(outcomes)
+        return [
+            self._verify_outcome(payload, method, outcome)
+            for payload, method, outcome in zip(
+                instance_payloads, methods, outcomes
+            )
+        ]
 
     async def _attempts(
         self, item: _Admitted, remaining: float
@@ -787,10 +1052,20 @@ class MinimizationGateway:
                 reason="PoolClosed: %s" % error,
                 kind=TRANSIENT,
             )
-        if outcome is None or not outcome.ok or not self.verify:
+        if not self.verify:
             return outcome
-        # Never trust a worker: re-verify the cover in a scratch
-        # manager (never the caller's — managers are single-threaded).
+        return self._verify_outcome(payload, method, outcome)
+
+    def _verify_outcome(
+        self,
+        payload: bytes,
+        method: str,
+        outcome: Optional[WireOutcome],
+    ) -> Optional[WireOutcome]:
+        """Never trust a worker: re-verify the cover in a scratch
+        manager (never the caller's — managers are single-threaded)."""
+        if outcome is None or not outcome.ok:
+            return outcome
         try:
             scratch, f, c = deserialize_instance(payload)
             _, roots = deserialize(outcome.payload, manager=scratch)

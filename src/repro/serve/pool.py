@@ -15,9 +15,16 @@ running every request in a **child process** under two OS-level fences:
 
 Requests and results cross the process boundary in the durable wire
 format of :mod:`repro.bdd.wire`; the child rebuilds the instance in a
-fresh manager, runs the registry heuristic, verifies the cover, and
-ships the result back.  On *any* failure — timeout, OOM, crash, budget
-trip, contract violation — the request degrades to the identity cover
+**warm, resident manager** (:class:`_WarmHost` — persisting across
+requests, collected between cells, compacted past a node watermark),
+runs the registry heuristic, verifies the cover, and ships the result
+back.  Cells can travel individually (:meth:`MinimizationPool.execute`)
+or packed into batch envelopes with a shared-instance table
+(:meth:`MinimizationPool.execute_batch`) — one worker checkout per
+batch, per-cell streamed outcomes, so per-request dispatch overhead is
+amortized across the sweep's many tiny cells.  On *any* failure —
+timeout, OOM, crash, budget trip, contract violation — the affected
+cell (and only that cell) degrades to the identity cover
 ``g = f`` (always correct per Definition 2) with the reason recorded,
 following the same reason-recording protocol as
 :class:`repro.robust.guard.GuardedHeuristic` (``failures``,
@@ -55,23 +62,29 @@ entries are visible.
 from __future__ import annotations
 
 import multiprocessing
+import signal
 import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.errors import (
     BudgetExceeded,
     ContractError,
+    DeadlineExceeded,
     InvariantError,
 )
 from repro.bdd.manager import Manager
 from repro.bdd.wire import (
     WireError,
+    _target_manager,
     build_parsed,
+    decode_batch,
     deserialize,
+    encode_batch,
     parse_payload,
     serialize,
     serialize_instance,
@@ -102,6 +115,13 @@ DEFAULT_KILL_GRACE = 0.25
 TRANSIENT = "transient"
 DETERMINISTIC = "deterministic"
 
+#: Compaction watermark for warm worker managers: when the resident
+#: manager's node table (live plus free-list slots) grows past this
+#: many entries, the between-cell collection compacts — rebuilding
+#: dense ids and bumping ``gc_generation`` — instead of just sweeping
+#: dead nodes to the free list.
+DEFAULT_NODE_WATERMARK = 1 << 16
+
 
 @dataclass
 class ServeResult:
@@ -121,11 +141,14 @@ class ServeResult:
     short_circuited: bool = False
     runtime: float = 0.0
     attempts: int = 1
-    #: The worker manager's ``statistics()`` snapshot, shipped back
-    #: across the process boundary (None when the worker never got far
-    #: enough to have a manager — watchdog kills, crashes, undecodable
-    #: requests).  Worker managers are fresh per request, so these are
-    #: absolute per-request numbers, not deltas.
+    #: The worker manager's per-request ``statistics()`` delta, shipped
+    #: back across the process boundary (None when the worker never got
+    #: far enough to have a manager — watchdog kills, crashes,
+    #: undecodable requests).  Worker managers are *warm* — they persist
+    #: across requests — so cumulative counters are differenced against
+    #: a snapshot taken at cell start (:func:`repro.obs.metrics
+    #: .diff_statistics`), while table-size readings (``live_nodes``,
+    #: ``peak_nodes``) report the post-cell value.
     stats: Optional[Dict[str, int]] = None
 
     @property
@@ -187,8 +210,268 @@ def _apply_memory_limit(limit_bytes: Optional[int]) -> None:
         pass
 
 
-def _execute_request(request: dict) -> dict:
-    """Run one request inside the worker; never raises.
+class _WarmHost:
+    """The worker's resident manager, persisting across requests.
+
+    Building a fresh :class:`~repro.bdd.manager.Manager` per request
+    made the pooled sweep lose to serial — per-request interpreter
+    allocation dominated the paper's tiny per-cell minimizations
+    (ROADMAP item 1).  The warm host keeps one manager alive for the
+    worker's lifetime: requests decode into it, covers encode out of
+    it, and :meth:`settle` collects between cells so nothing leaks
+    from one cell into the next.
+
+    The resident manager is reused only when the incoming payload's
+    variable universe is compatible (same name-per-level prefix — the
+    rule :func:`repro.bdd.wire._target_manager` enforces); a mismatch
+    swaps in a fresh manager instead of raising, because one worker
+    serves arbitrary interleavings of universes.  After a failure that
+    may have left the manager inconsistent (memory exhaustion, an
+    invariant violation, an unclassified heuristic crash) the host is
+    poisoned — the next :meth:`acquire` starts fresh.
+    """
+
+    __slots__ = ("watermark", "manager", "resets", "compactions")
+
+    def __init__(self, watermark: int = DEFAULT_NODE_WATERMARK):
+        self.watermark = watermark
+        self.manager: Optional[Manager] = None
+        self.resets = 0
+        self.compactions = 0
+
+    def acquire(self, names: Sequence[str]) -> Manager:
+        """The resident manager, aligned to ``names`` — or a fresh one."""
+        if self.manager is not None:
+            try:
+                return _target_manager(names, self.manager)
+            except WireError:
+                self.resets += 1
+        # Imported lazily so the sanitizer's patched Manager class
+        # (REPRO_SANITIZE=1) is honored even though this module bound
+        # the unpatched name at import time.
+        from repro.bdd.manager import Manager as manager_class
+
+        self.manager = manager_class(var_names=list(names))
+        return self.manager
+
+    def settle(self, roots: Sequence[int]):
+        """Collect between cells; compact past the node watermark.
+
+        Everything not reachable from ``roots`` is swept to the free
+        list; past the watermark the sweep compacts instead, so the
+        table's dense-id space cannot grow without bound across a long
+        batch.  Returns the :class:`~repro.bdd.manager.Remap` when the
+        collection compacted (the caller must translate every ref it
+        holds — the sanitizer's ``gc_generation`` tagging turns a
+        missed translation into a typed error), else ``None``.
+        """
+        manager = self.manager
+        if manager is None:
+            return None
+        if manager.num_nodes > self.watermark:
+            self.compactions += 1
+            return manager.gc(roots, compact=True)
+        manager.gc(roots)
+        return None
+
+    def poison(self) -> None:
+        """Drop the resident manager; the next cell starts fresh."""
+        self.manager = None
+
+
+def _cell_stats(
+    stats_before: Optional[Dict[str, int]], manager: Manager
+) -> Dict[str, int]:
+    """Per-cell statistics delta against the cell-start snapshot."""
+    after = manager.statistics()
+    if stats_before is None:
+        return after
+    return obs_metrics.diff_statistics(stats_before, after)
+
+
+class _CellAlarm:
+    """Per-cell wall-clock deadline via ``SIGALRM``/``setitimer``.
+
+    The governor's cooperative deadline costs a Python call on *every*
+    node/ITE event — measured ~25% of worker compute on the sweep's
+    tiny cells.  The alarm costs two syscalls per cell instead: arm an
+    interval timer before compute, disarm after.  The trade is that
+    the handler raises :class:`DeadlineExceeded` asynchronously, which
+    can interrupt the warm manager mid-mutation — so the cell handler
+    poisons the resident manager on an alarm trip, paying one rare
+    re-decode for hook-free steady-state compute.
+
+    Off-POSIX (or when the serving loop is not the process's main
+    thread, where signal handlers cannot be installed) ``ensure()``
+    reports False and the caller falls back to the governor's polled
+    deadline.
+    """
+
+    __slots__ = ("_armed", "_ready")
+
+    def __init__(self):
+        self._armed = False
+        self._ready: Optional[bool] = None
+
+    def ensure(self) -> bool:
+        """Install the handler once; False when alarms are unusable."""
+        if self._ready is None:
+            try:
+                signal.setitimer  # noqa: B018 - AttributeError off-POSIX
+                signal.signal(signal.SIGALRM, self._handle)
+                self._ready = True
+            except (AttributeError, ValueError, OSError):
+                self._ready = False
+        return self._ready
+
+    def _handle(self, signum, frame) -> None:
+        # A disarmed delivery (raced with setitimer(0)) must be
+        # swallowed, or a stray alarm could abort the serve loop.
+        if self._armed:
+            self._armed = False
+            raise DeadlineExceeded(
+                "deadline exhausted: cell exceeded its wall-clock budget"
+            )
+
+    @contextmanager
+    def limit(self, seconds: Optional[float]):
+        if seconds is None or not self.ensure():
+            yield
+            return
+        self._armed = True
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            self._armed = False
+
+
+#: Worker-process singleton; the handler is installed on first use.
+_ALARM = _CellAlarm()
+
+
+def _run_cell(
+    manager: Manager,
+    host: _WarmHost,
+    f: int,
+    c: int,
+    method: str,
+    request: dict,
+    clock: PhaseClock,
+    stats_before: Optional[Dict[str, int]],
+    started: float,
+    extra_roots: Sequence[int] = (),
+    on_remap=None,
+) -> dict:
+    """Run one decoded cell on the warm manager; never raises.
+
+    ``extra_roots`` keeps the batch's shared instance refs alive across
+    the between-cell collection; when that collection compacts,
+    ``on_remap`` lets the batch loop translate its cached refs.  Even a
+    failed cell ships its counters home (the journals can then explain
+    *why* it degraded, e.g. nodes created right up against the budget).
+    """
+    from repro.core.ispec import ISpec
+    from repro.core.registry import HEURISTICS
+    from repro.robust.governor import Budget, governed
+    from repro.robust.guard import describe_error
+
+    def failed(reason: str, kind: str) -> dict:
+        return {
+            "status": "failed",
+            "reason": reason,
+            "kind": kind,
+            "runtime": time.perf_counter() - started,
+            "stats": _cell_stats(stats_before, manager),
+        }
+
+    heuristic = HEURISTICS.get(method)
+    if heuristic is None:
+        return failed(
+            "UnknownHeuristic: %r is not registered in this worker"
+            % method,
+            DETERMINISTIC,
+        )
+    # The wall-clock deadline is enforced by the interval-timer alarm
+    # when available — the governor then only installs its per-event
+    # hook when a node/step budget actually needs counting, keeping
+    # unbudgeted compute hook-free.
+    use_alarm = _ALARM.ensure()
+    budget = Budget(
+        max_nodes=request.get("node_budget"),
+        max_steps=request.get("step_budget"),
+        deadline=None if use_alarm else request.get("deadline"),
+    )
+    try:
+        with clock.phase("worker.compute"):
+            with _ALARM.limit(
+                request.get("deadline") if use_alarm else None
+            ):
+                with governed(
+                    manager, None if budget.unlimited else budget
+                ):
+                    cover = heuristic(manager, f, c)
+                if not ISpec(manager, f, c).is_cover(cover):
+                    return failed(
+                        "ContractError: %s returned a non-cover" % method,
+                        DETERMINISTIC,
+                    )
+        # Between-cell collection on the warm manager: the heuristic's
+        # scratch nodes are dead weight once the cover is known, and
+        # past the node watermark the sweep compacts.  The wire format
+        # emits canonically, so a remapped ref serializes to the same
+        # bytes the uncollected one would.
+        with clock.phase("worker.gc"):
+            remap = host.settle(tuple(extra_roots) + (cover,))
+            if remap is not None:
+                cover = remap(cover)
+                if on_remap is not None:
+                    on_remap(remap)
+        with clock.phase("worker.encode"):
+            payload = serialize(manager, (cover,))
+    except DeadlineExceeded as error:
+        # An alarm-raised deadline interrupts the manager at an
+        # arbitrary bytecode — possibly mid-mutation — so the resident
+        # manager cannot be trusted afterwards.
+        host.poison()
+        return failed(describe_error(error), TRANSIENT)
+    except BudgetExceeded as error:
+        return failed(describe_error(error), TRANSIENT)
+    except RecursionError:
+        host.poison()
+        return failed(
+            "RecursionError: interpreter recursion limit exceeded",
+            TRANSIENT,
+        )
+    except MemoryError:
+        host.poison()
+        return failed(
+            "MemoryError: worker memory cap exceeded", TRANSIENT
+        )
+    except InvariantError as error:
+        host.poison()
+        return failed(describe_error(error), DETERMINISTIC)
+    except ContractError as error:
+        return failed(describe_error(error), DETERMINISTIC)
+    except Exception as error:  # noqa: BLE001 - the boundary must hold
+        # A programming error cannot propagate across the process
+        # boundary as an exception; it is reported fail-fast instead
+        # (deterministic: retrying the same bug cannot help).
+        host.poison()
+        return failed(
+            "WorkerError: %s" % describe_error(error), DETERMINISTIC
+        )
+    return {
+        "status": "ok",
+        "payload": payload,
+        "runtime": time.perf_counter() - started,
+        "stats": _cell_stats(stats_before, manager),
+    }
+
+
+def _execute_request(request: dict, host: _WarmHost) -> dict:
+    """Run one single-cell request inside the worker; never raises.
 
     Returns a reply dict: ``status`` is ``"ok"`` (with a wire-encoded
     cover in ``payload``) or ``"failed"`` (with ``reason`` and a
@@ -222,7 +505,7 @@ def _execute_request(request: dict) -> dict:
     clock = PhaseClock(tracer=bundle_tracer)
     try:
         with request_span:
-            reply = _serve_request(request, clock)
+            reply = _serve_request(request, clock, host)
     finally:
         if bundle_tracer is not None:
             obs_trace.deactivate()
@@ -234,102 +517,228 @@ def _execute_request(request: dict) -> dict:
     return reply
 
 
-def _serve_request(request: dict, clock: PhaseClock) -> dict:
+def _serve_request(request: dict, clock: PhaseClock, host: _WarmHost) -> dict:
     """The phase pipeline of :func:`_execute_request`."""
-    from repro.core.ispec import ISpec
-    from repro.core.registry import HEURISTICS
-    from repro.robust.governor import Budget, governed
-    from repro.robust.guard import describe_error
-
     method = request["method"]
     started = time.perf_counter()
-    manager = None
-
-    def failed(reason: str, kind: str) -> dict:
-        reply = {
-            "status": "failed",
-            "reason": reason,
-            "kind": kind,
-            "runtime": time.perf_counter() - started,
-        }
-        if manager is not None:
-            # Even a failed cell ships its counters home: the journals
-            # can then explain *why* the cell degraded (e.g. nodes
-            # created right up against the budget).
-            reply["stats"] = manager.statistics()
-        return reply
-
     try:
         with clock.phase("worker.decode"):
             parsed = parse_payload(request["payload"])
         with clock.phase("worker.manager"):
-            manager, roots = build_parsed(parsed)
+            manager = host.acquire(parsed.names)
+            stats_before = manager.statistics()
+            _, roots = build_parsed(parsed, manager)
     except WireError as error:
-        return failed("WireError: %s" % error, DETERMINISTIC)
+        return {
+            "status": "failed",
+            "reason": "WireError: %s" % error,
+            "kind": DETERMINISTIC,
+            "runtime": time.perf_counter() - started,
+        }
     if len(roots) != 2:
-        return failed(
-            "WireError: instance payload must carry exactly 2 roots "
-            "[f, c], got %d" % len(roots),
-            DETERMINISTIC,
-        )
+        return {
+            "status": "failed",
+            "reason": "WireError: instance payload must carry exactly "
+            "2 roots [f, c], got %d" % len(roots),
+            "kind": DETERMINISTIC,
+            "runtime": time.perf_counter() - started,
+            "stats": _cell_stats(stats_before, manager),
+        }
     f, c = roots
-    heuristic = HEURISTICS.get(method)
-    if heuristic is None:
-        return failed(
-            "UnknownHeuristic: %r is not registered in this worker"
-            % method,
-            DETERMINISTIC,
-        )
-    budget = Budget(
-        max_nodes=request.get("node_budget"),
-        max_steps=request.get("step_budget"),
-        deadline=request.get("deadline"),
+    return _run_cell(
+        manager, host, f, c, method, request, clock, stats_before, started
     )
-    try:
-        with clock.phase("worker.compute"):
-            with governed(manager, None if budget.unlimited else budget):
-                cover = heuristic(manager, f, c)
-            if not ISpec(manager, f, c).is_cover(cover):
-                return failed(
-                    "ContractError: %s returned a non-cover" % method,
-                    DETERMINISTIC,
+
+
+def _serve_batch_cell(
+    request: dict,
+    clock: PhaseClock,
+    host: _WarmHost,
+    envelope,
+    instances: Dict[int, Optional[List[int]]],
+    reasons: Dict[int, str],
+    instance_index: int,
+    method: str,
+) -> dict:
+    """Decode (or reuse) a cell's shared instance, then run the cell.
+
+    ``instances`` caches each shared instance's decoded ``[f, c]`` refs
+    for the batch — decode and manager-build cost is paid once per
+    *instance*, not once per cell, which is the batched path's main
+    encode/decode saving.  ``None`` entries are tombstones for
+    instances that already failed to decode (every later cell on them
+    fails with the recorded reason, without re-parsing).
+    """
+    started = time.perf_counter()
+    if host.manager is None:
+        # A previous cell poisoned the resident manager: every cached
+        # ref belongs to the dropped manager, so force lazy re-decode
+        # (tombstones survive — an undecodable payload stays one).
+        for key in [k for k, v in instances.items() if v is not None]:
+            del instances[key]
+    if instance_index in instances and instances[instance_index] is None:
+        return {
+            "status": "failed",
+            "reason": reasons[instance_index],
+            "kind": DETERMINISTIC,
+            "runtime": time.perf_counter() - started,
+        }
+    cached = instances.get(instance_index)
+    if cached is None:
+        previous = host.manager
+        try:
+            with clock.phase("worker.decode"):
+                parsed = parse_payload(envelope.instances[instance_index])
+            with clock.phase("worker.manager"):
+                manager = host.acquire(parsed.names)
+                if manager is not previous:
+                    # Universe switch mid-batch: cached refs belong to
+                    # the replaced manager — drop them for re-decode.
+                    for key in [
+                        k for k, v in instances.items() if v is not None
+                    ]:
+                        del instances[key]
+                stats_before = manager.statistics()
+                _, roots = build_parsed(parsed, manager)
+            if len(roots) != 2:
+                raise WireError(
+                    "instance payload must carry exactly 2 roots "
+                    "[f, c], got %d" % len(roots)
                 )
-        # Compacting collection before serialization: the worker runs
-        # under an optional RLIMIT_AS cap, and the heuristic's scratch
-        # nodes are pure dead weight once the cover is known.  The wire
-        # format emits canonically, so the remapped ref serializes to
-        # the same bytes the uncollected one would.
-        with clock.phase("worker.gc"):
-            remap = manager.gc((cover,), compact=True)
-            cover = remap(cover)
-        with clock.phase("worker.encode"):
-            payload = serialize(manager, (cover,))
-    except BudgetExceeded as error:
-        return failed(describe_error(error), TRANSIENT)
-    except RecursionError:
-        return failed(
-            "RecursionError: interpreter recursion limit exceeded",
-            TRANSIENT,
+        except WireError as error:
+            reasons[instance_index] = "WireError: %s" % error
+            instances[instance_index] = None
+            return {
+                "status": "failed",
+                "reason": reasons[instance_index],
+                "kind": DETERMINISTIC,
+                "runtime": time.perf_counter() - started,
+            }
+        cached = list(roots)
+        instances[instance_index] = cached
+    else:
+        manager = host.manager
+        stats_before = manager.statistics()
+    f, c = cached
+    live = [
+        ref
+        for entry in instances.values()
+        if entry is not None
+        for ref in entry
+    ]
+
+    def on_remap(remap) -> None:
+        for entry in instances.values():
+            if entry is not None:
+                entry[0] = remap(entry[0])
+                entry[1] = remap(entry[1])
+
+    return _run_cell(
+        manager,
+        host,
+        f,
+        c,
+        method,
+        request,
+        clock,
+        stats_before,
+        started,
+        extra_roots=live,
+        on_remap=on_remap,
+    )
+
+
+def _execute_batch(request: dict, conn, host: _WarmHost) -> bool:
+    """Run one batch inside the worker, streaming per-cell replies.
+
+    Sends one ``{"cell": i, ...}`` reply the moment each cell finishes
+    — the parent resets its watchdog window per cell and keeps every
+    streamed result even when a later cell hangs and gets this worker
+    killed — followed by one ``{"status": "batch_done"}`` trailer
+    carrying the batch's accumulated phase durations, warm-host
+    counters and (when sampled for detail) the span bundle.  An
+    undecodable envelope sends a single terminal
+    ``{"status": "batch_error"}`` instead.  Returns ``False`` when the
+    pipe died (the worker exits its serve loop).
+    """
+    started = time.perf_counter()
+    context = request.get("trace")
+    bundle_tracer = None
+    batch_span = obs_trace._NULL_SPAN
+    if context is not None and context.get("detail", True):
+        bundle_tracer = obs_trace.activate(obs_trace.Tracer())
+        batch_span = bundle_tracer.span(
+            "worker.request",
+            seq=context["seq"],
+            trace_id=context["trace_id"],
+            parent=context["parent_span"],
         )
-    except MemoryError:
-        return failed(
-            "MemoryError: worker memory cap exceeded", TRANSIENT
-        )
-    except (InvariantError, ContractError) as error:
-        return failed(describe_error(error), DETERMINISTIC)
-    except Exception as error:  # noqa: BLE001 - the boundary must hold
-        # A programming error cannot propagate across the process
-        # boundary as an exception; it is reported fail-fast instead
-        # (deterministic: retrying the same bug cannot help).
-        return failed(
-            "WorkerError: %s" % describe_error(error), DETERMINISTIC
-        )
-    return {
-        "status": "ok",
-        "payload": payload,
-        "runtime": time.perf_counter() - started,
-        "stats": manager.statistics(),
+    clock = PhaseClock(tracer=bundle_tracer)
+    pipe_ok = True
+    error_reply: Optional[dict] = None
+    try:
+        with batch_span:
+            try:
+                with clock.phase("worker.decode"):
+                    envelope = decode_batch(request["batch"])
+            except WireError as error:
+                error_reply = {
+                    "status": "batch_error",
+                    "reason": "WireError: %s" % error,
+                    "kind": DETERMINISTIC,
+                }
+            else:
+                instances: Dict[int, Optional[List[int]]] = {}
+                reasons: Dict[int, str] = {}
+                for position, (instance_index, method) in enumerate(
+                    envelope.cells
+                ):
+                    reply = _serve_batch_cell(
+                        request,
+                        clock,
+                        host,
+                        envelope,
+                        instances,
+                        reasons,
+                        instance_index,
+                        method,
+                    )
+                    reply["cell"] = position
+                    try:
+                        conn.send(reply)
+                    except (BrokenPipeError, OSError):
+                        pipe_ok = False
+                        break
+    finally:
+        if bundle_tracer is not None:
+            obs_trace.deactivate()
+    if not pipe_ok:
+        return False
+    if error_reply is not None:
+        try:
+            conn.send(error_reply)
+        except (BrokenPipeError, OSError):
+            return False
+        return True
+    # Nothing survives a batch: drop the shared instances so the next
+    # request's between-cell collection reclaims them.
+    phases = dict(clock.durations)
+    phases["worker.request"] = time.perf_counter() - started
+    trailer = {
+        "status": "batch_done",
+        "phases": phases,
+        "warm": {
+            "resets": host.resets,
+            "compactions": host.compactions,
+        },
     }
+    if bundle_tracer is not None:
+        trailer["spans"] = bundle_tracer.events
+    try:
+        conn.send(trailer)
+    except (BrokenPipeError, OSError):
+        return False
+    return True
 
 
 def _worker_main(conn, memory_limit: Optional[int]) -> None:
@@ -340,6 +749,7 @@ def _worker_main(conn, memory_limit: Optional[int]) -> None:
     # reach the parent's file — and it would pollute the per-request
     # bundles, so worker tracing is strictly request-scoped.
     obs_trace.deactivate()
+    host = _WarmHost()
     while True:
         try:
             request = conn.recv()
@@ -355,7 +765,15 @@ def _worker_main(conn, memory_limit: Optional[int]) -> None:
             except (BrokenPipeError, OSError):  # pragma: no cover
                 break
             continue
-        reply = _execute_request(request)
+        if isinstance(request, dict):
+            watermark = request.get("watermark")
+            if watermark is not None:
+                host.watermark = watermark
+        if isinstance(request, dict) and "batch" in request:
+            if not _execute_batch(request, conn, host):
+                break
+            continue
+        reply = _execute_request(request, host)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):  # pragma: no cover - races
@@ -449,11 +867,16 @@ class MinimizationPool:
         from a dispatcher thread when the pool is driven concurrently.
     recycle_after:
         Optional request count after which an idle worker is gracefully
-        stopped and replaced by a fresh one.  Worker managers are
-        already per-request, and each request ends with a compacting
-        ``gc()``; recycling additionally returns any interpreter-level
-        growth (allocator arenas, fragmentation) to the OS, which
-        matters for long sweeps under ``memory_limit``.
+        stopped and replaced by a fresh one.  Warm worker managers are
+        collected between cells (and compacted past the node
+        watermark); recycling additionally returns any
+        interpreter-level growth (allocator arenas, fragmentation) to
+        the OS, which matters for long sweeps under ``memory_limit``.
+    node_watermark:
+        Compaction watermark for the warm per-worker manager: when its
+        node table grows past this many entries, the between-cell
+        collection compacts instead of just sweeping.  ``None`` keeps
+        the worker default (:data:`DEFAULT_NODE_WATERMARK`).
     """
 
     def __init__(
@@ -468,6 +891,7 @@ class MinimizationPool:
         verify: bool = True,
         on_failure: Optional[Callable[[str, str], None]] = None,
         recycle_after: Optional[int] = None,
+        node_watermark: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1, got %d" % workers)
@@ -477,6 +901,8 @@ class MinimizationPool:
             raise ValueError("kill_grace must be >= 0")
         if recycle_after is not None and recycle_after < 1:
             raise ValueError("recycle_after must be positive or None")
+        if node_watermark is not None and node_watermark < 1:
+            raise ValueError("node_watermark must be positive or None")
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
@@ -491,8 +917,13 @@ class MinimizationPool:
         self.verify = verify
         self.on_failure = on_failure
         self.recycle_after = recycle_after
+        self.node_watermark = node_watermark
         # Reason-recording protocol (mirrors GuardedHeuristic).
+        # ``requests`` counts *cells* — a batch of N increments it by N
+        # — so sweep records stay comparable across batched and
+        # unbatched runs; ``batches`` counts batch dispatches.
         self.requests = 0
+        self.batches = 0
         self.failures = 0
         self.last_failure: Optional[str] = None
         # Pool health counters.
@@ -501,6 +932,10 @@ class MinimizationPool:
         self.worker_restarts = 0
         self.recycles = 0
         self.probe_failures = 0
+        # Warm-host counters from batch trailers, keyed by worker pid.
+        # Each trailer carries the host's *cumulative* counts, so the
+        # latest trailer per pid is the truth for that worker.
+        self._warm: Dict[int, Dict[str, int]] = {}
         self._closed = False
         self._probe_token = 0
         # Distributed-trace plumbing: the merger buffers per-request
@@ -575,17 +1010,33 @@ class MinimizationPool:
         return self._phases.summary()
 
     def statistics(self) -> Dict[str, int]:
-        """Health counters: requests, failures, kills, restarts."""
+        """Health counters: requests, failures, kills, restarts.
+
+        ``warm_resets``/``warm_compactions`` sum the warm-host counters
+        reported by each worker's most recent batch trailer — how often
+        a resident manager was replaced (universe mismatch) and how
+        often the between-cell collection compacted past the node
+        watermark.
+        """
         with self._cv:
             return {
                 "workers": len(self._idle) + len(self._busy),
                 "requests": self.requests,
+                "batches": self.batches,
                 "failures": self.failures,
                 "kills": self.kills,
                 "crashes": self.crashes,
                 "worker_restarts": self.worker_restarts,
                 "recycles": self.recycles,
                 "probe_failures": self.probe_failures,
+                "warm_resets": sum(
+                    warm.get("resets", 0)
+                    for warm in self._warm.values()
+                ),
+                "warm_compactions": sum(
+                    warm.get("compactions", 0)
+                    for warm in self._warm.values()
+                ),
             }
 
     # ------------------------------------------------------------------
@@ -665,21 +1116,33 @@ class MinimizationPool:
         manager: Manager,
         requests: Sequence[Tuple[str, int, int]],
         deadline: Optional[float] = None,
+        batch: bool = True,
     ) -> List[ServeResult]:
-        """Shard ``(method, f, c)`` requests across the worker pool.
+        """Run ``(method, f, c)`` requests across the worker pool.
 
-        Up to ``workers`` requests run concurrently; each is
-        independently watchdogged, and a killed request degrades alone
-        — the rest of the batch is untouched.  Results are returned
-        index-aligned with the input.  All caller-manager work (wire
-        encoding, decoding, re-verification) happens on the calling
-        thread; only the wire-level middle runs on dispatcher threads.
+        With ``batch=True`` (the default) cells are packed into batch
+        envelopes — each distinct ``(f, c)`` instance encoded once into
+        a shared-instance table — and sharded contiguously across up
+        to ``workers`` single-checkout batch dispatches
+        (:meth:`execute_batch`).  With ``batch=False`` every cell is
+        its own worker round trip, the pre-batching behaviour, kept
+        for differential testing and overhead measurement.  Either way
+        each cell is independently watchdogged and degrades alone — a
+        killed or failed cell never poisons the rest of its batch —
+        and results come back index-aligned with the input.  All
+        caller-manager work (wire encoding, decoding, re-verification)
+        happens on the calling thread; only the wire-level middle runs
+        on dispatcher threads.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
         per_request = self.deadline if deadline is None else deadline
         if per_request <= 0:
             raise ValueError("deadline must be positive")
+        if not requests:
+            return []
+        if batch and len(requests) > 1:
+            return self._run_batched(manager, requests, per_request)
         jobs = [
             (method, f, c, serialize_instance(manager, f, c))
             for method, f, c in requests
@@ -701,6 +1164,77 @@ class MinimizationPool:
         return [
             self._to_result(manager, method, f, c, outcome)
             for (method, f, c, _), outcome in zip(jobs, outcomes)
+        ]
+
+    def _run_batched(
+        self,
+        manager: Manager,
+        requests: Sequence[Tuple[str, int, int]],
+        per_request: float,
+    ) -> List[ServeResult]:
+        """The batched middle of :meth:`run_batch`.
+
+        Dedups distinct ``(f, c)`` instances into a shared table (the
+        sweep runs every heuristic over the same instance, so this cuts
+        encode bytes by the heuristic count), shards the cell list
+        contiguously across up to ``workers`` envelopes, dispatches
+        each shard as one :meth:`execute_batch` checkout, and decodes
+        the reassembled outcomes on the calling thread.
+        """
+        instance_ids: Dict[Tuple[int, int], int] = {}
+        instances: List[bytes] = []
+        cells: List[Tuple[int, str]] = []
+        for method, f, c in requests:
+            key = (f, c)
+            index = instance_ids.get(key)
+            if index is None:
+                index = len(instances)
+                instance_ids[key] = index
+                instances.append(serialize_instance(manager, f, c))
+            cells.append((index, method))
+
+        def dispatch(shard: List[Tuple[int, str]]) -> List[WireOutcome]:
+            # Re-index so each envelope carries only the instance
+            # payloads its own cells reference.
+            local_ids: Dict[int, int] = {}
+            local_instances: List[bytes] = []
+            local_cells: List[Tuple[int, str]] = []
+            for index, method in shard:
+                local = local_ids.get(index)
+                if local is None:
+                    local = len(local_instances)
+                    local_ids[index] = local
+                    local_instances.append(instances[index])
+                local_cells.append((local, method))
+            envelope = encode_batch(local_instances, local_cells)
+            return self.execute_batch(
+                envelope,
+                [method for _, method in local_cells],
+                deadline=per_request,
+            )
+
+        num_shards = min(self.num_workers, len(cells))
+        shards: List[List[Tuple[int, str]]] = []
+        base = 0
+        size, extra = divmod(len(cells), num_shards)
+        for position in range(num_shards):
+            count = size + (1 if position < extra else 0)
+            shards.append(cells[base:base + count])
+            base += count
+        if num_shards == 1:
+            outcome_lists = [dispatch(shards[0])]
+        else:
+            executor = self._dispatchers()
+            futures = [
+                executor.submit(dispatch, shard) for shard in shards
+            ]
+            outcome_lists = [future.result() for future in futures]
+        outcomes: List[WireOutcome] = []
+        for outcome_list in outcome_lists:
+            outcomes.extend(outcome_list)
+        return [
+            self._to_result(manager, method, f, c, outcome)
+            for (method, f, c), outcome in zip(requests, outcomes)
         ]
 
     def execute(
@@ -738,6 +1272,7 @@ class MinimizationPool:
             "deadline": per_request,
             "node_budget": self.node_budget,
             "step_budget": self.step_budget,
+            "watermark": self.node_watermark,
         }
         context: Optional[TraceContext] = None
         if tracer is not None:
@@ -844,6 +1379,254 @@ class MinimizationPool:
             stats=stats,
         )
 
+    def execute_batch(
+        self,
+        envelope: bytes,
+        methods: Sequence[str],
+        deadline: Optional[float] = None,
+        block: bool = True,
+    ) -> Optional[List[WireOutcome]]:
+        """Run one batch envelope on a single worker checkout.
+
+        The wire-level batch primitive: ships an
+        :func:`repro.bdd.wire.encode_batch` envelope, reads the
+        worker's streamed per-cell replies — resetting the watchdog
+        window after every reply, so ``deadline`` bounds each *cell*,
+        not the whole batch — and returns :class:`WireOutcome` objects
+        index-aligned with ``methods`` (which must name the envelope's
+        cells in order; it is what failure recording and the breaker
+        callback see).  One cell's failure never poisons its batch: a
+        guard trip or contract violation degrades that cell alone; a
+        watchdog kill or worker crash keeps every already-streamed
+        result, degrades the in-flight cell (``killed`` set on a
+        kill), and degrades the not-yet-run tail as transient
+        ``BatchAborted`` failures.  Returns ``None`` iff
+        ``block=False`` and no worker is idle.  Parent-side decode and
+        verification belong to the caller, as with :meth:`execute`.
+        """
+        num_cells = len(methods)
+        if num_cells == 0:
+            return []
+        per_cell = self.deadline if deadline is None else deadline
+        if per_cell <= 0:
+            raise ValueError("deadline must be positive")
+        tracer = obs_trace.active()
+        t_entry = time.perf_counter()
+        worker = self._checkout(block=block)
+        if worker is None:
+            return None
+        t_checkout = time.perf_counter()
+        with self._cv:
+            self.requests += num_cells
+            self.batches += 1
+        mreg = obs_metrics.active()
+        if mreg is not None:
+            mreg.inc("serve.batches")
+            mreg.inc("serve.batch_cells", num_cells)
+        request = {
+            "batch": envelope,
+            "deadline": per_cell,
+            "node_budget": self.node_budget,
+            "step_budget": self.step_budget,
+            "watermark": self.node_watermark,
+        }
+        label = "batch[%d]" % num_cells
+        context: Optional[TraceContext] = None
+        if tracer is not None:
+            seq = self._merger.next_seq()
+            self._merger.register_process(tracer._pid, "pool")
+            context = TraceContext(
+                trace_id=request_trace_id(seq),
+                seq=seq,
+                parent_span="pool.dispatch",
+                detail=seq % TRACE_DETAIL_EVERY == 0,
+            )
+        started = time.monotonic()
+        while True:
+            worker.served += 1
+            t_send = time.perf_counter()
+            if context is not None:
+                context.sent_at_us = tracer.offset_us(t_send)
+                request["trace"] = context.to_wire()
+            try:
+                worker.conn.send(request)
+            except (BrokenPipeError, OSError):
+                # The worker died between requests; replace it and
+                # retry the whole batch on the fresh one (nothing was
+                # streamed yet, so the retry is loss-free).
+                fresh = _Worker(self._context, self.memory_limit)
+                self._swap_busy(worker, fresh)
+                with self._cv:
+                    self.crashes += 1
+                    self.worker_restarts += 1
+                if mreg is not None:
+                    mreg.inc("serve.worker_crashes")
+                    mreg.inc("serve.worker_replacements")
+                worker.kill()
+                worker = fresh
+                continue
+            break
+        outcomes: List[Optional[WireOutcome]] = [None] * num_cells
+        received = 0
+        trailer: Optional[dict] = None
+        status = "ok"
+        kill_at = started + per_cell + self.kill_grace
+        while trailer is None:
+            try:
+                ready = worker.conn.poll(
+                    max(0.0, kill_at - time.monotonic())
+                )
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                ready = False
+            if not ready:
+                # Watchdog: the in-flight cell (or the trailer) is
+                # overdue.  SIGKILL and replace the worker; keep every
+                # streamed result, degrade the rest.
+                with self._cv:
+                    self.kills += 1
+                    self.worker_restarts += 1
+                if mreg is not None:
+                    mreg.inc("serve.watchdog_kills")
+                    mreg.inc("serve.worker_replacements")
+                fresh = _Worker(self._context, self.memory_limit)
+                self._checkin(worker, fresh=fresh)
+                worker.kill()
+                if received < num_cells:
+                    outcomes[received] = self._wire_failure(
+                        methods[received],
+                        "DeadlineExceeded: worker exceeded the %.3fs "
+                        "per-cell wall-clock deadline mid-batch and "
+                        "was killed (SIGKILL)" % per_cell,
+                        TRANSIENT,
+                        killed=True,
+                        runtime=per_cell,
+                    )
+                self._abort_tail(
+                    outcomes, methods, received + 1, "worker killed"
+                )
+                status = "killed"
+                break
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                exitcode = worker.process.exitcode
+                with self._cv:
+                    self.crashes += 1
+                    self.worker_restarts += 1
+                if mreg is not None:
+                    mreg.inc("serve.worker_crashes")
+                    mreg.inc("serve.worker_replacements")
+                fresh = _Worker(self._context, self.memory_limit)
+                self._checkin(worker, fresh=fresh)
+                worker.kill()
+                if received < num_cells:
+                    outcomes[received] = self._wire_failure(
+                        methods[received],
+                        "WorkerCrash: worker died mid-batch (exit "
+                        "code %s)" % exitcode,
+                        TRANSIENT,
+                        killed=False,
+                        runtime=time.monotonic() - started,
+                    )
+                self._abort_tail(
+                    outcomes, methods, received + 1, "worker crashed"
+                )
+                status = "crashed"
+                break
+            msg_status = message.get("status")
+            if msg_status == "batch_done":
+                trailer = message
+                warm = message.get("warm")
+                if warm is not None and worker.pid is not None:
+                    with self._cv:
+                        self._warm[worker.pid] = warm
+                self._checkin(worker)
+                break
+            if msg_status == "batch_error":
+                # The envelope itself was undecodable: every cell
+                # fails deterministically; the worker stays healthy.
+                for position in range(received, num_cells):
+                    outcomes[position] = self._wire_failure(
+                        methods[position],
+                        message.get(
+                            "reason", "WireError: undecodable batch"
+                        ),
+                        message.get("kind", DETERMINISTIC),
+                        killed=False,
+                    )
+                status = "degraded"
+                self._checkin(worker)
+                break
+            position = message["cell"]
+            runtime = message.get("runtime", 0.0)
+            if mreg is not None:
+                mreg.observe("serve.request_latency", runtime)
+            if msg_status == "ok":
+                outcomes[position] = WireOutcome(
+                    status="ok",
+                    payload=message["payload"],
+                    runtime=runtime,
+                    stats=message.get("stats"),
+                )
+            else:
+                outcomes[position] = self._wire_failure(
+                    methods[position],
+                    message["reason"],
+                    message["kind"],
+                    killed=False,
+                    runtime=runtime,
+                    stats=message.get("stats"),
+                )
+            received += 1
+            kill_at = time.monotonic() + per_cell + self.kill_grace
+        failed_cells = sum(
+            1
+            for outcome in outcomes
+            if outcome is not None and not outcome.ok
+        )
+        if status == "ok" and failed_cells:
+            status = "degraded"
+        if mreg is not None and 0 < failed_cells < num_cells:
+            mreg.inc("serve.batch_partial_failures")
+        self._finish_request(
+            context,
+            label,
+            status,
+            t_entry,
+            t_checkout,
+            t_send,
+            reply=trailer,
+            worker_pid=worker.pid,
+        )
+        return [
+            outcome
+            if outcome is not None
+            else self._wire_failure(
+                methods[position],
+                "BatchAborted: no reply for this cell",
+                TRANSIENT,
+                killed=False,
+            )
+            for position, outcome in enumerate(outcomes)
+        ]
+
+    def _abort_tail(
+        self,
+        outcomes: List[Optional[WireOutcome]],
+        methods: Sequence[str],
+        start: int,
+        why: str,
+    ) -> None:
+        """Degrade every not-yet-run cell after a mid-batch kill/crash."""
+        for position in range(start, len(outcomes)):
+            if outcomes[position] is None:
+                outcomes[position] = self._wire_failure(
+                    methods[position],
+                    "BatchAborted: %s before this cell ran" % why,
+                    TRANSIENT,
+                    killed=False,
+                )
+
     def probe(self, timeout: float = 1.0) -> Dict[str, int]:
         """Health-check every currently idle worker with a ping.
 
@@ -931,17 +1714,27 @@ class MinimizationPool:
         way.
         """
         t_done = time.perf_counter()
+        # The *ledger* entry named ``pool.dispatch`` is pool-side
+        # dispatch overhead: the send->reply round trip minus the wall
+        # time the worker reports for itself (``worker.request``) —
+        # i.e. pickling, pipe transport and scheduling.  When the
+        # worker never reported (watchdog kill, crash), the whole
+        # round trip is attributed to dispatch.  Ledger phases are
+        # therefore non-overlapping — ``pool.queue + pool.dispatch +
+        # worker.request`` sums to the request wall — unlike the trace
+        # *span* of the same name, which keeps interval semantics on
+        # the merged timeline.
+        dispatch_wall = t_done - t_send
         phases: Dict[str, float] = {
             "pool.queue": t_checkout - t_entry,
-            "pool.dispatch": t_done - t_send,
+            "pool.dispatch": dispatch_wall,
         }
         worker_phases = (reply or {}).get("phases")
         if worker_phases:
             phases.update(worker_phases)
-            phases["pool.ipc"] = max(
+            phases["pool.dispatch"] = max(
                 0.0,
-                phases["pool.dispatch"]
-                - worker_phases.get("worker.request", 0.0),
+                dispatch_wall - worker_phases.get("worker.request", 0.0),
             )
         self._phases.merge(phases)
         GLOBAL_PHASES.merge(phases)
@@ -1111,6 +1904,26 @@ class MinimizationPool:
             runtime=outcome.runtime,
             stats=outcome.stats,
         )
+
+    def decode_outcome(
+        self,
+        manager: Manager,
+        method: str,
+        fallback: int,
+        care: int,
+        outcome: WireOutcome,
+    ) -> ServeResult:
+        """Decode one :class:`WireOutcome` into ``manager``.
+
+        The public half of the wire/decode split for callers that drive
+        :meth:`execute` / :meth:`execute_batch` themselves (e.g. the
+        pipelined experiment harness): dispatch can happen on any
+        thread, but decode and re-verification mutate the caller's
+        manager and must run on the thread that owns it.  Failed
+        outcomes map to a ``ServeResult`` carrying ``fallback`` as the
+        cover, exactly like :meth:`run_batch`.
+        """
+        return self._to_result(manager, method, fallback, care, outcome)
 
     def _covers(self, manager, f: int, c: int, cover: int) -> bool:
         from repro.bdd.cover import is_def2_cover

@@ -90,7 +90,10 @@ class MinimizationService:
         self.last_failure: Optional[str] = None
         #: Aggregated worker-side Manager.statistics() across every
         #: request that shipped a snapshot back (cumulative counters
-        #: summed, sizes/peaks kept as maxima).
+        #: summed, sizes/peaks kept as maxima).  Workers keep a warm
+        #: resident manager across requests, so each snapshot is a
+        #: per-cell delta against the manager's state at cell start,
+        #: not a whole-process cumulative count.
         self.worker_stats: Dict[str, int] = {}
         # Counter/aggregate guard: the async gateway's dispatcher
         # threads and harness threads may share one service.

@@ -2,14 +2,21 @@
 
 A *lane* pushes wire-encoded ``[f, c]`` instances through one serving
 path and reports, per ``(instance, method)``, a normalized
-:class:`LaneResult`.  Four lanes ship:
+:class:`LaneResult`.  Five lanes ship:
 
 ``inprocess``
     The registry heuristic called directly — the reference lane.
 ``pool``
     :class:`~repro.serve.service.MinimizationService` over an isolated
     :class:`~repro.serve.pool.MinimizationPool` (process workers,
-    watchdog, breakers, retries).
+    watchdog, breakers, retries), one worker round trip per cell.
+``batch``
+    The same pool driven through the batched wire path: every
+    instance's cells packed into batch envelopes
+    (:meth:`~repro.serve.pool.MinimizationPool.run_batch` with
+    ``batch=True`` → ``execute_batch``), decoded per cell.  Its
+    byte-agreement with ``pool`` and ``inprocess`` is exactly the
+    batched-dispatch differential.
 ``gateway``
     The async :class:`~repro.serve.gateway.MinimizationGateway` with
     admission control and hedging.
@@ -44,7 +51,13 @@ from repro.bdd.manager import Manager
 from repro.bdd.wire import WireError, deserialize, serialize
 from repro.verify.corpus import Instance
 
-LANE_NAMES: Tuple[str, ...] = ("inprocess", "pool", "gateway", "chaos")
+LANE_NAMES: Tuple[str, ...] = (
+    "inprocess",
+    "pool",
+    "batch",
+    "gateway",
+    "chaos",
+)
 
 #: Statuses a lane may report.  ``error`` is always a violation.
 COMPLETED, DEGRADED, REJECTED, ERROR = (
@@ -157,6 +170,59 @@ class PoolLane:
                     )
         finally:
             service.close()
+        return results
+
+
+class BatchLane:
+    """The pool driven through the batched dispatch path.
+
+    Every instance's cells travel in batch envelopes — the instance
+    payload encoded once into the shared table, cells referencing it
+    by index — through
+    :meth:`~repro.serve.pool.MinimizationPool.execute_batch` on warm
+    worker managers, then each cover is decoded and normalized over
+    the instance's scratch manager.  Because the wire format is
+    canonical, a conforming batched path must produce byte-identical
+    covers to the single-cell ``pool`` lane; any divergence (a stale
+    ref surviving a between-cell collection, a cross-cell leak in the
+    warm manager, a mis-aligned outcome) surfaces as a lane
+    disagreement.
+    """
+
+    name = "batch"
+
+    def __init__(self, workers: int = 2, deadline: float = 30.0):
+        self.workers = workers
+        self.deadline = deadline
+
+    def run(
+        self, instances: Sequence[Instance], methods: Sequence[str]
+    ) -> List[LaneResult]:
+        from repro.serve.pool import MinimizationPool
+
+        results: List[LaneResult] = []
+        with MinimizationPool(
+            workers=self.workers, deadline=self.deadline
+        ) as pool:
+            for instance in instances:
+                manager, f, c = instance.decode()
+                replies = pool.run_batch(
+                    manager,
+                    [(method, f, c) for method in methods],
+                    batch=True,
+                )
+                for method, reply in zip(methods, replies):
+                    results.append(
+                        LaneResult(
+                            self.name,
+                            instance,
+                            method,
+                            COMPLETED if reply.ok else DEGRADED,
+                            cover_payload=_normalize(manager, reply.cover),
+                            reason=reply.reason,
+                            kind=reply.kind if not reply.ok else None,
+                        )
+                    )
         return results
 
 
@@ -394,6 +460,8 @@ def build_lane(name: str, seed: int = 0, deadline: float = 30.0):
         return InProcessLane()
     if name == "pool":
         return PoolLane(deadline=deadline)
+    if name == "batch":
+        return BatchLane(deadline=deadline)
     if name == "gateway":
         return GatewayLane(deadline=deadline)
     if name == "chaos":

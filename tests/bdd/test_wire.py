@@ -11,12 +11,16 @@ from hypothesis import strategies as st
 from repro.bdd.manager import Manager, ONE, ZERO
 from repro.bdd.reorder import is_equiv
 from repro.bdd.wire import (
+    BATCH_MAGIC,
+    BATCH_VERSION,
     MAX_WIRE_ITEMS,
     WIRE_MAGIC,
     WIRE_VERSION,
     WireError,
+    decode_batch,
     deserialize,
     deserialize_instance,
+    encode_batch,
     payload_summary,
     serialize,
     serialize_instance,
@@ -206,6 +210,172 @@ class TestRejection:
         manager = Manager(["a"])
         with pytest.raises(WireError, match="not a ref"):
             serialize(manager, (9999,))
+
+
+def _sample_batch():
+    manager, f, care = _sample_instance()
+    other = manager.and_(f, care)
+    instances = [
+        serialize_instance(manager, f, care),
+        serialize_instance(manager, other, care),
+    ]
+    cells = [(0, "naive"), (1, "restrict"), (0, "constrain")]
+    return instances, cells
+
+
+class TestBatchRoundTrip:
+    def test_envelope_round_trip(self):
+        instances, cells = _sample_batch()
+        envelope = decode_batch(encode_batch(instances, cells))
+        assert envelope.instances == instances
+        assert envelope.cells == cells
+
+    def test_nested_payloads_stay_decodable(self):
+        # The envelope treats instance payloads as opaque bytes; they
+        # must come out byte-identical and still parse as instances.
+        manager, f, care = _sample_instance()
+        instances, _ = _sample_batch()
+        envelope = decode_batch(encode_batch(instances, [(0, "naive")]))
+        target, f2, c2 = deserialize_instance(envelope.instances[0])
+        assert is_equiv(manager, f, target, f2)
+        assert is_equiv(manager, care, target, c2)
+
+    def test_shared_instance_encoded_once(self):
+        # N cells over one instance must not grow the envelope by N
+        # copies of the payload.
+        instances, _ = _sample_batch()
+        one_cell = encode_batch([instances[0]], [(0, "naive")])
+        many = encode_batch(
+            [instances[0]], [(0, "naive")] * 16
+        )
+        cell_framing = 4 + 2 + len(b"naive")
+        assert len(many) - len(one_cell) == 15 * cell_framing
+
+    def test_deterministic(self):
+        instances, cells = _sample_batch()
+        assert encode_batch(instances, cells) == encode_batch(
+            instances, cells
+        )
+
+
+class TestBatchRejection:
+    def test_empty_cell_list_rejected_at_encode(self):
+        instances, _ = _sample_batch()
+        with pytest.raises(WireError, match="at least one cell"):
+            encode_batch(instances, [])
+
+    def test_encode_rejects_out_of_range_index(self):
+        instances, _ = _sample_batch()
+        with pytest.raises(WireError, match="references instance"):
+            encode_batch(instances, [(2, "naive")])
+
+    def test_encode_rejects_non_bytes_instance(self):
+        with pytest.raises(WireError, match="bytes"):
+            encode_batch(["not bytes"], [(0, "naive")])
+
+    def test_bad_magic(self):
+        with pytest.raises(WireError, match="magic"):
+            decode_batch(b"NOPE" + b"\x00" * 16)
+
+    def test_unknown_version(self):
+        instances, cells = _sample_batch()
+        data = bytearray(encode_batch(instances, cells))
+        data[4] = BATCH_VERSION + 1
+        with pytest.raises(WireError, match="version"):
+            decode_batch(bytes(data))
+
+    def test_checksum_flip_rejected(self):
+        instances, cells = _sample_batch()
+        data = bytearray(encode_batch(instances, cells))
+        data[-1] ^= 0x01
+        with pytest.raises(WireError, match="checksum"):
+            decode_batch(bytes(data))
+
+    def test_every_truncation_rejected(self):
+        instances, cells = _sample_batch()
+        data = encode_batch(instances, cells)
+        for length in range(len(data)):
+            with pytest.raises(WireError):
+                decode_batch(data[:length])
+
+    def test_fuzzed_bit_flips_rejected(self):
+        import random
+
+        instances, cells = _sample_batch()
+        data = encode_batch(instances, cells)
+        rng = random.Random(20260808)
+        for _ in range(200):
+            corrupted = bytearray(data)
+            position = rng.randrange(len(corrupted))
+            corrupted[position] ^= 1 << rng.randrange(8)
+            try:
+                envelope = decode_batch(bytes(corrupted))
+            except WireError:
+                continue
+            # A flip inside a nested opaque payload passes envelope
+            # framing (by design) but must fail instance validation.
+            assert envelope.cells == cells
+            changed = [
+                payload
+                for payload, original in zip(
+                    envelope.instances, instances
+                )
+                if payload != original
+            ]
+            assert len(changed) == 1
+            with pytest.raises(WireError):
+                deserialize_instance(changed[0])
+
+    def test_trailing_garbage_rejected(self):
+        instances, cells = _sample_batch()
+        with pytest.raises(WireError, match="trailing"):
+            decode_batch(encode_batch(instances, cells) + b"\x00")
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(WireError, match="bytes"):
+            decode_batch("not bytes")
+
+    def test_oversized_counts_rejected(self):
+        # Corrupted instance/cell counts must fail cleanly before any
+        # allocation is attempted.
+        header = BATCH_MAGIC + struct.pack("<BB", BATCH_VERSION, 0)
+        data = header + struct.pack("<I", MAX_WIRE_ITEMS + 1)
+        with pytest.raises(WireError, match="count"):
+            decode_batch(data + b"\x00" * 8)
+
+    def test_decode_rejects_out_of_range_index(self):
+        # Hand-build an envelope whose cell references instance 1 of 1
+        # and re-seal the CRC so only the structural check can fire.
+        import zlib
+
+        instances, _ = _sample_batch()
+        body = bytearray(
+            encode_batch([instances[0]], [(0, "naive")])[:-4]
+        )
+        offset = len(BATCH_MAGIC) + 2 + 4 + 4 + len(instances[0]) + 4
+        struct.pack_into("<I", body, offset, 1)
+        sealed = bytes(body) + struct.pack(
+            "<I", zlib.crc32(bytes(body)) & 0xFFFFFFFF
+        )
+        with pytest.raises(WireError, match="references instance"):
+            decode_batch(sealed)
+
+    def test_zero_cells_rejected_at_decode(self):
+        # Framing with num_cells == 0 is a caller bug on the wire too.
+        import zlib
+
+        instances, _ = _sample_batch()
+        body = bytearray(
+            encode_batch([instances[0]], [(0, "naive")])[:-4]
+        )
+        cells_offset = len(BATCH_MAGIC) + 2 + 4 + 4 + len(instances[0])
+        struct.pack_into("<I", body, cells_offset, 0)
+        trimmed = bytes(body[: cells_offset + 4])
+        sealed = trimmed + struct.pack(
+            "<I", zlib.crc32(trimmed) & 0xFFFFFFFF
+        )
+        with pytest.raises(WireError, match="no cells"):
+            decode_batch(sealed)
 
 
 class TestSummary:

@@ -457,7 +457,9 @@ class TestPooledEndToEnd:
         batch = [("osm_bt", f, c)] * (TRACE_DETAIL_EVERY + 3)
         with obs_trace.tracing(str(path)):
             with MinimizationPool(workers=2) as pool:
-                replies = pool.run_batch(manager, batch)
+                # batch=False: one dispatch (and one trace seq) per
+                # cell — the per-request trace shape this test pins.
+                replies = pool.run_batch(manager, batch, batch=False)
         assert all(reply.ok for reply in replies)
 
         events = load_trace(str(path))
@@ -509,6 +511,61 @@ class TestPooledEndToEnd:
         summary = GLOBAL_PHASES.summary()
         assert summary["worker.compute"]["count"] == len(batch)
         assert summary["pool.dispatch"]["count"] == len(batch)
+
+    def test_batched_trace_groups_cells_per_batch(self, tmp_path):
+        from repro.obs.dist import GLOBAL_PHASES
+        from repro.serve.pool import MinimizationPool
+
+        GLOBAL_PHASES.reset()
+        path = tmp_path / "batched.json"
+        manager, f, c = _instance()
+        cells = [("osm_bt", f, c)] * 12
+        with obs_trace.tracing(str(path)):
+            with MinimizationPool(workers=2) as pool:
+                replies = pool.run_batch(manager, cells)
+        assert all(reply.ok for reply in replies)
+
+        events = load_trace(str(path))
+        validate_events(events)
+        spans = [e for e in events if e.get("ph") == "X"]
+        by_seq = {}
+        for event in spans:
+            seq = event["args"].get("seq")
+            if seq is not None:
+                by_seq.setdefault(seq, {}).setdefault(
+                    event["name"], []
+                ).append(event)
+        # 12 cells across 2 workers -> 2 batch dispatches, not 12.
+        assert len(by_seq) == 2
+        for named in by_seq.values():
+            request = named["pool.request"][0]
+            assert request["args"]["method"] == "batch[6]"
+            worker = named["worker.request"][0]
+            assert worker["args"]["parent"] == "pool.dispatch"
+            assert worker["ts"] >= request["ts"] - 0.01
+            assert (
+                worker["ts"] + worker["dur"]
+                <= request["ts"] + request["dur"] + 0.01
+            )
+        # The detail-sampled batch (seq 0) records one compute span
+        # per cell inside its single worker.request span.
+        assert len(by_seq[0]["worker.compute"]) == 6
+        # The ledger accumulates one entry per *batch*; the old
+        # ``pool.ipc`` residual is gone — ``pool.dispatch`` itself now
+        # carries the pool-side overhead (round trip minus the
+        # worker-reported wall), making the ledger non-overlapping.
+        summary = GLOBAL_PHASES.summary()
+        assert summary["worker.compute"]["count"] == 2
+        assert summary["pool.dispatch"]["count"] == 2
+        assert "pool.ipc" not in summary
+        request_wall = summary["worker.request"]["total"]
+        non_overlapping = (
+            summary["pool.queue"]["total"]
+            + summary["pool.dispatch"]["total"]
+            + request_wall
+        )
+        assert summary["pool.dispatch"]["total"] >= 0.0
+        assert non_overlapping > request_wall
 
 
 @needs_fork

@@ -76,7 +76,9 @@ class TestPooledStats:
         for result in measured:
             snapshot = result.stats.get("osm_bt")
             assert snapshot is not None
-            # Worker managers are fresh per request: absolute numbers.
+            # Worker managers are warm (persist across cells), so each
+            # snapshot is a per-cell delta — still positive for real
+            # ITE work.
             assert snapshot["ite_calls"] > 0
 
 

@@ -73,8 +73,14 @@ class _FakeClock:
 
 
 def _hang_forever(manager, f, c):
+    # Alarm-proof hang (see tests/serve/test_pool.py): exercises the
+    # watchdog SIGKILL path, not the cooperative deadline.
     while True:
-        pass
+        try:
+            while True:
+                pass
+        except Exception:
+            continue
 
 
 def _crash_hard(manager, f, c):
@@ -421,6 +427,158 @@ class TestHedging:
         reply, hedge_wins = _run(drill())
         assert reply.ok
         assert hedge_wins == 0
+
+
+class TestBatchSubmission:
+    def test_submit_batch_returns_verified_covers(self):
+        manager, f, c = _instance()
+        g = manager.and_(f, c)
+        instances = [
+            serialize_instance(manager, f, c),
+            serialize_instance(manager, g, c),
+        ]
+        cells = [(0, "osm_bt"), (1, "constrain"), (0, "restrict")]
+
+        async def drill():
+            with MinimizationPool(workers=1) as pool:
+                async with MinimizationGateway(pool) as gateway:
+                    replies = await gateway.submit_batch(instances, cells)
+                    return replies, gateway.statistics()
+
+        replies, stats = _run(drill())
+        assert len(replies) == 3
+        for (index, _), reply in zip(cells, replies):
+            assert reply.ok
+            _check_reply(reply, instances[index])
+        # One admission slot for the batch; completion counts cells.
+        assert stats["admitted"] == 1
+        assert stats["completed"] == 3
+        assert stats["degraded"] == 0
+
+    def test_batch_cell_failure_isolated(self):
+        instances = [_payload()]
+        cells = [(0, "osm_bt"), (0, "no_such"), (0, "constrain")]
+
+        async def drill():
+            with MinimizationPool(workers=1) as pool:
+                async with MinimizationGateway(pool) as gateway:
+                    replies = await gateway.submit_batch(instances, cells)
+                    return replies, gateway.statistics()
+
+        replies, stats = _run(drill())
+        assert [reply.ok for reply in replies] == [True, False, True]
+        assert replies[1].kind == DETERMINISTIC
+        assert "UnknownHeuristic" in replies[1].reason
+        _check_reply(replies[1], instances[0])  # identity fallback
+        assert stats["completed"] == 2
+        assert stats["degraded"] == 1
+
+    def test_batch_breaker_denied_cell_short_circuits(self):
+        payload = _payload()
+        board = BreakerBoard(failure_threshold=1, cooldown=4)
+        board.breaker("osm_bt").record_failure()  # trip it open
+
+        async def drill():
+            with MinimizationPool(workers=1) as pool:
+                async with MinimizationGateway(pool, board=board) as gw:
+                    replies = await gw.submit_batch(
+                        [payload], [(0, "osm_bt"), (0, "f_orig")]
+                    )
+                    return replies, pool.statistics()["requests"]
+
+        replies, pool_requests = _run(drill())
+        assert replies[0].degraded and replies[0].attempts == 0
+        assert "CircuitOpen" in replies[0].reason
+        _check_reply(replies[0], payload)
+        assert replies[1].ok
+        # Only the allowed cell reached the pool.
+        assert pool_requests == 1
+
+    def test_batch_expired_in_queue_sheds_whole_batch(self):
+        payload = _payload()
+        clock = _FakeClock()
+
+        async def drill():
+            with MinimizationPool(workers=1, **FAST) as pool:
+                gateway = MinimizationGateway(pool, clock=clock)
+                await gateway.start()
+                gateway.pause_dispatch()
+                future = asyncio.ensure_future(
+                    gateway.submit_batch(
+                        [payload],
+                        [(0, "osm_bt"), (0, "f_orig")],
+                        deadline=1.0,
+                    )
+                )
+                await asyncio.sleep(0)
+                clock.advance(1.5)
+                gateway.resume_dispatch()
+                with pytest.raises(DeadlineExpired):
+                    await future
+                requests_after = pool.statistics()["requests"]
+                await gateway.close()
+                return requests_after, gateway.shed_expired
+
+        pool_requests, shed_expired = _run(drill())
+        assert pool_requests == 0
+        assert shed_expired == 1
+
+    def test_batch_occupies_single_admission_slot(self):
+        payload = _payload()
+        cells = [(0, method) for method in ("osm_bt", "constrain",
+                                            "restrict", "f_orig")]
+
+        async def drill():
+            with MinimizationPool(workers=1) as pool:
+                async with MinimizationGateway(pool, queue_limit=1) as gw:
+                    # Four cells fit the one-slot queue: one batch, one
+                    # admission.
+                    return await gw.submit_batch([payload], cells)
+
+        replies = _run(drill())
+        assert len(replies) == 4
+        assert all(reply.ok for reply in replies)
+
+    def test_full_queue_sheds_batch_typed(self):
+        payload = _payload()
+
+        async def drill():
+            with MinimizationPool(workers=1, **FAST) as pool:
+                gateway = MinimizationGateway(pool, queue_limit=1)
+                await gateway.start()
+                gateway.pause_dispatch()
+                pending = asyncio.ensure_future(
+                    gateway.submit(payload, "f_orig")
+                )
+                await asyncio.sleep(0)
+                with pytest.raises(OverloadedError):
+                    await gateway.submit_batch(
+                        [payload], [(0, "osm_bt")]
+                    )
+                gateway.resume_dispatch()
+                reply = await pending
+                await gateway.close()
+                return reply
+
+        assert _run(drill()).ok
+
+    def test_batch_validation(self):
+        payload = _payload()
+
+        async def drill():
+            with MinimizationPool(workers=1) as pool:
+                async with MinimizationGateway(pool) as gateway:
+                    assert await gateway.submit_batch([payload], []) == []
+                    with pytest.raises(ValueError):
+                        await gateway.submit_batch(
+                            [payload], [(1, "osm_bt")]
+                        )
+                    with pytest.raises(ValueError):
+                        await gateway.submit_batch(
+                            [payload], [(0, "osm_bt")], deadline=0.0
+                        )
+
+        _run(drill())
 
 
 class TestLifecycle:

@@ -43,8 +43,16 @@ def _instance():
 
 
 def _hang_forever(manager, f, c):
+    # Swallows the worker's deadline alarm: models a hang the
+    # cooperative in-worker deadline cannot interrupt (a blocked
+    # syscall, a runaway C loop), forcing the parent watchdog's
+    # SIGKILL path that these drills exercise.
     while True:
-        pass
+        try:
+            while True:
+                pass
+        except Exception:
+            continue
 
 
 def _crash_hard(manager, f, c):
@@ -55,6 +63,13 @@ def _non_cover(manager, f, c):
     return ZERO
 
 
+def _sleep_long(manager, f, c):
+    # Interruptible (unlike _hang_forever): the worker's SIGALRM
+    # deadline must degrade this cleanly without any SIGKILL.
+    time.sleep(30.0)
+    return f
+
+
 @pytest.fixture
 def registered():
     """Register the pathological heuristics, clean up afterwards."""
@@ -62,6 +77,7 @@ def registered():
         "test_hang": _hang_forever,
         "test_crash": _crash_hard,
         "test_non_cover": _non_cover,
+        "test_sleep": _sleep_long,
     }
     for name, heuristic in names.items():
         register_heuristic(name, heuristic, replace=True)
@@ -111,6 +127,142 @@ class TestHealthyPath:
         assert result.ok
         assert result.stats is not None
         assert result.stats["gc_runs"] >= 1
+
+
+class TestBatchedDispatch:
+    METHODS = ["osm_bt", "constrain", "restrict", "osm_td", "f_orig"]
+
+    def test_injected_fault_fails_only_its_own_cell(self, registered):
+        # The acceptance drill: a deterministic mid-batch fault (a
+        # non-cover contract violation) degrades its own cell and
+        # nothing else — no kill, no restart, neighbors untouched.
+        manager, f, c = _instance()
+        methods = ["osm_bt", "test_non_cover", "constrain"]
+        with MinimizationPool(workers=1, **FAST) as pool:
+            replies = pool.run_batch(
+                manager, [(m, f, c) for m in methods]
+            )
+            stats = pool.statistics()
+        assert [reply.ok for reply in replies] == [True, False, True]
+        assert replies[1].kind == DETERMINISTIC
+        assert "non-cover" in replies[1].reason
+        assert not any(reply.killed for reply in replies)
+        assert stats["kills"] == 0
+        assert stats["worker_restarts"] == 0
+
+    def test_mid_batch_crash_keeps_streamed_results(self, registered):
+        manager, f, c = _instance()
+        methods = ["osm_bt", "test_crash", "constrain"]
+        with MinimizationPool(workers=1, **FAST) as pool:
+            replies = pool.run_batch(
+                manager, [(m, f, c) for m in methods]
+            )
+            assert pool.crashes == 1
+            # The replacement worker serves the next request.
+            assert pool.minimize(manager, f, c, method="osm_bt").ok
+        assert replies[0].ok
+        assert replies[1].degraded and not replies[1].killed
+        assert replies[1].kind == TRANSIENT
+        assert "WorkerCrash" in replies[1].reason
+        assert replies[2].kind == TRANSIENT
+        assert "BatchAborted" in replies[2].reason
+
+    def test_batched_matches_single_cell_bytes(self):
+        # The differential acceptance check: the batched path and the
+        # per-cell path must produce byte-identical canonical covers.
+        from repro.bdd.wire import serialize
+
+        manager, f, c = _instance()
+        cells = [(m, f, c) for m in self.METHODS]
+        with MinimizationPool(workers=2) as pool:
+            batched = pool.run_batch(manager, cells, batch=True)
+            single = pool.run_batch(manager, cells, batch=False)
+        for one, other in zip(batched, single):
+            assert one.ok and other.ok
+            assert serialize(manager, (one.cover,)) == serialize(
+                manager, (other.cover,)
+            )
+
+    def test_warm_manager_returns_to_baseline(self):
+        # Identical batches on one warm worker must report identical
+        # post-settle live_nodes — nothing leaks from batch to batch or
+        # from cell to cell.
+        manager, f, c = _instance()
+        cells = [(m, f, c) for m in self.METHODS]
+        with MinimizationPool(workers=1) as pool:
+            first = pool.run_batch(manager, cells)
+            second = pool.run_batch(manager, cells)
+        for replies in (first, second):
+            assert all(reply.ok for reply in replies)
+        baseline = [reply.stats["live_nodes"] for reply in first]
+        assert [
+            reply.stats["live_nodes"] for reply in second
+        ] == baseline
+
+    def test_tiny_watermark_compacts_and_stays_correct(self):
+        manager, f, c = _instance()
+        cells = [(m, f, c) for m in self.METHODS]
+        with MinimizationPool(workers=1, node_watermark=1) as pool:
+            compacted = pool.run_batch(manager, cells)
+            stats = pool.statistics()
+        with MinimizationPool(workers=1) as pool:
+            reference = pool.run_batch(manager, cells)
+        # Every between-cell collection ran past the 1-node watermark.
+        assert stats["warm_compactions"] >= len(cells)
+        for one, other in zip(compacted, reference):
+            assert one.ok and other.ok
+            assert ISpec(manager, f, c).is_cover(one.cover)
+            assert manager.size(one.cover) == manager.size(other.cover)
+
+    def test_warm_reset_on_universe_change(self):
+        manager, f, c = _instance()
+        other = Manager(["x", "y"])
+        x, y = other.var(0), other.var(1)
+        g, d = other.or_(x, y), other.and_(x, y)
+        with MinimizationPool(workers=1) as pool:
+            first = pool.run_batch(
+                manager, [(m, f, c) for m in ("osm_bt", "constrain")]
+            )
+            second = pool.run_batch(
+                other, [(m, g, d) for m in ("osm_bt", "constrain")]
+            )
+            stats = pool.statistics()
+        assert all(r.ok for r in first) and all(r.ok for r in second)
+        assert stats["warm_resets"] >= 1
+
+
+class TestAlarmDeadline:
+    def test_interruptible_overrun_degrades_cleanly(self, registered):
+        # The SIGALRM deadline interrupts a sleeping heuristic inside
+        # the worker: clean transient degrade, no SIGKILL, the same
+        # worker process keeps serving.
+        manager, f, c = _instance()
+        with MinimizationPool(workers=1, **FAST) as pool:
+            pid_before = pool.worker_pids()[0]
+            started = time.monotonic()
+            result = pool.minimize(manager, f, c, method="test_sleep")
+            assert time.monotonic() - started < 5.0
+            assert result.degraded and not result.killed
+            assert result.kind == TRANSIENT
+            assert "DeadlineExceeded" in result.reason
+            assert result.cover == f
+            assert pool.kills == 0
+            assert pool.worker_restarts == 0
+            assert pool.worker_pids()[0] == pid_before
+            assert pool.minimize(manager, f, c, method="osm_bt").ok
+
+    def test_mid_batch_overrun_isolated_without_kill(self, registered):
+        manager, f, c = _instance()
+        methods = ["osm_bt", "test_sleep", "constrain"]
+        with MinimizationPool(workers=1, **FAST) as pool:
+            replies = pool.run_batch(
+                manager, [(m, f, c) for m in methods]
+            )
+            stats = pool.statistics()
+        assert [reply.ok for reply in replies] == [True, False, True]
+        assert "DeadlineExceeded" in replies[1].reason
+        assert not replies[1].killed
+        assert stats["kills"] == 0
 
 
 class TestRecycling:

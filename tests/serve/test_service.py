@@ -41,7 +41,13 @@ def _flaky_while_flag(flag_path):
 
     def flaky(manager, f, c):
         while os.path.exists(flag_path):
-            time.sleep(0.01)
+            try:
+                time.sleep(0.01)
+            except Exception:
+                # Swallow the worker's deadline alarm: the fault
+                # drills exercise the watchdog SIGKILL path, so the
+                # hang must survive the cooperative deadline.
+                continue
         return f
 
     return flaky
@@ -217,6 +223,35 @@ class TestSweepParity:
                     continue
                 assert left.sizes[name] == right.sizes[name]
         assert pooled.failed_cells == 0
+
+    def test_batched_sweep_matches_unbatched(self):
+        # Batched dispatch (one envelope per call) is a pure transport
+        # optimization: cell sizes must match the per-cell round-trip
+        # path exactly.
+        from repro.experiments.calls import collect_suite_calls
+        from repro.experiments.harness import run_heuristics
+
+        subset = ("osm_bt", "constrain", "restrict", "f_orig")
+        batched = run_heuristics(
+            collect_suite_calls(["tlc"]),
+            heuristics=subset,
+            compute_lower_bound=False,
+            parallel=2,
+            batch=True,
+        )
+        unbatched = run_heuristics(
+            collect_suite_calls(["tlc"]),
+            heuristics=subset,
+            compute_lower_bound=False,
+            parallel=2,
+            batch=False,
+        )
+        assert batched.failed_cells == 0
+        assert unbatched.failed_cells == 0
+        for left, right in zip(batched.results, unbatched.results):
+            assert left.sizes == right.sizes
+        stats = batched.serve_stats
+        assert stats is not None and stats["batches"] > 0
 
     def test_breaker_gates_harness_cells(self, tmp_path):
         # A permanently hung heuristic stops being dispatched once its

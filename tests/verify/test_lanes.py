@@ -9,6 +9,7 @@ from repro.verify.lanes import (
     COMPLETED,
     DEGRADED,
     ERROR,
+    BatchLane,
     InProcessLane,
     LaneResult,
     PoolLane,
@@ -58,6 +59,30 @@ def test_pool_lane_agrees_with_inprocess_byte_for_byte():
     by_inst = {i.digest: i for i in instances}
     for (digest, method), grouped in group_by_request(
         reference + pooled
+    ).items():
+        assert differential_violations(
+            by_inst[digest], method, grouped
+        ) == []
+
+
+@needs_fork
+def test_batch_lane_agrees_with_single_cell_byte_for_byte():
+    # The batched transport differential: whole-batch dispatch must
+    # produce byte-identical canonical covers to per-cell dispatch.
+    instances = _instances()
+    reference = PoolLane(workers=2).run(instances, METHODS)
+    batched = BatchLane(workers=2).run(instances, METHODS)
+    assert len(batched) == len(reference)
+    ref_by_key = {
+        (r.instance.digest, r.method): r.cover_payload for r in reference
+    }
+    for result in batched:
+        assert result.status == COMPLETED
+        key = (result.instance.digest, result.method)
+        assert result.cover_payload == ref_by_key[key]
+    by_inst = {i.digest: i for i in instances}
+    for (digest, method), grouped in group_by_request(
+        reference + batched
     ).items():
         assert differential_violations(
             by_inst[digest], method, grouped
@@ -133,7 +158,7 @@ def test_error_results_are_always_violations():
 
 
 def test_build_lane_vocabulary():
-    for name in ("inprocess", "pool", "gateway", "chaos"):
+    for name in ("inprocess", "pool", "batch", "gateway", "chaos"):
         assert build_lane(name).name == name
     with pytest.raises(ValueError, match="unknown lane"):
         build_lane("bogus")
